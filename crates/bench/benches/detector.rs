@@ -1,0 +1,62 @@
+//! Criterion benchmark for the paper's "inexpensive checks" claim (§V):
+//! the detector adds one comparison per projection coefficient, so a
+//! GMRES iteration with the detector enabled must cost essentially the
+//! same as without it. Also measures the three §VI-D least-squares
+//! policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_dense::lstsq::{solve_projected, LstsqPolicy};
+use sdc_dense::matrix::DenseMatrix;
+use sdc_gmres::prelude::*;
+use sdc_sparse::gallery;
+use std::hint::black_box;
+
+fn bench_detector_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gmres25_detector");
+    g.sample_size(10);
+    let a = gallery::poisson2d(50);
+    let ones = vec![1.0; a.ncols()];
+    let mut b = vec![0.0; a.nrows()];
+    a.spmv(&ones, &mut b);
+
+    let base = GmresConfig { tol: 0.0, max_iters: 25, ..Default::default() };
+    g.bench_function(BenchmarkId::new("detector", "off"), |bch| {
+        bch.iter(|| black_box(gmres_solve(&a, &b, None, &base)))
+    });
+    let with_det = GmresConfig {
+        detector: Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::Record)),
+        ..base
+    };
+    g.bench_function(BenchmarkId::new("detector", "record"), |bch| {
+        bch.iter(|| black_box(gmres_solve(&a, &b, None, &with_det)))
+    });
+    g.finish();
+}
+
+fn bench_lsq_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lsq_policy_k25");
+    g.sample_size(30);
+    // A representative 25x25 triangular factor.
+    let k = 25;
+    let mut r = DenseMatrix::zeros(k, k);
+    for i in 0..k {
+        r[(i, i)] = 2.0 + (i as f64 * 0.1).sin();
+        for j in i + 1..k {
+            r[(i, j)] = 0.3 * ((i * j) as f64 * 0.05).cos();
+        }
+    }
+    let z: Vec<f64> = (0..k).map(|i| (i as f64 * 0.21).sin()).collect();
+    for (name, policy) in [
+        ("1_standard", LstsqPolicy::Standard),
+        ("2_fallback", LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 }),
+        ("3_rank_revealing", LstsqPolicy::RankRevealing { tol: 1e-12 }),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(solve_projected(&r, &z, policy).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detector_overhead, bench_lsq_policies);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks for the computational kernels.
+//!
+//! Backs the paper's performance claims at the kernel level: SpMV is the
+//! dominant cost, orthogonalization grows linearly with the iteration
+//! index, and the parallel kernels are worth their overhead at the
+//! experiment sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_dense::vector;
+use sdc_gmres::ortho::{orthogonalize, OrthoSiteCtx, OrthoStrategy};
+use sdc_faults::NoFaults;
+use sdc_sparse::gallery;
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmv");
+    g.sample_size(20);
+    for m in [50usize, 100] {
+        let a = gallery::poisson2d(m);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; n];
+        g.bench_with_input(BenchmarkId::new("serial", n), &a, |b, a| {
+            b.iter(|| {
+                a.spmv(black_box(&x), &mut y);
+                black_box(&y);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", n), &a, |b, a| {
+            b.iter(|| {
+                a.par_spmv(black_box(&x), &mut y);
+                black_box(&y);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot");
+    g.sample_size(30);
+    for n in [10_000usize, 100_000] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73).cos()).collect();
+        g.bench_with_input(BenchmarkId::new("pairwise_serial", n), &n, |b, _| {
+            b.iter(|| black_box(vector::dot(&x, &y)))
+        });
+        g.bench_with_input(BenchmarkId::new("pairwise_parallel", n), &n, |b, _| {
+            b.iter(|| black_box(vector::par_dot(&x, &y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ortho(c: &mut Criterion) {
+    // Orthogonalization cost grows linearly in the basis size — the
+    // paper's argument that extra robustness early in the inner solve is
+    // nearly free (§VII-E-1).
+    let mut g = c.benchmark_group("orthogonalize");
+    g.sample_size(20);
+    let n = 10_000;
+    for basis_size in [1usize, 5, 25] {
+        let basis: Vec<Vec<f64>> = (0..basis_size)
+            .map(|k| {
+                let mut v: Vec<f64> =
+                    (0..n).map(|i| ((i + 7 * k) as f64 * 0.31).sin()).collect();
+                vector::normalize(&mut v);
+                v
+            })
+            .collect();
+        let v0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).cos()).collect();
+        for strat in [OrthoStrategy::Mgs, OrthoStrategy::Cgs, OrthoStrategy::Cgs2] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{strat:?}"), basis_size),
+                &basis_size,
+                |b, _| {
+                    b.iter(|| {
+                        let mut v = v0.clone();
+                        let r = orthogonalize(
+                            strat,
+                            &basis,
+                            &mut v,
+                            OrthoSiteCtx { outer_iteration: 0, inner_solve: 0, column: basis_size },
+                            &NoFaults,
+                            None,
+                        );
+                        black_box(r.vnorm)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_dot, bench_ortho);
+criterion_main!(benches);

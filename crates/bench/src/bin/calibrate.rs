@@ -1,0 +1,41 @@
+//! Calibration helper: failure-free outer iteration counts for both
+//! evaluation problems at several tolerances. Used to pick the outer
+//! tolerance whose failure-free count best matches the paper's
+//! (9 outer for Poisson, 28 for mult_dcop_03) and recorded in
+//! EXPERIMENTS.md. Not itself a paper artifact.
+
+use sdc_bench::campaign::{failure_free, CampaignConfig};
+use sdc_bench::problems;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (pm, dn) = if quick { (30, 2000) } else { (100, 25_187) };
+
+    println!("== failure-free outer iterations (25 inner each) ==");
+    let poisson = problems::poisson(pm);
+    for tol in [3e-7, 1e-7, 3e-8] {
+        let cfg = CampaignConfig { outer_tol: tol, ..Default::default() };
+        let rep = failure_free(&poisson, &cfg);
+        println!(
+            "{}: tol={tol:.0e} outer={} inner_total={} outcome={:?} true_res={:.2e}",
+            poisson.name,
+            rep.iterations,
+            rep.total_inner_iterations,
+            rep.outcome,
+            rep.true_residual_norm.unwrap_or(f64::NAN),
+        );
+    }
+    let dcop = problems::dcop(None, dn, 1311);
+    for tol in [5e-9, 3e-9, 2e-9, 1e-9] {
+        let cfg = CampaignConfig { outer_tol: tol, outer_max: 200, ..Default::default() };
+        let rep = failure_free(&dcop, &cfg);
+        println!(
+            "{}: tol={tol:.0e} outer={} inner_total={} outcome={:?} true_res={:.2e}",
+            dcop.name,
+            rep.iterations,
+            rep.total_inner_iterations,
+            rep.outcome,
+            rep.true_residual_norm.unwrap_or(f64::NAN),
+        );
+    }
+}

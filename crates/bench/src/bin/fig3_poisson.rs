@@ -1,0 +1,37 @@
+//! Regenerates **Figure 3** of the paper: outer iterations to convergence
+//! for the Poisson problem under a single SDC event, swept over every
+//! aggregate inner iteration, for the three fault classes, at the first
+//! (3a) and last (3b) Modified Gram-Schmidt positions — plus the §VII-E
+//! detector comparison.
+//!
+//! Paper setup: `gallery('poisson',100)`, 25 inner iterations per outer
+//! iteration, failure-free = 9 outer (ours matches at outer tolerance
+//! 1e-7 with b = A·1).
+//!
+//! Usage: `fig3_poisson [--quick] [--stride N] [--csv DIR]`
+
+use sdc_bench::campaign::CampaignConfig;
+use sdc_bench::figure::run_figure;
+use sdc_bench::problems;
+use sdc_bench::render::CliArgs;
+
+fn main() {
+    let args = CliArgs::parse();
+    let (m, inner, tol, stride) = if args.quick {
+        (24, 10, 1e-7, args.stride.unwrap_or(3))
+    } else {
+        (100, 25, 1e-7, args.stride.unwrap_or(1))
+    };
+    if let Some(dir) = &args.csv_dir {
+        std::fs::create_dir_all(dir).expect("cannot create csv dir");
+    }
+    let problem = problems::poisson(m);
+    let cfg = CampaignConfig {
+        inner_iters: inner,
+        outer_tol: tol,
+        outer_max: 150,
+        stride,
+        ..Default::default()
+    };
+    run_figure("fig3", &problem, &cfg, args.csv_dir.as_deref(), 75);
+}

@@ -1,0 +1,276 @@
+//! The single-SDC sweep driver (§VII-B).
+//!
+//! For each experiment the solver re-solves the same system (same matrix,
+//! right-hand side and initial guess) with a single fault injected at one
+//! (aggregate inner iteration, MGS position, fault class) coordinate. The
+//! experiments are mutually independent, so the sweep runs them in
+//! parallel with Rayon — each experiment's kernels are deterministic, so
+//! the sweep's output is identical however it is scheduled.
+
+use crate::problems::Problem;
+use rayon::prelude::*;
+use sdc_faults::campaign::{CampaignPoint, FaultClass, MgsPosition};
+use sdc_gmres::prelude::*;
+
+/// Sweep configuration (mirrors the paper's experimental setup).
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Inner iterations per outer iteration (paper: 25).
+    pub inner_iters: usize,
+    /// Outer relative-residual tolerance.
+    pub outer_tol: f64,
+    /// Outer iteration cap (well above the failure-free count so
+    /// penalties are measurable).
+    pub outer_max: usize,
+    /// Detector response, or `None` to run undetected.
+    pub detector_response: Option<DetectorResponse>,
+    /// Sweep stride: 1 = every aggregate iteration (the paper's full
+    /// figures), larger = subsampled quick runs.
+    pub stride: usize,
+    /// Inner projected-LSQ policy (§VI-D; the paper recommends 1 or 3).
+    pub inner_lsq: LstsqPolicy,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            inner_iters: 25,
+            outer_tol: 1e-8,
+            outer_max: 120,
+            detector_response: None,
+            stride: 1,
+            inner_lsq: LstsqPolicy::Standard,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The FT-GMRES configuration realizing this campaign on matrix `a`.
+    pub fn ft_config(&self, a: &sdc_sparse::CsrMatrix) -> FtGmresConfig {
+        FtGmresConfig {
+            outer: sdc_gmres::fgmres::FgmresConfig {
+                tol: self.outer_tol,
+                max_outer: self.outer_max,
+                ..Default::default()
+            },
+            inner_iters: self.inner_iters,
+            inner_lsq_policy: self.inner_lsq,
+            inner_detector: self
+                .detector_response
+                .map(|resp| SdcDetector::with_frobenius_bound(a, resp)),
+            ..Default::default()
+        }
+    }
+}
+
+/// One experiment's outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// The aggregate inner iteration that was faulted (x-axis).
+    pub aggregate: usize,
+    /// Outer iterations to convergence (y-axis).
+    pub outer_iterations: usize,
+    /// Whether the solve converged within the cap.
+    pub converged: bool,
+    /// Whether the fault was actually committed (late sites may never be
+    /// reached if the solve converges first).
+    pub injected: bool,
+    /// Whether the detector flagged anything.
+    pub detected: bool,
+    /// Detector-forced inner restarts.
+    pub restarts: usize,
+    /// Reliable relative residual of the returned solution.
+    pub true_rel_residual: f64,
+}
+
+/// A full (class, position) series.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Fault class of this series.
+    pub class: FaultClass,
+    /// MGS position of this series.
+    pub position: MgsPosition,
+    /// Failure-free outer iteration count (the baseline).
+    pub failure_free_outer: usize,
+    /// One point per (strided) aggregate iteration.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// The worst outer-iteration count in the series.
+    pub fn max_outer(&self) -> usize {
+        self.points.iter().map(|p| p.outer_iterations).max().unwrap_or(0)
+    }
+
+    /// The worst increase over failure-free.
+    pub fn max_increase(&self) -> usize {
+        self.max_outer().saturating_sub(self.failure_free_outer)
+    }
+
+    /// Worst-case percentage increase in time-to-solution (§VII-E).
+    pub fn pct_increase(&self) -> f64 {
+        100.0 * self.max_increase() as f64 / self.failure_free_outer.max(1) as f64
+    }
+
+    /// Number of experiments with no penalty at all.
+    pub fn count_no_penalty(&self) -> usize {
+        self.points.iter().filter(|p| p.outer_iterations <= self.failure_free_outer).count()
+    }
+
+    /// Number of experiments in which the fault was committed and detected.
+    pub fn count_detected(&self) -> usize {
+        self.points.iter().filter(|p| p.detected).count()
+    }
+
+    /// Number of experiments that failed to converge.
+    pub fn count_failures(&self) -> usize {
+        self.points.iter().filter(|p| !p.converged).count()
+    }
+}
+
+/// Runs the failure-free baseline and returns its report.
+pub fn failure_free(p: &Problem, cfg: &CampaignConfig) -> SolveReport {
+    let ft = cfg.ft_config(&p.a);
+    let (_, rep) = sdc_gmres::ftgmres::ftgmres_solve(&p.a, &p.b, None, &ft);
+    rep
+}
+
+/// Runs one full sweep series: a single SDC of `class` at `position`,
+/// swept over every (strided) aggregate inner iteration in
+/// `1..=inner_iters·failure_free_outer`.
+pub fn run_sweep(
+    p: &Problem,
+    cfg: &CampaignConfig,
+    class: FaultClass,
+    position: MgsPosition,
+    failure_free_outer: usize,
+) -> SweepResult {
+    let ft = cfg.ft_config(&p.a);
+    let domain: Vec<usize> = (1..=cfg.inner_iters * failure_free_outer)
+        .step_by(cfg.stride.max(1))
+        .collect();
+    let points: Vec<SweepPoint> = domain
+        .par_iter()
+        .map(|&aggregate| {
+            let point = CampaignPoint {
+                aggregate_iteration: aggregate,
+                inner_per_outer: cfg.inner_iters,
+                class,
+                position,
+            };
+            let inj = point.injector();
+            let (x, rep) =
+                sdc_gmres::ftgmres::ftgmres_solve_instrumented(&p.a, &p.b, None, &ft, &inj);
+            let mut r = vec![0.0; p.b.len()];
+            sdc_gmres::operator::residual(&p.a, &p.b, &x, &mut r);
+            let true_rel =
+                sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&p.b).max(1e-300);
+            SweepPoint {
+                aggregate,
+                outer_iterations: rep.iterations,
+                converged: rep.outcome.is_converged(),
+                injected: !rep.injections.is_empty(),
+                detected: rep.detected_anything(),
+                restarts: rep.detector_restarts,
+                true_rel_residual: true_rel,
+            }
+        })
+        .collect();
+    SweepResult { class, position, failure_free_outer, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems;
+
+    fn tiny_cfg() -> CampaignConfig {
+        CampaignConfig {
+            inner_iters: 8,
+            outer_tol: 1e-8,
+            outer_max: 60,
+            detector_response: None,
+            stride: 5,
+            inner_lsq: LstsqPolicy::Standard,
+        }
+    }
+
+    #[test]
+    fn sweep_runs_and_all_points_converge() {
+        let p = problems::poisson(8);
+        let cfg = tiny_cfg();
+        let ff = failure_free(&p, &cfg);
+        assert!(ff.outcome.is_converged());
+        let res = run_sweep(&p, &cfg, FaultClass::Slight, MgsPosition::First, ff.iterations);
+        assert!(!res.points.is_empty());
+        assert_eq!(res.count_failures(), 0, "all experiments must converge");
+        for pt in &res.points {
+            assert!(pt.true_rel_residual <= 1e-7, "agg {}: {}", pt.aggregate, pt.true_rel_residual);
+        }
+    }
+
+    #[test]
+    fn detector_sweep_detects_all_committed_class1() {
+        let p = problems::poisson(8);
+        let mut cfg = tiny_cfg();
+        cfg.detector_response = Some(DetectorResponse::RestartInner);
+        let ff = failure_free(&p, &cfg);
+        let res = run_sweep(&p, &cfg, FaultClass::Huge, MgsPosition::First, ff.iterations);
+        for pt in &res.points {
+            if pt.injected {
+                assert!(pt.detected, "committed class-1 fault at {} escaped", pt.aggregate);
+            }
+        }
+        // With the detector, the worst-case penalty is tiny.
+        assert!(res.max_increase() <= 2, "max increase {}", res.max_increase());
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let p = problems::poisson(6);
+        let cfg = CampaignConfig { inner_iters: 5, stride: 7, ..tiny_cfg() };
+        let ff = failure_free(&p, &cfg);
+        let r1 = run_sweep(&p, &cfg, FaultClass::Tiny, MgsPosition::Last, ff.iterations);
+        let r2 = run_sweep(&p, &cfg, FaultClass::Tiny, MgsPosition::Last, ff.iterations);
+        assert_eq!(r1.points.len(), r2.points.len());
+        for (a, b) in r1.points.iter().zip(r2.points.iter()) {
+            assert_eq!(a.outer_iterations, b.outer_iterations);
+            assert_eq!(a.true_rel_residual.to_bits(), b.true_rel_residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let res = SweepResult {
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+            failure_free_outer: 9,
+            points: vec![
+                SweepPoint {
+                    aggregate: 1,
+                    outer_iterations: 12,
+                    converged: true,
+                    injected: true,
+                    detected: true,
+                    restarts: 1,
+                    true_rel_residual: 1e-9,
+                },
+                SweepPoint {
+                    aggregate: 2,
+                    outer_iterations: 9,
+                    converged: true,
+                    injected: true,
+                    detected: false,
+                    restarts: 0,
+                    true_rel_residual: 1e-9,
+                },
+            ],
+        };
+        assert_eq!(res.max_outer(), 12);
+        assert_eq!(res.max_increase(), 3);
+        assert!((res.pct_increase() - 33.333).abs() < 0.01);
+        assert_eq!(res.count_no_penalty(), 1);
+        assert_eq!(res.count_detected(), 1);
+        assert_eq!(res.count_failures(), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared driver for the Figure-3/Figure-4 experiments.
+//!
+//! Both figures have the same shape — six sweeps (3 fault classes × first
+//! /last MGS position) without a detector, plus the §VII-E comparison runs
+//! with the detector enabled for the detectable (class-1) faults.
+
+use crate::campaign::{failure_free, run_sweep, CampaignConfig, SweepResult};
+use crate::problems::Problem;
+use crate::render::{ascii_plot, write_sweep_csv};
+use sdc_faults::campaign::{FaultClass, MgsPosition};
+use sdc_gmres::prelude::DetectorResponse;
+use std::path::Path;
+
+/// Everything a figure run produces.
+pub struct FigureOutput {
+    /// Failure-free outer iteration count.
+    pub failure_free_outer: usize,
+    /// The six undetected sweep series (position-major: First ×3 classes,
+    /// then Last ×3 classes).
+    pub series: Vec<SweepResult>,
+    /// The two detector-on class-1 series (First, Last).
+    pub detector_series: Vec<SweepResult>,
+}
+
+/// Runs the full figure: prints plots as it goes, returns all series.
+pub fn run_figure(
+    label: &str,
+    problem: &Problem,
+    cfg: &CampaignConfig,
+    csv_dir: Option<&Path>,
+    plot_width: usize,
+) -> FigureOutput {
+    eprintln!("[{label}] failure-free baseline...");
+    let ff = failure_free(problem, cfg);
+    assert!(
+        ff.outcome.is_converged(),
+        "failure-free run must converge, got {:?}",
+        ff.outcome
+    );
+    let ff_outer = ff.iterations;
+    println!(
+        "\n{label}: {} | {} inner iterations per outer iteration.",
+        problem.name, cfg.inner_iters
+    );
+    println!(
+        "Failure-free number of outer iterations = {ff_outer} (paper: 9 Poisson / 28 dcop)\n"
+    );
+
+    let mut series = Vec::new();
+    for position in MgsPosition::both() {
+        println!(
+            "--- SDC on the {} of the Modified Gram-Schmidt loop ---",
+            position.label()
+        );
+        for class in FaultClass::all() {
+            eprintln!("[{label}] sweep: {} / {}...", class.label(), position.label());
+            let res = run_sweep(problem, cfg, class, position, ff_outer);
+            println!("{}", ascii_plot(&res, cfg.inner_iters, plot_width));
+            if let Some(dir) = csv_dir {
+                let file = dir.join(format!(
+                    "{label}_{}_{}.csv",
+                    match class {
+                        FaultClass::Huge => "huge",
+                        FaultClass::Slight => "slight",
+                        FaultClass::Tiny => "tiny",
+                    },
+                    match position {
+                        MgsPosition::First => "first",
+                        MgsPosition::Last => "last",
+                    }
+                ));
+                write_sweep_csv(&file, &res).expect("csv write failed");
+            }
+            series.push(res);
+        }
+    }
+
+    // §VII-E: the detector turns the class-1 plots into near-flat lines.
+    println!("--- class-1 sweeps WITH the ‖A‖_F detector (response: restart inner solve) ---");
+    let mut detector_series = Vec::new();
+    let det_cfg =
+        CampaignConfig { detector_response: Some(DetectorResponse::RestartInner), ..*cfg };
+    for position in MgsPosition::both() {
+        eprintln!("[{label}] detector sweep: huge / {}...", position.label());
+        let res = run_sweep(problem, &det_cfg, FaultClass::Huge, position, ff_outer);
+        println!("{}", ascii_plot(&res, cfg.inner_iters, plot_width));
+        if let Some(dir) = csv_dir {
+            let file = dir.join(format!(
+                "{label}_huge_{}_detector.csv",
+                match position {
+                    MgsPosition::First => "first",
+                    MgsPosition::Last => "last",
+                }
+            ));
+            write_sweep_csv(&file, &res).expect("csv write failed");
+        }
+        detector_series.push(res);
+    }
+
+    summarize(label, ff_outer, &series, &detector_series);
+    FigureOutput { failure_free_outer: ff_outer, series, detector_series }
+}
+
+fn summarize(label: &str, ff: usize, series: &[SweepResult], detector: &[SweepResult]) {
+    println!("=== {label} summary (paper §VII-E) ===");
+    let worst_undetected =
+        series.iter().map(|s| s.max_outer()).max().unwrap_or(ff);
+    let worst_detected =
+        detector.iter().map(|s| s.max_outer()).max().unwrap_or(ff);
+    let huge_undetected: usize = series
+        .iter()
+        .filter(|s| s.class == FaultClass::Huge)
+        .map(|s| s.max_outer())
+        .max()
+        .unwrap_or(ff);
+    println!("  failure-free outer iterations:            {ff}");
+    println!(
+        "  worst case, any class, no detector:       {worst_undetected} (+{}, {:.0}%)",
+        worst_undetected - ff,
+        100.0 * (worst_undetected - ff) as f64 / ff as f64
+    );
+    println!(
+        "  worst case, class-1 (huge), no detector:  {huge_undetected} (+{})",
+        huge_undetected - ff
+    );
+    println!(
+        "  worst case, class-1 (huge), detector on:  {worst_detected} (+{})",
+        worst_detected - ff
+    );
+    let all_conv = series.iter().chain(detector).all(|s| s.count_failures() == 0);
+    println!(
+        "  every experiment converged to the true solution: {}",
+        if all_conv { "yes" } else { "NO — INVESTIGATE" }
+    );
+    for s in detector {
+        let committed = s.points.iter().filter(|p| p.injected).count();
+        println!(
+            "  detector coverage ({}): {}/{} committed class-1 faults detected",
+            s.position.label(),
+            s.count_detected(),
+            committed
+        );
+    }
+    println!();
+}

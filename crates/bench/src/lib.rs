@@ -1,0 +1,23 @@
+//! Experiment harness regenerating every table and figure of
+//! *Evaluating the Impact of SDC on the GMRES Iterative Solver*.
+//!
+//! * [`problems`] — the two evaluation problems: the paper's exact
+//!   Poisson matrix and the synthetic `mult_dcop_03` stand-in (or the
+//!   real `.mtx` file if supplied).
+//! * [`campaign`] — the single-SDC sweep driver: one FT-GMRES solve per
+//!   (aggregate inner iteration, fault class, MGS position), parallelized
+//!   over experiments with Rayon.
+//! * [`render`] — ASCII figures, aligned tables and CSV emitters, so each
+//!   binary prints the same rows/series the paper reports and leaves a
+//!   machine-readable trace next to it.
+//!
+//! Every binary accepts `--quick` for a subsampled sweep on a smaller
+//! matrix (CI-friendly) and `--csv DIR` to dump raw data.
+
+pub mod campaign;
+pub mod figure;
+pub mod problems;
+pub mod render;
+
+pub use campaign::{failure_free, run_sweep, CampaignConfig, SweepPoint, SweepResult};
+pub use problems::Problem;

@@ -1,0 +1,450 @@
+//! An Online-ABFT-style baseline: periodic orthogonality checking with
+//! rollback (after Chen, PPoPP 2013 — reference 18 of the paper).
+//!
+//! The paper contrasts its approach with Chen's: *"Chen performs
+//! additional computation and parallel communication in order to check
+//! invariants of the iterative linear solvers… If those invariants are
+//! violated, the solver can roll back one or more iterations and resume
+//! from the last known correct point."* This module implements that
+//! strategy for GMRES so the trade-off can be measured head-to-head:
+//!
+//! * **Check**: every `d` iterations, verify that the newest Arnoldi
+//!   basis vector is orthogonal to *all* previous ones (`j` extra dot
+//!   products — in a distributed setting, a global reduction) and has
+//!   unit norm. Under MGS, a corrupted projection coefficient leaves a
+//!   residual component along the corresponding basis vector, so this
+//!   check catches even faults *inside* the Eq.-3 bound (the paper's
+//!   undetectable classes 2 and 3) whenever the corrupted coefficient was
+//!   numerically significant.
+//! * **Respond**: roll back — discard the Krylov space and restart from
+//!   the last checkpoint (the solution iterate at cycle start).
+//!
+//! The price, relative to the paper's detector: `O(j)` extra dots per
+//! check instead of one comparison, plus checkpoint/rollback machinery —
+//! exactly the cost the paper's communication-free bound avoids.
+
+use crate::gmres::SiteContext;
+use crate::operator::{residual, LinearOperator};
+use crate::ortho::{orthogonalize, OrthoSiteCtx, OrthoStrategy};
+use crate::telemetry::{SolveOutcome, SolveReport};
+use sdc_dense::hessenberg_qr::HessenbergQr;
+use sdc_dense::lstsq::{solve_projected, LstsqPolicy};
+use sdc_dense::vector;
+use sdc_faults::{FaultInjector, NoFaults};
+
+/// Configuration for the ABFT-checked GMRES.
+#[derive(Clone, Copy, Debug)]
+pub struct AbftGmresConfig {
+    /// Relative residual target (`0.0` = fixed-iteration mode).
+    pub tol: f64,
+    /// Total iteration budget.
+    pub max_iters: usize,
+    /// Orthogonalization variant.
+    pub ortho: OrthoStrategy,
+    /// Check period `d`: verify invariants every `d` iterations.
+    pub check_every: usize,
+    /// Orthogonality violation threshold for `|q_new · q_i|`.
+    pub ortho_tol: f64,
+    /// Unit-norm violation threshold for `|‖q_new‖ − 1|`.
+    pub norm_tol: f64,
+    /// Rollbacks allowed before giving up loudly.
+    pub max_rollbacks: usize,
+    /// Noise floor: skip checks once `h_{j+1,j} < check_floor_rel · β`.
+    /// Near an invariant subspace the normalized basis vector is
+    /// rounding noise and *legitimately* non-orthogonal; checking there
+    /// would produce false positives (a practical caveat of
+    /// orthogonality-based ABFT the bound-based detector does not have).
+    pub check_floor_rel: f64,
+}
+
+impl Default for AbftGmresConfig {
+    fn default() -> Self {
+        Self {
+            tol: 1e-8,
+            max_iters: 200,
+            ortho: OrthoStrategy::Mgs,
+            check_every: 5,
+            ortho_tol: 1e-4,
+            norm_tol: 1e-8,
+            max_rollbacks: 4,
+            check_floor_rel: 1e-8,
+        }
+    }
+}
+
+/// Cost and event counters for the ABFT run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbftStats {
+    /// Invariant checks performed.
+    pub checks: usize,
+    /// Extra dot products spent on checks.
+    pub extra_dots: usize,
+    /// Violations observed.
+    pub violations: usize,
+    /// Rollbacks taken.
+    pub rollbacks: usize,
+}
+
+/// GMRES with periodic orthogonality checks and checkpoint/rollback.
+pub fn abft_gmres_solve<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &AbftGmresConfig,
+    injector: &dyn FaultInjector,
+    ctx: SiteContext,
+) -> (Vec<f64>, SolveReport, AbftStats) {
+    let n = a.nrows();
+    assert!(a.is_square(), "abft_gmres: operator must be square");
+    assert_eq!(b.len(), n, "abft_gmres: rhs length");
+    let mut report = SolveReport::new();
+    let mut stats = AbftStats::default();
+    let mut x = match x0 {
+        Some(x0) => x0.to_vec(),
+        None => vec![0.0; n],
+    };
+    let bnorm = vector::nrm2(b);
+    if bnorm == 0.0 {
+        x.fill(0.0);
+        report.outcome = SolveOutcome::Converged;
+        report.true_residual_norm = Some(0.0);
+        return (x, report, stats);
+    }
+    let target = cfg.tol * bnorm;
+    let mut iterations_done = 0usize;
+    let mut r = vec![0.0; n];
+    let mut finished: Option<SolveOutcome> = None;
+
+    'cycles: while finished.is_none() {
+        // The checkpoint is the iterate at cycle start: "the last known
+        // correct point".
+        residual(a, b, &x, &mut r);
+        let beta = vector::nrm2(&r);
+        if report.residual_history.is_empty() {
+            report.residual_history.push(beta);
+        }
+        if !beta.is_finite() {
+            finished =
+                Some(SolveOutcome::NumericalBreakdown("non-finite residual".into()));
+            break;
+        }
+        if (cfg.tol > 0.0 && beta <= target) || beta == 0.0 {
+            finished = Some(SolveOutcome::Converged);
+            break;
+        }
+        let mut basis: Vec<Vec<f64>> = Vec::new();
+        let mut q1 = r.clone();
+        vector::scal(1.0 / beta, &mut q1);
+        basis.push(q1);
+        let mut hqr = HessenbergQr::new(beta);
+        let mut w = vec![0.0; n];
+        let breakdown_tol = 1e-13 * beta;
+
+        let mut j = 0usize;
+        // Audit state per basis vector: q₁ is exact by construction;
+        // vectors normalized in the noise regime are exempt (their
+        // non-orthogonality is legitimate).
+        let mut audited: Vec<bool> = vec![true];
+        while j < cfg.max_iters && iterations_done < cfg.max_iters {
+            j += 1;
+            iterations_done += 1;
+            a.apply(&basis[j - 1], &mut w);
+            let ores = orthogonalize(
+                cfg.ortho,
+                &basis,
+                &mut w,
+                OrthoSiteCtx {
+                    outer_iteration: ctx.outer_iteration,
+                    inner_solve: ctx.inner_solve,
+                    column: j,
+                },
+                injector,
+                None,
+            );
+            let mut hcol = ores.h;
+            hcol.push(ores.vnorm);
+            let hnorm = vector::nrm2(&hcol);
+            let res_est = hqr.push_column(&hcol);
+            report.residual_history.push(res_est);
+            report.residual_norm = res_est;
+
+            let breakdown = !(ores.vnorm.abs() > breakdown_tol);
+            let mut q_next = w.clone();
+            if !breakdown {
+                vector::scal(1.0 / ores.vnorm, &mut q_next);
+            }
+
+            // ---- Online-ABFT check.
+            //
+            // Runs on schedule (every `check_every` iterations) and,
+            // additionally, before trusting any breakdown: an invariant
+            // subspace declared over an unverified basis could be a
+            // corruption artifact. The candidate q_next joins the audit
+            // only while its normalization is healthy (in the noise
+            // regime near a true invariant subspace, orthogonality loss
+            // is legitimate — a practical caveat of orthogonality-based
+            // ABFT that the bound-based detector does not share).
+            //
+            // The orthogonality tolerance is scaled by ‖h‖/h_{j+1,j}: the
+            // loss MGS legitimately commits when normalizing a nearly
+            // invariant direction is O(ε·‖A q_j‖ / h_{j+1,j}).
+            let candidate_healthy = !breakdown && ores.vnorm > cfg.check_floor_rel * beta;
+            let scheduled = j % cfg.check_every == 0;
+            let unaudited_pending = audited.iter().any(|&a| !a);
+            if (scheduled && candidate_healthy) || ((breakdown || scheduled) && unaudited_pending)
+            {
+                stats.checks += 1;
+                let eff_ortho_tol = cfg.ortho_tol.max(
+                    1e4 * f64::EPSILON * hnorm / ores.vnorm.abs().max(f64::MIN_POSITIVE),
+                );
+                let mut violated = false;
+                if candidate_healthy {
+                    let qn = vector::nrm2(&q_next);
+                    stats.extra_dots += 1;
+                    if (qn - 1.0).abs() > cfg.norm_tol {
+                        violated = true;
+                    }
+                }
+                if !violated {
+                    // Verify every not-yet-audited basis vector (plus the
+                    // healthy candidate) against all its predecessors —
+                    // corruption committed anywhere since the last check
+                    // is caught here.
+                    let upper = if candidate_healthy { basis.len() } else { basis.len() - 1 };
+                    'check: for k in 1..=upper {
+                        if k < basis.len() && audited[k] {
+                            continue;
+                        }
+                        let qk = if k == basis.len() { &q_next } else { &basis[k] };
+                        let tol_k = if k == basis.len() { eff_ortho_tol } else { cfg.ortho_tol };
+                        for qi in basis.iter().take(k) {
+                            stats.extra_dots += 1;
+                            let d = vector::par_dot(qi, qk).abs();
+                            if d > tol_k {
+                                if std::env::var_os("SDC_ABFT_DEBUG").is_some() {
+                                    eprintln!(
+                                        "ABFT violation j={j} k={k} dot={d:.3e} tol={tol_k:.3e} vnorm={:.3e} hnorm={hnorm:.3e}",
+                                        ores.vnorm
+                                    );
+                                }
+                                violated = true;
+                                break 'check;
+                            }
+                        }
+                        if k < basis.len() {
+                            audited[k] = true;
+                        }
+                    }
+                }
+                if violated {
+                    stats.violations += 1;
+                    if stats.rollbacks >= cfg.max_rollbacks {
+                        finished = Some(SolveOutcome::NumericalBreakdown(
+                            "ABFT rollback limit exceeded".into(),
+                        ));
+                        break 'cycles;
+                    }
+                    stats.rollbacks += 1;
+                    // Roll back: discard the Krylov space, resume from
+                    // the checkpoint (x unchanged since cycle start).
+                    iterations_done = iterations_done.saturating_sub(j);
+                    continue 'cycles;
+                }
+                if candidate_healthy {
+                    // The candidate passed its audit.
+                    audited.push(true);
+                    basis.push(q_next);
+                    if cfg.tol > 0.0 && res_est <= target {
+                        apply_update(&mut x, &basis, &hqr, &mut report);
+                        finished = Some(SolveOutcome::Converged);
+                        break 'cycles;
+                    }
+                    continue;
+                }
+            }
+
+            if breakdown {
+                apply_update(&mut x, &basis, &hqr, &mut report);
+                finished = Some(SolveOutcome::InvariantSubspace);
+                break 'cycles;
+            }
+
+            // Push unaudited (scheduled checks will audit healthy ones;
+            // noise-regime vectors stay exempt).
+            audited.push(!candidate_healthy);
+            basis.push(q_next);
+            if cfg.tol > 0.0 && res_est <= target {
+                apply_update(&mut x, &basis, &hqr, &mut report);
+                finished = Some(SolveOutcome::Converged);
+                break 'cycles;
+            }
+        }
+        apply_update(&mut x, &basis, &hqr, &mut report);
+        if matches!(report.outcome, SolveOutcome::NumericalBreakdown(_)) {
+            break 'cycles;
+        }
+        if iterations_done >= cfg.max_iters {
+            finished = Some(SolveOutcome::MaxIterations);
+        }
+    }
+
+    if !matches!(report.outcome, SolveOutcome::NumericalBreakdown(_)) {
+        report.outcome = finished.unwrap_or(SolveOutcome::MaxIterations);
+    }
+    report.iterations = iterations_done;
+    residual(a, b, &x, &mut r);
+    report.true_residual_norm = Some(vector::nrm2(&r));
+    report.injections = injector.records();
+    (x, report, stats)
+}
+
+fn apply_update(
+    x: &mut [f64],
+    basis: &[Vec<f64>],
+    hqr: &HessenbergQr,
+    report: &mut SolveReport,
+) {
+    if hqr.k() == 0 {
+        return;
+    }
+    match solve_projected(&hqr.r_matrix(), hqr.rhs(), LstsqPolicy::Standard) {
+        Ok(out) => {
+            for (c, &yc) in out.y.iter().enumerate() {
+                vector::par_axpy(yc, &basis[c], x);
+            }
+        }
+        Err(e) => {
+            report.outcome = SolveOutcome::NumericalBreakdown(e.to_string());
+        }
+    }
+}
+
+/// Fault-free convenience wrapper.
+pub fn abft_gmres_solve_clean<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &AbftGmresConfig,
+) -> (Vec<f64>, SolveReport, AbftStats) {
+    abft_gmres_solve(a, b, x0, cfg, &NoFaults, SiteContext::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_faults::trigger::LoopPosition;
+    use sdc_faults::{FaultModel, SingleFaultInjector, SitePredicate, Trigger};
+    use sdc_sparse::gallery;
+
+    fn b_for(a: &sdc_sparse::CsrMatrix) -> Vec<f64> {
+        let ones = vec![1.0; a.ncols()];
+        let mut b = vec![0.0; a.nrows()];
+        a.spmv(&ones, &mut b);
+        b
+    }
+
+    #[test]
+    fn fault_free_run_has_no_violations() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = AbftGmresConfig { tol: 1e-9, max_iters: 300, ..Default::default() };
+        let (x, rep, stats) = abft_gmres_solve_clean(&a, &b, None, &cfg);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        assert_eq!(stats.violations, 0, "false positive");
+        assert_eq!(stats.rollbacks, 0);
+        assert!(stats.checks > 0);
+        let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6);
+    }
+
+    #[test]
+    fn class1_fault_detected_and_rolled_back() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = AbftGmresConfig { tol: 1e-9, max_iters: 400, ..Default::default() };
+        let inj = SingleFaultInjector::new(
+            FaultModel::CLASS1_HUGE,
+            Trigger::once(SitePredicate::mgs_site(1, 4, LoopPosition::First)),
+        );
+        let (x, rep, stats) =
+            abft_gmres_solve(&a, &b, None, &cfg, &inj, SiteContext { outer_iteration: 1, inner_solve: 1 });
+        assert_eq!(rep.injections.len(), 1);
+        assert!(stats.violations >= 1, "huge fault must break orthogonality");
+        assert_eq!(stats.rollbacks, 1);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "post-rollback solution wrong: {err}");
+    }
+
+    #[test]
+    fn class2_fault_detected_where_eq3_bound_cannot() {
+        // A ×10^-0.5 fault keeps |h| within ‖A‖_F — invisible to the
+        // paper's detector — but the orthogonality check sees the
+        // leftover basis component, provided the coefficient mattered.
+        // Use a nonsymmetric operator so h_{1,j} is significant.
+        let a = gallery::convection_diffusion_2d(12, 3.0, 1.0);
+        let b = b_for(&a);
+        let cfg = AbftGmresConfig {
+            tol: 1e-9,
+            max_iters: 200,
+            check_every: 1, // check every iteration for the tightest net
+            ..Default::default()
+        };
+        let inj = SingleFaultInjector::new(
+            FaultModel::class2_slight(),
+            Trigger::once(SitePredicate::mgs_site(1, 5, LoopPosition::First)),
+        );
+        let (_, rep, stats) =
+            abft_gmres_solve(&a, &b, None, &cfg, &inj, SiteContext { outer_iteration: 1, inner_solve: 1 });
+        assert_eq!(rep.injections.len(), 1);
+        assert!(
+            stats.violations >= 1,
+            "orthogonality check should catch a significant class-2 fault"
+        );
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+    }
+
+    #[test]
+    fn persistent_fault_exhausts_rollbacks_loudly() {
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let cfg = AbftGmresConfig {
+            tol: 1e-9,
+            max_iters: 200,
+            max_rollbacks: 2,
+            ..Default::default()
+        };
+        // Persistent corruption: fires on every matching site.
+        let inj = SingleFaultInjector::new(
+            FaultModel::CLASS1_HUGE,
+            Trigger::always(SitePredicate::mgs_site(1, 2, LoopPosition::First)),
+        );
+        let (_, rep, stats) =
+            abft_gmres_solve(&a, &b, None, &cfg, &inj, SiteContext { outer_iteration: 1, inner_solve: 1 });
+        assert_eq!(stats.rollbacks, 2);
+        assert!(
+            matches!(rep.outcome, SolveOutcome::NumericalBreakdown(_)),
+            "persistent fault must end loudly: {:?}",
+            rep.outcome
+        );
+    }
+
+    #[test]
+    fn check_costs_are_counted() {
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let cfg = AbftGmresConfig {
+            tol: 0.0,
+            max_iters: 8,
+            check_every: 4,
+            ..Default::default()
+        };
+        let (_, _, stats) = abft_gmres_solve_clean(&a, &b, None, &cfg);
+        assert_eq!(stats.checks, 2);
+        // Each check costs 1 norm + pairwise dots over the unchecked
+        // window: j=4 verifies q₂..q₅ (1+2+3+4 dots), j=8 verifies
+        // q₆..q₉ (5+6+7+8 dots).
+        assert_eq!(stats.extra_dots, 2 + (1 + 2 + 3 + 4) + (5 + 6 + 7 + 8));
+        assert_eq!(stats.violations, 0);
+    }
+}

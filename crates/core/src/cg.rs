@@ -1,0 +1,163 @@
+//! Conjugate Gradient — the SPD baseline.
+//!
+//! Table I notes the Poisson matrix "could be solved using the Conjugate
+//! Gradient method"; CG is the natural baseline against which GMRES'
+//! per-iteration costs and SDC sensitivity are discussed. This is the
+//! standard Hestenes–Stiefel recurrence with a reliable true-residual
+//! computation at exit.
+
+use crate::operator::{residual, LinearOperator};
+use crate::telemetry::{SolveOutcome, SolveReport};
+use sdc_dense::vector;
+
+/// CG configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CgConfig {
+    /// Relative residual target `‖r‖ ≤ tol·‖b‖`.
+    pub tol: f64,
+    /// Iteration budget.
+    pub max_iters: usize,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        Self { tol: 1e-8, max_iters: 1000 }
+    }
+}
+
+/// Solves `A x = b` for SPD `A`.
+pub fn cg_solve<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &CgConfig,
+) -> (Vec<f64>, SolveReport) {
+    let n = a.nrows();
+    assert!(a.is_square(), "cg: operator must be square");
+    assert_eq!(b.len(), n, "cg: rhs length");
+    let mut report = SolveReport::new();
+    let mut x = match x0 {
+        Some(x0) => x0.to_vec(),
+        None => vec![0.0; n],
+    };
+    let bnorm = vector::nrm2(b);
+    if bnorm == 0.0 {
+        x.fill(0.0);
+        report.outcome = SolveOutcome::Converged;
+        report.residual_norm = 0.0;
+        report.true_residual_norm = Some(0.0);
+        return (x, report);
+    }
+    let target = cfg.tol * bnorm;
+
+    let mut r = vec![0.0; n];
+    residual(a, b, &x, &mut r);
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rr = vector::dot(&r, &r);
+    report.residual_history.push(rr.sqrt());
+
+    let mut outcome = SolveOutcome::MaxIterations;
+    for it in 0..cfg.max_iters {
+        report.iterations = it;
+        if rr.sqrt() <= target {
+            outcome = SolveOutcome::Converged;
+            break;
+        }
+        a.apply(&p, &mut ap);
+        let pap = vector::dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            // Not SPD (or breakdown): report loudly rather than wander.
+            outcome = SolveOutcome::NumericalBreakdown(format!(
+                "pᵀAp = {pap}: operator not SPD or breakdown"
+            ));
+            break;
+        }
+        let alpha = rr / pap;
+        vector::axpy(alpha, &p, &mut x);
+        vector::axpy(-alpha, &ap, &mut r);
+        let rr_new = vector::dot(&r, &r);
+        report.residual_history.push(rr_new.sqrt());
+        let beta = rr_new / rr;
+        rr = rr_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        report.iterations = it + 1;
+    }
+    if matches!(outcome, SolveOutcome::MaxIterations) && rr.sqrt() <= target {
+        outcome = SolveOutcome::Converged;
+    }
+
+    report.outcome = outcome;
+    report.residual_norm = rr.sqrt();
+    residual(a, b, &x, &mut r);
+    report.true_residual_norm = Some(vector::nrm2(&r));
+    (x, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_sparse::gallery;
+
+    fn b_for(a: &sdc_sparse::CsrMatrix) -> Vec<f64> {
+        let ones = vec![1.0; a.ncols()];
+        let mut b = vec![0.0; a.nrows()];
+        a.spmv(&ones, &mut b);
+        b
+    }
+
+    #[test]
+    fn solves_poisson() {
+        let a = gallery::poisson2d(12);
+        let b = b_for(&a);
+        let (x, rep) = cg_solve(&a, &b, None, &CgConfig { tol: 1e-10, max_iters: 2000 });
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-7, "{err}");
+    }
+
+    #[test]
+    fn agrees_with_gmres_on_spd() {
+        let a = gallery::poisson2d(9);
+        let b = b_for(&a);
+        let (xc, _) = cg_solve(&a, &b, None, &CgConfig { tol: 1e-12, max_iters: 2000 });
+        let gcfg = crate::gmres::GmresConfig { tol: 1e-12, max_iters: 500, ..Default::default() };
+        let (xg, _) = crate::gmres::gmres_solve(&a, &b, None, &gcfg);
+        let diff: f64 = xc.iter().zip(xg.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(diff < 1e-8, "CG and GMRES disagree: {diff}");
+    }
+
+    #[test]
+    fn rejects_indefinite_operator() {
+        // diag(1, -1) is symmetric but indefinite.
+        let a = sdc_sparse::CsrMatrix::from_diagonal(&[1.0, -1.0]);
+        let b = vec![1.0, 1.0];
+        let (_, rep) = cg_solve(&a, &b, None, &CgConfig::default());
+        assert!(
+            matches!(rep.outcome, SolveOutcome::NumericalBreakdown(_)),
+            "{:?}",
+            rep.outcome
+        );
+    }
+
+    #[test]
+    fn warm_start() {
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let cfg = CgConfig { tol: 1e-10, max_iters: 2000 };
+        let (x, _) = cg_solve(&a, &b, None, &cfg);
+        let (_, rep2) = cg_solve(&a, &b, Some(&x), &cfg);
+        assert!(rep2.iterations <= 1);
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let a = gallery::poisson2d(5);
+        let b = vec![0.0; a.nrows()];
+        let (x, rep) = cg_solve(&a, &b, None, &CgConfig::default());
+        assert!(rep.outcome.is_converged());
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

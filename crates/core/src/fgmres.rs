@@ -1,0 +1,514 @@
+//! Flexible GMRES — Algorithm 2 of the paper.
+//!
+//! FGMRES lets the preconditioner change every iteration, which is what
+//! makes inner-outer iterations (and hence FT-GMRES) possible: a faulty
+//! inner solve is just "a different preconditioner". The implementation
+//! adds the two reliability features §VI calls out:
+//!
+//! * **Rank monitoring / trichotomy** (§VI-C): when the subdiagonal
+//!   `h_{j+1,j}` vanishes, FGMRES — unlike GMRES — cannot conclude
+//!   convergence: `H(1:j,1:j)` may be singular even in exact arithmetic
+//!   (Saad, Prop. 2.2). The solver checks the square projected matrix
+//!   with the rank-revealing SVD and reports either
+//!   [`SolveOutcome::InvariantSubspace`] (converged) or the loud
+//!   [`SolveOutcome::RankDeficient`]. Per-iteration `O(j²)` condition
+//!   estimates of the triangular factor are kept as telemetry.
+//! * **Reliable final verification**: the outer solver re-computes the
+//!   true residual `b − A x` reliably before declaring convergence; if
+//!   garbage inner results made the recurrence lie, the outer iteration
+//!   restarts from the current (reliable) iterate instead of returning a
+//!   wrong answer — "the outer solver will never compute the wrong
+//!   answer, no matter what the inner solves do".
+
+use crate::detector::Violation;
+use crate::operator::{residual, LinearOperator};
+use crate::ortho::{orthogonalize, OrthoSiteCtx, OrthoStrategy};
+use crate::precond::Preconditioner;
+use crate::telemetry::{SolveOutcome, SolveReport};
+use sdc_dense::condest::estimate_condition;
+use sdc_dense::hessenberg_qr::HessenbergQr;
+use sdc_dense::lstsq::{solve_projected, LstsqPolicy};
+use sdc_dense::matrix::DenseMatrix;
+use sdc_dense::svd::jacobi_svd;
+use sdc_dense::vector;
+use sdc_faults::{InjectionRecord, NoFaults};
+
+/// What one application of a flexible preconditioner reports back.
+#[derive(Clone, Debug, Default)]
+pub struct PrecondReport {
+    /// Iterations the inner solve spent (0 for non-iterative
+    /// preconditioners).
+    pub inner_iterations: usize,
+    /// Detector events raised inside the inner solve.
+    pub detector_events: Vec<Violation>,
+    /// Detector-forced inner restarts.
+    pub detector_restarts: usize,
+    /// Faults committed inside the inner solve.
+    pub injections: Vec<InjectionRecord>,
+    /// True if the unreliable result was rejected by reliable validation
+    /// and replaced by a fallback.
+    pub rejected: bool,
+    /// True if the inner solve was halted loudly by its detector — the
+    /// outer solver must propagate the loud failure.
+    pub halted: Option<Violation>,
+}
+
+/// A preconditioner that may differ on every application — the `M_j` of
+/// Algorithm 2. Implementations may be full iterative solvers.
+pub trait FlexiblePreconditioner {
+    /// Computes `z = M_j⁻¹ q` for outer iteration `j` (1-based).
+    fn apply_flexible(&mut self, outer_iteration: usize, q: &[f64], z: &mut [f64])
+        -> PrecondReport;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str {
+        "flexible preconditioner"
+    }
+}
+
+/// Adapter: any plain [`Preconditioner`] is a (constant) flexible one.
+pub struct FixedPrecond<P: Preconditioner>(pub P);
+
+impl<P: Preconditioner> FlexiblePreconditioner for FixedPrecond<P> {
+    fn apply_flexible(
+        &mut self,
+        _outer_iteration: usize,
+        q: &[f64],
+        z: &mut [f64],
+    ) -> PrecondReport {
+        self.0.apply(q, z);
+        PrecondReport::default()
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// FGMRES configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FgmresConfig {
+    /// Relative residual target.
+    pub tol: f64,
+    /// Outer iteration budget (across outer restarts).
+    pub max_outer: usize,
+    /// Outer orthogonalization (reliable; MGS by default).
+    pub ortho: OrthoStrategy,
+    /// Projected least-squares policy for the outer update coefficients.
+    pub lsq_policy: LstsqPolicy,
+    /// Happy-breakdown threshold relative to the cycle's initial residual.
+    pub breakdown_rel: f64,
+    /// Relative singular-value tolerance declaring `H(1:j,1:j)` rank
+    /// deficient.
+    pub rank_tol: f64,
+    /// Safety factor on the reliable final residual check: accept if
+    /// `‖b−Ax‖ ≤ final_check_slack · tol · ‖b‖`.
+    pub final_check_slack: f64,
+    /// Outer restarts allowed when the reliable check rejects a
+    /// "converged" iterate.
+    pub max_outer_restarts: usize,
+}
+
+impl Default for FgmresConfig {
+    fn default() -> Self {
+        Self {
+            tol: 1e-8,
+            max_outer: 60,
+            ortho: OrthoStrategy::Mgs,
+            lsq_policy: LstsqPolicy::Standard,
+            breakdown_rel: 1e-13,
+            rank_tol: 1e-12,
+            final_check_slack: 10.0,
+            max_outer_restarts: 3,
+        }
+    }
+}
+
+/// Solves `A x = b` by FGMRES with the given flexible preconditioner.
+pub fn fgmres_solve<A, M>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &FgmresConfig,
+    precond: &mut M,
+) -> (Vec<f64>, SolveReport)
+where
+    A: LinearOperator + ?Sized,
+    M: FlexiblePreconditioner + ?Sized,
+{
+    let n = a.nrows();
+    assert!(a.is_square(), "fgmres: operator must be square");
+    assert_eq!(b.len(), n, "fgmres: rhs length");
+    let mut report = SolveReport::new();
+    let mut x = match x0 {
+        Some(x0) => x0.to_vec(),
+        None => vec![0.0; n],
+    };
+    let bnorm = vector::nrm2(b);
+    if bnorm == 0.0 {
+        x.fill(0.0);
+        report.outcome = SolveOutcome::Converged;
+        report.residual_norm = 0.0;
+        report.true_residual_norm = Some(0.0);
+        return (x, report);
+    }
+    let target = cfg.tol * bnorm;
+
+    let mut outer_done = 0usize;
+    let mut outer_restarts = 0usize;
+    let mut r = vec![0.0; n];
+    let mut finished: Option<SolveOutcome> = None;
+
+    'cycles: while finished.is_none() {
+        residual(a, b, &x, &mut r);
+        let beta = vector::nrm2(&r);
+        if report.residual_history.is_empty() {
+            report.residual_history.push(beta);
+        }
+        report.residual_norm = beta;
+        if !beta.is_finite() {
+            finished = Some(SolveOutcome::NumericalBreakdown(
+                "non-finite outer residual".into(),
+            ));
+            break;
+        }
+        if beta <= target {
+            finished = Some(SolveOutcome::Converged);
+            report.true_residual_norm = Some(beta);
+            break;
+        }
+        let breakdown_tol = cfg.breakdown_rel * beta;
+
+        let mut v_basis: Vec<Vec<f64>> = Vec::new();
+        let mut z_basis: Vec<Vec<f64>> = Vec::new();
+        let mut h_cols: Vec<Vec<f64>> = Vec::new();
+        let mut q1 = r.clone();
+        vector::scal(1.0 / beta, &mut q1);
+        v_basis.push(q1);
+        let mut hqr = HessenbergQr::new(beta);
+        let mut w = vec![0.0; n];
+        let mut z = vec![0.0; n];
+
+        while outer_done < cfg.max_outer {
+            let j = hqr.k() + 1;
+            outer_done += 1;
+            report.iterations = outer_done;
+
+            // ---- Unreliable phase: apply the flexible preconditioner.
+            let preport =
+                precond.apply_flexible(outer_done, v_basis.last().unwrap(), &mut z);
+            report.total_inner_iterations += preport.inner_iterations;
+            report.detector_events.extend(preport.detector_events.iter().copied());
+            report.detector_restarts += preport.detector_restarts;
+            report.injections.extend(preport.injections.iter().copied());
+            if preport.rejected {
+                report.inner_rejections += 1;
+            }
+            if let Some(v) = preport.halted {
+                finished = Some(SolveOutcome::Halted(v));
+                break 'cycles;
+            }
+
+            // ---- Reliable phase.
+            z_basis.push(z.clone());
+            a.apply(&z, &mut w);
+            let mut ores = orthogonalize(
+                cfg.ortho,
+                &v_basis,
+                &mut w,
+                OrthoSiteCtx { outer_iteration: outer_done, inner_solve: 0, column: j },
+                &NoFaults,
+                None,
+            );
+
+            if !(ores.vnorm.abs() > breakdown_tol) {
+                // The new direction vanished. If the projected matrix
+                // including this column is rank deficient, the inner
+                // result was useless (e.g. a near-zero vector from a
+                // regularized solve of a corrupted system): retry the
+                // column once with the unpreconditioned direction z = q
+                // before concluding anything — the sandbox model promises
+                // nothing about inner results, and the identity
+                // preconditioner is always a sound substitute.
+                let mut candidate = h_cols.clone();
+                let mut hcol = ores.h.clone();
+                hcol.push(ores.vnorm);
+                candidate.push(hcol);
+                let deficient = !square_hessenberg_is_full_rank(&candidate, cfg.rank_tol);
+                let q_j = v_basis.last().unwrap().clone();
+                let z_was_q = {
+                    let zz = z_basis.last().unwrap();
+                    zz.iter().zip(q_j.iter()).all(|(a, b)| a == b)
+                };
+                if deficient && !z_was_q {
+                    report.inner_rejections += 1;
+                    z_basis.pop();
+                    z_basis.push(q_j.clone());
+                    z.copy_from_slice(&q_j);
+                    a.apply(&z, &mut w);
+                    ores = orthogonalize(
+                        cfg.ortho,
+                        &v_basis,
+                        &mut w,
+                        OrthoSiteCtx { outer_iteration: outer_done, inner_solve: 0, column: j },
+                        &NoFaults,
+                        None,
+                    );
+                }
+            }
+
+            let mut hcol = ores.h.clone();
+            hcol.push(ores.vnorm);
+            h_cols.push(hcol.clone());
+            let res_est = hqr.push_column(&hcol);
+            report.residual_history.push(res_est);
+            report.residual_norm = res_est;
+
+            if !(ores.vnorm.abs() > breakdown_tol) {
+                // Breakdown: FGMRES' trichotomy (§VI-C). Decide with the
+                // rank-revealing factorization of the square projected
+                // matrix H(1:j,1:j).
+                if square_hessenberg_is_full_rank(&h_cols, cfg.rank_tol) {
+                    apply_update(&mut x, &z_basis, &hqr, cfg.lsq_policy, &mut report);
+                    residual(a, b, &x, &mut r);
+                    report.true_residual_norm = Some(vector::nrm2(&r));
+                    finished = Some(SolveOutcome::InvariantSubspace);
+                } else {
+                    finished = Some(SolveOutcome::RankDeficient);
+                }
+                break 'cycles;
+            }
+
+            let mut q_next = w.clone();
+            vector::scal(1.0 / ores.vnorm, &mut q_next);
+            v_basis.push(q_next);
+
+            if res_est <= target {
+                // Candidate convergence — verify reliably before claiming.
+                apply_update(&mut x, &z_basis, &hqr, cfg.lsq_policy, &mut report);
+                if matches!(report.outcome, SolveOutcome::NumericalBreakdown(_)) {
+                    break 'cycles;
+                }
+                residual(a, b, &x, &mut r);
+                let true_res = vector::nrm2(&r);
+                report.true_residual_norm = Some(true_res);
+                if true_res <= cfg.final_check_slack * target {
+                    finished = Some(SolveOutcome::Converged);
+                    break 'cycles;
+                }
+                // The recurrence lied (tainted inner data). Restart the
+                // outer iteration from the current reliable iterate.
+                if outer_restarts < cfg.max_outer_restarts {
+                    outer_restarts += 1;
+                    continue 'cycles;
+                }
+                finished = Some(SolveOutcome::MaxIterations);
+                break 'cycles;
+            }
+        }
+
+        if outer_done >= cfg.max_outer && finished.is_none() {
+            apply_update(&mut x, &z_basis, &hqr, cfg.lsq_policy, &mut report);
+            residual(a, b, &x, &mut r);
+            report.true_residual_norm = Some(vector::nrm2(&r));
+            finished = Some(SolveOutcome::MaxIterations);
+        }
+    }
+
+    if !matches!(report.outcome, SolveOutcome::NumericalBreakdown(_)) {
+        report.outcome = finished.unwrap_or(SolveOutcome::MaxIterations);
+    }
+    report.iterations = outer_done;
+    if report.true_residual_norm.is_none() {
+        residual(a, b, &x, &mut r);
+        report.true_residual_norm = Some(vector::nrm2(&r));
+    }
+    (x, report)
+}
+
+/// Checks whether the square projected matrix `H(1:j,1:j)` has full
+/// numerical rank at relative tolerance `tol` (the trichotomy test).
+fn square_hessenberg_is_full_rank(h_cols: &[Vec<f64>], tol: f64) -> bool {
+    let j = h_cols.len();
+    if j == 0 {
+        return true;
+    }
+    let mut hsq = DenseMatrix::zeros(j, j);
+    for (c, col) in h_cols.iter().enumerate() {
+        for (rix, &v) in col.iter().enumerate().take(j) {
+            hsq[(rix, c)] = v;
+        }
+    }
+    match jacobi_svd(&hsq) {
+        Ok(svd) => svd.rank(tol) == j,
+        Err(_) => false,
+    }
+}
+
+/// Per-iteration condition telemetry of the outer triangular factor
+/// (exposed for experiments; the solver itself uses it only for
+/// diagnostics).
+pub fn outer_factor_condition(hqr: &HessenbergQr) -> f64 {
+    estimate_condition(&hqr.r_matrix()).cond()
+}
+
+fn apply_update(
+    x: &mut [f64],
+    z_basis: &[Vec<f64>],
+    hqr: &HessenbergQr,
+    policy: LstsqPolicy,
+    report: &mut SolveReport,
+) {
+    let k = hqr.k();
+    if k == 0 {
+        return;
+    }
+    match solve_projected(&hqr.r_matrix(), hqr.rhs(), policy) {
+        Ok(out) => {
+            // x = x0 + Z y (Algorithm 2, line 22): the update lives in the
+            // span of the *preconditioned* vectors.
+            for (c, &yc) in out.y.iter().enumerate() {
+                vector::par_axpy(yc, &z_basis[c], x);
+            }
+        }
+        Err(e) => {
+            report.outcome = SolveOutcome::NumericalBreakdown(e.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precond::{IdentityPrecond, JacobiPrecond};
+    use sdc_sparse::gallery;
+
+    fn b_for(a: &sdc_sparse::CsrMatrix) -> Vec<f64> {
+        let ones = vec![1.0; a.ncols()];
+        let mut b = vec![0.0; a.nrows()];
+        a.spmv(&ones, &mut b);
+        b
+    }
+
+    #[test]
+    fn identity_precond_matches_gmres_trajectory() {
+        // FGMRES with M = I spans the same Krylov space as GMRES.
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let cfg = FgmresConfig { tol: 1e-9, max_outer: 200, ..Default::default() };
+        let mut p = FixedPrecond(IdentityPrecond);
+        let (x, rep) = fgmres_solve(&a, &b, None, &cfg, &mut p);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "{err}");
+        // Reliable verification recorded.
+        assert!(rep.true_residual_norm.unwrap() <= 1e-8 * vector::nrm2(&b) * 10.0);
+    }
+
+    #[test]
+    fn jacobi_precond_converges() {
+        let a = gallery::convection_diffusion_2d(9, 3.0, 1.0);
+        let b = b_for(&a);
+        let cfg = FgmresConfig { tol: 1e-9, max_outer: 300, ..Default::default() };
+        let mut p = FixedPrecond(JacobiPrecond::from_matrix(&a));
+        let (x, rep) = fgmres_solve(&a, &b, None, &cfg, &mut p);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-5);
+    }
+
+    #[test]
+    fn varying_preconditioner_is_tolerated() {
+        // A preconditioner that changes scale every iteration — legal for
+        // FGMRES, fatal for plain GMRES theory.
+        struct Wobbly;
+        impl FlexiblePreconditioner for Wobbly {
+            fn apply_flexible(
+                &mut self,
+                j: usize,
+                q: &[f64],
+                z: &mut [f64],
+            ) -> PrecondReport {
+                let s = if j % 2 == 0 { 3.0 } else { 0.25 };
+                for i in 0..q.len() {
+                    z[i] = s * q[i];
+                }
+                PrecondReport::default()
+            }
+        }
+        let a = gallery::poisson2d(7);
+        let b = b_for(&a);
+        let cfg = FgmresConfig { tol: 1e-9, max_outer: 200, ..Default::default() };
+        let (x, rep) = fgmres_solve(&a, &b, None, &cfg, &mut Wobbly);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6);
+    }
+
+    #[test]
+    fn garbage_preconditioner_never_yields_wrong_answer() {
+        // The key FT-GMRES promise: an adversarial preconditioner may slow
+        // convergence but must not produce a silently wrong solution.
+        struct Adversarial {
+            count: usize,
+        }
+        impl FlexiblePreconditioner for Adversarial {
+            fn apply_flexible(
+                &mut self,
+                _j: usize,
+                q: &[f64],
+                z: &mut [f64],
+            ) -> PrecondReport {
+                self.count += 1;
+                if self.count == 3 {
+                    // Garbage direction of huge magnitude.
+                    for (i, zi) in z.iter_mut().enumerate() {
+                        *zi = ((i * 2654435761) % 1000) as f64 * 1e6 - 5e8;
+                    }
+                } else {
+                    z.copy_from_slice(q);
+                }
+                PrecondReport::default()
+            }
+        }
+        let a = gallery::poisson2d(7);
+        let b = b_for(&a);
+        let cfg = FgmresConfig { tol: 1e-9, max_outer: 300, ..Default::default() };
+        let (x, rep) = fgmres_solve(&a, &b, None, &cfg, &mut Adversarial { count: 0 });
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        // Verified true residual, not just the recurrence.
+        let mut r = vec![0.0; b.len()];
+        residual(&a, &b, &x, &mut r);
+        assert!(vector::nrm2(&r) <= 1e-7 * vector::nrm2(&b));
+    }
+
+    #[test]
+    fn square_rank_check_detects_singularity() {
+        // h columns representing H(1:2,1:2) = [[1,1],[0,0]] (singular).
+        let cols = vec![vec![1.0, 0.0], vec![1.0, 0.0, 0.0]];
+        assert!(!square_hessenberg_is_full_rank(&cols, 1e-12));
+        let cols = vec![vec![1.0, 0.5], vec![1.0, 2.0, 0.0]];
+        assert!(square_hessenberg_is_full_rank(&cols, 1e-12));
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = gallery::poisson2d(4);
+        let b = vec![0.0; a.nrows()];
+        let mut p = FixedPrecond(IdentityPrecond);
+        let (x, rep) = fgmres_solve(&a, &b, None, &FgmresConfig::default(), &mut p);
+        assert!(x.iter().all(|&v| v == 0.0));
+        assert!(rep.outcome.is_converged());
+    }
+
+    #[test]
+    fn outer_budget_respected() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = FgmresConfig { tol: 1e-14, max_outer: 3, ..Default::default() };
+        let mut p = FixedPrecond(IdentityPrecond);
+        let (_, rep) = fgmres_solve(&a, &b, None, &cfg, &mut p);
+        assert_eq!(rep.iterations, 3);
+        assert_eq!(rep.outcome, SolveOutcome::MaxIterations);
+        assert!(rep.true_residual_norm.is_some());
+    }
+}

@@ -1,0 +1,568 @@
+//! FT-GMRES — the fault-tolerant inner-outer iteration of §VI.
+//!
+//! The outer solver is [Flexible GMRES](crate::fgmres) running reliably;
+//! the preconditioner application (Algorithm 2, line 4) is an entire GMRES
+//! solve running **unreliably** — inside the sandbox model of §IV, with
+//! fault injection wired into its orthogonalization kernels. Faults in the
+//! inner solve are "rolled forward" through, not rolled back: the outer
+//! iteration treats whatever the inner solve returns as just another
+//! preconditioner.
+//!
+//! The sandbox promises the inner solve returns *something* in *finite
+//! time*. Concretely:
+//!
+//! * the inner solve runs under `catch_unwind`, so a panic (hard fault)
+//!   becomes a reportable event, and
+//! * its result is validated by the reliable outer layer (finite entries);
+//!   rejected results are replaced by the unpreconditioned direction
+//!   `z = q` — the cheapest correct preconditioner.
+
+use crate::detector::SdcDetector;
+use crate::fgmres::{fgmres_solve, FgmresConfig, FlexiblePreconditioner, PrecondReport};
+use crate::gmres::{gmres_solve_instrumented, GmresConfig, SiteContext};
+use crate::operator::LinearOperator;
+use crate::ortho::OrthoStrategy;
+use crate::telemetry::{SolveOutcome, SolveReport};
+use sdc_dense::lstsq::LstsqPolicy;
+use sdc_faults::{FaultInjector, NoFaults};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How the reliable outer layer validates inner-solve output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InnerValidation {
+    /// Accept anything (the raw sandbox contract only).
+    None,
+    /// Reject non-finite results and fall back to `z = q`.
+    RejectNonFinite,
+}
+
+/// FT-GMRES configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FtGmresConfig {
+    /// Outer (reliable) solver settings.
+    pub outer: FgmresConfig,
+    /// Iterations each inner solve performs (25 in the paper's
+    /// experiments). The inner solver runs in fixed-iteration mode.
+    pub inner_iters: usize,
+    /// Inner orthogonalization variant.
+    pub inner_ortho: OrthoStrategy,
+    /// Inner projected least-squares policy (§VI-D ablations).
+    pub inner_lsq_policy: LstsqPolicy,
+    /// The inner solve's SDC detector (None = undetected baseline).
+    pub inner_detector: Option<SdcDetector>,
+    /// Outer validation of inner results.
+    pub validation: InnerValidation,
+}
+
+impl Default for FtGmresConfig {
+    fn default() -> Self {
+        Self {
+            outer: FgmresConfig::default(),
+            inner_iters: 25,
+            inner_ortho: OrthoStrategy::Mgs,
+            inner_lsq_policy: LstsqPolicy::Standard,
+            inner_detector: None,
+            validation: InnerValidation::RejectNonFinite,
+        }
+    }
+}
+
+/// The unreliable inner solve, packaged as a flexible preconditioner.
+pub struct InnerGmresPrecond<'a, A: LinearOperator + ?Sized> {
+    a: &'a A,
+    cfg: GmresConfig,
+    injector: &'a dyn FaultInjector,
+    validation: InnerValidation,
+}
+
+impl<'a, A: LinearOperator + ?Sized> InnerGmresPrecond<'a, A> {
+    /// Builds the inner-solve preconditioner from an FT-GMRES config.
+    pub fn new(a: &'a A, ft: &FtGmresConfig, injector: &'a dyn FaultInjector) -> Self {
+        let cfg = GmresConfig {
+            tol: 0.0, // fixed-iteration mode: run all inner iterations
+            max_iters: ft.inner_iters,
+            restart: None,
+            ortho: ft.inner_ortho,
+            lsq_policy: ft.inner_lsq_policy,
+            detector: ft.inner_detector,
+            breakdown_rel: 1e-13,
+            max_detector_restarts: 4,
+        };
+        Self { a, cfg, injector, validation: ft.validation }
+    }
+}
+
+impl<'a, A: LinearOperator + ?Sized> FlexiblePreconditioner for InnerGmresPrecond<'a, A> {
+    fn apply_flexible(
+        &mut self,
+        outer_iteration: usize,
+        q: &[f64],
+        z: &mut [f64],
+    ) -> PrecondReport {
+        let mut preport = PrecondReport::default();
+        // ---- Unreliable guest phase: solve A z = q approximately.
+        // catch_unwind converts a guest panic into a reportable event
+        // (the sandbox's "returns something" promise).
+        let ctx = SiteContext { outer_iteration, inner_solve: outer_iteration };
+        let injections_before = self.injector.records().len();
+        let guest = catch_unwind(AssertUnwindSafe(|| {
+            gmres_solve_instrumented(self.a, q, None, &self.cfg, self.injector, ctx)
+        }));
+
+        match guest {
+            Ok((zg, inner_rep)) => {
+                preport.inner_iterations = inner_rep.iterations;
+                preport.detector_events = inner_rep.detector_events;
+                preport.detector_restarts = inner_rep.detector_restarts;
+                preport.injections =
+                    self.injector.records().into_iter().skip(injections_before).collect();
+                if let SolveOutcome::Halted(v) = inner_rep.outcome {
+                    preport.halted = Some(v);
+                    // Hand back the (loud) fallback anyway so the caller
+                    // has defined data if it chooses to continue.
+                    z.copy_from_slice(q);
+                    return preport;
+                }
+                // ---- Reliable host phase: validate before use.
+                let ok = match self.validation {
+                    InnerValidation::None => true,
+                    InnerValidation::RejectNonFinite => sdc_dense::all_finite(&zg),
+                };
+                if ok {
+                    z.copy_from_slice(&zg);
+                } else {
+                    preport.rejected = true;
+                    z.copy_from_slice(q);
+                }
+            }
+            Err(_) => {
+                // Guest crashed: sandbox converts the hard fault into a
+                // rejection; the solve continues with z = q.
+                preport.rejected = true;
+                z.copy_from_slice(q);
+            }
+        }
+        preport
+    }
+
+    fn name(&self) -> &'static str {
+        "inner-gmres (unreliable)"
+    }
+}
+
+/// Solves `A x = b` with FT-GMRES, fault-free.
+pub fn ftgmres_solve<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &FtGmresConfig,
+) -> (Vec<f64>, SolveReport) {
+    ftgmres_solve_instrumented(a, b, x0, cfg, &NoFaults)
+}
+
+/// Solves `A x = b` with FT-GMRES, injecting faults into the inner solves
+/// via `injector`. This is the paper's experimental configuration.
+pub fn ftgmres_solve_instrumented<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &FtGmresConfig,
+    injector: &dyn FaultInjector,
+) -> (Vec<f64>, SolveReport) {
+    let mut precond = InnerGmresPrecond::new(a, cfg, injector);
+    fgmres_solve(a, b, x0, &cfg.outer, &mut precond)
+}
+
+/// The fully sandboxed inner solve: each guest runs on its own thread
+/// under a wall-clock budget, realizing the complete §IV contract — the
+/// host "can force guest code to stop within a predefined finite time",
+/// converting hangs (e.g. livelocked guest code) into rejections.
+///
+/// Requires owned (`'static`) captures, hence the `Arc`s.
+pub struct SandboxedInnerGmres {
+    a: std::sync::Arc<sdc_sparse::CsrMatrix>,
+    cfg: GmresConfig,
+    injector: std::sync::Arc<dyn FaultInjector + 'static>,
+    sandbox: sdc_faults::SandboxConfig,
+    validation: InnerValidation,
+}
+
+impl SandboxedInnerGmres {
+    /// Builds the sandboxed preconditioner with the given time budget.
+    pub fn new(
+        a: std::sync::Arc<sdc_sparse::CsrMatrix>,
+        ft: &FtGmresConfig,
+        injector: std::sync::Arc<dyn FaultInjector + 'static>,
+        budget: std::time::Duration,
+    ) -> Self {
+        let cfg = GmresConfig {
+            tol: 0.0,
+            max_iters: ft.inner_iters,
+            restart: None,
+            ortho: ft.inner_ortho,
+            lsq_policy: ft.inner_lsq_policy,
+            detector: ft.inner_detector,
+            breakdown_rel: 1e-13,
+            max_detector_restarts: 4,
+        };
+        Self {
+            a,
+            cfg,
+            injector,
+            sandbox: sdc_faults::SandboxConfig { time_budget: Some(budget) },
+            validation: ft.validation,
+        }
+    }
+}
+
+impl FlexiblePreconditioner for SandboxedInnerGmres {
+    fn apply_flexible(
+        &mut self,
+        outer_iteration: usize,
+        q: &[f64],
+        z: &mut [f64],
+    ) -> PrecondReport {
+        let mut preport = PrecondReport::default();
+        let a = std::sync::Arc::clone(&self.a);
+        let injector = std::sync::Arc::clone(&self.injector);
+        let cfg = self.cfg;
+        let rhs = q.to_vec();
+        let ctx = SiteContext { outer_iteration, inner_solve: outer_iteration };
+        let injections_before = self.injector.records().len();
+
+        let guest = sdc_faults::run_sandboxed(self.sandbox, move || {
+            gmres_solve_instrumented(a.as_ref(), &rhs, None, &cfg, injector.as_ref(), ctx)
+        });
+
+        match guest {
+            Ok((zg, inner_rep)) => {
+                preport.inner_iterations = inner_rep.iterations;
+                preport.detector_events = inner_rep.detector_events;
+                preport.detector_restarts = inner_rep.detector_restarts;
+                preport.injections =
+                    self.injector.records().into_iter().skip(injections_before).collect();
+                if let SolveOutcome::Halted(v) = inner_rep.outcome {
+                    preport.halted = Some(v);
+                    z.copy_from_slice(q);
+                    return preport;
+                }
+                let ok = match self.validation {
+                    InnerValidation::None => true,
+                    InnerValidation::RejectNonFinite => sdc_dense::all_finite(&zg),
+                };
+                if ok {
+                    z.copy_from_slice(&zg);
+                } else {
+                    preport.rejected = true;
+                    z.copy_from_slice(q);
+                }
+            }
+            Err(_timeout_or_panic) => {
+                // Hung or crashed guest: the host regains control within
+                // its budget and substitutes the identity application.
+                preport.rejected = true;
+                z.copy_from_slice(q);
+            }
+        }
+        preport
+    }
+
+    fn name(&self) -> &'static str {
+        "inner-gmres (sandboxed thread, time budget)"
+    }
+}
+
+/// FT-GMRES with thread-isolated, time-budgeted inner solves.
+pub fn ftgmres_solve_sandboxed(
+    a: std::sync::Arc<sdc_sparse::CsrMatrix>,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &FtGmresConfig,
+    injector: std::sync::Arc<dyn FaultInjector + 'static>,
+    budget: std::time::Duration,
+) -> (Vec<f64>, SolveReport) {
+    let a_ref = std::sync::Arc::clone(&a);
+    let mut precond = SandboxedInnerGmres::new(a, cfg, injector, budget);
+    fgmres_solve(a_ref.as_ref(), b, x0, &cfg.outer, &mut precond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorResponse;
+    use sdc_dense::vector;
+    use sdc_faults::campaign::{CampaignPoint, FaultClass, MgsPosition};
+    use sdc_faults::trigger::LoopPosition;
+    use sdc_faults::{FaultModel, SingleFaultInjector, SitePredicate, Trigger};
+    use sdc_sparse::gallery;
+
+    fn b_for(a: &sdc_sparse::CsrMatrix) -> Vec<f64> {
+        let ones = vec![1.0; a.ncols()];
+        let mut b = vec![0.0; a.nrows()];
+        a.spmv(&ones, &mut b);
+        b
+    }
+
+    fn poisson_cfg() -> FtGmresConfig {
+        FtGmresConfig {
+            outer: FgmresConfig { tol: 1e-8, max_outer: 40, ..Default::default() },
+            inner_iters: 10,
+            ..Default::default()
+        }
+    }
+
+    fn check_solution(a: &sdc_sparse::CsrMatrix, b: &[f64], x: &[f64], tol: f64) {
+        let mut r = vec![0.0; b.len()];
+        crate::operator::residual(a, b, x, &mut r);
+        let rel = vector::nrm2(&r) / vector::nrm2(b);
+        assert!(rel <= tol, "relative residual {rel} > {tol}");
+    }
+
+    #[test]
+    fn fault_free_nested_solve_converges() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = poisson_cfg();
+        let (x, rep) = ftgmres_solve(&a, &b, None, &cfg);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        check_solution(&a, &b, &x, 1e-7);
+        assert!(rep.total_inner_iterations >= rep.iterations * cfg.inner_iters);
+        assert_eq!(rep.inner_rejections, 0);
+        assert_eq!(rep.injections.len(), 0);
+    }
+
+    #[test]
+    fn runs_through_huge_fault_without_detector() {
+        // The paper's headline: FT-GMRES "runs through" SDC of almost any
+        // magnitude in the orthogonalization phase.
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = poisson_cfg();
+        let (_, ff) = ftgmres_solve(&a, &b, None, &cfg);
+        for class in FaultClass::all() {
+            let point = CampaignPoint {
+                aggregate_iteration: 12, // inner solve 2, iteration 2
+                inner_per_outer: cfg.inner_iters,
+                class,
+                position: MgsPosition::First,
+            };
+            let inj = point.injector();
+            let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+            assert!(rep.outcome.is_converged(), "{class:?}: {:?}", rep.outcome);
+            assert_eq!(rep.injections.len(), 1, "{class:?}: exactly one SDC");
+            check_solution(&a, &b, &x, 1e-7);
+            // Bounded penalty: a handful of extra outer iterations at most.
+            assert!(
+                rep.iterations <= ff.iterations + 6,
+                "{class:?}: {} vs failure-free {}",
+                rep.iterations,
+                ff.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn detector_catches_huge_fault_and_restart_shrinks_penalty() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let mut cfg = poisson_cfg();
+        let (_, ff) = ftgmres_solve(&a, &b, None, &cfg);
+
+        cfg.inner_detector =
+            Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner));
+        let point = CampaignPoint {
+            aggregate_iteration: 3,
+            inner_per_outer: cfg.inner_iters,
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+        };
+        let inj = point.injector();
+        let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+        assert!(rep.outcome.is_converged());
+        assert!(rep.detected_anything(), "class-1 fault must be detected");
+        assert_eq!(rep.detector_restarts, 1);
+        check_solution(&a, &b, &x, 1e-7);
+        assert!(
+            rep.iterations <= ff.iterations + 1,
+            "with detector the penalty is at most one outer iteration: {} vs {}",
+            rep.iterations,
+            ff.iterations
+        );
+    }
+
+    #[test]
+    fn class2_and_class3_faults_are_undetectable_but_survivable() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let mut cfg = poisson_cfg();
+        cfg.inner_detector =
+            Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner));
+        for class in [FaultClass::Slight, FaultClass::Tiny] {
+            let point = CampaignPoint {
+                aggregate_iteration: 7,
+                inner_per_outer: cfg.inner_iters,
+                class,
+                position: MgsPosition::Last,
+            };
+            let inj = point.injector();
+            let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+            assert!(rep.outcome.is_converged(), "{class:?}");
+            assert!(
+                rep.detector_events.is_empty(),
+                "{class:?} must be invisible to the bound detector"
+            );
+            assert_eq!(rep.detector_restarts, 0);
+            check_solution(&a, &b, &x, 1e-7);
+        }
+    }
+
+    #[test]
+    fn nan_inner_result_is_rejected_by_reliable_validation() {
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let cfg = poisson_cfg();
+        // Inject NaN into an orthogonalization coefficient: without a
+        // detector the inner solve returns a NaN-tainted iterate, which
+        // the outer validation must reject.
+        let inj = SingleFaultInjector::new(
+            FaultModel::SetNan,
+            Trigger::once(SitePredicate::mgs_site(1, 2, LoopPosition::First)),
+        );
+        let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        assert!(rep.inner_rejections >= 1, "NaN result must be rejected");
+        check_solution(&a, &b, &x, 1e-7);
+    }
+
+    #[test]
+    fn panicking_guest_becomes_rejection_not_crash() {
+        use sdc_faults::Site;
+        // An injector that panics at its target site — a hard fault inside
+        // the unreliable guest phase. The injector only runs inside inner
+        // solves (the reliable outer phase uses NoFaults), so the panic is
+        // guaranteed to strike sandboxed code.
+        struct CrashingInjector;
+        impl sdc_faults::FaultInjector for CrashingInjector {
+            fn corrupt(&self, site: Site, value: f64) -> f64 {
+                if site.inner_solve == 2 && site.inner_iteration == 3 && site.loop_index == 1 {
+                    panic!("simulated guest crash");
+                }
+                value
+            }
+        }
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let cfg = FtGmresConfig {
+            outer: FgmresConfig { tol: 1e-8, max_outer: 30, ..Default::default() },
+            inner_iters: 8,
+            ..Default::default()
+        };
+        let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &CrashingInjector);
+        // The guest's hard fault was converted into a rejection; the outer
+        // solve proceeded and converged.
+        assert!(rep.inner_rejections >= 1, "crash must be converted to a rejection");
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        assert!(x.iter().all(|v| v.is_finite()));
+        check_solution(&a, &b, &x, 1e-7);
+    }
+
+    #[test]
+    fn sandboxed_solve_matches_in_process_solve() {
+        use std::sync::Arc;
+        let a = Arc::new(gallery::poisson2d(10));
+        let b = b_for(&a);
+        let cfg = poisson_cfg();
+        let (x1, r1) = ftgmres_solve(a.as_ref(), &b, None, &cfg);
+        let (x2, r2) = ftgmres_solve_sandboxed(
+            Arc::clone(&a),
+            &b,
+            None,
+            &cfg,
+            Arc::new(sdc_faults::NoFaults),
+            std::time::Duration::from_secs(60),
+        );
+        assert_eq!(r1.iterations, r2.iterations);
+        for i in 0..x1.len() {
+            assert_eq!(x1[i].to_bits(), x2[i].to_bits(), "x[{i}]");
+        }
+        assert!(r2.outcome.is_converged());
+    }
+
+    #[test]
+    fn hung_guest_is_stopped_within_budget() {
+        use std::sync::Arc;
+        // An injector that hangs the guest at a specific site: the host
+        // must regain control within its time budget and continue.
+        struct HangingInjector;
+        impl sdc_faults::FaultInjector for HangingInjector {
+            fn corrupt(&self, site: sdc_faults::Site, value: f64) -> f64 {
+                if site.inner_solve == 2 && site.inner_iteration == 1 && site.loop_index == 1 {
+                    // Sleep far beyond the budget exactly once per process
+                    // (the thread is detached afterwards).
+                    std::thread::sleep(std::time::Duration::from_secs(30));
+                }
+                value
+            }
+        }
+        let a = Arc::new(gallery::poisson2d(8));
+        let b = b_for(&a);
+        let cfg = FtGmresConfig {
+            outer: FgmresConfig { tol: 1e-8, max_outer: 40, ..Default::default() },
+            inner_iters: 6,
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let (x, rep) = ftgmres_solve_sandboxed(
+            Arc::clone(&a),
+            &b,
+            None,
+            &cfg,
+            Arc::new(HangingInjector),
+            std::time::Duration::from_millis(200),
+        );
+        assert!(rep.inner_rejections >= 1, "hung guest must be rejected");
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        check_solution(&a, &b, &x, 1e-7);
+        // The whole solve must not have waited for the 30s sleep.
+        assert!(t0.elapsed() < std::time::Duration::from_secs(15), "host failed to move on");
+    }
+
+    #[test]
+    fn detector_halt_propagates_loudly() {
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let mut cfg = poisson_cfg();
+        cfg.inner_detector =
+            Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::Halt));
+        let point = CampaignPoint {
+            aggregate_iteration: 5,
+            inner_per_outer: cfg.inner_iters,
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+        };
+        let inj = point.injector();
+        let (_, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+        assert!(matches!(rep.outcome, SolveOutcome::Halted(_)), "{:?}", rep.outcome);
+    }
+
+    #[test]
+    fn nonsymmetric_system_with_faults() {
+        let a = gallery::convection_diffusion_2d(8, 2.0, -1.0);
+        let b = b_for(&a);
+        let cfg = FtGmresConfig {
+            outer: FgmresConfig { tol: 1e-8, max_outer: 60, ..Default::default() },
+            inner_iters: 12,
+            ..Default::default()
+        };
+        let point = CampaignPoint {
+            aggregate_iteration: 14,
+            inner_per_outer: 12,
+            class: FaultClass::Slight,
+            position: MgsPosition::Last,
+        };
+        let inj = point.injector();
+        let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        check_solution(&a, &b, &x, 1e-7);
+    }
+}

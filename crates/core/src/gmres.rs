@@ -1,0 +1,523 @@
+//! GMRES — Algorithm 1 of the paper, instrumented for fault injection.
+//!
+//! Restarted GMRES with:
+//!
+//! * pluggable orthogonalization ([`OrthoStrategy`]), each coefficient
+//!   passing through the fault injector and the SDC detector;
+//! * the incremental Givens-QR least-squares solve with its free residual
+//!   recurrence;
+//! * the three §VI-D projected least-squares policies;
+//! * detector response handling: record, restart (the paper's cheap
+//!   response — discard the tainted Krylov space and redo the solve),
+//!   abort (return the current iterate to a reliable caller), halt.
+//!
+//! In FT-GMRES this solver runs as the *unreliable inner* phase with a
+//! fixed iteration count (`tol = 0`); standalone it is a conventional
+//! restarted GMRES.
+
+use crate::detector::{DetectorResponse, SdcDetector};
+use crate::operator::{residual, LinearOperator};
+use crate::ortho::{orthogonalize, OrthoSiteCtx, OrthoStrategy};
+use crate::telemetry::{SolveOutcome, SolveReport};
+use sdc_dense::hessenberg_qr::HessenbergQr;
+use sdc_dense::lstsq::{solve_projected, LstsqPolicy};
+use sdc_dense::vector;
+use sdc_faults::{FaultInjector, NoFaults};
+
+/// Nesting coordinates stamped on injection sites (zeros when GMRES runs
+/// standalone).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SiteContext {
+    /// Outer (flexible) iteration this solve serves, 1-based.
+    pub outer_iteration: usize,
+    /// Ordinal of this inner solve, 1-based.
+    pub inner_solve: usize,
+}
+
+/// GMRES configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GmresConfig {
+    /// Relative residual target `‖r‖ ≤ tol·‖b‖`. `0.0` disables the
+    /// convergence test: the solver runs a fixed number of iterations —
+    /// the paper's inner-solve mode.
+    pub tol: f64,
+    /// Total iteration budget (across restart cycles).
+    pub max_iters: usize,
+    /// Krylov dimension per cycle; `None` = no restarting (full GMRES up
+    /// to `max_iters`).
+    pub restart: Option<usize>,
+    /// Orthogonalization variant.
+    pub ortho: OrthoStrategy,
+    /// Projected least-squares policy (§VI-D).
+    pub lsq_policy: LstsqPolicy,
+    /// The SDC detector; `None` runs undetected (the paper's baseline).
+    pub detector: Option<SdcDetector>,
+    /// Happy-breakdown threshold on `h_{j+1,j}`, relative to the cycle's
+    /// initial residual norm.
+    pub breakdown_rel: f64,
+    /// Cap on detector-forced restarts (guards against non-transient
+    /// injectors).
+    pub max_detector_restarts: usize,
+}
+
+impl Default for GmresConfig {
+    fn default() -> Self {
+        Self {
+            tol: 1e-8,
+            max_iters: 200,
+            restart: None,
+            ortho: OrthoStrategy::Mgs,
+            lsq_policy: LstsqPolicy::Standard,
+            detector: None,
+            breakdown_rel: 1e-13,
+            max_detector_restarts: 4,
+        }
+    }
+}
+
+/// Solves `A x = b` with fault-free kernels.
+pub fn gmres_solve<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &GmresConfig,
+) -> (Vec<f64>, SolveReport) {
+    gmres_solve_instrumented(a, b, x0, cfg, &NoFaults, SiteContext::default())
+}
+
+/// Solves `A x = b` with every orthogonalization coefficient passing
+/// through `injector` — the unreliable ("sandboxed guest") mode.
+pub fn gmres_solve_instrumented<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &GmresConfig,
+    injector: &dyn FaultInjector,
+    ctx: SiteContext,
+) -> (Vec<f64>, SolveReport) {
+    let n = a.nrows();
+    assert!(a.is_square(), "gmres: operator must be square");
+    assert_eq!(b.len(), n, "gmres: rhs length");
+    let mut report = SolveReport::new();
+    let mut x = match x0 {
+        Some(x0) => {
+            assert_eq!(x0.len(), n, "gmres: x0 length");
+            x0.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+
+    let bnorm = vector::nrm2(b);
+    if bnorm == 0.0 {
+        // The exact solution of A x = 0 with a nonsingular A.
+        x.fill(0.0);
+        report.outcome = SolveOutcome::Converged;
+        report.residual_norm = 0.0;
+        report.true_residual_norm = Some(0.0);
+        return (x, report);
+    }
+    let target = cfg.tol * bnorm;
+
+    let mut iterations_done = 0usize;
+    let mut restarts_left = cfg.max_detector_restarts;
+    let mut r = vec![0.0; n];
+    let mut finished: Option<SolveOutcome> = None;
+
+    'cycles: while finished.is_none() {
+        residual(a, b, &x, &mut r);
+        let beta = vector::nrm2(&r);
+        if report.residual_history.is_empty() {
+            report.residual_history.push(beta);
+        }
+        report.residual_norm = beta;
+        if !beta.is_finite() {
+            finished = Some(SolveOutcome::NumericalBreakdown(
+                "non-finite residual at cycle start".into(),
+            ));
+            break;
+        }
+        if cfg.tol > 0.0 && beta <= target {
+            finished = Some(SolveOutcome::Converged);
+            break;
+        }
+        if beta == 0.0 {
+            finished = Some(SolveOutcome::Converged);
+            break;
+        }
+
+        let m = cfg.restart.unwrap_or(cfg.max_iters).max(1);
+        let breakdown_tol = cfg.breakdown_rel * beta;
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        let mut q1 = r.clone();
+        vector::scal(1.0 / beta, &mut q1);
+        basis.push(q1);
+        let mut hqr = HessenbergQr::new(beta);
+        let mut w = vec![0.0; n];
+
+        let mut j = 0usize;
+        while j < m && iterations_done < cfg.max_iters {
+            j += 1;
+            iterations_done += 1;
+            a.apply(&basis[j - 1], &mut w);
+            let ores = orthogonalize(
+                cfg.ortho,
+                &basis,
+                &mut w,
+                OrthoSiteCtx {
+                    outer_iteration: ctx.outer_iteration,
+                    inner_solve: ctx.inner_solve,
+                    column: j,
+                },
+                injector,
+                cfg.detector.as_ref(),
+            );
+            report.detector_events.extend(ores.violations.iter().copied());
+            if !ores.violations.is_empty() {
+                match cfg.detector.expect("violations imply a detector").response {
+                    DetectorResponse::Record => {}
+                    DetectorResponse::RestartInner => {
+                        if restarts_left == 0 {
+                            finished = Some(SolveOutcome::Halted(ores.violations[0]));
+                            break 'cycles;
+                        }
+                        restarts_left -= 1;
+                        report.detector_restarts += 1;
+                        // A transient fault leaves the hardware healthy:
+                        // redo the solve from scratch with a full budget.
+                        iterations_done = 0;
+                        continue 'cycles;
+                    }
+                    DetectorResponse::AbortInner => {
+                        // Use the columns accumulated before the tainted
+                        // one, then stop.
+                        apply_update(&mut x, &basis, &hqr, cfg.lsq_policy, &mut report);
+                        finished = Some(SolveOutcome::MaxIterations);
+                        break 'cycles;
+                    }
+                    DetectorResponse::Halt => {
+                        finished = Some(SolveOutcome::Halted(ores.violations[0]));
+                        break 'cycles;
+                    }
+                }
+            }
+
+            let mut hcol = ores.h;
+            hcol.push(ores.vnorm);
+            let res_est = hqr.push_column(&hcol);
+            report.residual_history.push(res_est);
+            report.residual_norm = res_est;
+
+            if !(ores.vnorm.abs() > breakdown_tol) {
+                // Invariant subspace (or a faulted norm faking one — the
+                // reliable outer layer is who verifies).
+                apply_update(&mut x, &basis, &hqr, cfg.lsq_policy, &mut report);
+                finished = Some(SolveOutcome::InvariantSubspace);
+                break 'cycles;
+            }
+            if cfg.tol > 0.0 && res_est <= target {
+                apply_update(&mut x, &basis, &hqr, cfg.lsq_policy, &mut report);
+                finished = Some(SolveOutcome::Converged);
+                break 'cycles;
+            }
+
+            let mut q_next = w.clone();
+            vector::scal(1.0 / ores.vnorm, &mut q_next);
+            basis.push(q_next);
+        }
+
+        // Cycle exhausted: fold the update into x.
+        apply_update(&mut x, &basis, &hqr, cfg.lsq_policy, &mut report);
+        if matches!(report.outcome, SolveOutcome::NumericalBreakdown(_)) {
+            break 'cycles;
+        }
+        if iterations_done >= cfg.max_iters {
+            finished = Some(SolveOutcome::MaxIterations);
+        }
+    }
+
+    // A numerical breakdown recorded by any apply_update is loud and takes
+    // precedence over whatever the control flow concluded.
+    if !matches!(report.outcome, SolveOutcome::NumericalBreakdown(_)) {
+        report.outcome = finished.unwrap_or(SolveOutcome::MaxIterations);
+    }
+    report.iterations = report.residual_history.len().saturating_sub(1);
+    // One reliable residual evaluation at exit (cheap: a single SpMV).
+    residual(a, b, &x, &mut r);
+    report.true_residual_norm = Some(vector::nrm2(&r));
+    report.injections = injector.records();
+    (x, report)
+}
+
+/// Solves the projected problem and applies `x ← x + Q y`. On failure,
+/// stashes a numerical-breakdown marker in the report (read back by
+/// [`report_numerical_breakdown`]).
+fn apply_update(
+    x: &mut [f64],
+    basis: &[Vec<f64>],
+    hqr: &HessenbergQr,
+    policy: LstsqPolicy,
+    report: &mut SolveReport,
+) {
+    let k = hqr.k();
+    if k == 0 {
+        return;
+    }
+    match solve_projected(&hqr.r_matrix(), hqr.rhs(), policy) {
+        Ok(out) => {
+            for (c, &yc) in out.y.iter().enumerate() {
+                vector::par_axpy(yc, &basis[c], x);
+            }
+        }
+        Err(e) => {
+            report.residual_history.push(f64::NAN);
+            report.outcome = SolveOutcome::NumericalBreakdown(e.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_faults::trigger::LoopPosition;
+    use sdc_faults::{FaultModel, SingleFaultInjector, SitePredicate, Trigger};
+    use sdc_sparse::gallery;
+
+    fn b_for(a: &sdc_sparse::CsrMatrix) -> Vec<f64> {
+        // b = A·1 so the exact solution is the ones vector.
+        let ones = vec![1.0; a.ncols()];
+        let mut b = vec![0.0; a.nrows()];
+        a.spmv(&ones, &mut b);
+        b
+    }
+
+    fn err_vs_ones(x: &[f64]) -> f64 {
+        x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_poisson_to_tolerance() {
+        let a = gallery::poisson2d(12);
+        let b = b_for(&a);
+        let cfg = GmresConfig { tol: 1e-10, max_iters: 500, ..Default::default() };
+        let (x, rep) = gmres_solve(&a, &b, None, &cfg);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        assert!(err_vs_ones(&x) < 1e-7, "error {}", err_vs_ones(&x));
+        assert!(rep.true_residual_norm.unwrap() <= 1e-10 * vector::nrm2(&b) * 10.0);
+    }
+
+    #[test]
+    fn residual_history_is_monotone() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = GmresConfig { tol: 1e-10, max_iters: 300, ..Default::default() };
+        let (_, rep) = gmres_solve(&a, &b, None, &cfg);
+        for w in rep.residual_history.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-12), "residual increased: {} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn restarted_gmres_converges() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg =
+            GmresConfig { tol: 1e-8, max_iters: 3000, restart: Some(20), ..Default::default() };
+        let (x, rep) = gmres_solve(&a, &b, None, &cfg);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        assert!(err_vs_ones(&x) < 1e-5);
+    }
+
+    #[test]
+    fn fixed_iteration_mode_runs_exactly_m() {
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let cfg = GmresConfig { tol: 0.0, max_iters: 25, ..Default::default() };
+        let (_, rep) = gmres_solve(&a, &b, None, &cfg);
+        assert_eq!(rep.iterations, 25);
+        assert_eq!(rep.outcome, SolveOutcome::MaxIterations);
+        // It still reduced the residual substantially.
+        let last = *rep.residual_history.last().unwrap();
+        assert!(last < rep.residual_history[0] * 0.5);
+    }
+
+    #[test]
+    fn nonsymmetric_system_converges() {
+        let a = gallery::convection_diffusion_2d(10, 2.0, 1.0);
+        let b = b_for(&a);
+        let cfg = GmresConfig { tol: 1e-10, max_iters: 400, ..Default::default() };
+        let (x, rep) = gmres_solve(&a, &b, None, &cfg);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        assert!(err_vs_ones(&x) < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = GmresConfig { tol: 1e-10, max_iters: 500, ..Default::default() };
+        let (x1, rep_cold) = gmres_solve(&a, &b, None, &cfg);
+        let (_, rep_warm) = gmres_solve(&a, &b, Some(&x1), &cfg);
+        assert!(rep_warm.iterations <= 1, "warm start from the solution: {}", rep_warm.iterations);
+        assert!(rep_cold.iterations > 5);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = gallery::poisson2d(5);
+        let b = vec![0.0; a.nrows()];
+        let (x, rep) = gmres_solve(&a, &b, None, &GmresConfig::default());
+        assert!(x.iter().all(|&v| v == 0.0));
+        assert!(rep.outcome.is_converged());
+    }
+
+    #[test]
+    fn happy_breakdown_on_invariant_subspace() {
+        // A = I: the first Krylov step is already invariant.
+        let a = sdc_sparse::CsrMatrix::identity(10);
+        let b: Vec<f64> = (0..10).map(|i| i as f64 + 1.0).collect();
+        let cfg = GmresConfig { tol: 1e-12, max_iters: 10, ..Default::default() };
+        let (x, rep) = gmres_solve(&a, &b, None, &cfg);
+        for i in 0..10 {
+            assert!((x[i] - b[i]).abs() < 1e-12);
+        }
+        assert!(rep.outcome.is_converged());
+        assert!(rep.iterations <= 2);
+    }
+
+    #[test]
+    fn fault_without_detector_degrades_solution() {
+        // Class-1 fault, no detector: the solve keeps running on tainted
+        // data (unreliable mode) — exactly the behaviour the outer solver
+        // must cope with.
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let inj = SingleFaultInjector::new(
+            FaultModel::CLASS1_HUGE,
+            Trigger::once(SitePredicate::mgs_site(1, 5, LoopPosition::First)),
+        );
+        let cfg = GmresConfig { tol: 0.0, max_iters: 25, ..Default::default() };
+        let (x, rep) = gmres_solve_instrumented(
+            &a,
+            &b,
+            None,
+            &cfg,
+            &inj,
+            SiteContext { outer_iteration: 1, inner_solve: 1 },
+        );
+        assert_eq!(rep.injections.len(), 1, "exactly one SDC committed");
+        assert_eq!(rep.detector_events.len(), 0, "no detector configured");
+        // The returned iterate is finite (GMRES "runs through") but the
+        // corrupted column costs at least one effective Krylov dimension:
+        // the true residual is measurably worse than fault-free.
+        assert!(x.iter().all(|v| v.is_finite()));
+        let (xg, repg) = gmres_solve(&a, &b, None, &cfg);
+        let res_f = rep.true_residual_norm.unwrap();
+        let res_g = repg.true_residual_norm.unwrap();
+        assert!(
+            res_f > 1.2 * res_g,
+            "faulted true residual {res_f} not measurably worse than fault-free {res_g}"
+        );
+        let diff: f64 =
+            x.iter().zip(xg.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(diff > 1e-10 * err_vs_ones(&xg).max(1e-300), "solutions identical?");
+    }
+
+    #[test]
+    fn detector_restart_recovers_fault_free_quality() {
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let det = SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner);
+        let inj = SingleFaultInjector::new(
+            FaultModel::CLASS1_HUGE,
+            Trigger::once(SitePredicate::mgs_site(1, 3, LoopPosition::First)),
+        );
+        let cfg =
+            GmresConfig { tol: 0.0, max_iters: 25, detector: Some(det), ..Default::default() };
+        let (x, rep) = gmres_solve_instrumented(
+            &a,
+            &b,
+            None,
+            &cfg,
+            &inj,
+            SiteContext { outer_iteration: 1, inner_solve: 1 },
+        );
+        assert_eq!(rep.detector_restarts, 1);
+        assert!(rep.detected_anything());
+        // After the restart the transient fault is gone: solution quality
+        // matches the fault-free run.
+        let (xg, _) = gmres_solve(&a, &b, None, &cfg);
+        let diff: f64 =
+            x.iter().zip(xg.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(diff < 1e-12, "restarted solve must equal fault-free solve, diff={diff}");
+    }
+
+    #[test]
+    fn detector_halt_is_loud() {
+        let a = gallery::poisson2d(6);
+        let b = b_for(&a);
+        let det = SdcDetector::with_frobenius_bound(&a, DetectorResponse::Halt);
+        let inj = SingleFaultInjector::new(
+            FaultModel::CLASS1_HUGE,
+            Trigger::once(SitePredicate::mgs_site(1, 2, LoopPosition::First)),
+        );
+        let cfg =
+            GmresConfig { tol: 0.0, max_iters: 25, detector: Some(det), ..Default::default() };
+        let (_, rep) = gmres_solve_instrumented(
+            &a,
+            &b,
+            None,
+            &cfg,
+            &inj,
+            SiteContext { outer_iteration: 1, inner_solve: 1 },
+        );
+        assert!(matches!(rep.outcome, SolveOutcome::Halted(_)), "{:?}", rep.outcome);
+        assert!(rep.outcome.is_loud_failure());
+    }
+
+    #[test]
+    fn detector_never_false_positives_fault_free() {
+        for m in [6, 9, 12] {
+            let a = gallery::poisson2d(m);
+            let b = b_for(&a);
+            let det = SdcDetector::with_frobenius_bound(&a, DetectorResponse::Halt);
+            let cfg = GmresConfig {
+                tol: 1e-10,
+                max_iters: 400,
+                detector: Some(det),
+                ..Default::default()
+            };
+            let (_, rep) = gmres_solve(&a, &b, None, &cfg);
+            assert!(rep.outcome.is_converged(), "m={m}: {:?}", rep.outcome);
+            assert!(rep.detector_events.is_empty(), "m={m}: false positive!");
+        }
+    }
+
+    #[test]
+    fn cgs_and_cgs2_also_converge() {
+        let a = gallery::poisson2d(9);
+        let b = b_for(&a);
+        for ortho in [OrthoStrategy::Cgs, OrthoStrategy::Cgs2] {
+            let cfg = GmresConfig { tol: 1e-9, max_iters: 300, ortho, ..Default::default() };
+            let (x, rep) = gmres_solve(&a, &b, None, &cfg);
+            assert!(rep.outcome.is_converged(), "{ortho:?}: {:?}", rep.outcome);
+            assert!(err_vs_ones(&x) < 1e-5, "{ortho:?}");
+        }
+    }
+
+    #[test]
+    fn rank_revealing_policy_matches_standard_fault_free() {
+        let a = gallery::poisson2d(9);
+        let b = b_for(&a);
+        let std_cfg = GmresConfig { tol: 1e-9, max_iters: 300, ..Default::default() };
+        let rr_cfg = GmresConfig {
+            lsq_policy: LstsqPolicy::RankRevealing { tol: 1e-12 },
+            ..std_cfg
+        };
+        let (x1, r1) = gmres_solve(&a, &b, None, &std_cfg);
+        let (x2, r2) = gmres_solve(&a, &b, None, &rr_cfg);
+        assert_eq!(r1.iterations, r2.iterations);
+        let diff: f64 =
+            x1.iter().zip(x2.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        assert!(diff < 1e-8, "policies diverged fault-free: {diff}");
+    }
+}

@@ -1,0 +1,308 @@
+//! Instrumented orthogonalization kernels.
+//!
+//! The Arnoldi process makes the new direction `v = A q_j` orthogonal to
+//! the current basis. The paper uses Modified Gram-Schmidt and notes the
+//! detector bound is invariant to the choice; Classical Gram-Schmidt and
+//! CGS2 (CGS with one reorthogonalization pass) are provided for the
+//! ablation benches.
+//!
+//! **Instrumentation**: every projection coefficient passes through the
+//! fault injector *before* it is used to update `v` — this is what lets a
+//! single corrupted `h_{1,j}` "taint all subsequent iterations of the
+//! orthogonalization loop" under MGS (§VII-B), exactly as the paper's
+//! experiments require. The detector checks each coefficient (and the
+//! final norm) as it is produced.
+
+use crate::detector::{SdcDetector, Violation};
+use sdc_dense::vector;
+use sdc_faults::{FaultInjector, Kernel, Site};
+
+/// Which Gram-Schmidt variant the Arnoldi process uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrthoStrategy {
+    /// Modified Gram-Schmidt — the paper's choice.
+    #[default]
+    Mgs,
+    /// Classical Gram-Schmidt (one pass; all dots against the original
+    /// vector).
+    Cgs,
+    /// Classical Gram-Schmidt with a second pass ("twice is enough").
+    Cgs2,
+}
+
+/// Iteration coordinates stamped on every injection/detection site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OrthoSiteCtx {
+    /// Outer (flexible) iteration, 0 if not nested.
+    pub outer_iteration: usize,
+    /// Inner-solve ordinal, 0 if not nested.
+    pub inner_solve: usize,
+    /// Current Arnoldi column `j` (1-based).
+    pub column: usize,
+}
+
+impl OrthoSiteCtx {
+    fn dot_site(&self, i: usize) -> Site {
+        Site {
+            kernel: Kernel::OrthoDot,
+            outer_iteration: self.outer_iteration,
+            inner_solve: self.inner_solve,
+            inner_iteration: self.column,
+            loop_index: i,
+        }
+    }
+
+    fn norm_site(&self) -> Site {
+        Site {
+            kernel: Kernel::OrthoNorm,
+            outer_iteration: self.outer_iteration,
+            inner_solve: self.inner_solve,
+            inner_iteration: self.column,
+            loop_index: self.column + 1,
+        }
+    }
+}
+
+/// Result of orthogonalizing one vector against the basis.
+#[derive(Clone, Debug)]
+pub struct OrthoResult {
+    /// Projection coefficients `h_{1..j, j}` (length = basis size).
+    pub h: Vec<f64>,
+    /// The subdiagonal entry `h_{j+1,j} = ‖v‖₂` after orthogonalization.
+    pub vnorm: f64,
+    /// Detector violations, in the order they occurred.
+    pub violations: Vec<Violation>,
+}
+
+/// Orthogonalizes `v` in place against `basis` (unit-length vectors),
+/// passing every produced coefficient through `injector` and checking it
+/// with `detector` (if any).
+///
+/// The returned `h` holds the *(possibly corrupted)* coefficients that
+/// were actually applied — they are what the solver must store in `H`
+/// for the arithmetic to mirror Algorithm 1 under fault injection.
+pub fn orthogonalize(
+    strategy: OrthoStrategy,
+    basis: &[Vec<f64>],
+    v: &mut [f64],
+    ctx: OrthoSiteCtx,
+    injector: &dyn FaultInjector,
+    detector: Option<&SdcDetector>,
+) -> OrthoResult {
+    match strategy {
+        OrthoStrategy::Mgs => mgs(basis, v, ctx, injector, detector),
+        OrthoStrategy::Cgs => cgs(basis, v, ctx, injector, detector, false),
+        OrthoStrategy::Cgs2 => cgs(basis, v, ctx, injector, detector, true),
+    }
+}
+
+fn check(
+    detector: Option<&SdcDetector>,
+    value: f64,
+    site: Site,
+    violations: &mut Vec<Violation>,
+) {
+    if let Some(d) = detector {
+        if let Some(v) = d.check(value, site) {
+            violations.push(v);
+        }
+    }
+}
+
+fn mgs(
+    basis: &[Vec<f64>],
+    v: &mut [f64],
+    ctx: OrthoSiteCtx,
+    injector: &dyn FaultInjector,
+    detector: Option<&SdcDetector>,
+) -> OrthoResult {
+    let mut h = Vec::with_capacity(basis.len());
+    let mut violations = Vec::new();
+    for (idx, q) in basis.iter().enumerate() {
+        // Paper notation: i = idx+1 (1-based row of h_ij).
+        let site = ctx.dot_site(idx + 1);
+        let hij = injector.corrupt(site, vector::par_dot(q, v));
+        check(detector, hij, site, &mut violations);
+        // The corrupted coefficient is applied: under MGS the fault
+        // propagates into v and taints every later step.
+        vector::par_axpy(-hij, q, v);
+        h.push(hij);
+    }
+    let nsite = ctx.norm_site();
+    let vnorm = injector.corrupt(nsite, vector::nrm2(v));
+    check(detector, vnorm, nsite, &mut violations);
+    OrthoResult { h, vnorm, violations }
+}
+
+fn cgs(
+    basis: &[Vec<f64>],
+    v: &mut [f64],
+    ctx: OrthoSiteCtx,
+    injector: &dyn FaultInjector,
+    detector: Option<&SdcDetector>,
+    reorthogonalize: bool,
+) -> OrthoResult {
+    let mut violations = Vec::new();
+    // First pass: coefficients against the *original* v.
+    let mut h: Vec<f64> = Vec::with_capacity(basis.len());
+    for (idx, q) in basis.iter().enumerate() {
+        let site = ctx.dot_site(idx + 1);
+        let hij = injector.corrupt(site, vector::par_dot(q, v));
+        check(detector, hij, site, &mut violations);
+        h.push(hij);
+    }
+    for (idx, q) in basis.iter().enumerate() {
+        vector::par_axpy(-h[idx], q, v);
+    }
+    if reorthogonalize {
+        // Second pass; corrections folded into h.
+        for (idx, q) in basis.iter().enumerate() {
+            let site = ctx.dot_site(idx + 1);
+            let c = injector.corrupt(site, vector::par_dot(q, v));
+            check(detector, c, site, &mut violations);
+            vector::par_axpy(-c, q, v);
+            h[idx] += c;
+        }
+    }
+    let nsite = ctx.norm_site();
+    let vnorm = injector.corrupt(nsite, vector::nrm2(v));
+    check(detector, vnorm, nsite, &mut violations);
+    OrthoResult { h, vnorm, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorResponse;
+    use sdc_faults::{FaultModel, NoFaults, SingleFaultInjector, SitePredicate, Trigger};
+    use sdc_faults::trigger::LoopPosition;
+
+    fn unit(v: Vec<f64>) -> Vec<f64> {
+        let mut v = v;
+        vector::normalize(&mut v);
+        v
+    }
+
+    fn ctx(col: usize) -> OrthoSiteCtx {
+        OrthoSiteCtx { outer_iteration: 1, inner_solve: 1, column: col }
+    }
+
+    fn check_orthogonal(basis: &[Vec<f64>], v: &[f64], tol: f64) {
+        for (k, q) in basis.iter().enumerate() {
+            let d = vector::dot(q, v);
+            assert!(d.abs() < tol, "v not orthogonal to basis[{k}]: {d}");
+        }
+    }
+
+    #[test]
+    fn mgs_orthogonalizes() {
+        let basis = vec![
+            unit(vec![1.0, 1.0, 0.0, 0.0]),
+            unit(vec![-1.0, 1.0, 1.0, 0.0]),
+        ];
+        // Gram-Schmidt the second basis vector first for a true orthobasis.
+        let mut q2 = basis[1].clone();
+        let r = mgs(&basis[..1], &mut q2, ctx(1), &NoFaults, None);
+        let q2 = unit(q2);
+        assert!(r.violations.is_empty());
+        let basis = vec![basis[0].clone(), q2];
+
+        let mut v = vec![0.3, -0.2, 0.9, 1.0];
+        let res = orthogonalize(OrthoStrategy::Mgs, &basis, &mut v, ctx(2), &NoFaults, None);
+        assert_eq!(res.h.len(), 2);
+        check_orthogonal(&basis, &v, 1e-14);
+        assert!((vector::nrm2(&v) - res.vnorm).abs() < 1e-14);
+    }
+
+    #[test]
+    fn all_strategies_agree_fault_free() {
+        // Build an orthonormal basis of 3 vectors in R^6.
+        let mut basis: Vec<Vec<f64>> = Vec::new();
+        for k in 0..3 {
+            let mut v: Vec<f64> =
+                (0..6).map(|i| ((i * (k + 2)) as f64 * 0.53).sin() + 0.1).collect();
+            let r = mgs(&basis, &mut v, ctx(k + 1), &NoFaults, None);
+            assert!(r.vnorm > 0.0);
+            vector::scal(1.0 / r.vnorm, &mut v);
+            basis.push(v);
+        }
+        let v0: Vec<f64> = (0..6).map(|i| (i as f64 * 0.91).cos()).collect();
+        let mut results = Vec::new();
+        for strat in [OrthoStrategy::Mgs, OrthoStrategy::Cgs, OrthoStrategy::Cgs2] {
+            let mut v = v0.clone();
+            let r = orthogonalize(strat, &basis, &mut v, ctx(4), &NoFaults, None);
+            check_orthogonal(&basis, &v, 1e-12);
+            results.push(r);
+        }
+        for k in 0..3 {
+            assert!((results[0].h[k] - results[1].h[k]).abs() < 1e-12);
+            assert!((results[0].h[k] - results[2].h[k]).abs() < 1e-12);
+        }
+        assert!((results[0].vnorm - results[1].vnorm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn injected_fault_taints_mgs_result() {
+        let basis = vec![unit(vec![1.0, 0.0, 0.0]), unit(vec![0.0, 1.0, 0.0])];
+        let mut v = vec![0.5, 0.5, 1.0];
+        let inj = SingleFaultInjector::new(
+            FaultModel::ScaleRelative(100.0),
+            Trigger::once(SitePredicate::mgs_site(1, 2, LoopPosition::First)),
+        );
+        let res = orthogonalize(OrthoStrategy::Mgs, &basis, &mut v, ctx(2), &inj, None);
+        // h_{1,2} corrupted: 0.5*100.
+        assert_eq!(res.h[0], 50.0);
+        // The corrupted coefficient was applied: v[0] = 0.5 - 50 = -49.5.
+        assert_eq!(v[0], -49.5);
+        // Result is no longer orthogonal to q1 — the taint is real.
+        assert!(vector::dot(&basis[0], &v).abs() > 1.0);
+    }
+
+    #[test]
+    fn detector_flags_corrupted_coefficient() {
+        let basis = vec![unit(vec![1.0, 0.0])];
+        let mut v = vec![0.7, 0.7];
+        let inj = SingleFaultInjector::new(
+            FaultModel::CLASS1_HUGE,
+            Trigger::once(SitePredicate::mgs_site(1, 1, LoopPosition::First)),
+        );
+        let det = SdcDetector { bound: 10.0, response: DetectorResponse::Record };
+        let res = orthogonalize(OrthoStrategy::Mgs, &basis, &mut v, ctx(1), &inj, Some(&det));
+        assert_eq!(res.violations.len(), 2, "dot violation, then the norm blows past the bound");
+        assert_eq!(res.violations[0].value, 0.7 * 1e150);
+    }
+
+    #[test]
+    fn detector_silent_on_fault_free_run() {
+        let basis = vec![unit(vec![1.0, 2.0, 0.0]), unit(vec![0.0, 0.0, 1.0])];
+        // bound = a generous overestimate of ‖v‖.
+        let det = SdcDetector { bound: 1e3, response: DetectorResponse::Record };
+        let mut v = vec![0.1, -0.4, 0.8];
+        let res = orthogonalize(OrthoStrategy::Mgs, &basis, &mut v, ctx(2), &NoFaults, Some(&det));
+        assert!(res.violations.is_empty());
+    }
+
+    #[test]
+    fn empty_basis_returns_norm_only() {
+        let mut v = vec![3.0, 4.0];
+        let res = orthogonalize(OrthoStrategy::Mgs, &[], &mut v, ctx(1), &NoFaults, None);
+        assert!(res.h.is_empty());
+        assert!((res.vnorm - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cgs_fault_does_not_taint_other_coefficients() {
+        // Contrast with MGS: under CGS all dots use the original v, so a
+        // corrupted h_{1,j} leaves h_{2,j} at its correct value.
+        let basis = vec![unit(vec![1.0, 0.0, 0.0]), unit(vec![0.0, 1.0, 0.0])];
+        let v0 = vec![0.5, 0.25, 1.0];
+        let inj = SingleFaultInjector::new(
+            FaultModel::ScaleRelative(100.0),
+            Trigger::once(SitePredicate::mgs_site(1, 2, LoopPosition::First)),
+        );
+        let mut v = v0.clone();
+        let res = orthogonalize(OrthoStrategy::Cgs, &basis, &mut v, ctx(2), &inj, None);
+        assert_eq!(res.h[0], 50.0);
+        assert_eq!(res.h[1], 0.25, "CGS coefficient 2 must be untainted");
+    }
+}

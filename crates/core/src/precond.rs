@@ -1,0 +1,110 @@
+//! Preconditioners.
+//!
+//! Standard GMRES (the inner solver) is unpreconditioned in the paper's
+//! experiments; the flexible machinery, however, is *about*
+//! preconditioning — FT-GMRES treats the entire inner solve as a
+//! (changing) preconditioner. The simple preconditioners here serve the
+//! extended experiments: Jacobi scaling makes the severely
+//! ill-conditioned circuit matrix tractable for the inner solver, exactly
+//! the kind of "scaling the linear system" §V alludes to.
+
+/// Application of `z = M⁻¹ q`. Implementations may be stateful (`&mut`),
+/// which is what lets an inner iterative solve act as a preconditioner.
+pub trait Preconditioner {
+    /// Computes `z = M⁻¹ q`.
+    fn apply(&mut self, q: &[f64], z: &mut [f64]);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "preconditioner"
+    }
+}
+
+/// The identity preconditioner: `z = q`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&mut self, q: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(q);
+    }
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+/// Jacobi (diagonal) preconditioner: `z_i = q_i / d_i`.
+#[derive(Clone, Debug)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Builds from a matrix diagonal. Zero or non-finite diagonal entries
+    /// fall back to 1 (identity on that row), keeping the preconditioner
+    /// total — the solver, not the preconditioner, reports singularity.
+    pub fn from_diagonal(diag: &[f64]) -> Self {
+        let inv_diag = diag
+            .iter()
+            .map(|&d| if d != 0.0 && d.is_finite() { 1.0 / d } else { 1.0 })
+            .collect();
+        Self { inv_diag }
+    }
+
+    /// Builds from a sparse matrix.
+    pub fn from_matrix(a: &sdc_sparse::CsrMatrix) -> Self {
+        Self::from_diagonal(&a.diagonal())
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply(&mut self, q: &[f64], z: &mut [f64]) {
+        assert_eq!(q.len(), self.inv_diag.len(), "jacobi: size mismatch");
+        for i in 0..q.len() {
+            z[i] = q[i] * self.inv_diag[i];
+        }
+    }
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        let mut p = IdentityPrecond;
+        let q = [1.0, 2.0, 3.0];
+        let mut z = [0.0; 3];
+        p.apply(&q, &mut z);
+        assert_eq!(z, q);
+        assert_eq!(p.name(), "identity");
+    }
+
+    #[test]
+    fn jacobi_divides_by_diagonal() {
+        let mut p = JacobiPrecond::from_diagonal(&[2.0, 4.0, 0.5]);
+        let mut z = [0.0; 3];
+        p.apply(&[2.0, 4.0, 0.5], &mut z);
+        assert_eq!(z, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn jacobi_zero_diagonal_falls_back_to_identity() {
+        let mut p = JacobiPrecond::from_diagonal(&[0.0, 2.0]);
+        let mut z = [0.0; 2];
+        p.apply(&[3.0, 4.0], &mut z);
+        assert_eq!(z, [3.0, 2.0]);
+    }
+
+    #[test]
+    fn jacobi_from_matrix() {
+        let a = sdc_sparse::gallery::poisson1d(3);
+        let mut p = JacobiPrecond::from_matrix(&a);
+        let mut z = [0.0; 3];
+        p.apply(&[2.0, 2.0, 2.0], &mut z);
+        assert_eq!(z, [1.0, 1.0, 1.0]);
+    }
+}

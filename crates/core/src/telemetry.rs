@@ -1,0 +1,133 @@
+//! Solve reports: what happened, loudly.
+//!
+//! The paper's taxonomy demands that faults either be run through
+//! (correct answer), detected, or reported — never silent. The report
+//! types here carry everything an experiment needs: the outcome, the
+//! iteration counts the figures plot, residual histories, every detector
+//! event and every committed injection.
+
+use crate::detector::Violation;
+use sdc_faults::InjectionRecord;
+
+/// Terminal state of a solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveOutcome {
+    /// Residual tolerance reached (for outer/reliable solvers this is
+    /// verified with a reliably computed true residual).
+    Converged,
+    /// Iteration budget exhausted before reaching the tolerance.
+    MaxIterations,
+    /// Happy breakdown: the Krylov space became invariant and the
+    /// projected solution is exact (`h_{j+1,j} ≈ 0` with nonsingular
+    /// projected matrix).
+    InvariantSubspace,
+    /// FGMRES' additional failure mode (Saad Prop. 2.2): breakdown with a
+    /// *singular* projected matrix — reported loudly, part of the
+    /// trichotomy.
+    RankDeficient,
+    /// The detector fired with [`crate::detector::DetectorResponse::Halt`].
+    Halted(Violation),
+    /// The projected least-squares solve could not produce usable
+    /// coefficients (non-finite factors under `LstsqPolicy::Standard`).
+    NumericalBreakdown(String),
+}
+
+impl SolveOutcome {
+    /// True for outcomes that delivered a solution at the requested
+    /// tolerance.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, SolveOutcome::Converged | SolveOutcome::InvariantSubspace)
+    }
+
+    /// True for outcomes that are loud failures (never silent).
+    pub fn is_loud_failure(&self) -> bool {
+        matches!(
+            self,
+            SolveOutcome::RankDeficient
+                | SolveOutcome::Halted(_)
+                | SolveOutcome::NumericalBreakdown(_)
+        )
+    }
+}
+
+/// Full diagnostics of one solve.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Terminal state.
+    pub outcome: SolveOutcome,
+    /// Iterations performed (outer iterations for nested solvers).
+    pub iterations: usize,
+    /// Total inner iterations across all inner solves (nested solvers
+    /// only; 0 otherwise).
+    pub total_inner_iterations: usize,
+    /// The solver's final residual-norm estimate.
+    pub residual_norm: f64,
+    /// True residual `‖b − A x‖₂` computed reliably at exit (present for
+    /// solvers that can afford it; `None` for raw unreliable inner
+    /// solves).
+    pub true_residual_norm: Option<f64>,
+    /// Residual-norm estimate per iteration.
+    pub residual_history: Vec<f64>,
+    /// Every detector violation observed.
+    pub detector_events: Vec<Violation>,
+    /// Every fault actually committed by the injector.
+    pub injections: Vec<InjectionRecord>,
+    /// Inner-solve restarts forced by the detector
+    /// ([`crate::detector::DetectorResponse::RestartInner`]).
+    pub detector_restarts: usize,
+    /// Inner results replaced by the reliable outer validation (non-finite
+    /// data or sandbox failure).
+    pub inner_rejections: usize,
+}
+
+impl SolveReport {
+    /// A fresh report in the not-yet-converged state.
+    pub fn new() -> Self {
+        Self {
+            outcome: SolveOutcome::MaxIterations,
+            iterations: 0,
+            total_inner_iterations: 0,
+            residual_norm: f64::NAN,
+            true_residual_norm: None,
+            residual_history: Vec::new(),
+            detector_events: Vec::new(),
+            injections: Vec::new(),
+            detector_restarts: 0,
+            inner_rejections: 0,
+        }
+    }
+
+    /// Whether any detector event was recorded.
+    pub fn detected_anything(&self) -> bool {
+        !self.detector_events.is_empty()
+    }
+}
+
+impl Default for SolveReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        assert!(SolveOutcome::Converged.is_converged());
+        assert!(SolveOutcome::InvariantSubspace.is_converged());
+        assert!(!SolveOutcome::MaxIterations.is_converged());
+        assert!(!SolveOutcome::MaxIterations.is_loud_failure());
+        assert!(SolveOutcome::RankDeficient.is_loud_failure());
+        assert!(SolveOutcome::NumericalBreakdown("x".into()).is_loud_failure());
+    }
+
+    #[test]
+    fn fresh_report_state() {
+        let r = SolveReport::new();
+        assert_eq!(r.iterations, 0);
+        assert!(!r.detected_anything());
+        assert!(r.residual_norm.is_nan());
+    }
+}

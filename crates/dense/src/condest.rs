@@ -1,0 +1,189 @@
+//! Cheap condition estimation for growing triangular factors.
+//!
+//! §VI-C of the paper requires FGMRES to *detect* when `H(1:j,1:j)` is
+//! (near-)singular — Saad's Proposition 2.2 shows a flexible iteration can
+//! produce a singular projected matrix even in exact arithmetic. The paper
+//! notes that rank-revealing decompositions can be updated in `O(m²)` per
+//! iteration (Stewart's ULV); here we implement the classical
+//! LINPACK-style estimator, which also costs `O(k²)` per invocation and
+//! needs only the triangular factor GMRES already maintains:
+//!
+//! 1. Solve `Rᵀ z = d`, choosing `dᵢ = ±1` greedily to maximize the growth
+//!    of `z` — steering `z` toward the small singular directions.
+//! 2. Refine with one inverse-iteration step: solve `R w = z`; then
+//!    `σ_min ≈ ‖z‖/‖w‖` (and `‖d‖/‖z‖` is a second upper bound).
+//!
+//! The estimate is an upper bound on `σ_min` that is tight in practice; the
+//! FGMRES rank monitor treats `σ_min_est ≤ tol·σ_max_est` as "deficient"
+//! and (optionally) confirms with an exact Jacobi SVD before declaring the
+//! loud failure of the paper's trichotomy.
+
+use crate::matrix::DenseMatrix;
+use crate::norms;
+use crate::triangular::{solve_upper, TriangularOutcome};
+use crate::vector;
+
+/// Summary of the conditioning of a triangular factor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConditionReport {
+    /// Estimated largest singular value (power iteration, lower bound).
+    pub sigma_max_est: f64,
+    /// Estimated smallest singular value (LINPACK-style, upper bound).
+    pub sigma_min_est: f64,
+}
+
+impl ConditionReport {
+    /// Estimated 2-norm condition number.
+    pub fn cond(&self) -> f64 {
+        if self.sigma_min_est == 0.0 {
+            f64::INFINITY
+        } else {
+            self.sigma_max_est / self.sigma_min_est
+        }
+    }
+
+    /// True if the factor should be treated as numerically rank-deficient
+    /// at relative tolerance `tol`.
+    pub fn is_deficient(&self, tol: f64) -> bool {
+        self.sigma_min_est <= tol * self.sigma_max_est
+    }
+}
+
+/// LINPACK-style estimate of the smallest singular value of upper
+/// triangular `R`. Returns `0.0` when `R` is exactly singular or the
+/// estimate overflows (numerically singular), `f64::INFINITY` for an empty
+/// matrix (vacuously full rank).
+pub fn smallest_singular_estimate(r: &DenseMatrix) -> f64 {
+    let n = r.cols();
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    assert!(r.rows() >= n, "smallest_singular_estimate: need square R");
+
+    // Greedy solve of Rᵀ z = d with d_i = ±1 chosen to maximize |z_i|.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..i {
+            s += r[(j, i)] * z[j];
+        }
+        let d = if s >= 0.0 { -1.0 } else { 1.0 };
+        let diag = r[(i, i)];
+        if diag == 0.0 {
+            return 0.0;
+        }
+        z[i] = (d - s) / diag;
+        if !z[i].is_finite() {
+            return 0.0;
+        }
+    }
+    let znorm = vector::nrm2(&z);
+    if znorm == 0.0 || !znorm.is_finite() {
+        return 0.0;
+    }
+    let dnorm = (n as f64).sqrt();
+    let bound1 = dnorm / znorm;
+
+    // One step of inverse iteration sharpens the estimate.
+    match solve_upper(r, &z) {
+        TriangularOutcome::Finite(w) => {
+            let wnorm = vector::nrm2(&w);
+            if wnorm > 0.0 && wnorm.is_finite() {
+                bound1.min(znorm / wnorm)
+            } else {
+                bound1
+            }
+        }
+        _ => bound1,
+    }
+}
+
+/// Estimates both extreme singular values of `R`.
+pub fn estimate_condition(r: &DenseMatrix) -> ConditionReport {
+    let sigma_max_est = if r.cols() == 0 {
+        0.0
+    } else {
+        // Power iteration on R (cheap: R is small); 30 iterations is ample
+        // for a monitoring bound.
+        norms::norm2_power_estimate(r, 30).max(diag_max(r))
+    };
+    ConditionReport { sigma_max_est, sigma_min_est: smallest_singular_estimate(r) }
+}
+
+fn diag_max(r: &DenseMatrix) -> f64 {
+    (0..r.cols().min(r.rows())).map(|i| r[(i, i)].abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::jacobi_svd;
+
+    fn exact_sigma_min(r: &DenseMatrix) -> f64 {
+        jacobi_svd(r).unwrap().sigma_min()
+    }
+
+    #[test]
+    fn well_conditioned_estimate_is_close() {
+        let r = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.3], &[0.0, 3.0, -0.2], &[0.0, 0.0, 2.5]]);
+        let est = smallest_singular_estimate(&r);
+        let exact = exact_sigma_min(&r);
+        assert!(est >= exact * 0.99, "estimator must upper-bound σ_min: {est} < {exact}");
+        assert!(est <= exact * 10.0, "estimate too loose: {est} vs {exact}");
+    }
+
+    #[test]
+    fn graded_matrix_estimate_tracks_tiny_sigma() {
+        // Severely graded triangular matrix: σ_min is far below the
+        // smallest diagonal seen naively.
+        let r = DenseMatrix::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0],
+            &[0.0, 1e-2, 1.0, 1.0],
+            &[0.0, 0.0, 1e-5, 1.0],
+            &[0.0, 0.0, 0.0, 1e-9],
+        ]);
+        let est = smallest_singular_estimate(&r);
+        let exact = exact_sigma_min(&r);
+        assert!(est >= exact * 0.99);
+        assert!(est <= exact * 100.0, "estimate {est} too far from exact {exact}");
+    }
+
+    #[test]
+    fn exact_singularity_returns_zero() {
+        let r = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 0.0]]);
+        assert_eq!(smallest_singular_estimate(&r), 0.0);
+    }
+
+    #[test]
+    fn overflowing_solve_counts_as_singular() {
+        let r = DenseMatrix::from_rows(&[&[1e-308, 1e308], &[0.0, 1.0]]);
+        assert_eq!(smallest_singular_estimate(&r), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_vacuously_full_rank() {
+        let r = DenseMatrix::zeros(0, 0);
+        assert_eq!(smallest_singular_estimate(&r), f64::INFINITY);
+        let rep = estimate_condition(&r);
+        assert!(!rep.is_deficient(1e-10));
+    }
+
+    #[test]
+    fn condition_report_flags_deficiency() {
+        let r = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1e-250]]);
+        let rep = estimate_condition(&r);
+        assert!(rep.is_deficient(1e-12));
+        assert!(rep.cond() > 1e100);
+        let good = DenseMatrix::from_rows(&[&[2.0, 0.1], &[0.0, 1.5]]);
+        let rep = estimate_condition(&good);
+        assert!(!rep.is_deficient(1e-12));
+        assert!(rep.cond() < 10.0);
+    }
+
+    #[test]
+    fn identity_condition_is_one() {
+        let r = DenseMatrix::identity(6);
+        let rep = estimate_condition(&r);
+        assert!((rep.cond() - 1.0).abs() < 0.2, "cond(I) ≈ 1, got {}", rep.cond());
+    }
+}

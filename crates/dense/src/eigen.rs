@@ -1,0 +1,287 @@
+//! Symmetric eigensolver (classical Jacobi rotations).
+//!
+//! Small dense symmetric eigenproblems back several verification paths:
+//! the exact spectrum of test operators on small grids (validating the
+//! closed-form Poisson eigenvalues used in Table I), positive
+//! definiteness checks, and the eigenvalues of the tridiagonal `H`
+//! produced by Arnoldi on SPD inputs (Ritz values, whose extremes
+//! converge to the operator's spectrum edges).
+
+use crate::matrix::DenseMatrix;
+
+/// Error conditions for the eigensolver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EigenError {
+    /// The matrix is not square.
+    NotSquare,
+    /// The matrix is not (numerically) symmetric.
+    NotSymmetric,
+    /// Input contains NaN/Inf.
+    NonFiniteInput,
+    /// Sweep limit reached without convergence.
+    NoConvergence,
+}
+
+impl std::fmt::Display for EigenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigenError::NotSquare => write!(f, "eigen: matrix must be square"),
+            EigenError::NotSymmetric => write!(f, "eigen: matrix must be symmetric"),
+            EigenError::NonFiniteInput => write!(f, "eigen: non-finite input"),
+            EigenError::NoConvergence => write!(f, "eigen: Jacobi sweeps did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for EigenError {}
+
+/// Eigendecomposition `A = V Λ Vᵀ` of a symmetric matrix.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors (columns, matching `values`).
+    pub vectors: DenseMatrix,
+}
+
+impl SymmetricEigen {
+    /// Smallest eigenvalue.
+    pub fn lambda_min(&self) -> f64 {
+        self.values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Largest eigenvalue.
+    pub fn lambda_max(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+
+    /// True if all eigenvalues exceed `tol` (positive definite).
+    pub fn is_positive_definite(&self, tol: f64) -> bool {
+        self.values.iter().all(|&l| l > tol)
+    }
+
+    /// Spectral condition number `|λ|_max / |λ|_min` (∞ if singular).
+    pub fn cond_sym(&self) -> f64 {
+        let amax = self.values.iter().fold(0.0f64, |m, &l| m.max(l.abs()));
+        let amin = self.values.iter().fold(f64::INFINITY, |m, &l| m.min(l.abs()));
+        if amin == 0.0 {
+            f64::INFINITY
+        } else {
+            amax / amin
+        }
+    }
+}
+
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the eigendecomposition of a symmetric matrix by cyclic
+/// Jacobi rotations.
+pub fn symmetric_eigen(a: &DenseMatrix, sym_tol: f64) -> Result<SymmetricEigen, EigenError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(EigenError::NotSquare);
+    }
+    if !a.all_finite() {
+        return Err(EigenError::NonFiniteInput);
+    }
+    let scale = a.norm_max().max(f64::MIN_POSITIVE);
+    for i in 0..n {
+        for j in 0..i {
+            if (a[(i, j)] - a[(j, i)]).abs() > sym_tol * scale {
+                return Err(EigenError::NotSymmetric);
+            }
+        }
+    }
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let tol = f64::EPSILON * scale;
+
+    let mut converged = n <= 1;
+    for _ in 0..MAX_SWEEPS {
+        if converged {
+            break;
+        }
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off = off.max(m[(p, q)].abs());
+                if m[(p, q)].abs() <= tol {
+                    continue;
+                }
+                // Jacobi rotation annihilating m[p][q].
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let apq = m[(p, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+        if off <= tol {
+            converged = true;
+        }
+    }
+    if !converged {
+        return Err(EigenError::NoConvergence);
+    }
+
+    // Extract and sort ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (new, &old) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new)] = v[(r, old)];
+        }
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &DenseMatrix, e: &SymmetricEigen, tol: f64) {
+        let n = a.rows();
+        // A V = V Λ.
+        for k in 0..n {
+            let vk = e.vectors.col(k);
+            let mut av = vec![0.0; n];
+            a.matvec(vk, &mut av);
+            for r in 0..n {
+                assert!(
+                    (av[r] - e.values[k] * vk[r]).abs() < tol,
+                    "eigenpair {k} violates A v = λ v at row {r}"
+                );
+            }
+        }
+        // V orthogonal.
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!(vtv.max_diff(&DenseMatrix::identity(n)) < tol);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = symmetric_eigen(&a, 1e-12).unwrap();
+        assert_eq!(e.values, vec![-1.0, 3.0]);
+        assert!(!e.is_positive_definite(0.0));
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a, 1e-12).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+        check_decomposition(&a, &e, 1e-12);
+        assert!((e.cond_sym() - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tridiagonal_poisson_eigenvalues_match_formula() {
+        // tridiag(-1,2,-1) of order n: λ_k = 2 − 2cos(kπ/(n+1)).
+        let n = 12;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 2.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        let e = symmetric_eigen(&a, 1e-12).unwrap();
+        for (k, &l) in e.values.iter().enumerate() {
+            let exact =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((l - exact).abs() < 1e-10, "λ_{k}: {l} vs {exact}");
+        }
+        assert!(e.is_positive_definite(0.0));
+        check_decomposition(&a, &e, 1e-9);
+    }
+
+    #[test]
+    fn arnoldi_ritz_values_lie_in_spectrum() {
+        // The Ritz values (eigenvalues of the square tridiagonal H from
+        // Arnoldi on an SPD operator) must lie inside [λ_min, λ_max].
+        let tri = DenseMatrix::from_rows(&[
+            &[2.0, -0.9, 0.0],
+            &[-0.9, 2.1, -0.4],
+            &[0.0, -0.4, 1.8],
+        ]);
+        let e = symmetric_eigen(&tri, 1e-12).unwrap();
+        assert!(e.lambda_min() > 0.0);
+        assert!(e.lambda_max() < 4.0);
+        check_decomposition(&tri, &e, 1e-11);
+    }
+
+    #[test]
+    fn rejects_nonsymmetric() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        assert_eq!(symmetric_eigen(&a, 1e-12).unwrap_err(), EigenError::NotSymmetric);
+    }
+
+    #[test]
+    fn rejects_nonfinite() {
+        let mut a = DenseMatrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert_eq!(symmetric_eigen(&a, 1e-12).unwrap_err(), EigenError::NonFiniteInput);
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert_eq!(symmetric_eigen(&a, 1e-12).unwrap_err(), EigenError::NotSquare);
+    }
+
+    #[test]
+    fn eigen_consistent_with_svd_for_spd() {
+        // For SPD matrices, eigenvalues == singular values.
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, -0.2],
+            &[0.5, -0.2, 5.0],
+        ]);
+        let e = symmetric_eigen(&a, 1e-12).unwrap();
+        let s = crate::svd::jacobi_svd(&a).unwrap();
+        let mut ev = e.values.clone();
+        ev.reverse(); // descending like sigma
+        for (l, sig) in ev.iter().zip(s.sigma.iter()) {
+            assert!((l - sig).abs() < 1e-10, "{l} vs {sig}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let a = DenseMatrix::zeros(0, 0);
+        let e = symmetric_eigen(&a, 1e-12).unwrap();
+        assert!(e.values.is_empty());
+        let a = DenseMatrix::from_rows(&[&[7.0]]);
+        let e = symmetric_eigen(&a, 1e-12).unwrap();
+        assert_eq!(e.values, vec![7.0]);
+    }
+}

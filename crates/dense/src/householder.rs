@@ -1,0 +1,287 @@
+//! Householder reflections and dense QR factorization.
+//!
+//! The paper notes that Classical Gram-Schmidt or Householder
+//! transformations may replace Modified Gram-Schmidt in the Arnoldi process
+//! and that the Hessenberg bound is invariant to that choice. A dense
+//! Householder QR is also the workhorse behind our reference least-squares
+//! solutions in tests, where we validate the incremental Givens-QR path
+//! against a from-scratch factorization.
+
+use crate::matrix::DenseMatrix;
+use crate::vector;
+
+/// A dense QR factorization computed with Householder reflections.
+///
+/// The factors are stored LAPACK-style: the upper triangle of `qr` holds
+/// `R`, the lower part holds the essential parts of the reflectors, and
+/// `tau` holds the scalar coefficients.
+#[derive(Clone, Debug)]
+pub struct HouseholderQr {
+    qr: DenseMatrix,
+    tau: Vec<f64>,
+}
+
+/// Computes the QR factorization of `a` (`m × n`, any shape).
+pub fn householder_qr(a: &DenseMatrix) -> HouseholderQr {
+    let m = a.rows();
+    let n = a.cols();
+    let mut qr = a.clone();
+    let k = m.min(n);
+    let mut tau = vec![0.0; k];
+
+    for j in 0..k {
+        // Build the reflector from column j, rows j..m.
+        let (t, beta) = {
+            let col = &qr.col(j)[j..];
+            let alpha = col[0];
+            let xnorm = vector::nrm2(&col[1..]);
+            if xnorm == 0.0 {
+                (0.0, alpha)
+            } else {
+                let mut beta = -alpha.hypot(xnorm).copysign(alpha);
+                if beta == 0.0 {
+                    beta = -f64::MIN_POSITIVE;
+                }
+                let t = (beta - alpha) / beta;
+                (t, beta)
+            }
+        };
+        tau[j] = t;
+        if t != 0.0 {
+            // Normalize the reflector so v[0] = 1 (stored implicitly).
+            let alpha = qr[(j, j)];
+            let scale = 1.0 / (alpha - beta);
+            for r in j + 1..m {
+                qr[(r, j)] *= scale;
+            }
+            qr[(j, j)] = beta;
+            // Apply (I - t v vᵀ) to the remaining columns.
+            for c in j + 1..n {
+                let mut dotv = qr[(j, c)];
+                for r in j + 1..m {
+                    dotv += qr[(r, j)] * qr[(r, c)];
+                }
+                let w = t * dotv;
+                qr[(j, c)] -= w;
+                for r in j + 1..m {
+                    let vr = qr[(r, j)];
+                    qr[(r, c)] -= w * vr;
+                }
+            }
+        } else {
+            qr[(j, j)] = beta;
+        }
+    }
+    HouseholderQr { qr, tau }
+}
+
+impl HouseholderQr {
+    /// The upper-triangular (or trapezoidal) factor `R` as a dense matrix.
+    pub fn r(&self) -> DenseMatrix {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        let k = m.min(n);
+        let mut r = DenseMatrix::zeros(k, n);
+        for c in 0..n {
+            for row in 0..=c.min(k - 1) {
+                r[(row, c)] = self.qr[(row, c)];
+            }
+        }
+        r
+    }
+
+    /// Applies `Qᵀ` to a vector in place (length `m`).
+    pub fn apply_qt(&self, x: &mut [f64]) {
+        let m = self.qr.rows();
+        assert_eq!(x.len(), m, "apply_qt: length mismatch");
+        for j in 0..self.tau.len() {
+            let t = self.tau[j];
+            if t == 0.0 {
+                continue;
+            }
+            let mut dotv = x[j];
+            for r in j + 1..m {
+                dotv += self.qr[(r, j)] * x[r];
+            }
+            let w = t * dotv;
+            x[j] -= w;
+            for r in j + 1..m {
+                x[r] -= w * self.qr[(r, j)];
+            }
+        }
+    }
+
+    /// Applies `Q` to a vector in place (length `m`).
+    pub fn apply_q(&self, x: &mut [f64]) {
+        let m = self.qr.rows();
+        assert_eq!(x.len(), m, "apply_q: length mismatch");
+        for j in (0..self.tau.len()).rev() {
+            let t = self.tau[j];
+            if t == 0.0 {
+                continue;
+            }
+            let mut dotv = x[j];
+            for r in j + 1..m {
+                dotv += self.qr[(r, j)] * x[r];
+            }
+            let w = t * dotv;
+            x[j] -= w;
+            for r in j + 1..m {
+                x[r] -= w * self.qr[(r, j)];
+            }
+        }
+    }
+
+    /// Least-squares solve `min ‖A y − b‖₂` for full-column-rank `A`
+    /// (`m ≥ n`). Returns `None` if a diagonal of `R` is exactly zero.
+    pub fn solve_lstsq(&self, b: &[f64]) -> Option<Vec<f64>> {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        assert!(m >= n, "solve_lstsq requires m >= n");
+        assert_eq!(b.len(), m);
+        let mut c = b.to_vec();
+        self.apply_qt(&mut c);
+        let mut y = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = c[i];
+            for j in i + 1..n {
+                s -= self.qr[(i, j)] * y[j];
+            }
+            let d = self.qr[(i, i)];
+            if d == 0.0 {
+                return None;
+            }
+            y[i] = s / d;
+        }
+        Some(y)
+    }
+
+    /// Reconstructs the explicit `m × m` orthogonal factor `Q` (test use).
+    pub fn q_explicit(&self) -> DenseMatrix {
+        let m = self.qr.rows();
+        let mut q = DenseMatrix::identity(m);
+        for c in 0..m {
+            let mut col = q.col(c).to_vec();
+            self.apply_q(&mut col);
+            q.col_mut(c).copy_from_slice(&col);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(a: &DenseMatrix) -> DenseMatrix {
+        let f = householder_qr(a);
+        let q = f.q_explicit();
+        let r = f.r();
+        // Pad R to m x n for the product when m > n.
+        let m = a.rows();
+        let n = a.cols();
+        let mut rfull = DenseMatrix::zeros(m, n);
+        for c in 0..n {
+            for row in 0..r.rows() {
+                rfull[(row, c)] = r[(row, c)];
+            }
+        }
+        q.matmul(&rfull)
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ]);
+        let qa = reconstruct(&a);
+        assert!(qa.max_diff(&a) < 1e-13);
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 8.0],
+        ]);
+        let qa = reconstruct(&a);
+        assert!(qa.max_diff(&a) < 1e-13);
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[0.0, 3.0, 1.0],
+            &[1.0, 1.0, 1.0],
+        ]);
+        let f = householder_qr(&a);
+        let q = f.q_explicit();
+        let qtq = q.transpose().matmul(&q);
+        assert!(qtq.max_diff(&DenseMatrix::identity(3)) < 1e-13);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 5.0, 9.0],
+            &[2.0, 6.0, 10.0],
+            &[3.0, 7.0, 11.0],
+        ]);
+        let r = householder_qr(&a).r();
+        for c in 0..3 {
+            for row in c + 1..3 {
+                assert!(r[(row, c)].abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        // A y = b with known solution.
+        let a = DenseMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0], &[0.0, 0.0]]);
+        let b = [4.0, 9.0, 0.0];
+        let y = householder_qr(&a).solve_lstsq(&b).unwrap();
+        assert!((y[0] - 2.0).abs() < 1e-14);
+        assert!((y[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_residual_is_orthogonal() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+            &[1.0, 4.0],
+        ]);
+        let b = [6.0, 5.0, 7.0, 10.0];
+        let y = householder_qr(&a).solve_lstsq(&b).unwrap();
+        // Residual r = b - A y must be orthogonal to the columns of A.
+        let mut ay = vec![0.0; 4];
+        a.matvec(&y, &mut ay);
+        let r: Vec<f64> = b.iter().zip(ay.iter()).map(|(bi, ai)| bi - ai).collect();
+        for c in 0..2 {
+            let d = vector::dot(a.col(c), &r);
+            assert!(d.abs() < 1e-12, "residual not orthogonal: {d}");
+        }
+    }
+
+    #[test]
+    fn lstsq_detects_exact_singularity() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]);
+        let b = [1.0, 1.0, 1.0];
+        assert!(householder_qr(&a).solve_lstsq(&b).is_none());
+    }
+
+    #[test]
+    fn zero_matrix_qr() {
+        let a = DenseMatrix::zeros(3, 2);
+        let f = householder_qr(&a);
+        let r = f.r();
+        assert!(r.norm_fro() == 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! The three projected least-squares policies of §VI-D.
+//!
+//! After the Givens rotations have reduced the Hessenberg least-squares
+//! problem to the triangular system `R y = z`, the paper implements three
+//! ways to produce the solution-update coefficients `y`:
+//!
+//! 1. **Standard** — plain back-substitution (Saad & Schultz). Fast, but a
+//!    (near-)singular `R` yields unboundedly inaccurate coefficients.
+//! 2. **FallbackOnNonFinite** — attempt the standard solve and only switch
+//!    to a rank-revealing method if the solution contains `Inf`/`NaN`. The
+//!    paper points out this "conceals the natural error detection that
+//!    comes with IEEE-754 data, without detecting inaccuracy or bounding
+//!    the error" — it is implemented faithfully so the ablation experiment
+//!    can demonstrate that weakness.
+//! 3. **RankRevealing** — always solve through a truncated SVD: singular
+//!    values `≤ tol·σ_max` are dropped and the *minimum-norm* solution is
+//!    returned, bounding `‖y‖` by `‖z‖·σ_max/σ_min-kept` regardless of how
+//!    corrupted `R` became.
+//!
+//! The paper recommends approaches 1 or 3.
+
+use crate::matrix::DenseMatrix;
+use crate::svd::{jacobi_svd, SvdError};
+use crate::triangular::{solve_upper, TriangularOutcome};
+
+/// Which §VI-D approach to use for `R y = z`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LstsqPolicy {
+    /// Approach 1: standard back-substitution.
+    Standard,
+    /// Approach 2: standard solve, rank-revealing only on `Inf`/`NaN`.
+    FallbackOnNonFinite {
+        /// Relative singular-value truncation tolerance for the fallback.
+        tol: f64,
+    },
+    /// Approach 3: always rank-revealing (truncated SVD, minimum norm).
+    RankRevealing {
+        /// Relative singular-value truncation tolerance.
+        tol: f64,
+    },
+}
+
+impl Default for LstsqPolicy {
+    fn default() -> Self {
+        LstsqPolicy::Standard
+    }
+}
+
+/// Diagnostics describing how the solve went.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LstsqReport {
+    /// True if the rank-revealing (SVD) path produced the returned `y`.
+    pub used_rank_revealing: bool,
+    /// True if the standard solve produced a non-finite solution (only
+    /// meaningful for policies that attempt the standard solve).
+    pub standard_was_nonfinite: bool,
+    /// True if the standard solve hit an exactly zero diagonal.
+    pub standard_hit_zero_diagonal: bool,
+    /// Numerical rank kept by the truncated SVD (if it ran).
+    pub rank: Option<usize>,
+    /// Largest singular value of `R` (if the SVD ran).
+    pub sigma_max: Option<f64>,
+    /// Smallest singular value of `R` (if the SVD ran).
+    pub sigma_min: Option<f64>,
+}
+
+/// A failed solve: no usable coefficients could be produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LstsqError {
+    /// `R` itself contains non-finite entries; neither back-substitution
+    /// nor an SVD can proceed. The caller must handle this loudly.
+    NonFiniteFactor,
+    /// The standard policy met an exactly-zero diagonal (singular `R`)
+    /// and no fallback was allowed.
+    SingularFactor {
+        /// Index of the zero diagonal.
+        index: usize,
+    },
+    /// The Jacobi SVD failed to converge (pathological input).
+    SvdFailure,
+}
+
+impl std::fmt::Display for LstsqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LstsqError::NonFiniteFactor => write!(f, "triangular factor contains NaN/Inf"),
+            LstsqError::SingularFactor { index } => {
+                write!(f, "exactly singular triangular factor at diagonal {index}")
+            }
+            LstsqError::SvdFailure => write!(f, "rank-revealing SVD did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for LstsqError {}
+
+/// Result of a projected least-squares solve.
+#[derive(Clone, Debug)]
+pub struct LstsqOutcome {
+    /// The solution-update coefficients.
+    pub y: Vec<f64>,
+    /// Diagnostics.
+    pub report: LstsqReport,
+}
+
+/// Solves `R y = z` under the given policy. `R` is `k × k` upper
+/// triangular, `z` has length `k`.
+pub fn solve_projected(
+    r: &DenseMatrix,
+    z: &[f64],
+    policy: LstsqPolicy,
+) -> Result<LstsqOutcome, LstsqError> {
+    let k = r.cols();
+    assert_eq!(z.len(), k, "solve_projected: rhs length");
+    if k == 0 {
+        return Ok(LstsqOutcome { y: vec![], report: LstsqReport::default() });
+    }
+    match policy {
+        LstsqPolicy::Standard => {
+            let mut report = LstsqReport::default();
+            match solve_upper(r, z) {
+                TriangularOutcome::Finite(y) => Ok(LstsqOutcome { y, report }),
+                TriangularOutcome::NonFinite(y) => {
+                    // Approach 1 returns whatever back-substitution
+                    // produced — IEEE-754 "loud" values included. The
+                    // caller sees them through the report.
+                    report.standard_was_nonfinite = true;
+                    Ok(LstsqOutcome { y, report })
+                }
+                TriangularOutcome::ZeroDiagonal { index } => {
+                    Err(LstsqError::SingularFactor { index })
+                }
+            }
+        }
+        LstsqPolicy::FallbackOnNonFinite { tol } => {
+            let mut report = LstsqReport::default();
+            match solve_upper(r, z) {
+                TriangularOutcome::Finite(y) => Ok(LstsqOutcome { y, report }),
+                TriangularOutcome::NonFinite(_) => {
+                    report.standard_was_nonfinite = true;
+                    rank_revealing(r, z, tol, report)
+                }
+                TriangularOutcome::ZeroDiagonal { .. } => {
+                    report.standard_hit_zero_diagonal = true;
+                    rank_revealing(r, z, tol, report)
+                }
+            }
+        }
+        LstsqPolicy::RankRevealing { tol } => {
+            rank_revealing(r, z, tol, LstsqReport::default())
+        }
+    }
+}
+
+fn rank_revealing(
+    r: &DenseMatrix,
+    z: &[f64],
+    tol: f64,
+    mut report: LstsqReport,
+) -> Result<LstsqOutcome, LstsqError> {
+    let svd = match jacobi_svd(r) {
+        Ok(s) => s,
+        Err(SvdError::NonFiniteInput) => return Err(LstsqError::NonFiniteFactor),
+        Err(SvdError::NoConvergence) => return Err(LstsqError::SvdFailure),
+    };
+    report.used_rank_revealing = true;
+    report.rank = Some(svd.rank(tol));
+    report.sigma_max = Some(svd.sigma_max());
+    report.sigma_min = Some(svd.sigma_min());
+    let y = svd.solve_truncated(z, tol);
+    Ok(LstsqOutcome { y, report })
+}
+
+/// Default truncation tolerance used by the solvers (relative to σ_max).
+pub const DEFAULT_RR_TOL: f64 = 1e-12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::nrm2;
+
+    fn well_conditioned_r() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[4.0, 1.0, -0.5], &[0.0, 3.0, 0.7], &[0.0, 0.0, 2.0]])
+    }
+
+    #[test]
+    fn all_policies_agree_on_well_conditioned_systems() {
+        let r = well_conditioned_r();
+        let z = [1.0, -2.0, 0.5];
+        let y1 = solve_projected(&r, &z, LstsqPolicy::Standard).unwrap();
+        let y2 = solve_projected(&r, &z, LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 }).unwrap();
+        let y3 = solve_projected(&r, &z, LstsqPolicy::RankRevealing { tol: 1e-12 }).unwrap();
+        for i in 0..3 {
+            assert!((y1.y[i] - y2.y[i]).abs() < 1e-13);
+            assert!((y1.y[i] - y3.y[i]).abs() < 1e-10, "{:?} vs {:?}", y1.y, y3.y);
+        }
+        assert!(!y1.report.used_rank_revealing);
+        assert!(!y2.report.used_rank_revealing);
+        assert!(y3.report.used_rank_revealing);
+        assert_eq!(y3.report.rank, Some(3));
+    }
+
+    #[test]
+    fn standard_returns_nonfinite_loudly() {
+        let r = DenseMatrix::from_rows(&[&[1e-300, 1e300], &[0.0, 1.0]]);
+        let out = solve_projected(&r, &[1.0, 1.0], LstsqPolicy::Standard).unwrap();
+        assert!(out.report.standard_was_nonfinite);
+        assert!(out.y.iter().any(|v| !v.is_finite()));
+    }
+
+    #[test]
+    fn standard_errors_on_exact_singularity() {
+        let r = DenseMatrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        match solve_projected(&r, &[1.0, 1.0], LstsqPolicy::Standard) {
+            Err(LstsqError::SingularFactor { index }) => assert_eq!(index, 1),
+            other => panic!("expected SingularFactor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fallback_rescues_nonfinite_solve() {
+        let r = DenseMatrix::from_rows(&[&[1e-300, 1e300], &[0.0, 1.0]]);
+        let out =
+            solve_projected(&r, &[1.0, 1.0], LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 })
+                .unwrap();
+        assert!(out.report.standard_was_nonfinite);
+        assert!(out.report.used_rank_revealing);
+        assert!(out.y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fallback_rescues_zero_diagonal() {
+        let r = DenseMatrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        let out =
+            solve_projected(&r, &[1.0, 0.0], LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 })
+                .unwrap();
+        assert!(out.report.standard_hit_zero_diagonal);
+        assert!(out.report.used_rank_revealing);
+        // Minimum-norm solution of the rank-1 system.
+        assert!(out.y.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fallback_does_not_bound_merely_inaccurate_solves() {
+        // §VI-D's criticism of Approach 2: a *finite but huge* solution
+        // sails straight through the fallback untouched.
+        let r = DenseMatrix::from_rows(&[&[1e-14, 1.0], &[0.0, 1.0]]);
+        let z = [1.0, 0.0];
+        let out =
+            solve_projected(&r, &z, LstsqPolicy::FallbackOnNonFinite { tol: 1e-10 }).unwrap();
+        assert!(!out.report.used_rank_revealing, "fallback must not trigger on finite data");
+        assert!(nrm2(&out.y) > 1e12, "solution is huge and unbounded");
+        // Approach 3 on the same system stays bounded.
+        let out3 = solve_projected(&r, &z, LstsqPolicy::RankRevealing { tol: 1e-10 }).unwrap();
+        assert!(nrm2(&out3.y) < 10.0, "rank-revealing must bound the coefficients");
+    }
+
+    #[test]
+    fn rank_revealing_bounds_norm_by_sigma_ratio() {
+        let r = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1e-250]]);
+        let z = [3.0, 1.0];
+        let out = solve_projected(&r, &z, LstsqPolicy::RankRevealing { tol: 1e-12 }).unwrap();
+        assert_eq!(out.report.rank, Some(1));
+        // The truncated direction contributes nothing.
+        assert!((out.y[0] - 3.0).abs() < 1e-12);
+        assert_eq!(out.y[1], 0.0);
+    }
+
+    #[test]
+    fn nonfinite_factor_is_a_loud_error() {
+        let mut r = well_conditioned_r();
+        r[(0, 1)] = f64::NAN;
+        for policy in [
+            LstsqPolicy::RankRevealing { tol: 1e-12 },
+            LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 },
+        ] {
+            // The standard attempt inside Fallback will produce NaN (NaN
+            // participates in back-substitution), so both policies reach
+            // the SVD, which must reject the factor.
+            match solve_projected(&r, &[1.0, 1.0, 1.0], policy) {
+                Err(LstsqError::NonFiniteFactor) => {}
+                other => panic!("expected NonFiniteFactor, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_system() {
+        let r = DenseMatrix::zeros(0, 0);
+        let out = solve_projected(&r, &[], LstsqPolicy::Standard).unwrap();
+        assert!(out.y.is_empty());
+    }
+
+    #[test]
+    fn huge_fault_diagonal_all_policies_finite() {
+        // Class-1 SDC on the diagonal: 1e150. Standard divides by it and is
+        // fine; rank-revealing truncates the *other* direction(s) relative
+        // to the huge sigma_max — which is precisely the "bounded error"
+        // behaviour the paper exploits.
+        let r = DenseMatrix::from_rows(&[&[1e150, 2.0], &[0.0, 1.0]]);
+        let z = [1.0, 1.0];
+        let s = solve_projected(&r, &z, LstsqPolicy::Standard).unwrap();
+        assert!(s.y.iter().all(|v| v.is_finite()));
+        let rr = solve_projected(&r, &z, LstsqPolicy::RankRevealing { tol: 1e-12 }).unwrap();
+        assert!(rr.y.iter().all(|v| v.is_finite()));
+        assert!(nrm2(&rr.y) <= nrm2(&z) / 1e130, "minimum-norm solve must stay tiny");
+    }
+}

@@ -1,0 +1,110 @@
+//! Dense matrix operator norms.
+//!
+//! The detector bound (Eq. 3 of the paper) is stated in terms of `‖A‖₂` and
+//! `‖A‖_F`. For the *small dense* matrices handled by this crate (the upper
+//! Hessenberg matrix and its factors) we provide the exact 1-, ∞- and
+//! Frobenius norms, plus a 2-norm computed from the Jacobi SVD and a cheap
+//! power-iteration estimate for comparison.
+
+use crate::matrix::DenseMatrix;
+use crate::svd::jacobi_svd;
+use crate::vector;
+
+/// Maximum absolute column sum (`‖A‖₁`).
+pub fn norm1(a: &DenseMatrix) -> f64 {
+    (0..a.cols()).map(|c| vector::norm1(a.col(c))).fold(0.0, f64::max)
+}
+
+/// Maximum absolute row sum (`‖A‖_∞`).
+pub fn norm_inf(a: &DenseMatrix) -> f64 {
+    let mut best = 0.0_f64;
+    for r in 0..a.rows() {
+        let mut s = 0.0;
+        for c in 0..a.cols() {
+            s += a[(r, c)].abs();
+        }
+        best = best.max(s);
+    }
+    best
+}
+
+/// Frobenius norm.
+pub fn norm_fro(a: &DenseMatrix) -> f64 {
+    a.norm_fro()
+}
+
+/// Exact spectral norm via the Jacobi SVD (intended for small matrices).
+pub fn norm2_exact(a: &DenseMatrix) -> f64 {
+    if a.rows() == 0 || a.cols() == 0 {
+        return 0.0;
+    }
+    jacobi_svd(a).map(|s| s.sigma_max()).unwrap_or(f64::NAN)
+}
+
+/// Power-iteration estimate of `‖A‖₂` (a lower bound converging to the
+/// true value). `iters` steps of the iteration `x ← AᵀA x / ‖AᵀA x‖`.
+pub fn norm2_power_estimate(a: &DenseMatrix, iters: usize) -> f64 {
+    let n = a.cols();
+    let m = a.rows();
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    // Deterministic pseudo-random start vector.
+    let mut x: Vec<f64> = (0..n).map(|i| ((i as f64 + 1.0) * 0.7391).sin() + 0.5).collect();
+    vector::normalize(&mut x);
+    let mut ax = vec![0.0; m];
+    let mut atax = vec![0.0; n];
+    let mut est = 0.0;
+    for _ in 0..iters {
+        a.matvec(&x, &mut ax);
+        est = vector::nrm2(&ax);
+        if est == 0.0 {
+            return 0.0;
+        }
+        a.matvec_t(&ax, &mut atax);
+        x.copy_from_slice(&atax);
+        if vector::normalize(&mut x) == 0.0 {
+            return est;
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_diagonal() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        assert_eq!(norm1(&a), 4.0);
+        assert_eq!(norm_inf(&a), 4.0);
+        assert!((norm_fro(&a) - 5.0).abs() < 1e-14);
+        assert!((norm2_exact(&a) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm2_between_bounds() {
+        // ‖A‖₂ ≤ ‖A‖_F and ‖A‖₂² ≤ ‖A‖₁·‖A‖_∞ for any matrix.
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 0.0], &[-1.0, 3.0, 4.0], &[0.5, 0.0, 2.0]]);
+        let n2 = norm2_exact(&a);
+        assert!(n2 <= norm_fro(&a) + 1e-12);
+        assert!(n2 * n2 <= norm1(&a) * norm_inf(&a) + 1e-10);
+    }
+
+    #[test]
+    fn power_estimate_converges_from_below() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, 1.0]]);
+        let exact = norm2_exact(&a);
+        let est = norm2_power_estimate(&a, 200);
+        assert!(est <= exact + 1e-10);
+        assert!((est - exact).abs() < 1e-6, "est={est} exact={exact}");
+    }
+
+    #[test]
+    fn empty_matrix_norms_are_zero() {
+        let a = DenseMatrix::zeros(0, 0);
+        assert_eq!(norm2_exact(&a), 0.0);
+        assert_eq!(norm2_power_estimate(&a, 10), 0.0);
+    }
+}

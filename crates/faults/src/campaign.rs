@@ -1,0 +1,207 @@
+//! The paper's campaign vocabulary: fault classes and MGS positions.
+//!
+//! §VII-B-1 defines three classes of injected SDC, all *relative to the
+//! correct value* of the Hessenberg entry, and two injection positions
+//! within the Modified Gram-Schmidt loop. A campaign sweeps the single
+//! fault over every aggregate inner iteration — this module builds those
+//! plans deterministically.
+
+use crate::injector::SingleFaultInjector;
+use crate::model::FaultModel;
+use crate::trigger::{LoopPosition, SitePredicate, Trigger};
+
+/// The paper's three SDC magnitudes (§VII-B-1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Class 1: very large, `h̃ = h × 10^150`. Detectable by the bound.
+    Huge,
+    /// Class 2: slightly smaller, `h̃ = h × 10^-0.5`. Undetectable.
+    Slight,
+    /// Class 3: nearly zero, `h̃ = h × 10^-300`. Undetectable.
+    Tiny,
+}
+
+impl FaultClass {
+    /// The multiplicative factor of this class.
+    pub fn factor(&self) -> f64 {
+        match self {
+            FaultClass::Huge => 1e150,
+            FaultClass::Slight => 10f64.powf(-0.5),
+            FaultClass::Tiny => 1e-300,
+        }
+    }
+
+    /// The corresponding fault model.
+    pub fn model(&self) -> FaultModel {
+        FaultModel::ScaleRelative(self.factor())
+    }
+
+    /// All three classes, in the paper's order.
+    pub fn all() -> [FaultClass; 3] {
+        [FaultClass::Huge, FaultClass::Slight, FaultClass::Tiny]
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultClass::Huge => "h x 10^+150",
+            FaultClass::Slight => "h x 10^-0.5",
+            FaultClass::Tiny => "h x 10^-300",
+        }
+    }
+}
+
+/// Where in the Modified Gram-Schmidt loop the fault lands (§VII-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MgsPosition {
+    /// First loop iteration: corrupts `h_{1,j}`, tainting every
+    /// subsequent orthogonalization step of the column — the paper's
+    /// worst case by construction.
+    First,
+    /// Last loop iteration: corrupts `h_{j,j}`.
+    Last,
+}
+
+impl MgsPosition {
+    /// Both positions, in the paper's order (Fig. 3a/3b).
+    pub fn both() -> [MgsPosition; 2] {
+        [MgsPosition::First, MgsPosition::Last]
+    }
+
+    /// The trigger loop-position selector.
+    pub fn loop_position(&self) -> LoopPosition {
+        match self {
+            MgsPosition::First => LoopPosition::First,
+            MgsPosition::Last => LoopPosition::Last,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MgsPosition::First => "first MGS iteration",
+            MgsPosition::Last => "last MGS iteration",
+        }
+    }
+}
+
+/// One experiment of the sweep: a single SDC event at a specific
+/// aggregate inner iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CampaignPoint {
+    /// 1-based aggregate inner iteration (the figures' x-axis).
+    pub aggregate_iteration: usize,
+    /// Inner iterations per outer iteration (25 in the paper).
+    pub inner_per_outer: usize,
+    /// Fault magnitude class.
+    pub class: FaultClass,
+    /// MGS loop position.
+    pub position: MgsPosition,
+}
+
+impl CampaignPoint {
+    /// The inner-solve ordinal this aggregate iteration falls in (1-based).
+    pub fn inner_solve(&self) -> usize {
+        (self.aggregate_iteration - 1) / self.inner_per_outer + 1
+    }
+
+    /// The iteration within that inner solve (1-based).
+    pub fn inner_iteration(&self) -> usize {
+        (self.aggregate_iteration - 1) % self.inner_per_outer + 1
+    }
+
+    /// Builds the single-shot injector realizing this point.
+    pub fn injector(&self) -> SingleFaultInjector {
+        let predicate = SitePredicate::mgs_site(
+            self.inner_solve(),
+            self.inner_iteration(),
+            self.position.loop_position(),
+        );
+        SingleFaultInjector::new(self.class.model(), Trigger::once(predicate))
+    }
+}
+
+/// Builds the full sweep for one (class, position) series: one point per
+/// aggregate inner iteration `1..=inner_per_outer·failure_free_outers`.
+pub fn sweep_points(
+    inner_per_outer: usize,
+    failure_free_outers: usize,
+    class: FaultClass,
+    position: MgsPosition,
+) -> Vec<CampaignPoint> {
+    (1..=inner_per_outer * failure_free_outers)
+        .map(|aggregate_iteration| CampaignPoint {
+            aggregate_iteration,
+            inner_per_outer,
+            class,
+            position,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::injector::FaultInjector;
+    use crate::site::{Kernel, Site};
+
+    #[test]
+    fn class_factors_match_paper() {
+        assert_eq!(FaultClass::Huge.factor(), 1e150);
+        assert_eq!(FaultClass::Tiny.factor(), 1e-300);
+        assert!((FaultClass::Slight.factor() - 0.31622776601683794).abs() < 1e-16);
+    }
+
+    #[test]
+    fn point_decomposition() {
+        let p = CampaignPoint {
+            aggregate_iteration: 26,
+            inner_per_outer: 25,
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+        };
+        assert_eq!(p.inner_solve(), 2);
+        assert_eq!(p.inner_iteration(), 1);
+        let p = CampaignPoint { aggregate_iteration: 225, ..p };
+        assert_eq!(p.inner_solve(), 9);
+        assert_eq!(p.inner_iteration(), 25);
+    }
+
+    #[test]
+    fn sweep_covers_paper_domain() {
+        // Poisson experiment: 25 inner × 9 outer = 225 points.
+        let pts = sweep_points(25, 9, FaultClass::Slight, MgsPosition::Last);
+        assert_eq!(pts.len(), 225);
+        assert_eq!(pts[0].aggregate_iteration, 1);
+        assert_eq!(pts[224].aggregate_iteration, 225);
+    }
+
+    #[test]
+    fn injector_from_point_fires_at_intended_site_only() {
+        let p = CampaignPoint {
+            aggregate_iteration: 27,
+            inner_per_outer: 25,
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+        };
+        let inj = p.injector();
+        // solve 2, iteration 2, first position.
+        let target = Site {
+            kernel: Kernel::OrthoDot,
+            outer_iteration: 2,
+            inner_solve: 2,
+            inner_iteration: 2,
+            loop_index: 1,
+        };
+        let miss = Site { loop_index: 2, ..target };
+        assert_eq!(inj.corrupt(miss, 1.0), 1.0);
+        assert_eq!(inj.corrupt(target, 1.0), 1e150);
+        assert_eq!(inj.corrupt(target, 1.0), 1.0, "single shot");
+    }
+
+    #[test]
+    fn labels_are_paper_like() {
+        assert!(FaultClass::Huge.label().contains("+150"));
+        assert!(MgsPosition::First.label().contains("first"));
+    }
+}

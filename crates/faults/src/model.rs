@@ -1,0 +1,134 @@
+//! Fault models: what corruption does to a value.
+//!
+//! The paper deliberately generalizes away from bit flips: "Injecting bit
+//! flips will produce either type of error, making the act of injecting a
+//! bit flip to study transient SDC unnecessary as the outcome could have
+//! been achieved by merely setting the memory location equal to some
+//! value" (§III-A-2). The models here therefore cover both views — the
+//! relative scalings the paper's experiments use, absolute overwrites,
+//! and the literal bit flips of prior work — all applied to IEEE-754
+//! binary64 values.
+
+use crate::bitflip::flip_bit;
+
+/// A transformation applied to a single `f64` to simulate SDC.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultModel {
+    /// `x → x · factor`. The paper's three experiment classes are
+    /// `1e150`, `10^-0.5` and `1e-300`.
+    ScaleRelative(f64),
+    /// `x → value` regardless of x ("set the memory location equal to
+    /// some value").
+    SetValue(f64),
+    /// `x → x + delta`.
+    Offset(f64),
+    /// Flip one bit of the IEEE-754 representation (0 = LSB of the
+    /// mantissa … 62..52 exponent … 63 = sign).
+    BitFlip {
+        /// Bit position, `0..=63`.
+        bit: u8,
+    },
+    /// `x → NaN` (trivially detectable; included for completeness).
+    SetNan,
+    /// `x → +Inf`.
+    SetPosInf,
+    /// `x → −Inf`.
+    SetNegInf,
+}
+
+impl FaultModel {
+    /// Applies the corruption to `x`.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match *self {
+            FaultModel::ScaleRelative(f) => x * f,
+            FaultModel::SetValue(v) => v,
+            FaultModel::Offset(d) => x + d,
+            FaultModel::BitFlip { bit } => flip_bit(x, bit),
+            FaultModel::SetNan => f64::NAN,
+            FaultModel::SetPosInf => f64::INFINITY,
+            FaultModel::SetNegInf => f64::NEG_INFINITY,
+        }
+    }
+
+    /// The paper's class-1 fault: very large, `h̃ = h × 10^150`.
+    pub const CLASS1_HUGE: FaultModel = FaultModel::ScaleRelative(1e150);
+
+    /// The paper's class-3 fault: nearly zero, `h̃ = h × 10^-300`.
+    pub const CLASS3_TINY: FaultModel = FaultModel::ScaleRelative(1e-300);
+
+    /// The paper's class-2 fault: slightly smaller, `h̃ = h × 10^-0.5`.
+    /// (`10^-0.5` is not exactly representable; computed once here.)
+    pub fn class2_slight() -> FaultModel {
+        FaultModel::ScaleRelative(10f64.powf(-0.5))
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultModel::ScaleRelative(s) => write!(f, "x*{s:e}"),
+            FaultModel::SetValue(v) => write!(f, "x:={v:e}"),
+            FaultModel::Offset(d) => write!(f, "x+{d:e}"),
+            FaultModel::BitFlip { bit } => write!(f, "flip bit {bit}"),
+            FaultModel::SetNan => write!(f, "x:=NaN"),
+            FaultModel::SetPosInf => write!(f, "x:=+Inf"),
+            FaultModel::SetNegInf => write!(f, "x:=-Inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_classes_match_paper() {
+        let h = 3.25;
+        assert_eq!(FaultModel::CLASS1_HUGE.apply(h), h * 1e150);
+        assert_eq!(FaultModel::CLASS3_TINY.apply(h), h * 1e-300);
+        let c2 = FaultModel::class2_slight().apply(h);
+        assert!((c2 - h * 0.31622776601683794).abs() < 1e-15);
+    }
+
+    #[test]
+    fn set_value_ignores_input() {
+        let m = FaultModel::SetValue(42.0);
+        assert_eq!(m.apply(1.0), 42.0);
+        assert_eq!(m.apply(f64::NAN), 42.0);
+    }
+
+    #[test]
+    fn offset_adds() {
+        assert_eq!(FaultModel::Offset(2.0).apply(1.5), 3.5);
+    }
+
+    #[test]
+    fn specials() {
+        assert!(FaultModel::SetNan.apply(1.0).is_nan());
+        assert_eq!(FaultModel::SetPosInf.apply(1.0), f64::INFINITY);
+        assert_eq!(FaultModel::SetNegInf.apply(1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn bitflip_sign() {
+        let m = FaultModel::BitFlip { bit: 63 };
+        assert_eq!(m.apply(2.5), -2.5);
+    }
+
+    #[test]
+    fn class1_on_typical_hessenberg_entry_overflows_nothing() {
+        // h entries are bounded by ‖A‖_F (~446 for the Poisson problem);
+        // ×1e150 stays finite in f64.
+        let h = 446.0;
+        let v = FaultModel::CLASS1_HUGE.apply(h);
+        assert!(v.is_finite());
+        assert!(v > 1e152);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", FaultModel::SetNan), "x:=NaN");
+        assert!(format!("{}", FaultModel::CLASS1_HUGE).starts_with("x*"));
+    }
+}

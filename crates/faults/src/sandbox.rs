@@ -1,0 +1,155 @@
+//! The sandbox reliability model of §IV.
+//!
+//! The sandbox makes exactly two promises about the unreliable guest
+//! computation: *it returns something* (which may be wrong), and *it
+//! completes in fixed time*. This module realizes both for shared-memory
+//! execution: the guest runs on its own thread, panics are caught and
+//! converted into reportable (soft) errors, and the host may impose a
+//! wall-clock budget after which it stops waiting — "the host may force
+//! guest code to stop within a predefined finite time".
+//!
+//! A timed-out guest thread is detached, not killed (Rust offers no safe
+//! thread cancellation); its eventual result is discarded. This matches
+//! the sandbox semantics: what matters is that the *host* regains control
+//! in bounded time.
+
+use crossbeam::channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Sandbox policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SandboxConfig {
+    /// Maximum wall-clock time the host waits for the guest. `None`
+    /// waits indefinitely (the guest still cannot take the host down —
+    /// panics are converted).
+    pub time_budget: Option<Duration>,
+}
+
+/// Why the guest produced no value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SandboxError {
+    /// The guest panicked; the payload is the panic message. A hard
+    /// fault inside the sandbox became a soft, reportable one.
+    Panicked(String),
+    /// The time budget elapsed before the guest finished.
+    TimedOut,
+}
+
+impl std::fmt::Display for SandboxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SandboxError::Panicked(msg) => write!(f, "guest panicked: {msg}"),
+            SandboxError::TimedOut => write!(f, "guest exceeded its time budget"),
+        }
+    }
+}
+
+impl std::error::Error for SandboxError {}
+
+/// Runs `guest` under the sandbox model and returns its value, a captured
+/// panic, or a timeout.
+pub fn run_sandboxed<T, F>(cfg: SandboxConfig, guest: F) -> Result<T, SandboxError>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match cfg.time_budget {
+        None => {
+            // In-thread execution: still converts panics.
+            catch_unwind(AssertUnwindSafe(guest)).map_err(|p| SandboxError::Panicked(panic_msg(p)))
+        }
+        Some(budget) => {
+            let (tx, rx) = channel::bounded(1);
+            let builder = std::thread::Builder::new().name("sdc-sandbox-guest".into());
+            let handle = builder
+                .spawn(move || {
+                    let result =
+                        catch_unwind(AssertUnwindSafe(guest)).map_err(|p| panic_msg(p));
+                    // The host may have stopped listening; ignore send
+                    // failure.
+                    let _ = tx.send(result);
+                })
+                .expect("failed to spawn sandbox guest thread");
+            match rx.recv_timeout(budget) {
+                Ok(Ok(v)) => {
+                    let _ = handle.join();
+                    Ok(v)
+                }
+                Ok(Err(msg)) => {
+                    let _ = handle.join();
+                    Err(SandboxError::Panicked(msg))
+                }
+                Err(_) => Err(SandboxError::TimedOut),
+            }
+        }
+    }
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guest_value_returned() {
+        let out = run_sandboxed(SandboxConfig::default(), || 21 * 2).unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn guest_panic_becomes_soft_error() {
+        let err = run_sandboxed(SandboxConfig::default(), || -> i32 {
+            panic!("simulated hard fault");
+        })
+        .unwrap_err();
+        match err {
+            SandboxError::Panicked(msg) => assert!(msg.contains("simulated hard fault")),
+            other => panic!("expected panic capture, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_guest_within_budget() {
+        let cfg = SandboxConfig { time_budget: Some(Duration::from_secs(5)) };
+        let out = run_sandboxed(cfg, || "done").unwrap();
+        assert_eq!(out, "done");
+    }
+
+    #[test]
+    fn hung_guest_times_out() {
+        let cfg = SandboxConfig { time_budget: Some(Duration::from_millis(50)) };
+        let err = run_sandboxed(cfg, || {
+            std::thread::sleep(Duration::from_secs(3600));
+            0
+        })
+        .unwrap_err();
+        assert_eq!(err, SandboxError::TimedOut);
+    }
+
+    #[test]
+    fn panic_on_worker_thread_with_budget() {
+        let cfg = SandboxConfig { time_budget: Some(Duration::from_secs(5)) };
+        let err = run_sandboxed(cfg, || -> u8 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err, SandboxError::Panicked("boom 7".into()));
+    }
+
+    #[test]
+    fn guest_result_flows_data_between_phases() {
+        // §IV: sandboxes "allow data to flow between reliable and
+        // unreliable phases" — the host uses the guest's (possibly wrong)
+        // output.
+        let tainted = run_sandboxed(SandboxConfig::default(), || vec![1.0, f64::NAN]).unwrap();
+        assert_eq!(tainted.len(), 2);
+        assert!(tainted[1].is_nan(), "host receives the corrupted data and must introspect it");
+    }
+}

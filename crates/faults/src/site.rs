@@ -1,0 +1,146 @@
+//! Injection sites: *where* in the solver a fault strikes.
+//!
+//! The paper's campaign addresses faults with surgical precision: "on the
+//! first iteration of the first inner solve, we perturb the upper
+//! Hessenberg entry h_ij on the first iteration of the orthogonalization
+//! loop" (§VII-B). A [`Site`] carries all the coordinates needed to
+//! express that: the kernel, the outer iteration, the inner-solve ordinal,
+//! the inner iteration (= Hessenberg column j), and the position inside
+//! the orthogonalization loop (= row index i of `h_ij`).
+//!
+//! All indices are 1-based to match the paper's notation; `0` means
+//! "not applicable" (e.g. `loop_index` for an SpMV site).
+
+/// The instrumented kernel in which a value was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// A dot product in the orthogonalization loop — produces `h_ij`
+    /// (Algorithm 1, line 6).
+    OrthoDot,
+    /// The norm computation after the loop — produces `h_{j+1,j}`
+    /// (Algorithm 1, line 9).
+    OrthoNorm,
+    /// Sparse matrix–vector product (Algorithm 1, line 4).
+    SpMv,
+    /// Vector update kernels.
+    Axpy,
+    /// The projected least-squares solve.
+    LsqSolve,
+    /// Preconditioner application.
+    Precond,
+}
+
+/// Full coordinates of one instrumented scalar operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// Which kernel produced the value.
+    pub kernel: Kernel,
+    /// Outer (FGMRES) iteration, 1-based; 0 if not running nested.
+    pub outer_iteration: usize,
+    /// Ordinal of the inner-solve invocation, 1-based; 0 if not nested.
+    /// For FT-GMRES with one inner solve per outer iteration this equals
+    /// `outer_iteration`.
+    pub inner_solve: usize,
+    /// Iteration *within* the current solve, 1-based. For Arnoldi this is
+    /// the Hessenberg column index `j`.
+    pub inner_iteration: usize,
+    /// Position within the orthogonalization loop, 1-based: the row index
+    /// `i` of `h_ij`. For `OrthoNorm` sites this is `j+1`. 0 if N/A.
+    pub loop_index: usize,
+}
+
+impl Site {
+    /// A site with every coordinate zeroed except the kernel.
+    pub fn bare(kernel: Kernel) -> Self {
+        Site { kernel, outer_iteration: 0, inner_solve: 0, inner_iteration: 0, loop_index: 0 }
+    }
+
+    /// The paper's x-axis coordinate: the aggregate inner iteration,
+    /// `(inner_solve − 1) · inner_per_outer + inner_iteration`, 1-based.
+    /// Returns 0 if this site is not inside an inner solve.
+    pub fn aggregate_inner_iteration(&self, inner_per_outer: usize) -> usize {
+        if self.inner_solve == 0 || self.inner_iteration == 0 {
+            0
+        } else {
+            (self.inner_solve - 1) * inner_per_outer + self.inner_iteration
+        }
+    }
+
+    /// True for the first position of the orthogonalization loop
+    /// (`h_{1,j}`) — the paper's "first MGS iteration" fault target.
+    pub fn is_first_mgs(&self) -> bool {
+        self.kernel == Kernel::OrthoDot && self.loop_index == 1
+    }
+
+    /// True for the last position of the orthogonalization loop
+    /// (`h_{j,j}`, i.e. `i == j`) — the paper's "last MGS iteration"
+    /// fault target.
+    pub fn is_last_mgs(&self) -> bool {
+        self.kernel == Kernel::OrthoDot
+            && self.loop_index != 0
+            && self.loop_index == self.inner_iteration
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}[outer={}, solve={}, iter={}, i={}]",
+            self.kernel, self.outer_iteration, self.inner_solve, self.inner_iteration,
+            self.loop_index
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(solve: usize, iter: usize, i: usize) -> Site {
+        Site {
+            kernel: Kernel::OrthoDot,
+            outer_iteration: solve,
+            inner_solve: solve,
+            inner_iteration: iter,
+            loop_index: i,
+        }
+    }
+
+    #[test]
+    fn aggregate_indexing_matches_paper_axis() {
+        // 25 inner iterations per outer solve, as in the experiments.
+        assert_eq!(site(1, 1, 1).aggregate_inner_iteration(25), 1);
+        assert_eq!(site(1, 25, 1).aggregate_inner_iteration(25), 25);
+        assert_eq!(site(2, 1, 1).aggregate_inner_iteration(25), 26);
+        assert_eq!(site(9, 25, 1).aggregate_inner_iteration(25), 225);
+    }
+
+    #[test]
+    fn aggregate_zero_outside_inner_solve() {
+        let s = Site::bare(Kernel::SpMv);
+        assert_eq!(s.aggregate_inner_iteration(25), 0);
+    }
+
+    #[test]
+    fn first_and_last_mgs_predicates() {
+        assert!(site(1, 5, 1).is_first_mgs());
+        assert!(!site(1, 5, 2).is_first_mgs());
+        assert!(site(1, 5, 5).is_last_mgs());
+        assert!(!site(1, 5, 4).is_last_mgs());
+        // Column 1: first and last coincide.
+        let s = site(3, 1, 1);
+        assert!(s.is_first_mgs() && s.is_last_mgs());
+        // Norm sites are neither.
+        let mut n = site(1, 5, 6);
+        n.kernel = Kernel::OrthoNorm;
+        assert!(!n.is_first_mgs() && !n.is_last_mgs());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = site(2, 3, 1);
+        let d = format!("{s}");
+        assert!(d.contains("OrthoDot") && d.contains("solve=2") && d.contains("i=1"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The fault/failure taxonomy of the paper's Figure 1, as types.
+//!
+//! The paper distinguishes *faults* (events at the system level) from
+//! *failures* (faults that "leak out" and affect the user), and splits
+//! faults into *hard* (interrupt the program) and *soft* (do not), with
+//! soft faults further classified by the duration of the underlying
+//! hardware misbehaviour. Encoding the taxonomy as enums keeps the
+//! experiment code honest about which scenario it simulates: this
+//! reproduction — like the paper — studies **single transient soft
+//! faults** in numerical data.
+
+/// How long the underlying hardware stays faulty (Fig. 1, bottom left).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SoftFaultPersistence {
+    /// Occurs once; the hardware is immediately healthy again. The
+    /// *effect* of the fault may persist in data. This is the paper's
+    /// scope.
+    Transient,
+    /// Faulty for some duration, then returns to normal.
+    Sticky,
+    /// Permanently faulty hardware (stuck bit, FDIV-style design flaw).
+    Persistent,
+}
+
+/// A fault at the system level (Fig. 1, top).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Does not interrupt the program; detectable only by introspection.
+    Soft(SoftFaultPersistence),
+    /// Interrupts the program (crash, abnormal termination). The program
+    /// suffering it cannot detect it directly.
+    Hard,
+}
+
+/// What the user observes after an algorithm ran in the presence of a
+/// fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UserOutcome {
+    /// The algorithm used tainted data and still produced the correct
+    /// answer: the fault did **not** become a failure ("run through").
+    CorrectSolution,
+    /// The program kept running but made no progress.
+    Stagnation,
+    /// The program terminated abnormally.
+    Crash,
+    /// The worst case: a wrong answer delivered with no indication —
+    /// a *silent failure*, the outcome the paper's detectors exist to
+    /// make "very rare or impossible".
+    SilentlyWrongSolution,
+    /// The algorithm detected the problem and reported it loudly.
+    DetectedAndReported,
+}
+
+impl UserOutcome {
+    /// A fault becomes a *failure* iff it impacts the user (Fig. 1).
+    pub fn is_failure(&self) -> bool {
+        !matches!(self, UserOutcome::CorrectSolution | UserOutcome::DetectedAndReported)
+    }
+
+    /// Silent failures are failures that carry no indication.
+    pub fn is_silent_failure(&self) -> bool {
+        matches!(self, UserOutcome::SilentlyWrongSolution)
+    }
+}
+
+impl Fault {
+    /// Whether user code can detect this fault via introspection while
+    /// continuing to run (soft faults only — hard faults interrupt).
+    pub fn detectable_by_introspection(&self) -> bool {
+        matches!(self, Fault::Soft(_))
+    }
+
+    /// The paper's scope: a single transient soft fault.
+    pub fn in_paper_scope(&self) -> bool {
+        matches!(self, Fault::Soft(SoftFaultPersistence::Transient))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_is_single_transient_soft() {
+        assert!(Fault::Soft(SoftFaultPersistence::Transient).in_paper_scope());
+        assert!(!Fault::Soft(SoftFaultPersistence::Sticky).in_paper_scope());
+        assert!(!Fault::Soft(SoftFaultPersistence::Persistent).in_paper_scope());
+        assert!(!Fault::Hard.in_paper_scope());
+    }
+
+    #[test]
+    fn hard_faults_not_introspectable() {
+        assert!(!Fault::Hard.detectable_by_introspection());
+        assert!(Fault::Soft(SoftFaultPersistence::Transient).detectable_by_introspection());
+    }
+
+    #[test]
+    fn failure_classification() {
+        assert!(!UserOutcome::CorrectSolution.is_failure());
+        assert!(!UserOutcome::DetectedAndReported.is_failure());
+        assert!(UserOutcome::Stagnation.is_failure());
+        assert!(UserOutcome::Crash.is_failure());
+        assert!(UserOutcome::SilentlyWrongSolution.is_failure());
+        assert!(UserOutcome::SilentlyWrongSolution.is_silent_failure());
+        assert!(!UserOutcome::Crash.is_silent_failure());
+    }
+}

@@ -1,0 +1,189 @@
+//! Column-checksum verification for SpMV (Huang–Abraham ABFT).
+//!
+//! The paper's related work (Shantharam et al., Sloan et al. — refs. 12 and 14 of the paper)
+//! protects sparse matrix–vector multiply with algorithm-based fault
+//! tolerance: since `eᵀ(Ax) = (Aᵀe)ᵀx`, precomputing the column-sum
+//! vector `w = Aᵀe` lets every product be verified with two dot products.
+//! This module provides that check as a substrate so the experiments can
+//! compare it head-to-head with the paper's Hessenberg-bound detector:
+//! the checksum catches *any* sufficiently large corruption of the SpMV
+//! output (not just theory-violating values), at the price of `O(n)`
+//! extra work per product and a rounding-noise detection floor.
+
+use crate::csr::CsrMatrix;
+use sdc_dense::vector;
+
+/// Result of a checksum verification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChecksumOutcome {
+    /// `|eᵀy − wᵀx|` within the rounding-noise threshold.
+    Pass,
+    /// The identity failed beyond the threshold: the product (or the
+    /// inputs) were corrupted.
+    Violation {
+        /// `eᵀ y` (sum of the computed product).
+        lhs: f64,
+        /// `wᵀ x` (checksum prediction).
+        rhs: f64,
+        /// The threshold that was exceeded.
+        threshold: f64,
+    },
+}
+
+impl ChecksumOutcome {
+    /// True if the check passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, ChecksumOutcome::Pass)
+    }
+}
+
+/// Precomputed column checksums of a fixed matrix.
+#[derive(Clone, Debug)]
+pub struct ColumnChecksum {
+    colsum: Vec<f64>,
+    abs_colsum: Vec<f64>,
+    tol_factor: f64,
+}
+
+impl ColumnChecksum {
+    /// Builds checksums for `a`. `tol_factor` scales the rounding-noise
+    /// threshold; `1e-12` is a safe default for `f64` at the problem
+    /// sizes of the paper (the bound on the check's own rounding error is
+    /// `O(n·ε)` relative to `Σᵢⱼ |aᵢⱼ||xⱼ|`).
+    pub fn new(a: &CsrMatrix, tol_factor: f64) -> Self {
+        let mut colsum = vec![0.0; a.ncols()];
+        let mut abs_colsum = vec![0.0; a.ncols()];
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                colsum[*c] += v;
+                abs_colsum[*c] += v.abs();
+            }
+        }
+        Self { colsum, abs_colsum, tol_factor }
+    }
+
+    /// Verifies a computed product `y = A x`.
+    pub fn verify(&self, x: &[f64], y: &[f64]) -> ChecksumOutcome {
+        assert_eq!(x.len(), self.colsum.len(), "checksum verify: x length");
+        let lhs = vector::pairwise_sum(y);
+        let rhs = vector::dot(&self.colsum, x);
+        // Scale-aware threshold: the natural magnitude of the sums is
+        // Σ |a_ij||x_j|, against which rounding noise accumulates.
+        let mut scale = 0.0;
+        for (w, xi) in self.abs_colsum.iter().zip(x.iter()) {
+            scale += w * xi.abs();
+        }
+        let threshold = self.tol_factor * scale.max(f64::MIN_POSITIVE);
+        let gap = (lhs - rhs).abs();
+        // NaN anywhere makes the comparison false -> flagged.
+        if gap <= threshold {
+            ChecksumOutcome::Pass
+        } else {
+            ChecksumOutcome::Violation { lhs, rhs, threshold }
+        }
+    }
+
+    /// The smallest absolute corruption of a single `y` element this
+    /// check can detect for the given `x` (its noise floor).
+    pub fn detection_floor(&self, x: &[f64]) -> f64 {
+        let mut scale = 0.0;
+        for (w, xi) in self.abs_colsum.iter().zip(x.iter()) {
+            scale += w * xi.abs();
+        }
+        self.tol_factor * scale.max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+
+    fn setup() -> (CsrMatrix, ColumnChecksum, Vec<f64>, Vec<f64>) {
+        let a = gallery::poisson2d(20);
+        let cs = ColumnChecksum::new(&a, 1e-12);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.37).sin() * 2.0).collect();
+        let mut y = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y);
+        (a, cs, x, y)
+    }
+
+    #[test]
+    fn fault_free_product_passes() {
+        let (_, cs, x, y) = setup();
+        assert!(cs.verify(&x, &y).passed());
+    }
+
+    #[test]
+    fn fault_free_many_vectors_no_false_positives() {
+        let a = gallery::convection_diffusion_2d(15, 2.0, -1.0);
+        let cs = ColumnChecksum::new(&a, 1e-12);
+        for k in 0..50 {
+            let x: Vec<f64> =
+                (0..a.ncols()).map(|i| ((i * (k + 1)) as f64 * 0.13).sin() * 10.0).collect();
+            let mut y = vec![0.0; a.nrows()];
+            a.spmv(&x, &mut y);
+            assert!(cs.verify(&x, &y).passed(), "false positive at k={k}");
+        }
+    }
+
+    #[test]
+    fn large_corruption_detected() {
+        let (_, cs, x, mut y) = setup();
+        y[137] += 1.0;
+        match cs.verify(&x, &y) {
+            ChecksumOutcome::Violation { threshold, .. } => {
+                assert!(threshold < 1.0);
+            }
+            ChecksumOutcome::Pass => panic!("corruption of 1.0 must be detected"),
+        }
+    }
+
+    #[test]
+    fn detection_floor_is_honest() {
+        // A corruption just above the floor is caught; far below it is
+        // not (it is indistinguishable from rounding).
+        let (_, cs, x, y) = setup();
+        let floor = cs.detection_floor(&x);
+        let mut yc = y.clone();
+        yc[10] += 10.0 * floor;
+        assert!(!cs.verify(&x, &yc).passed(), "10x floor must be detected");
+        let mut yc = y.clone();
+        yc[10] += 0.001 * floor;
+        assert!(cs.verify(&x, &yc).passed(), "far sub-floor must pass");
+    }
+
+    #[test]
+    fn nan_and_inf_detected() {
+        let (_, cs, x, y) = setup();
+        let mut yc = y.clone();
+        yc[0] = f64::NAN;
+        assert!(!cs.verify(&x, &yc).passed());
+        let mut yc = y.clone();
+        yc[0] = f64::INFINITY;
+        assert!(!cs.verify(&x, &yc).passed());
+    }
+
+    #[test]
+    fn scaled_fault_detected_when_significant() {
+        // The paper's class-1 scaling on one element of y.
+        let (_, cs, x, mut y) = setup();
+        // Find a nonzero element.
+        let idx = y.iter().position(|v| v.abs() > 1e-3).unwrap();
+        y[idx] *= 1e150;
+        assert!(!cs.verify(&x, &y).passed());
+    }
+
+    #[test]
+    fn compensating_corruptions_are_a_known_blind_spot() {
+        // Two equal-and-opposite corruptions cancel in the column sum —
+        // the single-checksum scheme cannot see them (documented
+        // limitation of sum-based ABFT; the paper's bound detector has an
+        // entirely different blind spot).
+        let (_, cs, x, mut y) = setup();
+        y[5] += 7.0;
+        y[200] -= 7.0;
+        assert!(cs.verify(&x, &y).passed());
+    }
+}

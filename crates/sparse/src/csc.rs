@@ -1,0 +1,164 @@
+//! Compressed sparse column storage.
+//!
+//! CSC complements CSR where column access dominates: the Hopcroft–Karp
+//! structural-rank computation walks columns, and `y = Aᵀx` is a clean
+//! row-sweep over CSC. Construction goes through CSR's validated
+//! transpose, so CSC inherits the same invariants.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in compressed sparse column format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds CSC from a CSR matrix (one counting-sort pass).
+    pub fn from_csr(a: &CsrMatrix) -> Self {
+        let t = a.transpose();
+        // The transpose's rows are the original's columns; reinterpret the
+        // arrays directly.
+        Self {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            col_ptr: t.row_ptr().to_vec(),
+            row_idx: t.col_idx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row indices and values of column `c`.
+    #[inline]
+    pub fn col(&self, c: usize) -> (&[usize], &[f64]) {
+        let span = self.col_ptr[c]..self.col_ptr[c + 1];
+        (&self.row_idx[span.clone()], &self.values[span])
+    }
+
+    /// `y = A x` via column sweeps (gather on x, scatter on y).
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "csc spmv: x length");
+        assert_eq!(y.len(), self.nrows, "csc spmv: y length");
+        y.fill(0.0);
+        for c in 0..self.ncols {
+            let xc = x[c];
+            if xc != 0.0 {
+                let (rows, vals) = self.col(c);
+                for (r, v) in rows.iter().zip(vals.iter()) {
+                    y[*r] += v * xc;
+                }
+            }
+        }
+    }
+
+    /// `y = Aᵀ x` via per-column dot products.
+    pub fn spmv_transpose(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "csc spmv_transpose: x length");
+        assert_eq!(y.len(), self.ncols, "csc spmv_transpose: y length");
+        for c in 0..self.ncols {
+            let (rows, vals) = self.col(c);
+            let mut acc = 0.0;
+            for (r, v) in rows.iter().zip(vals.iter()) {
+                acc += v * x[*r];
+            }
+            y[c] = acc;
+        }
+    }
+
+    /// Converts back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Reinterpret as the CSR of Aᵀ, then transpose.
+        CsrMatrix::from_raw(
+            self.ncols,
+            self.nrows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.values.clone(),
+        )
+        .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        for &(r, c, v) in
+            &[(0, 0, 1.0), (0, 3, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0), (2, 3, 6.0)]
+        {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn round_trip_csr_csc_csr() {
+        let a = sample();
+        let csc = CscMatrix::from_csr(&a);
+        assert_eq!(csc.nnz(), a.nnz());
+        let back = csc.to_csr();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn csc_spmv_matches_csr() {
+        let a = sample();
+        let csc = CscMatrix::from_csr(&a);
+        let x = [1.0, 2.0, -1.0, 0.5];
+        let mut y1 = [0.0; 3];
+        let mut y2 = [0.0; 3];
+        a.spmv(&x, &mut y1);
+        csc.spmv(&x, &mut y2);
+        for i in 0..3 {
+            assert!((y1[i] - y2[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn csc_spmv_transpose_matches_csr() {
+        let a = sample();
+        let csc = CscMatrix::from_csr(&a);
+        let x = [1.0, -2.0, 3.0];
+        let mut y1 = [0.0; 4];
+        let mut y2 = [0.0; 4];
+        a.spmv_transpose(&x, &mut y1);
+        csc.spmv_transpose(&x, &mut y2);
+        for i in 0..4 {
+            assert!((y1[i] - y2[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn column_access() {
+        let a = sample();
+        let csc = CscMatrix::from_csr(&a);
+        let (rows, vals) = csc.col(3);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[2.0, 6.0]);
+        let (rows, vals) = csc.col(1);
+        assert_eq!(rows, &[1]);
+        assert_eq!(vals, &[3.0]);
+    }
+}

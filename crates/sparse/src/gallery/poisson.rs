@@ -1,0 +1,188 @@
+//! Finite-difference Poisson operators.
+//!
+//! `poisson2d(m)` reproduces Matlab's `gallery('poisson',m)` exactly: the
+//! block tridiagonal `kron(I,T) + kron(T,I)` with `T = tridiag(−1,2,−1)`,
+//! i.e. the 5-point stencil on an `m × m` interior grid with Dirichlet
+//! boundaries. For `m = 100` this is the paper's first test matrix:
+//! 10,000 rows, 49,600 nonzeros, SPD, `‖A‖₂ ≈ 8`, `‖A‖_F ≈ 446`
+//! (Table I).
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::ops::{add, kron, tridiag_toeplitz};
+
+/// 1-D Poisson operator `tridiag(−1, 2, −1)` of order `n`.
+pub fn poisson1d(n: usize) -> CsrMatrix {
+    tridiag_toeplitz(n, -1.0, 2.0, -1.0)
+}
+
+/// 2-D Poisson operator on an `m × m` grid, built directly from the
+/// 5-point stencil (fast path).
+pub fn poisson2d(m: usize) -> CsrMatrix {
+    let n = m * m;
+    let mut coo = CooMatrix::with_capacity(n, n, 5 * n);
+    for i in 0..m {
+        for j in 0..m {
+            let row = i * m + j;
+            // Row-sorted insertion order is not required (COO sorts), but
+            // pushing in index order keeps conversion cheap.
+            if i > 0 {
+                coo.push(row, row - m, -1.0);
+            }
+            if j > 0 {
+                coo.push(row, row - 1, -1.0);
+            }
+            coo.push(row, row, 4.0);
+            if j + 1 < m {
+                coo.push(row, row + 1, -1.0);
+            }
+            if i + 1 < m {
+                coo.push(row, row + m, -1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2-D Poisson operator assembled as `kron(I,T) + kron(T,I)` — the exact
+/// construction Matlab's gallery uses. Cross-validates [`poisson2d`].
+pub fn poisson2d_kron(m: usize) -> CsrMatrix {
+    let t = poisson1d(m);
+    let i = CsrMatrix::identity(m);
+    add(&kron(&i, &t), &kron(&t, &i))
+}
+
+/// 3-D Poisson operator (7-point stencil) on an `m × m × m` grid.
+pub fn poisson3d(m: usize) -> CsrMatrix {
+    let n = m * m * m;
+    let mut coo = CooMatrix::with_capacity(n, n, 7 * n);
+    let idx = |i: usize, j: usize, k: usize| (i * m + j) * m + k;
+    for i in 0..m {
+        for j in 0..m {
+            for k in 0..m {
+                let row = idx(i, j, k);
+                if i > 0 {
+                    coo.push(row, idx(i - 1, j, k), -1.0);
+                }
+                if j > 0 {
+                    coo.push(row, idx(i, j - 1, k), -1.0);
+                }
+                if k > 0 {
+                    coo.push(row, idx(i, j, k - 1), -1.0);
+                }
+                coo.push(row, row, 6.0);
+                if k + 1 < m {
+                    coo.push(row, idx(i, j, k + 1), -1.0);
+                }
+                if j + 1 < m {
+                    coo.push(row, idx(i, j + 1, k), -1.0);
+                }
+                if i + 1 < m {
+                    coo.push(row, idx(i + 1, j, k), -1.0);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Exact spectral data of `poisson2d(m)`: returns
+/// `(λ_min, λ_max, cond₂ = λ_max/λ_min)`.
+///
+/// The eigenvalues are `4 − 2cos(iπ/(m+1)) − 2cos(jπ/(m+1))` for
+/// `i,j = 1..m`, so the condition number of the paper's 10,000-row matrix
+/// is known analytically — used to validate the numeric estimators.
+pub fn poisson2d_spectrum(m: usize) -> (f64, f64, f64) {
+    let h = std::f64::consts::PI / (m as f64 + 1.0);
+    let lmin = 4.0 - 4.0 * h.cos();
+    let lmax = 4.0 + 4.0 * h.cos();
+    (lmin, lmax, lmax / lmin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure;
+
+    #[test]
+    fn poisson2d_matches_table1_characteristics() {
+        // The paper's Table I: 10,000 rows, 49,600 nonzeros, symmetric,
+        // ‖A‖₂ ≈ 8, ‖A‖_F ≈ 446.
+        let a = poisson2d(100);
+        assert_eq!(a.nrows(), 10_000);
+        assert_eq!(a.ncols(), 10_000);
+        assert_eq!(a.nnz(), 49_600);
+        assert!(a.is_numerically_symmetric(0.0));
+        let fro = a.norm_fro();
+        assert!((fro - 446.0).abs() < 1.0, "‖A‖_F = {fro}, Table I says 446");
+        let (_, lmax, _) = poisson2d_spectrum(100);
+        assert!((lmax - 8.0).abs() < 0.01, "‖A‖₂ = {lmax} ≈ 8");
+    }
+
+    #[test]
+    fn stencil_and_kron_constructions_agree_exactly() {
+        for m in [1, 2, 3, 5, 8] {
+            let s = poisson2d(m);
+            let k = poisson2d_kron(m);
+            assert_eq!(s, k, "m={m}");
+        }
+    }
+
+    #[test]
+    fn poisson1d_small_known() {
+        let a = poisson1d(3);
+        let d = a.to_dense();
+        let expect = sdc_dense::DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 2.0],
+        ]);
+        assert_eq!(d.max_diff(&expect), 0.0);
+    }
+
+    #[test]
+    fn poisson2d_row_sums_nonnegative() {
+        // Diagonally dominant M-matrix: row sums ≥ 0 (boundary rows > 0).
+        let a = poisson2d(6);
+        let ones = vec![1.0; a.ncols()];
+        let mut y = vec![0.0; a.nrows()];
+        a.spmv(&ones, &mut y);
+        assert!(y.iter().all(|&v| v >= -1e-14));
+        assert!(y.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn poisson3d_characteristics() {
+        let m = 5;
+        let a = poisson3d(m);
+        assert_eq!(a.nrows(), 125);
+        // nnz = 7n − 2·3·m² (each of the 3 directions loses 2·m² couplings).
+        assert_eq!(a.nnz(), 7 * 125 - 6 * m * m);
+        assert!(a.is_numerically_symmetric(0.0));
+        assert!(structure::is_structurally_full_rank(&a));
+    }
+
+    #[test]
+    fn poisson_structurally_full_rank() {
+        assert!(structure::is_structurally_full_rank(&poisson2d(10)));
+    }
+
+    #[test]
+    fn spectrum_formula_sane() {
+        let (lmin, lmax, cond) = poisson2d_spectrum(100);
+        assert!(lmin > 0.0);
+        assert!(lmax < 8.0);
+        // Known: cond(gallery('poisson',100)) ≈ 4.13e3 in the 2-norm
+        // (Matlab's condest 1-norm estimate reported in Table I is ~6e3).
+        assert!(cond > 4.0e3 && cond < 4.3e3, "cond = {cond}");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let a = poisson2d(1);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 0), 4.0);
+        let b = poisson1d(1);
+        assert_eq!(b.get(0, 0), 2.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Seeded random sparse matrices (Matlab `sprand`-style).
+//!
+//! Used by property tests and the extended fault campaigns to exercise the
+//! solvers on operators without special structure.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random sparse `nrows × ncols` matrix with approximately
+/// `density · nrows · ncols` uniformly placed entries in `(-1, 1)`.
+pub fn sprand(nrows: usize, ncols: usize, density: f64, seed: u64) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = ((nrows * ncols) as f64 * density).round() as usize;
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, target);
+    let mut placed = std::collections::HashSet::with_capacity(target * 2);
+    let mut attempts = 0usize;
+    while placed.len() < target && attempts < target * 30 {
+        attempts += 1;
+        let r = rng.gen_range(0..nrows);
+        let c = rng.gen_range(0..ncols);
+        if placed.insert((r, c)) {
+            coo.push(r, c, rng.gen_range(-1.0..1.0));
+        }
+    }
+    coo.to_csr()
+}
+
+/// Random sparse symmetric positive-definite matrix: a random symmetric
+/// off-diagonal pattern made strictly diagonally dominant.
+pub fn sprand_spd(n: usize, density: f64, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = ((n * n) as f64 * density / 2.0).round() as usize;
+    let mut coo = CooMatrix::with_capacity(n, n, target * 2 + n);
+    let mut rowsum = vec![0.0f64; n];
+    let mut placed = std::collections::HashSet::with_capacity(target * 2);
+    let mut attempts = 0usize;
+    while placed.len() < target && attempts < target * 30 + 10 {
+        attempts += 1;
+        let r = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        if r == c {
+            continue;
+        }
+        let key = if r < c { (r, c) } else { (c, r) };
+        if placed.insert(key) {
+            let v = rng.gen_range(-1.0..1.0);
+            coo.push_sym(key.0, key.1, v);
+            rowsum[key.0] += v.abs();
+            rowsum[key.1] += v.abs();
+        }
+    }
+    for i in 0..n {
+        // Strict diagonal dominance ⇒ SPD for a symmetric matrix.
+        coo.push(i, i, rowsum[i] + 1.0 + rng.gen::<f64>());
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sprand_is_deterministic() {
+        let a = sprand(40, 40, 0.05, 7);
+        let b = sprand(40, 40, 0.05, 7);
+        assert_eq!(a, b);
+        let c = sprand(40, 40, 0.05, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sprand_density_approximate() {
+        let a = sprand(100, 100, 0.03, 1);
+        let nnz = a.nnz();
+        assert!((200..=400).contains(&nnz), "nnz {nnz} far from 300");
+    }
+
+    #[test]
+    fn sprand_values_in_range() {
+        let a = sprand(30, 30, 0.1, 3);
+        assert!(a.values().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn spd_is_symmetric_and_dominant() {
+        let a = sprand_spd(60, 0.05, 5);
+        assert!(a.is_numerically_symmetric(0.0));
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (c, v) in cols.iter().zip(vals.iter()) {
+                if *c == r {
+                    diag = *v;
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {r} not strictly dominant");
+        }
+    }
+
+    #[test]
+    fn spd_quadratic_form_positive() {
+        let a = sprand_spd(50, 0.08, 11);
+        // xᵀAx > 0 for a few random-ish x.
+        for k in 0..5 {
+            let x: Vec<f64> = (0..50).map(|i| ((i * (k + 2)) as f64 * 0.13).sin()).collect();
+            let mut y = vec![0.0; 50];
+            a.spmv(&x, &mut y);
+            let q = sdc_dense::vector::dot(&x, &y);
+            let nx = sdc_dense::vector::nrm2(&x);
+            if nx > 0.0 {
+                assert!(q > 0.0, "quadratic form not positive: {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Sparse linear-algebra substrate for the SDC-GMRES reproduction.
+//!
+//! The paper evaluates GMRES on large sparse systems (a 2-D Poisson matrix
+//! and a circuit-simulation matrix). This crate provides, from scratch:
+//!
+//! * Triplet ([`coo`]), compressed-sparse-row ([`csr`]) and
+//!   compressed-sparse-column ([`csc`]) storage with validated construction.
+//! * Serial and Rayon-parallel sparse matrix–vector products. Row
+//!   partitioning is disjoint, so parallel SpMV is bitwise identical to
+//!   serial SpMV — fault-injection campaigns stay reproducible.
+//! * Sparse matrix algebra ([`ops`]): addition, scaling, Kronecker
+//!   products (used to assemble Poisson operators the same way Matlab's
+//!   `gallery('poisson',n)` does), identity/diagonal constructors.
+//! * Matrix Market I/O ([`io`]) so the real `mult_dcop_03.mtx` can be
+//!   dropped into the experiments when available.
+//! * Structural analysis ([`structure`]): structural rank via
+//!   Hopcroft–Karp maximum bipartite matching, pattern-symmetry metrics,
+//!   bandwidth — everything Table I reports about a matrix's structure.
+//! * Norm estimation ([`norm_est`]): exact Frobenius/1/∞ norms and a
+//!   power-iteration estimate of `‖A‖₂` — the paper's two "potential fault
+//!   detectors" (Table I).
+//! * A matrix gallery ([`gallery`]): Poisson operators in 1/2/3
+//!   dimensions, nonsymmetric convection–diffusion, Toeplitz/Grcar test
+//!   matrices, seeded random sparse matrices, and the synthetic
+//!   circuit-simulation generator that stands in for `mult_dcop_03`
+//!   (see DESIGN.md §3 for the substitution rationale).
+
+pub mod checksum;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod gallery;
+pub mod io;
+pub mod norm_est;
+pub mod ops;
+pub mod perm;
+pub mod structure;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;

@@ -1,0 +1,192 @@
+//! Sparse matrix algebra: addition, scaling, Kronecker products.
+//!
+//! The Kronecker product is the assembly tool for the paper's first test
+//! problem: Matlab's `gallery('poisson',n)` is exactly
+//! `kron(I,T) + kron(T,I)` with `T = tridiag(−1, 2, −1)`. Building the
+//! operator both ways (stencil and Kronecker) gives the gallery a strong
+//! cross-validation test.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Sparse matrix sum `A + B` (patterns merged, values added).
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn add(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    assert_eq!(a.nrows(), b.nrows(), "add: row mismatch");
+    assert_eq!(a.ncols(), b.ncols(), "add: col mismatch");
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    let mut col_idx = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+    row_ptr.push(0);
+    for r in 0..a.nrows() {
+        let (ca, va) = a.row(r);
+        let (cb, vb) = b.row(r);
+        let (mut i, mut j) = (0, 0);
+        while i < ca.len() || j < cb.len() {
+            match (ca.get(i), cb.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    col_idx.push(x);
+                    values.push(va[i] + vb[j]);
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    col_idx.push(x);
+                    values.push(va[i]);
+                    i += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    col_idx.push(y);
+                    values.push(vb[j]);
+                    j += 1;
+                }
+                (Some(&x), None) => {
+                    col_idx.push(x);
+                    values.push(va[i]);
+                    i += 1;
+                }
+                (None, Some(&y)) => {
+                    col_idx.push(y);
+                    values.push(vb[j]);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_raw(a.nrows(), a.ncols(), row_ptr, col_idx, values)
+}
+
+/// Scaled copy `s · A`.
+pub fn scale(a: &CsrMatrix, s: f64) -> CsrMatrix {
+    let mut out = a.clone();
+    out.scale(s);
+    out
+}
+
+/// Kronecker product `A ⊗ B`: the `(ia·rb + ib, ja·cb + jb)` entry is
+/// `A[ia,ja] · B[ib,jb]`.
+pub fn kron(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    let nrows = a.nrows() * b.nrows();
+    let ncols = a.ncols() * b.ncols();
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, a.nnz() * b.nnz());
+    for ia in 0..a.nrows() {
+        let (ca, va) = a.row(ia);
+        for (ja, &av) in ca.iter().zip(va.iter()) {
+            for ib in 0..b.nrows() {
+                let (cb, vb) = b.row(ib);
+                for (jb, &bv) in cb.iter().zip(vb.iter()) {
+                    coo.push(ia * b.nrows() + ib, *ja * b.ncols() + jb, av * bv);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Symmetric tridiagonal Toeplitz matrix `tridiag(sub, diag, sup)` of
+/// order `n`.
+pub fn tridiag_toeplitz(n: usize, sub: f64, diag: f64, sup: f64) -> CsrMatrix {
+    let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        if i > 0 {
+            coo.push(i, i - 1, sub);
+        }
+        coo.push(i, i, diag);
+        if i + 1 < n {
+            coo.push(i, i + 1, sup);
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_disjoint_and_overlapping() {
+        let a = CsrMatrix::from_diagonal(&[1.0, 2.0]);
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 5.0);
+        coo.push(0, 0, 3.0);
+        let b = coo.to_csr();
+        let c = add(&a, &b);
+        assert_eq!(c.get(0, 0), 4.0);
+        assert_eq!(c.get(0, 1), 5.0);
+        assert_eq!(c.get(1, 1), 2.0);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn scale_copies() {
+        let a = CsrMatrix::identity(3);
+        let b = scale(&a, 2.5);
+        assert_eq!(b.get(1, 1), 2.5);
+        assert_eq!(a.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn kron_identity_is_identity() {
+        let i2 = CsrMatrix::identity(2);
+        let i3 = CsrMatrix::identity(3);
+        let k = kron(&i2, &i3);
+        assert_eq!(k, CsrMatrix::identity(6));
+    }
+
+    #[test]
+    fn kron_known_values() {
+        // [1 2] ⊗ [0 1] = [[0 1 0 2],[1 0 2 0]] pattern with products.
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        let a = coo.to_csr();
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 1, 3.0);
+        let b = coo.to_csr();
+        let k = kron(&a, &b);
+        assert_eq!(k.nrows(), 1);
+        assert_eq!(k.ncols(), 4);
+        assert_eq!(k.get(0, 1), 3.0);
+        assert_eq!(k.get(0, 3), 6.0);
+        assert_eq!(k.nnz(), 2);
+    }
+
+    #[test]
+    fn kron_dimensions() {
+        let a = tridiag_toeplitz(3, -1.0, 2.0, -1.0);
+        let b = tridiag_toeplitz(4, 0.0, 1.0, 5.0);
+        let k = kron(&a, &b);
+        assert_eq!(k.nrows(), 12);
+        assert_eq!(k.ncols(), 12);
+    }
+
+    #[test]
+    fn tridiag_structure() {
+        let t = tridiag_toeplitz(4, -1.0, 2.0, -1.0);
+        assert_eq!(t.nnz(), 10);
+        assert_eq!(t.get(0, 0), 2.0);
+        assert_eq!(t.get(1, 0), -1.0);
+        assert_eq!(t.get(2, 3), -1.0);
+        assert!(t.is_numerically_symmetric(0.0));
+    }
+
+    #[test]
+    fn kron_spmv_matches_dense_identity_expansion() {
+        // (I ⊗ T) x applies T to contiguous blocks.
+        let t = tridiag_toeplitz(3, -1.0, 2.0, -1.0);
+        let i2 = CsrMatrix::identity(2);
+        let k = kron(&i2, &t);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut y = [0.0; 6];
+        k.spmv(&x, &mut y);
+        let mut yb = [0.0; 3];
+        t.spmv(&x[0..3], &mut yb);
+        assert_eq!(&y[0..3], &yb);
+        t.spmv(&x[3..6], &mut yb);
+        assert_eq!(&y[3..6], &yb);
+    }
+}

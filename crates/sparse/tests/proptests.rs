@@ -1,0 +1,121 @@
+//! Property-based tests for the sparse substrate.
+
+use proptest::prelude::*;
+use sdc_dense::vector;
+use sdc_sparse::gallery;
+use sdc_sparse::io::{read_matrix_market_from, write_matrix_market_to};
+use sdc_sparse::{structure, CooMatrix, CscMatrix};
+use std::io::Cursor;
+
+/// Strategy: a random COO matrix with bounded size and entries.
+fn coo_strategy(max_n: usize) -> impl Strategy<Value = CooMatrix> {
+    (1..max_n, 1..max_n).prop_flat_map(|(r, c)| {
+        let triplets = proptest::collection::vec(
+            (0..r, 0..c, -100.0f64..100.0),
+            0..(r * c).min(80) + 1,
+        );
+        triplets.prop_map(move |ts| {
+            let mut coo = CooMatrix::new(r, c);
+            for (i, j, v) in ts {
+                coo.push(i, j, v);
+            }
+            coo
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_spmv_matches_dense_matvec(coo in coo_strategy(12)) {
+        let a = coo.to_csr();
+        let d = a.to_dense();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.61).sin() + 0.3).collect();
+        let mut ys = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut ys);
+        let mut yd = vec![0.0; a.nrows()];
+        d.matvec(&x, &mut yd);
+        for i in 0..a.nrows() {
+            prop_assert!((ys[i] - yd[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(coo in coo_strategy(12)) {
+        let a = coo.to_csr();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn spmv_transpose_adjoint_identity(coo in coo_strategy(10)) {
+        // <A x, y> == <x, Aᵀ y> up to rounding.
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.37).cos()).collect();
+        let y: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.73).sin()).collect();
+        let mut ax = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut ax);
+        let mut aty = vec![0.0; a.ncols()];
+        a.spmv_transpose(&y, &mut aty);
+        let lhs = vector::dot(&ax, &y);
+        let rhs = vector::dot(&x, &aty);
+        let scale = a.norm_fro().max(1.0) * vector::nrm2(&x).max(1.0) * vector::nrm2(&y).max(1.0);
+        prop_assert!((lhs - rhs).abs() <= 1e-12 * scale);
+    }
+
+    #[test]
+    fn csc_round_trip(coo in coo_strategy(10)) {
+        let a = coo.to_csr();
+        let csc = CscMatrix::from_csr(&a);
+        prop_assert_eq!(csc.to_csr(), a);
+    }
+
+    #[test]
+    fn matrix_market_round_trip_is_exact(coo in coo_strategy(10)) {
+        let a = coo.to_csr();
+        let mut bytes = Vec::new();
+        write_matrix_market_to(&mut bytes, &a).unwrap();
+        let b = read_matrix_market_from(Cursor::new(bytes)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structural_rank_bounds(coo in coo_strategy(10)) {
+        let a = coo.to_csr();
+        let sr = structure::structural_rank(&a);
+        prop_assert!(sr <= a.nrows().min(a.ncols()));
+        // Rank at least the number of rows holding a "private" column is
+        // hard to compute; weaker invariant: a nonzero matrix has rank>=1.
+        if a.nnz() > 0 {
+            prop_assert!(sr >= 1);
+        } else {
+            prop_assert_eq!(sr, 0);
+        }
+    }
+
+    #[test]
+    fn frobenius_dominates_each_entry(coo in coo_strategy(10)) {
+        // The detector-bound chain: every |a_ij| ≤ ‖A‖_max ≤ ‖A‖_F.
+        let a = coo.to_csr();
+        prop_assert!(a.norm_max() <= a.norm_fro() + 1e-12);
+    }
+
+    #[test]
+    fn poisson_sizes_are_consistent(m in 1usize..12) {
+        let a = gallery::poisson2d(m);
+        prop_assert_eq!(a.nrows(), m * m);
+        // nnz = 5m² − 4m (each grid direction drops 2m boundary couplings).
+        prop_assert_eq!(a.nnz(), 5 * m * m - 4 * m);
+        prop_assert!(a.is_numerically_symmetric(0.0));
+        prop_assert_eq!(a, gallery::poisson2d_kron(m));
+    }
+
+    #[test]
+    fn kron_norm_multiplicativity(m in 1usize..5, n in 1usize..5) {
+        // ‖A ⊗ B‖_F = ‖A‖_F · ‖B‖_F.
+        let a = gallery::poisson1d(m);
+        let b = gallery::grcar(n, 1);
+        let k = sdc_sparse::ops::kron(&a, &b);
+        let lhs = k.norm_fro();
+        let rhs = a.norm_fro() * b.norm_fro();
+        prop_assert!((lhs - rhs).abs() < 1e-10 * rhs.max(1.0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Head-to-head: the paper's communication-free Hessenberg bound versus
+//! Chen-style Online-ABFT (orthogonality checks + rollback, ref. [18]).
+//!
+//! The paper's position: "we develop invariants that require no
+//! additional parallel communication and very little extra computation".
+//! This example quantifies what each approach buys on the same faults.
+//!
+//! ```sh
+//! cargo run --release --example abft_vs_bound
+//! ```
+
+use sdc_repro::faults::campaign::FaultClass;
+use sdc_repro::faults::trigger::LoopPosition;
+use sdc_repro::faults::{SingleFaultInjector, SitePredicate, Trigger};
+use sdc_repro::prelude::*;
+use sdc_repro::solvers::abft::{abft_gmres_solve, AbftGmresConfig};
+use sdc_repro::solvers::gmres::{gmres_solve_instrumented, SiteContext};
+
+fn main() {
+    // A nonsymmetric problem where h_{1,j} coefficients are significant,
+    // so that *small* faults actually matter.
+    let a = gallery::convection_diffusion_2d(24, 3.0, 1.0);
+    let n = a.nrows();
+    let ones = vec![1.0; n];
+    let mut b = vec![0.0; n];
+    a.par_spmv(&ones, &mut b);
+    let ctx = SiteContext { outer_iteration: 1, inner_solve: 1 };
+
+    println!(
+        "convection-diffusion {n}x{n} | single fault at h_1,6 (first MGS of iteration 6)\n"
+    );
+    println!(
+        "{:<14} {:>22} {:>26}",
+        "fault class", "Eq.3 bound (free)", "Online-ABFT (j dots/check)"
+    );
+
+    for class in FaultClass::all() {
+        let trigger = Trigger::once(SitePredicate::mgs_site(1, 6, LoopPosition::First));
+
+        // Paper's detector, record-only so both runs complete.
+        let inj = SingleFaultInjector::new(class.model(), trigger);
+        let gcfg = GmresConfig {
+            tol: 1e-9,
+            max_iters: 300,
+            detector: Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::Record)),
+            ..Default::default()
+        };
+        let (_, grep) = gmres_solve_instrumented(&a, &b, None, &gcfg, &inj, ctx);
+        let bound_caught = !grep.detector_events.is_empty();
+
+        // Online-ABFT with per-iteration checks.
+        let inj = SingleFaultInjector::new(class.model(), trigger);
+        let acfg = AbftGmresConfig { tol: 1e-9, max_iters: 400, check_every: 1, ..Default::default() };
+        let (_, arep, stats) = abft_gmres_solve(&a, &b, None, &acfg, &inj, ctx);
+        let abft_caught = stats.violations > 0;
+
+        println!(
+            "{:<14} {:>22} {:>26}",
+            class.label(),
+            format!("detected: {bound_caught}"),
+            format!(
+                "detected: {abft_caught} ({} dots, {} rollbacks)",
+                stats.extra_dots, stats.rollbacks
+            )
+        );
+        assert!(grep.outcome.is_converged() && arep.outcome.is_converged());
+    }
+
+    println!();
+    println!("the bound check is free and catches exactly the theory-violating faults;");
+    println!("the orthogonality audit also catches significant in-bound faults, but pays");
+    println!("O(j) dot products (global reductions, in MPI terms) per check and needs");
+    println!("rollback state. The paper's layered FT-GMRES makes the cheap option safe:");
+    println!("whatever the bound misses, the reliable outer iteration runs through.");
+}

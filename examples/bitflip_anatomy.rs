@@ -1,0 +1,49 @@
+//! Anatomy of a bit flip: which of the 64 bits of an IEEE-754 double is
+//! dangerous, which is detectable, which is noise — the quantitative form
+//! of the paper's argument (§III-A-2) that bit flips are just one source
+//! of numerical SDC.
+//!
+//! ```sh
+//! cargo run --release --example bitflip_anatomy
+//! ```
+
+use sdc_faults::bitflip::{bitflip_anatomy, BitRegion};
+
+fn main() {
+    let reference = 3.7_f64; // a typical Hessenberg entry
+    let bound = 446.0; // ‖A‖_F of the paper's Poisson matrix
+
+    println!("flipping each bit of h = {reference} (detector bound ‖A‖_F = {bound}):\n");
+    println!(" bit  region    corrupted value     |h'/h|        detector");
+    println!(" ---  --------  ------------------  ------------  --------");
+    for o in bitflip_anatomy(reference).iter().rev() {
+        let region = match o.region {
+            BitRegion::Sign => "sign    ",
+            BitRegion::Exponent => "exponent",
+            BitRegion::Mantissa => "mantissa",
+        };
+        let det = if o.detectable_by_bound(bound) { "CAUGHT" } else { "silent" };
+        // Print the interesting rows: all exponent/sign bits, a few
+        // mantissa bits.
+        if o.bit >= 50 || o.bit <= 2 {
+            println!(
+                " {:>3}  {region}  {:>18.10e}  {:>12.3e}  {det}",
+                o.bit, o.value, o.magnification
+            );
+        } else if o.bit == 26 {
+            println!("  ..  mantissa  (bits 3..49: relative error between 2^-52 and 2^-3)  silent");
+        }
+    }
+
+    let a = bitflip_anatomy(reference);
+    let caught = a.iter().filter(|o| o.detectable_by_bound(bound)).count();
+    let harmless = a
+        .iter()
+        .filter(|o| !o.detectable_by_bound(bound) && (o.magnification - 1.0).abs() < 0.5)
+        .count();
+    println!("\nof 64 possible single-bit flips:");
+    println!("  {caught} are caught by the Eq.-3 bound (high exponent bits — the dangerous ones),");
+    println!("  {harmless} change the value by <50% (small perturbations GMRES runs through),");
+    println!("  {} sit in between: undetectable but bounded — exactly the class the", 64 - caught - harmless);
+    println!("  flexible inner-outer iteration is proven to tolerate.");
+}

@@ -1,0 +1,51 @@
+//! The detector bound across matrix families: how tight is
+//! `|h_ij| ≤ ‖A‖₂ ≤ ‖A‖_F` (Eq. 3) in practice, and what fraction of the
+//! bit-flip space does each bound catch?
+//!
+//! ```sh
+//! cargo run --release --example detector_bounds
+//! ```
+
+use sdc_faults::bitflip::{bitflip_anatomy, summarize_against_bound};
+use sdc_gmres::arnoldi::arnoldi;
+use sdc_gmres::ortho::OrthoStrategy;
+use sdc_sparse::gallery::{self, CircuitMnaConfig};
+use sdc_sparse::{norm_est, CsrMatrix};
+
+fn analyze(name: &str, a: &CsrMatrix) {
+    let n = a.nrows();
+    let fro = a.norm_fro();
+    let two = norm_est::norm2_est(a, 500, 1e-10).value;
+    let v0: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.41).sin() + 0.6).collect();
+    let dec = arnoldi(a, &v0, 25.min(n - 1), OrthoStrategy::Mgs);
+    let hmax = dec.h.norm_max();
+
+    // What does each bound catch of the 64 single-bit corruptions of a
+    // typical coefficient?
+    let typical = hmax * 0.5;
+    let caught_fro = summarize_against_bound(&bitflip_anatomy(typical), fro).detectable;
+    let caught_two = summarize_against_bound(&bitflip_anatomy(typical), two).detectable;
+
+    println!(
+        "{name:<28} ‖A‖₂≈{two:>9.3} ‖A‖_F={fro:>9.3} max|h|={hmax:>9.3} \
+         slack(F)={:>7.1}x bits caught: F={caught_fro}/64 2-norm={caught_two}/64",
+        fro / hmax.max(1e-300),
+    );
+}
+
+fn main() {
+    println!("Eq. 3 detector bounds: every fault-free |h_ij| must sit below both bounds.\n");
+    analyze("poisson2d(60)", &gallery::poisson2d(60));
+    analyze("poisson3d(14)", &gallery::poisson3d(14));
+    analyze("convdiff(60, wind 4)", &gallery::convection_diffusion_2d(60, 4.0, 2.0));
+    analyze("grcar(3600)", &gallery::grcar(3600, 3));
+    analyze(
+        "circuit_mna(3600)",
+        &gallery::circuit_mna(&CircuitMnaConfig { nodes: 3600, seed: 7, ..Default::default() }),
+    );
+    analyze("sprand_spd(3600)", &gallery::sprand_spd(3600, 0.002, 3));
+    println!();
+    println!("‖A‖₂ is the tighter (stronger) detector; ‖A‖_F is cheaper to compute and");
+    println!("still catches every corruption that could threaten the solver — Eq. 3");
+    println!("guarantees zero false positives for both.");
+}

@@ -1,0 +1,79 @@
+//! The paper's headline result, live: FT-GMRES **runs through** a single
+//! silent-data-corruption event of absurd magnitude (×10¹⁵⁰) in the inner
+//! solver's orthogonalization phase, with and without the invariant-based
+//! detector.
+//!
+//! ```sh
+//! cargo run --release --example ft_gmres_run_through
+//! ```
+
+use sdc_faults::campaign::{CampaignPoint, FaultClass, MgsPosition};
+use sdc_gmres::prelude::*;
+use sdc_sparse::gallery;
+
+fn main() {
+    let a = gallery::poisson2d(50);
+    let n = a.nrows();
+    let ones = vec![1.0; n];
+    let mut b = vec![0.0; n];
+    a.par_spmv(&ones, &mut b);
+
+    let base = FtGmresConfig {
+        outer: sdc_gmres::fgmres::FgmresConfig { tol: 1e-8, max_outer: 60, ..Default::default() },
+        inner_iters: 25,
+        ..Default::default()
+    };
+
+    // Failure-free baseline.
+    let (_, ff) = sdc_gmres::ftgmres::ftgmres_solve(&a, &b, None, &base);
+    println!("failure-free: {} outer iterations\n", ff.iterations);
+
+    println!("injecting one SDC into h_1,j on the first MGS iteration of inner solve 2:");
+    for class in FaultClass::all() {
+        let point = CampaignPoint {
+            aggregate_iteration: 25 + 3, // inner solve 2, iteration 3
+            inner_per_outer: base.inner_iters,
+            class,
+            position: MgsPosition::First,
+        };
+
+        // Without detector: the fault is invisible, yet the outer
+        // iteration still converges to the right answer.
+        let inj = point.injector();
+        let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_instrumented(&a, &b, None, &base, &inj);
+        let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        println!(
+            "  {:<12} no detector : {:?} in {} outer (+{}) | error {err:.2e} | injected: {}",
+            class.label(),
+            rep.outcome,
+            rep.iterations,
+            rep.iterations.saturating_sub(ff.iterations),
+            rep.injections.len()
+        );
+
+        // With detector: class-1 is caught and the inner solve restarted.
+        let mut det_cfg = base;
+        det_cfg.inner_detector = Some(SdcDetector::with_frobenius_bound(
+            &a,
+            DetectorResponse::RestartInner,
+        ));
+        let inj = point.injector();
+        let (x, rep) =
+            sdc_gmres::ftgmres::ftgmres_solve_instrumented(&a, &b, None, &det_cfg, &inj);
+        let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        println!(
+            "  {:<12} detector on : {:?} in {} outer (+{}) | error {err:.2e} | detected: {} | inner restarts: {}",
+            class.label(),
+            rep.outcome,
+            rep.iterations,
+            rep.iterations.saturating_sub(ff.iterations),
+            rep.detected_anything(),
+            rep.detector_restarts
+        );
+    }
+
+    println!("\ntakeaway: the reliable outer iteration absorbs even a 1e150-scaled");
+    println!("coefficient without rollback; the Eq.-3 bound catches every fault large");
+    println!("enough to matter, and small faults are provably indistinguishable from");
+    println!("legitimate data — and provably harmless to eventual convergence.");
+}

@@ -1,0 +1,45 @@
+//! # sdc-repro
+//!
+//! Umbrella crate for the reproduction of Elliott, Hoemmen & Mueller,
+//! *Evaluating the Impact of SDC on the GMRES Iterative Solver*
+//! (IPDPS 2014). It re-exports the four library crates so applications
+//! can depend on a single crate:
+//!
+//! * [`dense`] — dense linear-algebra substrate (QR, SVD, incremental
+//!   Hessenberg least squares, rank-revealing solve policies).
+//! * [`sparse`] — sparse matrices, kernels, Matrix Market I/O, the
+//!   matrix gallery (including the paper's exact Poisson operator and
+//!   the synthetic `mult_dcop_03` stand-in).
+//! * [`faults`] — SDC fault models, injection sites/triggers, the
+//!   sandbox executor and bit-flip anatomy.
+//! * [`solvers`] — GMRES / Flexible GMRES / FT-GMRES with the
+//!   invariant-based SDC detector, plus the CG baseline.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record. The `examples/`
+//! directory contains runnable walkthroughs and `crates/bench` the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use sdc_dense as dense;
+pub use sdc_faults as faults;
+pub use sdc_gmres as solvers;
+pub use sdc_sparse as sparse;
+
+/// Everything an application typically needs.
+pub mod prelude {
+    pub use sdc_gmres::prelude::*;
+    pub use sdc_sparse::{gallery, CsrMatrix};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        let a = crate::sparse::gallery::poisson2d(4);
+        assert_eq!(a.nrows(), 16);
+        let m = crate::dense::DenseMatrix::identity(2);
+        assert_eq!(m[(0, 0)], 1.0);
+        let f = crate::faults::FaultModel::CLASS1_HUGE;
+        assert_eq!(f.apply(1.0), 1e150);
+    }
+}

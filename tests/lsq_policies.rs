@@ -1,0 +1,135 @@
+//! Integration tests of the §VI-D least-squares policies end-to-end:
+//! the paper's Approaches 1/2/3 composed with the full solver stack
+//! under Hessenberg corruption.
+
+use sdc_repro::faults::trigger::LoopPosition;
+use sdc_repro::faults::{FaultModel, SingleFaultInjector, SitePredicate, Trigger};
+use sdc_repro::prelude::*;
+use sdc_repro::solvers::gmres::{gmres_solve, gmres_solve_instrumented, SiteContext};
+
+fn problem(m: usize) -> (CsrMatrix, Vec<f64>) {
+    let a = gallery::poisson2d(m);
+    let ones = vec![1.0; a.ncols()];
+    let mut b = vec![0.0; a.nrows()];
+    a.par_spmv(&ones, &mut b);
+    (a, b)
+}
+
+fn policies() -> [LstsqPolicy; 3] {
+    [
+        LstsqPolicy::Standard,
+        LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 },
+        LstsqPolicy::RankRevealing { tol: 1e-12 },
+    ]
+}
+
+#[test]
+fn fault_free_all_policies_identical_iterations() {
+    let (a, b) = problem(10);
+    let mut iters = Vec::new();
+    for policy in policies() {
+        let cfg = GmresConfig { tol: 1e-9, max_iters: 300, lsq_policy: policy, ..Default::default() };
+        let (x, rep) = gmres_solve(&a, &b, None, &cfg);
+        assert!(rep.outcome.is_converged(), "{policy:?}: {:?}", rep.outcome);
+        let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "{policy:?}: error {err}");
+        iters.push(rep.iterations);
+    }
+    assert_eq!(iters[0], iters[1]);
+    assert_eq!(iters[0], iters[2]);
+}
+
+#[test]
+fn nan_coefficient_standard_vs_fallback() {
+    // A NaN injected into h (no detector): Standard lets the NaN poison
+    // the projected solve (loud NumericalBreakdown or non-finite result,
+    // never a silently wrong "Converged"); the solve must not claim
+    // convergence with a broken residual.
+    let (a, b) = problem(8);
+    let inj = || {
+        SingleFaultInjector::new(
+            FaultModel::SetNan,
+            Trigger::once(SitePredicate::mgs_site(1, 3, LoopPosition::First)),
+        )
+    };
+    for policy in policies() {
+        let cfg = GmresConfig {
+            tol: 1e-9,
+            max_iters: 60,
+            lsq_policy: policy,
+            ..Default::default()
+        };
+        let i = inj();
+        let (x, rep) = gmres_solve_instrumented(
+            &a,
+            &b,
+            None,
+            &cfg,
+            &i,
+            SiteContext { outer_iteration: 1, inner_solve: 1 },
+        );
+        assert_eq!(rep.injections.len(), 1, "{policy:?}");
+        let true_res = rep.true_residual_norm.unwrap();
+        let claims_success = rep.outcome.is_converged();
+        let actually_good = true_res.is_finite()
+            && true_res <= 1e-6 * sdc_repro::dense::vector::nrm2(&b);
+        assert!(
+            !claims_success || actually_good,
+            "{policy:?}: claimed {:?} with true residual {true_res:.3e} — silent failure!",
+            rep.outcome
+        );
+        let _ = x;
+    }
+}
+
+#[test]
+fn ftgmres_with_each_inner_policy_survives_huge_fault() {
+    use sdc_repro::faults::campaign::{CampaignPoint, FaultClass, MgsPosition};
+    use sdc_repro::solvers::ftgmres::ftgmres_solve_instrumented;
+    let (a, b) = problem(10);
+    for policy in policies() {
+        let cfg = FtGmresConfig {
+            outer: sdc_repro::solvers::fgmres::FgmresConfig {
+                tol: 1e-8,
+                max_outer: 60,
+                ..Default::default()
+            },
+            inner_iters: 10,
+            inner_lsq_policy: policy,
+            ..Default::default()
+        };
+        let point = CampaignPoint {
+            aggregate_iteration: 13,
+            inner_per_outer: 10,
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+        };
+        let inj = point.injector();
+        let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+        assert!(rep.outcome.is_converged(), "{policy:?}: {:?}", rep.outcome);
+        let mut r = vec![0.0; b.len()];
+        sdc_repro::solvers::operator::residual(&a, &b, &x, &mut r);
+        let rel = sdc_repro::dense::vector::nrm2(&r) / sdc_repro::dense::vector::nrm2(&b);
+        assert!(rel <= 1e-7, "{policy:?}: rel residual {rel}");
+    }
+}
+
+#[test]
+fn rank_revealing_outer_policy_also_works() {
+    use sdc_repro::solvers::ftgmres::ftgmres_solve;
+    let (a, b) = problem(9);
+    let mut cfg = FtGmresConfig {
+        outer: sdc_repro::solvers::fgmres::FgmresConfig {
+            tol: 1e-8,
+            max_outer: 50,
+            ..Default::default()
+        },
+        inner_iters: 8,
+        ..Default::default()
+    };
+    cfg.outer.lsq_policy = LstsqPolicy::RankRevealing { tol: 1e-12 };
+    let (x, rep) = ftgmres_solve(&a, &b, None, &cfg);
+    assert!(rep.outcome.is_converged());
+    let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
+    assert!(err < 1e-6);
+}

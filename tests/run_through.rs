@@ -1,0 +1,178 @@
+//! Integration test of the paper's central claim: FT-GMRES runs through
+//! a single SDC event of any magnitude in the inner orthogonalization
+//! phase, converging to the *true* solution without rollback — and the
+//! detector catches exactly the faults that theory says are impossible.
+
+use sdc_repro::prelude::*;
+use sdc_repro::faults::campaign::{CampaignPoint, FaultClass, MgsPosition};
+use sdc_repro::solvers::ftgmres::{ftgmres_solve, ftgmres_solve_instrumented};
+
+fn problem(m: usize) -> (CsrMatrix, Vec<f64>) {
+    let a = gallery::poisson2d(m);
+    let ones = vec![1.0; a.ncols()];
+    let mut b = vec![0.0; a.nrows()];
+    a.par_spmv(&ones, &mut b);
+    (a, b)
+}
+
+fn max_err_vs_ones(x: &[f64]) -> f64 {
+    x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max)
+}
+
+fn base_cfg() -> FtGmresConfig {
+    FtGmresConfig {
+        outer: sdc_repro::solvers::fgmres::FgmresConfig {
+            tol: 1e-8,
+            max_outer: 60,
+            ..Default::default()
+        },
+        inner_iters: 12,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn run_through_every_class_and_position_dense_grid_of_sites() {
+    let (a, b) = problem(12);
+    let cfg = base_cfg();
+    let (_, ff) = ftgmres_solve(&a, &b, None, &cfg);
+    assert!(ff.outcome.is_converged());
+
+    let mut worst = 0usize;
+    for class in FaultClass::all() {
+        for position in MgsPosition::both() {
+            for agg in (1..=cfg.inner_iters * ff.iterations).step_by(7) {
+                let point = CampaignPoint {
+                    aggregate_iteration: agg,
+                    inner_per_outer: cfg.inner_iters,
+                    class,
+                    position,
+                };
+                let inj = point.injector();
+                let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+                assert!(
+                    rep.outcome.is_converged(),
+                    "{class:?}/{position:?}/agg={agg}: {:?}",
+                    rep.outcome
+                );
+                assert!(
+                    max_err_vs_ones(&x) < 1e-5,
+                    "{class:?}/{position:?}/agg={agg}: wrong solution, err={}",
+                    max_err_vs_ones(&x)
+                );
+                worst = worst.max(rep.iterations);
+            }
+        }
+    }
+    // Bounded penalty, as in Fig. 3: the worst case is a few extra outer
+    // iterations, not runaway.
+    assert!(
+        worst <= ff.iterations + ff.iterations / 2 + 2,
+        "worst {worst} vs failure-free {}",
+        ff.iterations
+    );
+}
+
+#[test]
+fn detector_catches_every_committed_class1_fault() {
+    let (a, b) = problem(12);
+    let mut cfg = base_cfg();
+    cfg.inner_detector =
+        Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner));
+    let (_, ff) = ftgmres_solve(&a, &b, None, &cfg);
+
+    for position in MgsPosition::both() {
+        for agg in (1..=cfg.inner_iters * ff.iterations).step_by(5) {
+            let point = CampaignPoint {
+                aggregate_iteration: agg,
+                inner_per_outer: cfg.inner_iters,
+                class: FaultClass::Huge,
+                position,
+            };
+            let inj = point.injector();
+            let (_, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+            if !rep.injections.is_empty() {
+                assert!(
+                    rep.detected_anything(),
+                    "committed fault at {position:?}/agg={agg} escaped detection"
+                );
+                // §VII-E: with the detector, the penalty is at most ~1-2
+                // outer iterations.
+                assert!(
+                    rep.iterations <= ff.iterations + 2,
+                    "{position:?}/agg={agg}: {} vs ff {}",
+                    rep.iterations,
+                    ff.iterations
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn detector_is_silent_for_undetectable_classes() {
+    let (a, b) = problem(10);
+    let mut cfg = base_cfg();
+    cfg.inner_detector =
+        Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner));
+    let (_, ff) = ftgmres_solve(&a, &b, None, &cfg);
+    for class in [FaultClass::Slight, FaultClass::Tiny] {
+        for agg in (1..=cfg.inner_iters * ff.iterations).step_by(11) {
+            let point = CampaignPoint {
+                aggregate_iteration: agg,
+                inner_per_outer: cfg.inner_iters,
+                class,
+                position: MgsPosition::First,
+            };
+            let inj = point.injector();
+            let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+            assert!(
+                rep.detector_events.is_empty(),
+                "{class:?}/agg={agg}: shrinking fault wrongly flagged"
+            );
+            assert!(rep.outcome.is_converged());
+            assert!(max_err_vs_ones(&x) < 1e-5);
+        }
+    }
+}
+
+#[test]
+fn nonsymmetric_circuit_run_through() {
+    use sdc_repro::sparse::gallery::{circuit_mna, CircuitMnaConfig};
+    let mut a = circuit_mna(&CircuitMnaConfig { nodes: 1500, seed: 99, ..Default::default() });
+    // Equilibrate as the experiments do.
+    let d: Vec<f64> = a.diagonal().iter().map(|&v| 1.0 / v.abs().max(1e-300).sqrt()).collect();
+    a.scale_rows(&d);
+    a.scale_cols(&d);
+    let ones = vec![1.0; a.ncols()];
+    let mut b = vec![0.0; a.nrows()];
+    a.par_spmv(&ones, &mut b);
+
+    let cfg = FtGmresConfig {
+        outer: sdc_repro::solvers::fgmres::FgmresConfig {
+            tol: 1e-7,
+            max_outer: 120,
+            ..Default::default()
+        },
+        inner_iters: 15,
+        ..Default::default()
+    };
+    let (_, ff) = ftgmres_solve(&a, &b, None, &cfg);
+    assert!(ff.outcome.is_converged(), "failure-free: {:?}", ff.outcome);
+
+    for class in FaultClass::all() {
+        let point = CampaignPoint {
+            aggregate_iteration: 18,
+            inner_per_outer: cfg.inner_iters,
+            class,
+            position: MgsPosition::Last,
+        };
+        let inj = point.injector();
+        let (x, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+        assert!(rep.outcome.is_converged(), "{class:?}: {:?}", rep.outcome);
+        let mut r = vec![0.0; b.len()];
+        sdc_repro::solvers::operator::residual(&a, &b, &x, &mut r);
+        let rel = sdc_repro::dense::vector::nrm2(&r) / sdc_repro::dense::vector::nrm2(&b);
+        assert!(rel < 1e-6, "{class:?}: residual {rel}");
+    }
+}
