@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdc_dense::vector;
-use sdc_gmres::ortho::{orthogonalize, OrthoSiteCtx, OrthoStrategy};
 use sdc_faults::NoFaults;
+use sdc_gmres::ortho::{orthogonalize, OrthoSiteCtx, OrthoStrategy};
 use sdc_sparse::gallery;
 use std::hint::black_box;
 
@@ -62,8 +62,7 @@ fn bench_ortho(c: &mut Criterion) {
     for basis_size in [1usize, 5, 25] {
         let basis: Vec<Vec<f64>> = (0..basis_size)
             .map(|k| {
-                let mut v: Vec<f64> =
-                    (0..n).map(|i| ((i + 7 * k) as f64 * 0.31).sin()).collect();
+                let mut v: Vec<f64> = (0..n).map(|i| ((i + 7 * k) as f64 * 0.31).sin()).collect();
                 vector::normalize(&mut v);
                 v
             })

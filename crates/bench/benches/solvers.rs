@@ -36,7 +36,11 @@ fn bench_solvers(c: &mut Criterion) {
     });
     g.bench_function("ftgmres_25inner", |bch| {
         let cfg = FtGmresConfig {
-            outer: sdc_gmres::fgmres::FgmresConfig { tol: 1e-7, max_outer: 60, ..Default::default() },
+            outer: sdc_gmres::fgmres::FgmresConfig {
+                tol: 1e-7,
+                max_outer: 60,
+                ..Default::default()
+            },
             inner_iters: 25,
             ..Default::default()
         };
@@ -72,10 +76,7 @@ fn bench_injection_overhead(c: &mut Criterion) {
         })
     });
     let det_cfg = FtGmresConfig {
-        inner_detector: Some(SdcDetector::with_frobenius_bound(
-            &a,
-            DetectorResponse::RestartInner,
-        )),
+        inner_detector: Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner)),
         ..cfg
     };
     g.bench_function("armed_injector_plus_detector", |bch| {
@@ -87,9 +88,7 @@ fn bench_injection_overhead(c: &mut Criterion) {
                 position: MgsPosition::First,
             };
             let inj = point.injector();
-            black_box(sdc_gmres::ftgmres::ftgmres_solve_instrumented(
-                &a, &b, None, &det_cfg, &inj,
-            ))
+            black_box(sdc_gmres::ftgmres::ftgmres_solve_instrumented(&a, &b, None, &det_cfg, &inj))
         })
     });
     g.finish();

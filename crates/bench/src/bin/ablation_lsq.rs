@@ -28,8 +28,7 @@ fn policy_name(p: LstsqPolicy) -> &'static str {
 
 fn main() {
     let args = CliArgs::parse();
-    let (m, inner, stride) =
-        if args.quick { (16, 8, 5) } else { (40, 25, 5) };
+    let (m, inner, stride) = if args.quick { (16, 8, 5) } else { (40, 25, 5) };
 
     println!("== §VI-D ablation: projected least-squares policies ==\n");
 

@@ -29,7 +29,9 @@ fn main() {
     let problem = problems::poisson(m);
     let bound = problem.a.norm_fro();
 
-    println!("== bit-flip anatomy of a representative h_ij (value 3.7), bound ‖A‖_F = {bound:.1} ==");
+    println!(
+        "== bit-flip anatomy of a representative h_ij (value 3.7), bound ‖A‖_F = {bound:.1} =="
+    );
     let outcomes = bitflip_anatomy(3.7);
     let summary = summarize_against_bound(&outcomes, bound);
     println!(
@@ -58,11 +60,7 @@ fn main() {
     // second inner solve, sweeping the bit position.
     println!("\n== FT-GMRES under single real bit flips (h_1,2 of inner solve 2) ==");
     let ft = FtGmresConfig {
-        outer: sdc_gmres::fgmres::FgmresConfig {
-            tol: 1e-7,
-            max_outer: 150,
-            ..Default::default()
-        },
+        outer: sdc_gmres::fgmres::FgmresConfig { tol: 1e-7, max_outer: 150, ..Default::default() },
         inner_iters: inner,
         inner_detector: Some(SdcDetector::with_frobenius_bound(
             &problem.a,
@@ -82,18 +80,18 @@ fn main() {
                 Trigger::once(SitePredicate::mgs_site(2, 2, LoopPosition::First)),
             );
             let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_instrumented(
-                &problem.a,
-                &problem.b,
-                None,
-                &ft,
-                &inj,
+                &problem.a, &problem.b, None, &ft, &inj,
             );
             let mut r = vec![0.0; problem.b.len()];
             sdc_gmres::operator::residual(&problem.a, &problem.b, &x, &mut r);
-            let ok = sdc_dense::vector::nrm2(&r)
-                <= 1e-6 * sdc_dense::vector::nrm2(&problem.b);
-            (bit, rep.iterations, rep.detected_anything(), rep.outcome.is_converged() && ok,
-             !rep.injections.is_empty())
+            let ok = sdc_dense::vector::nrm2(&r) <= 1e-6 * sdc_dense::vector::nrm2(&problem.b);
+            (
+                bit,
+                rep.iterations,
+                rep.detected_anything(),
+                rep.outcome.is_converged() && ok,
+                !rep.injections.is_empty(),
+            )
         })
         .collect();
 
@@ -102,15 +100,18 @@ fn main() {
     for (bit, outer, detected, correct, committed) in &rows {
         max_outer = max_outer.max(*outer);
         if *bit >= 48 || *bit == 0 || *detected {
-            println!(
-                "  {bit:>3} | {outer:>16} | {detected:>8} | {correct:>16} | {committed}"
-            );
+            println!("  {bit:>3} | {outer:>16} | {detected:>8} | {correct:>16} | {committed}");
         }
     }
     let n_detected = rows.iter().filter(|r| r.2).count();
     let n_correct = rows.iter().filter(|r| r.3).count();
-    println!("\n  summary: {}/64 flips detected, {}/64 solves correct, worst outer = {} (+{})",
-        n_detected, n_correct, max_outer, max_outer - ff.iterations);
+    println!(
+        "\n  summary: {}/64 flips detected, {}/64 solves correct, worst outer = {} (+{})",
+        n_detected,
+        n_correct,
+        max_outer,
+        max_outer - ff.iterations
+    );
     println!("  (exponent-region flips either blow past the ‖A‖_F bound — detected — or");
     println!("   shrink the value — run through; mantissa flips are silent and harmless.)");
 }

@@ -66,9 +66,7 @@ fn main() {
     let op = InstrumentedSpmv::new(a, &sdc_faults::NoFaults).with_checksum(1e-12);
     let (x_ref, _) = gmres_solve(&op, b, None, &cfg);
 
-    println!(
-        "single SDC in one SpMV output element (row {row}, apply {apply}) during GMRES(25)"
-    );
+    println!("single SDC in one SpMV output element (row {row}, apply {apply}) during GMRES(25)");
     println!("matrix: {} | ‖A‖_F = {:.1}\n", problem.name, a.norm_fro());
     println!(
         "{:<24} {:>10} {:>10} {:>14} {:>12}",
@@ -85,8 +83,7 @@ fn main() {
             &sdc_faults::NoFaults,
             SiteContext::default(),
         );
-        let drift: f64 =
-            x.iter().zip(x_ref.iter()).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        let drift: f64 = x.iter().zip(x_ref.iter()).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
         println!(
             "{label:<24} {:>10} {:>10} {:>14.3e} {:>12}",
             !rep.detector_events.is_empty(),

@@ -71,14 +71,11 @@ fn main() {
             };
             let inj = SingleFaultInjector::new(FaultModel::CLASS1_HUGE, trigger);
             let mut cfg = base;
-            cfg.inner_detector =
-                detector.map(|resp| SdcDetector::with_frobenius_bound(&a, resp));
-            let (x, rep) =
-                sdc_gmres::ftgmres::ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
+            cfg.inner_detector = detector.map(|resp| SdcDetector::with_frobenius_bound(&a, resp));
+            let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
             let mut r = vec![0.0; b.len()];
             sdc_gmres::operator::residual(&a, &b, &x, &mut r);
-            let rel =
-                sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&b).max(1e-300);
+            let rel = sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&b).max(1e-300);
             let outcome = match &rep.outcome {
                 SolveOutcome::Converged | SolveOutcome::InvariantSubspace => {
                     if rel <= 1e-6 {

@@ -182,9 +182,7 @@ fn main() {
 
     if pm == 100 {
         let (lmin, lmax, cond) = sdc_sparse::gallery::poisson2d_spectrum(100);
-        println!(
-            "Poisson exact spectrum: λ_min = {lmin:.6e}, λ_max = {lmax:.6e}, κ₂ = {cond:.4e}"
-        );
+        println!("Poisson exact spectrum: λ_min = {lmin:.6e}, λ_max = {lmax:.6e}, κ₂ = {cond:.4e}");
         println!(
             "(The paper's 6.0107e3 is Matlab condest's 1-norm estimate; the exact 2-norm κ is {cond:.1e}.)"
         );

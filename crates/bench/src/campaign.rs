@@ -146,9 +146,8 @@ pub fn run_sweep(
     failure_free_outer: usize,
 ) -> SweepResult {
     let ft = cfg.ft_config(&p.a);
-    let domain: Vec<usize> = (1..=cfg.inner_iters * failure_free_outer)
-        .step_by(cfg.stride.max(1))
-        .collect();
+    let domain: Vec<usize> =
+        (1..=cfg.inner_iters * failure_free_outer).step_by(cfg.stride.max(1)).collect();
     let points: Vec<SweepPoint> = domain
         .par_iter()
         .map(|&aggregate| {
@@ -163,8 +162,7 @@ pub fn run_sweep(
                 sdc_gmres::ftgmres::ftgmres_solve_instrumented(&p.a, &p.b, None, &ft, &inj);
             let mut r = vec![0.0; p.b.len()];
             sdc_gmres::operator::residual(&p.a, &p.b, &x, &mut r);
-            let true_rel =
-                sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&p.b).max(1e-300);
+            let true_rel = sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&p.b).max(1e-300);
             SweepPoint {
                 aggregate,
                 outer_iterations: rep.iterations,

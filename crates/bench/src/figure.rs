@@ -32,26 +32,17 @@ pub fn run_figure(
 ) -> FigureOutput {
     eprintln!("[{label}] failure-free baseline...");
     let ff = failure_free(problem, cfg);
-    assert!(
-        ff.outcome.is_converged(),
-        "failure-free run must converge, got {:?}",
-        ff.outcome
-    );
+    assert!(ff.outcome.is_converged(), "failure-free run must converge, got {:?}", ff.outcome);
     let ff_outer = ff.iterations;
     println!(
         "\n{label}: {} | {} inner iterations per outer iteration.",
         problem.name, cfg.inner_iters
     );
-    println!(
-        "Failure-free number of outer iterations = {ff_outer} (paper: 9 Poisson / 28 dcop)\n"
-    );
+    println!("Failure-free number of outer iterations = {ff_outer} (paper: 9 Poisson / 28 dcop)\n");
 
     let mut series = Vec::new();
     for position in MgsPosition::both() {
-        println!(
-            "--- SDC on the {} of the Modified Gram-Schmidt loop ---",
-            position.label()
-        );
+        println!("--- SDC on the {} of the Modified Gram-Schmidt loop ---", position.label());
         for class in FaultClass::all() {
             eprintln!("[{label}] sweep: {} / {}...", class.label(), position.label());
             let res = run_sweep(problem, cfg, class, position, ff_outer);
@@ -103,10 +94,8 @@ pub fn run_figure(
 
 fn summarize(label: &str, ff: usize, series: &[SweepResult], detector: &[SweepResult]) {
     println!("=== {label} summary (paper §VII-E) ===");
-    let worst_undetected =
-        series.iter().map(|s| s.max_outer()).max().unwrap_or(ff);
-    let worst_detected =
-        detector.iter().map(|s| s.max_outer()).max().unwrap_or(ff);
+    let worst_undetected = series.iter().map(|s| s.max_outer()).max().unwrap_or(ff);
+    let worst_detected = detector.iter().map(|s| s.max_outer()).max().unwrap_or(ff);
     let huge_undetected: usize = series
         .iter()
         .filter(|s| s.class == FaultClass::Huge)

@@ -91,7 +91,10 @@ pub fn ascii_plot(res: &SweepResult, inner_per_outer: usize, width: usize) -> St
 /// Writes a sweep series as CSV: `aggregate,outer,converged,injected,detected,restarts,true_rel_residual`.
 pub fn write_sweep_csv(path: &Path, res: &SweepResult) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "aggregate,outer_iterations,converged,injected,detected,restarts,true_rel_residual")?;
+    writeln!(
+        f,
+        "aggregate,outer_iterations,converged,injected,detected,restarts,true_rel_residual"
+    )?;
     for p in &res.points {
         writeln!(
             f,
@@ -146,8 +149,7 @@ impl CliArgs {
             match arg.as_str() {
                 "--quick" => out.quick = true,
                 "--csv" => {
-                    out.csv_dir =
-                        Some(it.next().expect("--csv needs a directory argument").into());
+                    out.csv_dir = Some(it.next().expect("--csv needs a directory argument").into());
                 }
                 "--matrix" => {
                     out.matrix = Some(it.next().expect("--matrix needs a path argument").into());

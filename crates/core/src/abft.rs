@@ -124,8 +124,7 @@ pub fn abft_gmres_solve<A: LinearOperator + ?Sized>(
             report.residual_history.push(beta);
         }
         if !beta.is_finite() {
-            finished =
-                Some(SolveOutcome::NumericalBreakdown("non-finite residual".into()));
+            finished = Some(SolveOutcome::NumericalBreakdown("non-finite residual".into()));
             break;
         }
         if (cfg.tol > 0.0 && beta <= target) || beta == 0.0 {
@@ -168,6 +167,7 @@ pub fn abft_gmres_solve<A: LinearOperator + ?Sized>(
             report.residual_history.push(res_est);
             report.residual_norm = res_est;
 
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // a NaN norm must count as breakdown
             let breakdown = !(ores.vnorm.abs() > breakdown_tol);
             let mut q_next = w.clone();
             if !breakdown {
@@ -191,12 +191,11 @@ pub fn abft_gmres_solve<A: LinearOperator + ?Sized>(
             let candidate_healthy = !breakdown && ores.vnorm > cfg.check_floor_rel * beta;
             let scheduled = j % cfg.check_every == 0;
             let unaudited_pending = audited.iter().any(|&a| !a);
-            if (scheduled && candidate_healthy) || ((breakdown || scheduled) && unaudited_pending)
-            {
+            if (scheduled && candidate_healthy) || ((breakdown || scheduled) && unaudited_pending) {
                 stats.checks += 1;
-                let eff_ortho_tol = cfg.ortho_tol.max(
-                    1e4 * f64::EPSILON * hnorm / ores.vnorm.abs().max(f64::MIN_POSITIVE),
-                );
+                let eff_ortho_tol = cfg
+                    .ortho_tol
+                    .max(1e4 * f64::EPSILON * hnorm / ores.vnorm.abs().max(f64::MIN_POSITIVE));
                 let mut violated = false;
                 if candidate_healthy {
                     let qn = vector::nrm2(&q_next);
@@ -298,12 +297,7 @@ pub fn abft_gmres_solve<A: LinearOperator + ?Sized>(
     (x, report, stats)
 }
 
-fn apply_update(
-    x: &mut [f64],
-    basis: &[Vec<f64>],
-    hqr: &HessenbergQr,
-    report: &mut SolveReport,
-) {
+fn apply_update(x: &mut [f64], basis: &[Vec<f64>], hqr: &HessenbergQr, report: &mut SolveReport) {
     if hqr.k() == 0 {
         return;
     }
@@ -366,8 +360,14 @@ mod tests {
             FaultModel::CLASS1_HUGE,
             Trigger::once(SitePredicate::mgs_site(1, 4, LoopPosition::First)),
         );
-        let (x, rep, stats) =
-            abft_gmres_solve(&a, &b, None, &cfg, &inj, SiteContext { outer_iteration: 1, inner_solve: 1 });
+        let (x, rep, stats) = abft_gmres_solve(
+            &a,
+            &b,
+            None,
+            &cfg,
+            &inj,
+            SiteContext { outer_iteration: 1, inner_solve: 1 },
+        );
         assert_eq!(rep.injections.len(), 1);
         assert!(stats.violations >= 1, "huge fault must break orthogonality");
         assert_eq!(stats.rollbacks, 1);
@@ -394,8 +394,14 @@ mod tests {
             FaultModel::class2_slight(),
             Trigger::once(SitePredicate::mgs_site(1, 5, LoopPosition::First)),
         );
-        let (_, rep, stats) =
-            abft_gmres_solve(&a, &b, None, &cfg, &inj, SiteContext { outer_iteration: 1, inner_solve: 1 });
+        let (_, rep, stats) = abft_gmres_solve(
+            &a,
+            &b,
+            None,
+            &cfg,
+            &inj,
+            SiteContext { outer_iteration: 1, inner_solve: 1 },
+        );
         assert_eq!(rep.injections.len(), 1);
         assert!(
             stats.violations >= 1,
@@ -408,19 +414,21 @@ mod tests {
     fn persistent_fault_exhausts_rollbacks_loudly() {
         let a = gallery::poisson2d(8);
         let b = b_for(&a);
-        let cfg = AbftGmresConfig {
-            tol: 1e-9,
-            max_iters: 200,
-            max_rollbacks: 2,
-            ..Default::default()
-        };
+        let cfg =
+            AbftGmresConfig { tol: 1e-9, max_iters: 200, max_rollbacks: 2, ..Default::default() };
         // Persistent corruption: fires on every matching site.
         let inj = SingleFaultInjector::new(
             FaultModel::CLASS1_HUGE,
             Trigger::always(SitePredicate::mgs_site(1, 2, LoopPosition::First)),
         );
-        let (_, rep, stats) =
-            abft_gmres_solve(&a, &b, None, &cfg, &inj, SiteContext { outer_iteration: 1, inner_solve: 1 });
+        let (_, rep, stats) = abft_gmres_solve(
+            &a,
+            &b,
+            None,
+            &cfg,
+            &inj,
+            SiteContext { outer_iteration: 1, inner_solve: 1 },
+        );
         assert_eq!(stats.rollbacks, 2);
         assert!(
             matches!(rep.outcome, SolveOutcome::NumericalBreakdown(_)),
@@ -433,12 +441,7 @@ mod tests {
     fn check_costs_are_counted() {
         let a = gallery::poisson2d(8);
         let b = b_for(&a);
-        let cfg = AbftGmresConfig {
-            tol: 0.0,
-            max_iters: 8,
-            check_every: 4,
-            ..Default::default()
-        };
+        let cfg = AbftGmresConfig { tol: 0.0, max_iters: 8, check_every: 4, ..Default::default() };
         let (_, _, stats) = abft_gmres_solve_clean(&a, &b, None, &cfg);
         assert_eq!(stats.checks, 2);
         // Each check costs 1 norm + pairwise dots over the unchecked

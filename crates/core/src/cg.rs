@@ -135,11 +135,7 @@ mod tests {
         let a = sdc_sparse::CsrMatrix::from_diagonal(&[1.0, -1.0]);
         let b = vec![1.0, 1.0];
         let (_, rep) = cg_solve(&a, &b, None, &CgConfig::default());
-        assert!(
-            matches!(rep.outcome, SolveOutcome::NumericalBreakdown(_)),
-            "{:?}",
-            rep.outcome
-        );
+        assert!(matches!(rep.outcome, SolveOutcome::NumericalBreakdown(_)), "{:?}", rep.outcome);
     }
 
     #[test]

@@ -69,6 +69,8 @@ impl SdcDetector {
     #[inline]
     pub fn check(&self, value: f64, site: Site) -> Option<Violation> {
         // NaN must be flagged: `!(NaN.abs() <= b)` is true.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        // negation is how NaN lands in the flagged branch
         if !(value.abs() <= self.bound) {
             Some(Violation { site, value, bound: self.bound })
         } else {

@@ -166,9 +166,7 @@ where
         }
         report.residual_norm = beta;
         if !beta.is_finite() {
-            finished = Some(SolveOutcome::NumericalBreakdown(
-                "non-finite outer residual".into(),
-            ));
+            finished = Some(SolveOutcome::NumericalBreakdown("non-finite outer residual".into()));
             break;
         }
         if beta <= target {
@@ -194,8 +192,7 @@ where
             report.iterations = outer_done;
 
             // ---- Unreliable phase: apply the flexible preconditioner.
-            let preport =
-                precond.apply_flexible(outer_done, v_basis.last().unwrap(), &mut z);
+            let preport = precond.apply_flexible(outer_done, v_basis.last().unwrap(), &mut z);
             report.total_inner_iterations += preport.inner_iterations;
             report.detector_events.extend(preport.detector_events.iter().copied());
             report.detector_restarts += preport.detector_restarts;
@@ -220,6 +217,7 @@ where
                 None,
             );
 
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // a NaN norm must count as breakdown
             if !(ores.vnorm.abs() > breakdown_tol) {
                 // The new direction vanished. If the projected matrix
                 // including this column is rank deficient, the inner
@@ -263,6 +261,7 @@ where
             report.residual_history.push(res_est);
             report.residual_norm = res_est;
 
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // a NaN norm must count as breakdown
             if !(ores.vnorm.abs() > breakdown_tol) {
                 // Breakdown: FGMRES' trichotomy (§VI-C). Decide with the
                 // rank-revealing factorization of the square projected
@@ -422,12 +421,7 @@ mod tests {
         // FGMRES, fatal for plain GMRES theory.
         struct Wobbly;
         impl FlexiblePreconditioner for Wobbly {
-            fn apply_flexible(
-                &mut self,
-                j: usize,
-                q: &[f64],
-                z: &mut [f64],
-            ) -> PrecondReport {
+            fn apply_flexible(&mut self, j: usize, q: &[f64], z: &mut [f64]) -> PrecondReport {
                 let s = if j % 2 == 0 { 3.0 } else { 0.25 };
                 for i in 0..q.len() {
                     z[i] = s * q[i];
@@ -452,12 +446,7 @@ mod tests {
             count: usize,
         }
         impl FlexiblePreconditioner for Adversarial {
-            fn apply_flexible(
-                &mut self,
-                _j: usize,
-                q: &[f64],
-                z: &mut [f64],
-            ) -> PrecondReport {
+            fn apply_flexible(&mut self, _j: usize, q: &[f64], z: &mut [f64]) -> PrecondReport {
                 self.count += 1;
                 if self.count == 3 {
                     // Garbage direction of huge magnitude.

@@ -532,8 +532,7 @@ mod tests {
         let a = gallery::poisson2d(8);
         let b = b_for(&a);
         let mut cfg = poisson_cfg();
-        cfg.inner_detector =
-            Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::Halt));
+        cfg.inner_detector = Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::Halt));
         let point = CampaignPoint {
             aggregate_iteration: 5,
             inner_per_outer: cfg.inner_iters,

@@ -131,9 +131,8 @@ pub fn gmres_solve_instrumented<A: LinearOperator + ?Sized>(
         }
         report.residual_norm = beta;
         if !beta.is_finite() {
-            finished = Some(SolveOutcome::NumericalBreakdown(
-                "non-finite residual at cycle start".into(),
-            ));
+            finished =
+                Some(SolveOutcome::NumericalBreakdown("non-finite residual at cycle start".into()));
             break;
         }
         if cfg.tol > 0.0 && beta <= target {
@@ -207,6 +206,7 @@ pub fn gmres_solve_instrumented<A: LinearOperator + ?Sized>(
             report.residual_history.push(res_est);
             report.residual_norm = res_est;
 
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // a NaN norm must count as breakdown
             if !(ores.vnorm.abs() > breakdown_tol) {
                 // Invariant subspace (or a faulted norm faking one — the
                 // reliable outer layer is who verifies).
@@ -417,8 +417,7 @@ mod tests {
             res_f > 1.2 * res_g,
             "faulted true residual {res_f} not measurably worse than fault-free {res_g}"
         );
-        let diff: f64 =
-            x.iter().zip(xg.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let diff: f64 = x.iter().zip(xg.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(diff > 1e-10 * err_vs_ones(&xg).max(1e-300), "solutions identical?");
     }
 
@@ -446,8 +445,7 @@ mod tests {
         // After the restart the transient fault is gone: solution quality
         // matches the fault-free run.
         let (xg, _) = gmres_solve(&a, &b, None, &cfg);
-        let diff: f64 =
-            x.iter().zip(xg.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let diff: f64 = x.iter().zip(xg.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(diff < 1e-12, "restarted solve must equal fault-free solve, diff={diff}");
     }
 
@@ -509,15 +507,12 @@ mod tests {
         let a = gallery::poisson2d(9);
         let b = b_for(&a);
         let std_cfg = GmresConfig { tol: 1e-9, max_iters: 300, ..Default::default() };
-        let rr_cfg = GmresConfig {
-            lsq_policy: LstsqPolicy::RankRevealing { tol: 1e-12 },
-            ..std_cfg
-        };
+        let rr_cfg =
+            GmresConfig { lsq_policy: LstsqPolicy::RankRevealing { tol: 1e-12 }, ..std_cfg };
         let (x1, r1) = gmres_solve(&a, &b, None, &std_cfg);
         let (x2, r2) = gmres_solve(&a, &b, None, &rr_cfg);
         assert_eq!(r1.iterations, r2.iterations);
-        let diff: f64 =
-            x1.iter().zip(x2.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let diff: f64 = x1.iter().zip(x2.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(diff < 1e-8, "policies diverged fault-free: {diff}");
     }
 }

@@ -155,10 +155,8 @@ mod tests {
     #[test]
     fn injected_spmv_fault_is_caught_by_checksum() {
         let a = gallery::poisson2d(10);
-        let inj = SingleFaultInjector::new(
-            FaultModel::Offset(5.0),
-            Trigger::once(spmv_site(4, 37)),
-        );
+        let inj =
+            SingleFaultInjector::new(FaultModel::Offset(5.0), Trigger::once(spmv_site(4, 37)));
         let op = InstrumentedSpmv::new(&a, &inj).with_checksum(1e-12);
         let b = b_for(&a);
         let cfg = GmresConfig { tol: 1e-9, max_iters: 300, ..Default::default() };
@@ -177,10 +175,8 @@ mod tests {
         // (The complementary blind spots are the point of the comparison.)
         use crate::detector::{DetectorResponse, SdcDetector};
         let a = gallery::poisson2d(10);
-        let inj = SingleFaultInjector::new(
-            FaultModel::Offset(0.5),
-            Trigger::once(spmv_site(3, 10)),
-        );
+        let inj =
+            SingleFaultInjector::new(FaultModel::Offset(0.5), Trigger::once(spmv_site(3, 10)));
         let op = InstrumentedSpmv::new(&a, &inj).with_checksum(1e-12);
         let b = b_for(&a);
         let cfg = GmresConfig {
@@ -200,10 +196,8 @@ mod tests {
     fn huge_spmv_fault_seen_by_both() {
         use crate::detector::{DetectorResponse, SdcDetector};
         let a = gallery::poisson2d(10);
-        let inj = SingleFaultInjector::new(
-            FaultModel::SetValue(1e120),
-            Trigger::once(spmv_site(2, 50)),
-        );
+        let inj =
+            SingleFaultInjector::new(FaultModel::SetValue(1e120), Trigger::once(spmv_site(2, 50)));
         let op = InstrumentedSpmv::new(&a, &inj).with_checksum(1e-12);
         let b = b_for(&a);
         let cfg = GmresConfig {

@@ -40,15 +40,19 @@
 //! assert_eq!(x.len(), n);
 //! ```
 
+// Index-based loops intentionally mirror the paper's Algorithm 1 notation
+// (ILU sweeps, Arnoldi columns); iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+
 pub mod abft;
 pub mod arnoldi;
 pub mod cg;
 pub mod detector;
-pub mod ilu;
-pub mod instrumented;
 pub mod fgmres;
 pub mod ftgmres;
 pub mod gmres;
+pub mod ilu;
+pub mod instrumented;
 pub mod operator;
 pub mod ortho;
 pub mod precond;

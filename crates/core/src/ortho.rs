@@ -96,12 +96,7 @@ pub fn orthogonalize(
     }
 }
 
-fn check(
-    detector: Option<&SdcDetector>,
-    value: f64,
-    site: Site,
-    violations: &mut Vec<Violation>,
-) {
+fn check(detector: Option<&SdcDetector>, value: f64, site: Site, violations: &mut Vec<Violation>) {
     if let Some(d) = detector {
         if let Some(v) = d.check(value, site) {
             violations.push(v);
@@ -174,8 +169,8 @@ fn cgs(
 mod tests {
     use super::*;
     use crate::detector::DetectorResponse;
-    use sdc_faults::{FaultModel, NoFaults, SingleFaultInjector, SitePredicate, Trigger};
     use sdc_faults::trigger::LoopPosition;
+    use sdc_faults::{FaultModel, NoFaults, SingleFaultInjector, SitePredicate, Trigger};
 
     fn unit(v: Vec<f64>) -> Vec<f64> {
         let mut v = v;
@@ -196,10 +191,7 @@ mod tests {
 
     #[test]
     fn mgs_orthogonalizes() {
-        let basis = vec![
-            unit(vec![1.0, 1.0, 0.0, 0.0]),
-            unit(vec![-1.0, 1.0, 1.0, 0.0]),
-        ];
+        let basis = [unit(vec![1.0, 1.0, 0.0, 0.0]), unit(vec![-1.0, 1.0, 1.0, 0.0])];
         // Gram-Schmidt the second basis vector first for a true orthobasis.
         let mut q2 = basis[1].clone();
         let r = mgs(&basis[..1], &mut q2, ctx(1), &NoFaults, None);

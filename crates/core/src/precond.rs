@@ -44,10 +44,8 @@ impl JacobiPrecond {
     /// fall back to 1 (identity on that row), keeping the preconditioner
     /// total — the solver, not the preconditioner, reports singularity.
     pub fn from_diagonal(diag: &[f64]) -> Self {
-        let inv_diag = diag
-            .iter()
-            .map(|&d| if d != 0.0 && d.is_finite() { 1.0 / d } else { 1.0 })
-            .collect();
+        let inv_diag =
+            diag.iter().map(|&d| if d != 0.0 && d.is_finite() { 1.0 / d } else { 1.0 }).collect();
         Self { inv_diag }
     }
 

@@ -9,9 +9,9 @@
 //! * detection: class-1 faults are always caught when a detector is on.
 
 use proptest::prelude::*;
+use sdc_faults::campaign::{CampaignPoint, FaultClass, MgsPosition};
 use sdc_gmres::arnoldi::arnoldi;
 use sdc_gmres::prelude::*;
-use sdc_faults::campaign::{CampaignPoint, FaultClass, MgsPosition};
 use sdc_sparse::gallery;
 
 fn b_for(a: &sdc_sparse::CsrMatrix) -> Vec<f64> {

@@ -228,11 +228,8 @@ mod tests {
     fn arnoldi_ritz_values_lie_in_spectrum() {
         // The Ritz values (eigenvalues of the square tridiagonal H from
         // Arnoldi on an SPD operator) must lie inside [λ_min, λ_max].
-        let tri = DenseMatrix::from_rows(&[
-            &[2.0, -0.9, 0.0],
-            &[-0.9, 2.1, -0.4],
-            &[0.0, -0.4, 1.8],
-        ]);
+        let tri =
+            DenseMatrix::from_rows(&[&[2.0, -0.9, 0.0], &[-0.9, 2.1, -0.4], &[0.0, -0.4, 1.8]]);
         let e = symmetric_eigen(&tri, 1e-12).unwrap();
         assert!(e.lambda_min() > 0.0);
         assert!(e.lambda_max() < 4.0);
@@ -261,11 +258,7 @@ mod tests {
     #[test]
     fn eigen_consistent_with_svd_for_spd() {
         // For SPD matrices, eigenvalues == singular values.
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.2],
-            &[0.5, -0.2, 5.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 5.0]]);
         let e = symmetric_eigen(&a, 1e-12).unwrap();
         let s = crate::svd::jacobi_svd(&a).unwrap();
         let mut ev = e.values.clone();

@@ -165,8 +165,9 @@ mod tests {
             let y = householder_qr(&h).solve_lstsq(&b).unwrap();
             let mut hy = vec![0.0; j + 2];
             h.matvec(&y, &mut hy);
-            let ref_res =
-                crate::vector::nrm2(&b.iter().zip(hy.iter()).map(|(a, c)| a - c).collect::<Vec<_>>());
+            let ref_res = crate::vector::nrm2(
+                &b.iter().zip(hy.iter()).map(|(a, c)| a - c).collect::<Vec<_>>(),
+            );
             assert!(
                 (res - ref_res).abs() < 1e-12 * ref_res.max(1.0),
                 "iteration {j}: incremental {res} vs reference {ref_res}"

@@ -191,34 +191,21 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_square() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let qa = reconstruct(&a);
         assert!(qa.max_diff(&a) < 1e-13);
     }
 
     #[test]
     fn qr_reconstructs_tall() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 8.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 8.0]]);
         let qa = reconstruct(&a);
         assert!(qa.max_diff(&a) < 1e-13);
     }
 
     #[test]
     fn q_is_orthogonal() {
-        let a = DenseMatrix::from_rows(&[
-            &[2.0, -1.0, 0.5],
-            &[0.0, 3.0, 1.0],
-            &[1.0, 1.0, 1.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[2.0, -1.0, 0.5], &[0.0, 3.0, 1.0], &[1.0, 1.0, 1.0]]);
         let f = householder_qr(&a);
         let q = f.q_explicit();
         let qtq = q.transpose().matmul(&q);
@@ -227,11 +214,7 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 5.0, 9.0],
-            &[2.0, 6.0, 10.0],
-            &[3.0, 7.0, 11.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 5.0, 9.0], &[2.0, 6.0, 10.0], &[3.0, 7.0, 11.0]]);
         let r = householder_qr(&a).r();
         for c in 0..3 {
             for row in c + 1..3 {
@@ -252,12 +235,7 @@ mod tests {
 
     #[test]
     fn lstsq_overdetermined_residual_is_orthogonal() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-            &[1.0, 4.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0], &[1.0, 4.0]]);
         let b = [6.0, 5.0, 7.0, 10.0];
         let y = householder_qr(&a).solve_lstsq(&b).unwrap();
         // Residual r = b - A y must be orthogonal to the columns of A.

@@ -24,9 +24,10 @@ use crate::svd::{jacobi_svd, SvdError};
 use crate::triangular::{solve_upper, TriangularOutcome};
 
 /// Which §VI-D approach to use for `R y = z`.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum LstsqPolicy {
     /// Approach 1: standard back-substitution.
+    #[default]
     Standard,
     /// Approach 2: standard solve, rank-revealing only on `Inf`/`NaN`.
     FallbackOnNonFinite {
@@ -38,12 +39,6 @@ pub enum LstsqPolicy {
         /// Relative singular-value truncation tolerance.
         tol: f64,
     },
-}
-
-impl Default for LstsqPolicy {
-    fn default() -> Self {
-        LstsqPolicy::Standard
-    }
 }
 
 /// Diagnostics describing how the solve went.
@@ -146,9 +141,7 @@ pub fn solve_projected(
                 }
             }
         }
-        LstsqPolicy::RankRevealing { tol } => {
-            rank_revealing(r, z, tol, LstsqReport::default())
-        }
+        LstsqPolicy::RankRevealing { tol } => rank_revealing(r, z, tol, LstsqReport::default()),
     }
 }
 
@@ -220,9 +213,8 @@ mod tests {
     #[test]
     fn fallback_rescues_nonfinite_solve() {
         let r = DenseMatrix::from_rows(&[&[1e-300, 1e300], &[0.0, 1.0]]);
-        let out =
-            solve_projected(&r, &[1.0, 1.0], LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 })
-                .unwrap();
+        let out = solve_projected(&r, &[1.0, 1.0], LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 })
+            .unwrap();
         assert!(out.report.standard_was_nonfinite);
         assert!(out.report.used_rank_revealing);
         assert!(out.y.iter().all(|v| v.is_finite()));
@@ -231,9 +223,8 @@ mod tests {
     #[test]
     fn fallback_rescues_zero_diagonal() {
         let r = DenseMatrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
-        let out =
-            solve_projected(&r, &[1.0, 0.0], LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 })
-                .unwrap();
+        let out = solve_projected(&r, &[1.0, 0.0], LstsqPolicy::FallbackOnNonFinite { tol: 1e-12 })
+            .unwrap();
         assert!(out.report.standard_hit_zero_diagonal);
         assert!(out.report.used_rank_revealing);
         // Minimum-norm solution of the rank-1 system.
@@ -246,8 +237,7 @@ mod tests {
         // sails straight through the fallback untouched.
         let r = DenseMatrix::from_rows(&[&[1e-14, 1.0], &[0.0, 1.0]]);
         let z = [1.0, 0.0];
-        let out =
-            solve_projected(&r, &z, LstsqPolicy::FallbackOnNonFinite { tol: 1e-10 }).unwrap();
+        let out = solve_projected(&r, &z, LstsqPolicy::FallbackOnNonFinite { tol: 1e-10 }).unwrap();
         assert!(!out.report.used_rank_revealing, "fallback must not trigger on finite data");
         assert!(nrm2(&out.y) > 1e12, "solution is huge and unbounded");
         // Approach 3 on the same system stays bounded.

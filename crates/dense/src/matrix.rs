@@ -182,10 +182,7 @@ impl DenseMatrix {
     pub fn max_diff(&self, other: &DenseMatrix) -> f64 {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(other.data.iter()).fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
     }
 
     /// True if all entries are finite.

@@ -294,12 +294,7 @@ mod tests {
 
     #[test]
     fn tall_matrix() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 0.5],
-            &[-2.0, 1.0],
-            &[0.0, 3.0],
-            &[4.0, -1.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.5], &[-2.0, 1.0], &[0.0, 3.0], &[4.0, -1.0]]);
         let s = assert_svd_valid(&a, 1e-12);
         // U has orthonormal columns.
         let utu = s.u.transpose().matmul(&s.u);

@@ -60,11 +60,8 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     if x.len() <= PAR_BLOCK {
         return dot_rec(x, y);
     }
-    let partials: Vec<f64> = x
-        .chunks(PAR_BLOCK)
-        .zip(y.chunks(PAR_BLOCK))
-        .map(|(cx, cy)| dot_rec(cx, cy))
-        .collect();
+    let partials: Vec<f64> =
+        x.chunks(PAR_BLOCK).zip(y.chunks(PAR_BLOCK)).map(|(cx, cy)| dot_rec(cx, cy)).collect();
     pairwise_sum(&partials)
 }
 
@@ -112,9 +109,7 @@ pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64]) {
     if x.len() < 4 * PAR_BLOCK {
         return axpy(a, x, y);
     }
-    y.par_chunks_mut(PAR_BLOCK)
-        .zip(x.par_chunks(PAR_BLOCK))
-        .for_each(|(cy, cx)| axpy(a, cx, cy));
+    y.par_chunks_mut(PAR_BLOCK).zip(x.par_chunks(PAR_BLOCK)).for_each(|(cy, cx)| axpy(a, cx, cy));
 }
 
 /// `x ← a·x`.

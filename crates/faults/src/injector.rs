@@ -179,10 +179,7 @@ mod tests {
 
     #[test]
     fn reset_clears_state() {
-        let inj = SingleFaultInjector::new(
-            FaultModel::SetNan,
-            Trigger::once(SitePredicate::any()),
-        );
+        let inj = SingleFaultInjector::new(FaultModel::SetNan, Trigger::once(SitePredicate::any()));
         let v = inj.corrupt(mgs(1, 1, 1), 1.0);
         assert!(v.is_nan());
         inj.reset();

@@ -64,8 +64,7 @@ where
             let builder = std::thread::Builder::new().name("sdc-sandbox-guest".into());
             let handle = builder
                 .spawn(move || {
-                    let result =
-                        catch_unwind(AssertUnwindSafe(guest)).map_err(|p| panic_msg(p));
+                    let result = catch_unwind(AssertUnwindSafe(guest)).map_err(panic_msg);
                     // The host may have stopped listening; ignore send
                     // failure.
                     let _ = tx.send(result);

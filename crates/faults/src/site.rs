@@ -87,7 +87,10 @@ impl std::fmt::Display for Site {
         write!(
             f,
             "{:?}[outer={}, solve={}, iter={}, i={}]",
-            self.kernel, self.outer_iteration, self.inner_solve, self.inner_iteration,
+            self.kernel,
+            self.outer_iteration,
+            self.inner_solve,
+            self.inner_iteration,
             self.loop_index
         )
     }

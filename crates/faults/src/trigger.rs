@@ -85,9 +85,7 @@ impl SitePredicate {
         match self.loop_position {
             LoopPosition::Any => true,
             LoopPosition::First => site.loop_index == 1,
-            LoopPosition::Last => {
-                site.loop_index != 0 && site.loop_index == site.inner_iteration
-            }
+            LoopPosition::Last => site.loop_index != 0 && site.loop_index == site.inner_iteration,
             LoopPosition::Index(i) => site.loop_index == i,
         }
     }

@@ -154,8 +154,7 @@ mod tests {
         // Row i holds: 1 subdiag (if i>0) + min(k+1, n-i) upper entries.
         let (n, k) = (10, 2);
         let a = grcar(n, k);
-        let expected: usize =
-            (0..n).map(|i| usize::from(i > 0) + (k + 1).min(n - i)).sum();
+        let expected: usize = (0..n).map(|i| usize::from(i > 0) + (k + 1).min(n - i)).sum();
         assert_eq!(a.nnz(), expected);
     }
 

@@ -127,10 +127,8 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<CsrMatrix, MmError>
         });
     }
     let parse_usize = |s: &str, what: &str| -> Result<usize, MmError> {
-        s.parse::<usize>().map_err(|_| MmError::Parse {
-            line: size_idx,
-            msg: format!("bad {what}: '{s}'"),
-        })
+        s.parse::<usize>()
+            .map_err(|_| MmError::Parse { line: size_idx, msg: format!("bad {what}: '{s}'") })
     };
     let nrows = parse_usize(dims[0], "row count")?;
     let ncols = parse_usize(dims[1], "column count")?;

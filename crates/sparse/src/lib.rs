@@ -25,6 +25,10 @@
 //!   circuit-simulation generator that stands in for `mult_dcop_03`
 //!   (see DESIGN.md §3 for the substitution rationale).
 
+// Index-based loops intentionally mirror the CSR/CSC index arithmetic of the
+// kernels (row pointers, column indices); iterator rewrites would obscure it.
+#![allow(clippy::needless_range_loop)]
+
 pub mod checksum;
 pub mod coo;
 pub mod csc;

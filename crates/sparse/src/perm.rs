@@ -111,7 +111,8 @@ pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Permutation {
     for r in 0..n {
         let (c1, _) = a.row(r);
         let (c2, _) = t.row(r);
-        let mut merged: Vec<usize> = c1.iter().chain(c2.iter()).copied().filter(|&c| c != r).collect();
+        let mut merged: Vec<usize> =
+            c1.iter().chain(c2.iter()).copied().filter(|&c| c != r).collect();
         merged.sort_unstable();
         merged.dedup();
         adj[r] = merged;
@@ -130,8 +131,7 @@ pub fn reverse_cuthill_mckee(a: &CsrMatrix) -> Permutation {
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut neigh: Vec<usize> =
-                adj[v].iter().copied().filter(|&u| !visited[u]).collect();
+            let mut neigh: Vec<usize> = adj[v].iter().copied().filter(|&u| !visited[u]).collect();
             neigh.sort_by_key(|&u| degree[u]);
             for u in neigh {
                 visited[u] = true;

@@ -10,10 +10,8 @@ use std::io::Cursor;
 /// Strategy: a random COO matrix with bounded size and entries.
 fn coo_strategy(max_n: usize) -> impl Strategy<Value = CooMatrix> {
     (1..max_n, 1..max_n).prop_flat_map(|(r, c)| {
-        let triplets = proptest::collection::vec(
-            (0..r, 0..c, -100.0f64..100.0),
-            0..(r * c).min(80) + 1,
-        );
+        let triplets =
+            proptest::collection::vec((0..r, 0..c, -100.0f64..100.0), 0..(r * c).min(80) + 1);
         triplets.prop_map(move |ts| {
             let mut coo = CooMatrix::new(r, c);
             for (i, j, v) in ts {

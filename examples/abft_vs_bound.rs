@@ -26,9 +26,7 @@ fn main() {
     a.par_spmv(&ones, &mut b);
     let ctx = SiteContext { outer_iteration: 1, inner_solve: 1 };
 
-    println!(
-        "convection-diffusion {n}x{n} | single fault at h_1,6 (first MGS of iteration 6)\n"
-    );
+    println!("convection-diffusion {n}x{n} | single fault at h_1,6 (first MGS of iteration 6)\n");
     println!(
         "{:<14} {:>22} {:>26}",
         "fault class", "Eq.3 bound (free)", "Online-ABFT (j dots/check)"
@@ -50,7 +48,8 @@ fn main() {
 
         // Online-ABFT with per-iteration checks.
         let inj = SingleFaultInjector::new(class.model(), trigger);
-        let acfg = AbftGmresConfig { tol: 1e-9, max_iters: 400, check_every: 1, ..Default::default() };
+        let acfg =
+            AbftGmresConfig { tol: 1e-9, max_iters: 400, check_every: 1, ..Default::default() };
         let (_, arep, stats) = abft_gmres_solve(&a, &b, None, &acfg, &inj, ctx);
         let abft_caught = stats.violations > 0;
 

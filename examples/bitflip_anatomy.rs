@@ -44,6 +44,9 @@ fn main() {
     println!("\nof 64 possible single-bit flips:");
     println!("  {caught} are caught by the Eq.-3 bound (high exponent bits — the dangerous ones),");
     println!("  {harmless} change the value by <50% (small perturbations GMRES runs through),");
-    println!("  {} sit in between: undetectable but bounded — exactly the class the", 64 - caught - harmless);
+    println!(
+        "  {} sit in between: undetectable but bounded — exactly the class the",
+        64 - caught - harmless
+    );
     println!("  flexible inner-outer iteration is proven to tolerate.");
 }

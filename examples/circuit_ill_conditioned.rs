@@ -24,10 +24,7 @@ fn main() {
         "  pattern symmetry score: {:.3} (1.0 = symmetric pattern)",
         structure::pattern_symmetry_score(&a)
     );
-    println!(
-        "  structurally full rank: {}",
-        structure::is_structurally_full_rank(&a)
-    );
+    println!("  structurally full rank: {}", structure::is_structurally_full_rank(&a));
     let d = a.diagonal();
     let dmax = d.iter().cloned().fold(0.0f64, f64::max);
     let dmin = d.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -67,9 +64,7 @@ fn main() {
         rep.iterations,
         rep.true_residual_norm.unwrap() / bnorm,
     );
-    println!(
-        "  (error ≫ residual is the conditioning at work: κ ≳ 1e9 means a 1e-7 residual"
-    );
+    println!("  (error ≫ residual is the conditioning at work: κ ≳ 1e9 means a 1e-7 residual");
     println!("   only pins the solution to ~κ·1e-7 — the honest limit of any solver here)");
 
     // The robust projected-LSQ policy on the same solve.

@@ -53,13 +53,10 @@ fn main() {
 
         // With detector: class-1 is caught and the inner solve restarted.
         let mut det_cfg = base;
-        det_cfg.inner_detector = Some(SdcDetector::with_frobenius_bound(
-            &a,
-            DetectorResponse::RestartInner,
-        ));
+        det_cfg.inner_detector =
+            Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner));
         let inj = point.injector();
-        let (x, rep) =
-            sdc_gmres::ftgmres::ftgmres_solve_instrumented(&a, &b, None, &det_cfg, &inj);
+        let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_instrumented(&a, &b, None, &det_cfg, &inj);
         let err = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
         println!(
             "  {:<12} detector on : {:?} in {} outer (+{}) | error {err:.2e} | detected: {} | inner restarts: {}",

@@ -34,10 +34,7 @@ fn main() {
     let ft = FtGmresConfig {
         outer: sdc_gmres::fgmres::FgmresConfig { tol: 1e-10, max_outer: 40, ..Default::default() },
         inner_iters: 25,
-        inner_detector: Some(SdcDetector::with_frobenius_bound(
-            &a,
-            DetectorResponse::RestartInner,
-        )),
+        inner_detector: Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner)),
         ..Default::default()
     };
     let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve(&a, &b, None, &ft);

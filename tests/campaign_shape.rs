@@ -52,10 +52,7 @@ fn fig3_shape_detector_removes_class1_penalty() {
     let ff = failure_free(&p, &base);
     let undetected = run_sweep(&p, &base, FaultClass::Huge, MgsPosition::First, ff.iterations);
 
-    let det = CampaignConfig {
-        detector_response: Some(DetectorResponse::RestartInner),
-        ..base
-    };
+    let det = CampaignConfig { detector_response: Some(DetectorResponse::RestartInner), ..base };
     let detected = run_sweep(&p, &det, FaultClass::Huge, MgsPosition::First, ff.iterations);
     // Claim: full coverage of committed class-1 faults...
     for pt in &detected.points {
@@ -83,11 +80,8 @@ fn fig4_shape_nonsymmetric_early_vulnerability() {
     assert!(ff.outcome.is_converged(), "{:?}", ff.outcome);
     let res = run_sweep(&p, &cfg, FaultClass::Slight, MgsPosition::First, ff.iterations);
     assert_eq!(res.count_failures(), 0);
-    let worst_point = res
-        .points
-        .iter()
-        .max_by_key(|pt| pt.outer_iterations)
-        .expect("nonempty sweep");
+    let worst_point =
+        res.points.iter().max_by_key(|pt| pt.outer_iterations).expect("nonempty sweep");
     if worst_point.outer_iterations > ff.iterations {
         let domain = res.points.last().unwrap().aggregate;
         assert!(

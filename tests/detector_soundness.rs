@@ -35,10 +35,7 @@ fn no_false_positives_any_matrix_any_ortho() {
                 tol: 1e-9,
                 max_iters: 120,
                 ortho,
-                detector: Some(SdcDetector::with_frobenius_bound(
-                    &a,
-                    DetectorResponse::Halt,
-                )),
+                detector: Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::Halt)),
                 ..Default::default()
             };
             let (_, rep) = gmres_solve(&a, &b, None, &cfg);
@@ -66,10 +63,7 @@ fn no_false_positives_nested_solver() {
                 ..Default::default()
             },
             inner_iters: 9,
-            inner_detector: Some(SdcDetector::with_frobenius_bound(
-                &a,
-                DetectorResponse::Halt,
-            )),
+            inner_detector: Some(SdcDetector::with_frobenius_bound(&a, DetectorResponse::Halt)),
             ..Default::default()
         };
         let (_, rep) = ftgmres_solve(&a, &b, None, &cfg);

@@ -28,7 +28,8 @@ fn fault_free_all_policies_identical_iterations() {
     let (a, b) = problem(10);
     let mut iters = Vec::new();
     for policy in policies() {
-        let cfg = GmresConfig { tol: 1e-9, max_iters: 300, lsq_policy: policy, ..Default::default() };
+        let cfg =
+            GmresConfig { tol: 1e-9, max_iters: 300, lsq_policy: policy, ..Default::default() };
         let (x, rep) = gmres_solve(&a, &b, None, &cfg);
         assert!(rep.outcome.is_converged(), "{policy:?}: {:?}", rep.outcome);
         let err: f64 = x.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
@@ -53,12 +54,8 @@ fn nan_coefficient_standard_vs_fallback() {
         )
     };
     for policy in policies() {
-        let cfg = GmresConfig {
-            tol: 1e-9,
-            max_iters: 60,
-            lsq_policy: policy,
-            ..Default::default()
-        };
+        let cfg =
+            GmresConfig { tol: 1e-9, max_iters: 60, lsq_policy: policy, ..Default::default() };
         let i = inj();
         let (x, rep) = gmres_solve_instrumented(
             &a,
@@ -71,8 +68,8 @@ fn nan_coefficient_standard_vs_fallback() {
         assert_eq!(rep.injections.len(), 1, "{policy:?}");
         let true_res = rep.true_residual_norm.unwrap();
         let claims_success = rep.outcome.is_converged();
-        let actually_good = true_res.is_finite()
-            && true_res <= 1e-6 * sdc_repro::dense::vector::nrm2(&b);
+        let actually_good =
+            true_res.is_finite() && true_res <= 1e-6 * sdc_repro::dense::vector::nrm2(&b);
         assert!(
             !claims_success || actually_good,
             "{policy:?}: claimed {:?} with true residual {true_res:.3e} — silent failure!",

@@ -2,6 +2,13 @@
 //! serial ones, and whole solves are bitwise reproducible run-to-run —
 //! the property that makes the fault-injection campaign's comparisons
 //! meaningful.
+//!
+//! NOTE: with the offline `vendor/rayon` stand-in the `par_*` kernels run
+//! sequentially, so the bitwise assertions here hold trivially. They are
+//! kept because they pin the *contract* these kernels must keep: the day
+//! the real rayon (or any threaded pool) is swapped back in via
+//! `[workspace.dependencies]`, these tests are what catches a reduction
+//! whose result depends on thread count.
 
 use sdc_repro::dense::vector;
 use sdc_repro::prelude::*;
@@ -49,11 +56,7 @@ fn whole_solve_is_bitwise_reproducible() {
     for i in 0..x1.len() {
         assert_eq!(x1[i].to_bits(), x2[i].to_bits(), "x[{i}] differs between runs");
     }
-    assert_eq!(
-        r1.residual_history.len(),
-        r2.residual_history.len(),
-        "residual histories diverged"
-    );
+    assert_eq!(r1.residual_history.len(), r2.residual_history.len(), "residual histories diverged");
     for (a1, a2) in r1.residual_history.iter().zip(r2.residual_history.iter()) {
         assert_eq!(a1.to_bits(), a2.to_bits());
     }

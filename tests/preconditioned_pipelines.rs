@@ -22,8 +22,7 @@ fn rcm_then_ilu_then_fgmres_full_pipeline() {
     // un-permute and verify against the original system.
     let a = gallery::convection_diffusion_2d(14, 2.0, -1.0);
     let n = a.nrows();
-    let shuffle =
-        Permutation::from_vec((0..n).map(|i| (i * 89 + 7) % n).collect::<Vec<_>>());
+    let shuffle = Permutation::from_vec((0..n).map(|i| (i * 89 + 7) % n).collect::<Vec<_>>());
     let shuffled = shuffle.apply_sym(&a);
     let (lw, uw) = bandwidth(&shuffled);
 
@@ -38,7 +37,8 @@ fn rcm_then_ilu_then_fgmres_full_pipeline() {
     let b_reordered = rcm.apply_vec(&b_shuffled);
     let ilu = Ilu0::factor(&reordered).expect("ILU(0) on reordered operator");
     let cfg = FgmresConfig { tol: 1e-10, max_outer: 200, ..Default::default() };
-    let (x_reordered, rep) = fgmres_solve(&reordered, &b_reordered, None, &cfg, &mut FixedPrecond(ilu));
+    let (x_reordered, rep) =
+        fgmres_solve(&reordered, &b_reordered, None, &cfg, &mut FixedPrecond(ilu));
     assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
 
     // Undo both permutations and compare with the ones solution.
@@ -101,8 +101,7 @@ fn ssor_inside_ftgmres_inner_runs_through_faults() {
     assert!(err < 1e-6);
 
     // Sanity: the SSOR preconditioner itself composes with FGMRES.
-    let (y, rep2) =
-        fgmres_solve(&a, &b, None, &cfg.outer, &mut FixedPrecond(Ssor::new(&a, 1.3)));
+    let (y, rep2) = fgmres_solve(&a, &b, None, &cfg.outer, &mut FixedPrecond(Ssor::new(&a, 1.3)));
     assert!(rep2.outcome.is_converged());
     let err: f64 = y.iter().map(|v| (v - 1.0).abs()).fold(0.0, f64::max);
     assert!(err < 1e-6);

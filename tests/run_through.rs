@@ -3,8 +3,8 @@
 //! phase, converging to the *true* solution without rollback — and the
 //! detector catches exactly the faults that theory says are impossible.
 
-use sdc_repro::prelude::*;
 use sdc_repro::faults::campaign::{CampaignPoint, FaultClass, MgsPosition};
+use sdc_repro::prelude::*;
 use sdc_repro::solvers::ftgmres::{ftgmres_solve, ftgmres_solve_instrumented};
 
 fn problem(m: usize) -> (CsrMatrix, Vec<f64>) {

@@ -80,8 +80,7 @@ fn rank_deficiency_is_loud_not_silent() {
             // Then the answer must actually be right (reliable final check).
             let mut r = vec![0.0; b.len()];
             sdc_repro::solvers::operator::residual(&a, &b, &x, &mut r);
-            let rel =
-                sdc_repro::dense::vector::nrm2(&r) / sdc_repro::dense::vector::nrm2(&b);
+            let rel = sdc_repro::dense::vector::nrm2(&r) / sdc_repro::dense::vector::nrm2(&b);
             assert!(rel <= 1e-8, "claimed convergence with residual {rel}");
         }
         SolveOutcome::RankDeficient => { /* loud, correct */ }

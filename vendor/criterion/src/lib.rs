@@ -1,0 +1,201 @@
+//! Offline stand-in for `criterion`: the API subset this workspace's
+//! benches use, measuring plain wall-clock time.
+//!
+//! Each benchmark runs a short warm-up followed by `sample_size` timed
+//! samples and prints the minimum and mean sample time. There is no
+//! statistical analysis, outlier rejection, or HTML report — the point
+//! is that `cargo bench` (and `cargo check --benches`) keep working
+//! offline with unmodified bench sources.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+const WARMUP_ITERS: usize = 2;
+
+/// Identifier for one benchmark: a function name plus an optional
+/// parameter rendered as `name/param`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Conversion accepted by every `bench_*` method (`&str`, `String`, or
+/// an explicit [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing driver handed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` for a warm-up, then `samples` timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        let mean = total / self.samples as u32;
+        println!("    min {min:>12.3?}   mean {mean:>12.3?}   ({} samples)", self.samples);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}/{}", self.name, id.into_benchmark_id().id);
+        f(&mut Bencher { samples: self.sample_size });
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{}", self.name, id.into_benchmark_id().id);
+        f(&mut Bencher { samples: self.sample_size }, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level bench context created by `criterion_main!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name, sample_size: DEFAULT_SAMPLE_SIZE, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}", id.into_benchmark_id().id);
+        f(&mut Bencher { samples: DEFAULT_SAMPLE_SIZE });
+        self
+    }
+}
+
+/// Re-export so bench sources may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("one", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| {
+                b.iter(|| ran += x);
+            });
+            g.finish();
+        }
+        // 2 warm-up + 3 samples for each bench.
+        assert_eq!(ran, 5 + 5 * 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("serial", 100).id, "serial/100");
+        assert_eq!("plain".into_benchmark_id().id, "plain");
+    }
+
+    #[test]
+    fn top_level_bench_function() {
+        let mut c = Criterion::default();
+        let mut n = 0u32;
+        c.bench_function("count", |b| b.iter(|| n += 1));
+        assert!(n > 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for `crossbeam`, backed by `std::sync::mpsc`.
+//!
+//! Only the `channel` module subset the workspace uses is provided:
+//! `bounded` / `unbounded` constructors, a clonable `Sender`, and a
+//! `Receiver` with the blocking, timed, and non-blocking receive
+//! methods. The semantic contract the fault sandbox relies on —
+//! `recv_timeout` returns within the budget even if the sender thread
+//! hangs forever — is exactly std's.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(SenderKind<T>);
+
+    enum SenderKind<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match &self.0 {
+                SenderKind::Bounded(s) => Sender(SenderKind::Bounded(s.clone())),
+                SenderKind::Unbounded(s) => Sender(SenderKind::Unbounded(s.clone())),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while a bounded channel is full, like crossbeam's.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderKind::Bounded(s) => s.send(value),
+                SenderKind::Unbounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Channel with a fixed capacity; `send` blocks when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderKind::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Channel with unbounded capacity; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderKind::Unbounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv().unwrap(), 5);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = channel::bounded::<i32>(1);
+        let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, channel::RecvTimeoutError::Timeout);
+    }
+
+    #[test]
+    fn unbounded_does_not_block() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.iter().take(100).count(), 100);
+    }
+
+    #[test]
+    fn send_after_receiver_drop_errors() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for `rayon`: the prelude subset this workspace uses,
+//! implemented **sequentially** over std iterators.
+//!
+//! Every `par_*` method returns the corresponding `std` iterator, so the
+//! full std `Iterator` combinator vocabulary (`zip`, `map`, `enumerate`,
+//! `for_each`, `collect`, …) works unchanged and results are trivially
+//! bitwise-identical to the serial code paths. This preserves the
+//! workspace's determinism contract (fault campaigns replay solves and
+//! compare bitwise); it gives up parallel speed-up until the real rayon
+//! can be restored in `[workspace.dependencies]`.
+
+#![forbid(unsafe_code)]
+
+pub mod slice {
+    /// `par_chunks` / `par_iter` over shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            assert!(chunk_size > 0, "par_chunks: chunk_size must be > 0");
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_chunks_mut` / `par_iter_mut` over exclusive slices.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            assert!(chunk_size > 0, "par_chunks_mut: chunk_size must be > 0");
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+pub mod iter {
+    /// `.par_iter()` — borrow a collection as a "parallel" iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.par_iter_mut()` — exclusively borrow a collection.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = std::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `.into_par_iter()` — consume a collection.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        type Item = usize;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_collect() {
+        // Via a Vec receiver on purpose: exercises the auto-deref to `[T]`.
+        let v: Vec<i32> = (1..=3).collect();
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut v = vec![0usize; 4];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn par_chunks_zip() {
+        let x = [1.0f64; 10];
+        let y = [2.0f64; 10];
+        let sums: Vec<f64> = x
+            .par_chunks(4)
+            .zip(y.par_chunks(4))
+            .map(|(a, b)| a.iter().sum::<f64>() + b.iter().sum::<f64>())
+            .collect();
+        assert_eq!(sums, vec![12.0, 12.0, 6.0]);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes() {
+        let mut y = [0.0f64; 6];
+        y.par_chunks_mut(2).for_each(|c| c.fill(1.0));
+        assert!(y.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn into_par_iter_range() {
+        let total: usize = (0..5usize).into_par_iter().sum();
+        assert_eq!(total, 10);
+    }
+}
