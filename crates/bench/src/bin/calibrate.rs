@@ -6,10 +6,11 @@
 
 use sdc_bench::campaign::{failure_free, CampaignConfig};
 use sdc_bench::problems;
+use sdc_bench::render::CliArgs;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (pm, dn) = if quick { (30, 2000) } else { (100, 25_187) };
+    let args = CliArgs::parse();
+    let (pm, dn) = if args.quick { (30, 2000) } else { (100, 25_187) };
 
     println!("== failure-free outer iterations (25 inner each) ==");
     let poisson = problems::poisson(pm);

@@ -8,12 +8,16 @@
 //! iteration, failure-free = 9 outer (ours matches at outer tolerance
 //! 1e-7 with b = A·1).
 //!
-//! Usage: `fig3_poisson [--quick] [--stride N] [--csv DIR]`
+//! A thin front-end over the campaign engine: builds the paper-shaped
+//! spec and runs it. With `--out PATH` the JSONL artifact persists and
+//! an interrupted run resumes; `campaign report --out PATH` re-renders
+//! it without re-solving.
+//!
+//! Usage: `fig3_poisson [--quick] [--stride N] [--csv DIR] [--out PATH]`
 
-use sdc_bench::campaign::CampaignConfig;
 use sdc_bench::figure::run_figure;
-use sdc_bench::problems;
 use sdc_bench::render::CliArgs;
+use sdc_campaigns::{CampaignSpec, ProblemSpec};
 
 fn main() {
     let args = CliArgs::parse();
@@ -25,13 +29,12 @@ fn main() {
     if let Some(dir) = &args.csv_dir {
         std::fs::create_dir_all(dir).expect("cannot create csv dir");
     }
-    let problem = problems::poisson(m);
-    let cfg = CampaignConfig {
+    let spec = CampaignSpec {
         inner_iters: inner,
         outer_tol: tol,
         outer_max: 150,
         stride,
-        ..Default::default()
+        ..CampaignSpec::paper_shape("fig3", vec![ProblemSpec::Poisson { m }])
     };
-    run_figure("fig3", &problem, &cfg, args.csv_dir.as_deref(), 75);
+    run_figure("fig3", &spec, args.csv_dir.as_deref(), args.out.as_deref(), 75);
 }

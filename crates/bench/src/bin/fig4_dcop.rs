@@ -11,14 +11,15 @@
 //! to run on the real matrix when available.
 //!
 //! The default stride is 5 (the sweep is ~4,000 solves at stride 1);
-//! pass `--stride 1` for the paper-resolution figure.
+//! pass `--stride 1` for the paper-resolution figure. With `--out PATH`
+//! the JSONL artifact persists and an interrupted run resumes — worth it
+//! here: the full-resolution fig4 is the longest campaign in the repo.
 //!
-//! Usage: `fig4_dcop [--quick] [--stride N] [--csv DIR] [--matrix PATH]`
+//! Usage: `fig4_dcop [--quick] [--stride N] [--csv DIR] [--matrix PATH] [--out PATH]`
 
-use sdc_bench::campaign::CampaignConfig;
 use sdc_bench::figure::run_figure;
-use sdc_bench::problems;
 use sdc_bench::render::CliArgs;
+use sdc_campaigns::{CampaignSpec, ProblemSpec};
 
 fn main() {
     let args = CliArgs::parse();
@@ -30,13 +31,16 @@ fn main() {
     if let Some(dir) = &args.csv_dir {
         std::fs::create_dir_all(dir).expect("cannot create csv dir");
     }
-    let problem = problems::dcop(args.matrix.as_deref(), nodes, 1311);
-    let cfg = CampaignConfig {
+    let problem = match &args.matrix {
+        Some(path) => ProblemSpec::MatrixMarket { path: path.clone(), equilibrate: true },
+        None => ProblemSpec::Dcop { nodes, seed: 1311 },
+    };
+    let spec = CampaignSpec {
         inner_iters: inner,
         outer_tol: tol,
         outer_max: 200,
         stride,
-        ..Default::default()
+        ..CampaignSpec::paper_shape("fig4", vec![problem])
     };
-    run_figure("fig4", &problem, &cfg, args.csv_dir.as_deref(), 75);
+    run_figure("fig4", &spec, args.csv_dir.as_deref(), args.out.as_deref(), 75);
 }

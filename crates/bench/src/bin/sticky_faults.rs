@@ -12,13 +12,15 @@
 //!
 //! Usage: `sticky_faults [--quick]`
 
+use sdc_bench::render::CliArgs;
 use sdc_faults::trigger::{LoopPosition, SitePredicate, Trigger};
 use sdc_faults::{FaultModel, SingleFaultInjector};
 use sdc_gmres::prelude::*;
 use sdc_sparse::gallery;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = CliArgs::parse();
+    let quick = args.quick;
     let m = if quick { 16 } else { 50 };
     let inner = if quick { 8 } else { 25 };
 

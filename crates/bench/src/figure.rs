@@ -1,14 +1,21 @@
-//! Shared driver for the Figure-3/Figure-4 experiments.
+//! Shared driver for the Figure-3/Figure-4 experiments — a thin
+//! front-end over the campaign engine.
 //!
-//! Both figures have the same shape — six sweeps (3 fault classes × first
-//! /last MGS position) without a detector, plus the §VII-E comparison runs
-//! with the detector enabled for the detectable (class-1) faults.
+//! Both figures have the same shape — six sweeps (3 fault classes ×
+//! first/last MGS position) without a detector, plus the §VII-E
+//! comparison runs with the detector enabled for the detectable
+//! (class-1) faults. That shape is exactly
+//! [`CampaignSpec::paper_shape`]: the driver builds the spec, hands it
+//! to the executor (which streams a JSONL artifact and can resume an
+//! interrupted run), then renders plots, CSVs and the summary *from the
+//! artifact* via the report layer.
+//!
+//! Passing `--out PATH` keeps the artifact; re-running with the same
+//! `--out` resumes/reuses it instead of re-solving, and
+//! `campaign report --out PATH` re-renders it any time.
 
-use crate::campaign::{failure_free, run_sweep, CampaignConfig, SweepResult};
-use crate::problems::Problem;
 use crate::render::{ascii_plot, write_sweep_csv};
-use sdc_faults::campaign::{FaultClass, MgsPosition};
-use sdc_gmres::prelude::DetectorResponse;
+use sdc_campaigns::{CampaignData, CampaignSpec, DetectorPolicy, RunOptions, SweepResult};
 use std::path::Path;
 
 /// Everything a figure run produces.
@@ -22,106 +29,88 @@ pub struct FigureOutput {
     pub detector_series: Vec<SweepResult>,
 }
 
-/// Runs the full figure: prints plots as it goes, returns all series.
+/// Runs the full figure campaign: executes (or resumes) the spec into a
+/// JSONL artifact, prints plots, returns all series.
 pub fn run_figure(
     label: &str,
-    problem: &Problem,
-    cfg: &CampaignConfig,
+    spec: &CampaignSpec,
     csv_dir: Option<&Path>,
+    artifact_out: Option<&Path>,
     plot_width: usize,
 ) -> FigureOutput {
-    eprintln!("[{label}] failure-free baseline...");
-    let ff = failure_free(problem, cfg);
-    assert!(ff.outcome.is_converged(), "failure-free run must converge, got {:?}", ff.outcome);
-    let ff_outer = ff.iterations;
+    // Without --out the artifact lives in a scratch path; with --out it
+    // persists and re-runs resume it (a finished artifact re-renders
+    // without a single new solve).
+    let scratch;
+    let artifact = match artifact_out {
+        Some(p) => p,
+        None => {
+            scratch =
+                std::env::temp_dir().join(format!("sdc_{label}_{}.jsonl", std::process::id()));
+            std::fs::remove_file(&scratch).ok();
+            &scratch
+        }
+    };
+    let resume = artifact.exists();
+    if resume {
+        eprintln!("[{label}] resuming artifact {}", artifact.display());
+    }
+    let summary = sdc_campaigns::run(spec, artifact, resume, &RunOptions::default())
+        .unwrap_or_else(|e| {
+            // A bad spec or a foreign --out file is user error, not a bug:
+            // report it without a panic backtrace.
+            eprintln!("campaign '{label}' failed: {e}");
+            std::process::exit(1);
+        });
+    assert!(summary.is_complete(), "figure campaigns run to completion");
+
+    let data = CampaignData::load(artifact).expect("artifact just written must load");
+    if artifact_out.is_none() {
+        std::fs::remove_file(artifact).ok();
+    }
+
+    let ff_outer = data.baselines.first().map(|(_, outer)| *outer).unwrap_or(0);
     println!(
         "\n{label}: {} | {} inner iterations per outer iteration.",
-        problem.name, cfg.inner_iters
+        data.problems.first().map(|p| p.name.as_str()).unwrap_or("?"),
+        spec.inner_iters
     );
     println!("Failure-free number of outer iterations = {ff_outer} (paper: 9 Poisson / 28 dcop)\n");
 
     let mut series = Vec::new();
-    for position in MgsPosition::both() {
-        println!("--- SDC on the {} of the Modified Gram-Schmidt loop ---", position.label());
-        for class in FaultClass::all() {
-            eprintln!("[{label}] sweep: {} / {}...", class.label(), position.label());
-            let res = run_sweep(problem, cfg, class, position, ff_outer);
-            println!("{}", ascii_plot(&res, cfg.inner_iters, plot_width));
-            if let Some(dir) = csv_dir {
-                let file = dir.join(format!(
-                    "{label}_{}_{}.csv",
-                    match class {
-                        FaultClass::Huge => "huge",
-                        FaultClass::Slight => "slight",
-                        FaultClass::Tiny => "tiny",
-                    },
-                    match position {
-                        MgsPosition::First => "first",
-                        MgsPosition::Last => "last",
-                    }
-                ));
-                write_sweep_csv(&file, &res).expect("csv write failed");
-            }
-            series.push(res);
-        }
-    }
-
-    // §VII-E: the detector turns the class-1 plots into near-flat lines.
-    println!("--- class-1 sweeps WITH the ‖A‖_F detector (response: restart inner solve) ---");
     let mut detector_series = Vec::new();
-    let det_cfg =
-        CampaignConfig { detector_response: Some(DetectorResponse::RestartInner), ..*cfg };
-    for position in MgsPosition::both() {
-        eprintln!("[{label}] detector sweep: huge / {}...", position.label());
-        let res = run_sweep(problem, &det_cfg, FaultClass::Huge, position, ff_outer);
-        println!("{}", ascii_plot(&res, cfg.inner_iters, plot_width));
-        if let Some(dir) = csv_dir {
-            let file = dir.join(format!(
-                "{label}_huge_{}_detector.csv",
-                match position {
-                    MgsPosition::First => "first",
-                    MgsPosition::Last => "last",
-                }
-            ));
-            write_sweep_csv(&file, &res).expect("csv write failed");
+    let mut last_position = None;
+    for (scenario, result) in &data.series {
+        let detector_on = scenario.detector != DetectorPolicy::Off;
+        if !detector_on && last_position != Some(scenario.position) {
+            println!(
+                "--- SDC on the {} of the Modified Gram-Schmidt loop ---",
+                scenario.position.label()
+            );
+            last_position = Some(scenario.position);
         }
-        detector_series.push(res);
+        if detector_on && detector_series.is_empty() {
+            println!(
+                "--- class-1 sweeps WITH the ‖A‖_F detector (response: restart inner solve) ---"
+            );
+        }
+        println!("{}", ascii_plot(result, spec.inner_iters, plot_width));
+        if let Some(dir) = csv_dir {
+            let file = crate::render::scenario_csv_path(dir, label, scenario);
+            write_sweep_csv(&file, result).expect("csv write failed");
+        }
+        if detector_on {
+            detector_series.push(result.clone());
+        } else {
+            series.push(result.clone());
+        }
     }
 
-    summarize(label, ff_outer, &series, &detector_series);
-    FigureOutput { failure_free_outer: ff_outer, series, detector_series }
-}
-
-fn summarize(label: &str, ff: usize, series: &[SweepResult], detector: &[SweepResult]) {
+    // The report layer's summary covers the same §VII-E numbers the
+    // bespoke summarize() used to compute.
     println!("=== {label} summary (paper §VII-E) ===");
-    let worst_undetected = series.iter().map(|s| s.max_outer()).max().unwrap_or(ff);
-    let worst_detected = detector.iter().map(|s| s.max_outer()).max().unwrap_or(ff);
-    let huge_undetected: usize = series
-        .iter()
-        .filter(|s| s.class == FaultClass::Huge)
-        .map(|s| s.max_outer())
-        .max()
-        .unwrap_or(ff);
-    println!("  failure-free outer iterations:            {ff}");
-    println!(
-        "  worst case, any class, no detector:       {worst_undetected} (+{}, {:.0}%)",
-        worst_undetected - ff,
-        100.0 * (worst_undetected - ff) as f64 / ff as f64
-    );
-    println!(
-        "  worst case, class-1 (huge), no detector:  {huge_undetected} (+{})",
-        huge_undetected - ff
-    );
-    println!(
-        "  worst case, class-1 (huge), detector on:  {worst_detected} (+{})",
-        worst_detected - ff
-    );
-    let all_conv = series.iter().chain(detector).all(|s| s.count_failures() == 0);
-    println!(
-        "  every experiment converged to the true solution: {}",
-        if all_conv { "yes" } else { "NO — INVESTIGATE" }
-    );
-    for s in detector {
+    print!("{}", sdc_campaigns::render_report(&data));
+    for s in &detector_series {
         let committed = s.points.iter().filter(|p| p.injected).count();
         println!(
             "  detector coverage ({}): {}/{} committed class-1 faults detected",
@@ -131,4 +120,6 @@ fn summarize(label: &str, ff: usize, series: &[SweepResult], detector: &[SweepRe
         );
     }
     println!();
+
+    FigureOutput { failure_free_outer: ff_outer, series, detector_series }
 }

@@ -1,22 +1,35 @@
 //! Experiment harness regenerating every table and figure of
 //! *Evaluating the Impact of SDC on the GMRES Iterative Solver*.
 //!
-//! * [`problems`] — the two evaluation problems: the paper's exact
-//!   Poisson matrix and the synthetic `mult_dcop_03` stand-in (or the
-//!   real `.mtx` file if supplied).
-//! * [`campaign`] — the single-SDC sweep driver: one FT-GMRES solve per
-//!   (aggregate inner iteration, fault class, MGS position), parallelized
-//!   over experiments with Rayon.
-//! * [`render`] — ASCII figures, aligned tables and CSV emitters, so each
-//!   binary prints the same rows/series the paper reports and leaves a
-//!   machine-readable trace next to it.
+//! The heavy lifting lives in [`sdc_campaigns`]: the declarative spec,
+//! the sharded resumable executor, the JSONL artifact format and the
+//! re-solve-free report layer. This crate is the presentation tier —
+//! ASCII figures, aligned tables, CSV emitters — plus the thin figure,
+//! table and `campaign` binaries on top.
+//!
+//! * [`campaign`] / [`problems`] — re-exports of the engine's sweep
+//!   driver and evaluation problems (their original home; kept so
+//!   `sdc_bench::campaign::run_sweep` etc. keep working).
+//! * [`figure`] — the Figure-3/Figure-4 driver, now a front-end that
+//!   runs a paper-shaped campaign through the engine and renders the
+//!   resulting artifact.
+//! * [`render`] — ASCII figures, aligned tables and CSV emitters.
 //!
 //! Every binary accepts `--quick` for a subsampled sweep on a smaller
-//! matrix (CI-friendly) and `--csv DIR` to dump raw data.
+//! matrix (CI-friendly) and `--csv DIR` to dump raw data; the sweep
+//! binaries also accept `--out PATH` to keep the JSONL artifact.
 
-pub mod campaign;
+/// The single-SDC sweep driver (re-exported from `sdc_campaigns`).
+pub mod campaign {
+    pub use sdc_campaigns::sweep::*;
+}
+
+/// The evaluation problems (re-exported from `sdc_campaigns`).
+pub mod problems {
+    pub use sdc_campaigns::problems::*;
+}
+
 pub mod figure;
-pub mod problems;
 pub mod render;
 
 pub use campaign::{failure_free, run_sweep, CampaignConfig, SweepPoint, SweepResult};

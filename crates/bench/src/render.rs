@@ -89,6 +89,10 @@ pub fn ascii_plot(res: &SweepResult, inner_per_outer: usize, width: usize) -> St
 }
 
 /// Writes a sweep series as CSV: `aggregate,outer,converged,injected,detected,restarts,true_rel_residual`.
+///
+/// Floats are written with [`sdc_campaigns::json::fmt_f64`]: the
+/// shortest representation that parses back to the identical bits, so
+/// re-running a deterministic sweep reproduces the CSV byte for byte.
 pub fn write_sweep_csv(path: &Path, res: &SweepResult) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(
@@ -98,17 +102,35 @@ pub fn write_sweep_csv(path: &Path, res: &SweepResult) -> std::io::Result<()> {
     for p in &res.points {
         writeln!(
             f,
-            "{},{},{},{},{},{},{:.6e}",
+            "{},{},{},{},{},{},{}",
             p.aggregate,
             p.outer_iterations,
             p.converged,
             p.injected,
             p.detected,
             p.restarts,
-            p.true_rel_residual
+            sdc_campaigns::json::fmt_f64(p.true_rel_residual)
         )?;
     }
     f.flush()
+}
+
+/// The canonical CSV filename for one scenario's series: every grid
+/// axis appears, so no two scenarios of any spec can collide.
+pub fn scenario_csv_path(
+    dir: &Path,
+    campaign: &str,
+    scenario: &sdc_campaigns::Scenario,
+) -> std::path::PathBuf {
+    use sdc_campaigns::spec::{class_str, position_str};
+    dir.join(format!(
+        "{campaign}_p{}_{}_{}_{}_{}.csv",
+        scenario.problem,
+        class_str(scenario.class),
+        position_str(scenario.position),
+        scenario.detector.as_str(),
+        scenario.lsq.file_tag()
+    ))
 }
 
 /// Renders an aligned two-column table (Table-I style).
@@ -125,7 +147,9 @@ pub fn two_column_table(title: &str, rows: &[(String, String, String)]) -> Strin
     out
 }
 
-/// Parses the tiny CLI vocabulary shared by the experiment binaries.
+/// The CLI vocabulary shared by the experiment binaries, built on the
+/// engine's [`sdc_campaigns::cli`] parser so every binary reports flags
+/// and errors the same way.
 #[derive(Clone, Debug, Default)]
 pub struct CliArgs {
     /// `--quick`: subsampled sweep on a smaller matrix.
@@ -137,41 +161,45 @@ pub struct CliArgs {
     pub matrix: Option<std::path::PathBuf>,
     /// `--stride N`: explicit sweep stride.
     pub stride: Option<usize>,
+    /// `--out PATH`: keep the JSONL campaign artifact at PATH.
+    pub out: Option<std::path::PathBuf>,
 }
 
 impl CliArgs {
-    /// Parses `std::env::args`, panicking with a usage message on
-    /// unknown flags.
+    /// The shared flag set.
+    pub fn cli(program: impl Into<String>, about: impl Into<String>) -> sdc_campaigns::cli::Cli {
+        sdc_campaigns::cli::Cli::new(program, about)
+            .switch("quick", "subsampled sweep on a smaller matrix")
+            .opt("stride", "N", "explicit sweep stride")
+            .opt("csv", "DIR", "write raw CSV series into DIR")
+            .opt("matrix", "PATH", "Matrix Market file instead of the synthetic generator")
+            .opt("out", "PATH", "keep the JSONL campaign artifact at PATH")
+    }
+
+    /// Builds from a parsed flag set.
+    pub fn from_parsed(p: &sdc_campaigns::cli::Parsed) -> Result<Self, String> {
+        Ok(CliArgs {
+            quick: p.has("quick"),
+            csv_dir: p.path("csv"),
+            matrix: p.path("matrix"),
+            stride: p.get::<usize>("stride")?,
+            out: p.path("out"),
+        })
+    }
+
+    /// Parses `std::env::args`; prints usage and exits on `--help` or a
+    /// bad flag. Usage/error text carries the invoking binary's name.
     pub fn parse() -> Self {
-        let mut out = CliArgs::default();
-        let mut it = std::env::args().skip(1);
-        while let Some(arg) = it.next() {
-            match arg.as_str() {
-                "--quick" => out.quick = true,
-                "--csv" => {
-                    out.csv_dir = Some(it.next().expect("--csv needs a directory argument").into());
-                }
-                "--matrix" => {
-                    out.matrix = Some(it.next().expect("--matrix needs a path argument").into());
-                }
-                "--stride" => {
-                    out.stride = Some(
-                        it.next()
-                            .expect("--stride needs a number")
-                            .parse()
-                            .expect("--stride needs a number"),
-                    );
-                }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "flags: --quick | --stride N | --csv DIR | --matrix PATH (fig4 only)"
-                    );
-                    std::process::exit(0);
-                }
-                other => panic!("unknown flag {other}; try --help"),
+        let cli =
+            Self::cli(sdc_campaigns::cli::program_name(), "paper figure/table reproduction binary");
+        let parsed = cli.parse_env(1);
+        match Self::from_parsed(&parsed) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
         }
-        out
     }
 }
 

@@ -1,0 +1,375 @@
+//! The JSONL artifact format: one self-describing record per line.
+//!
+//! An artifact is the campaign's single source of truth. It opens with a
+//! header carrying the full spec, then one record per problem (matrix
+//! characteristics for Table-1-style reporting), one per baseline solve,
+//! and one per completed experiment — always in the engine's canonical
+//! order, so the file's bytes are a pure function of the spec no matter
+//! how execution was scheduled, sharded or interrupted.
+//!
+//! [`scan`] reads a (possibly truncated) artifact back, tolerating a
+//! partial trailing line — the expected state after a `kill -9` — and
+//! reporting the byte offset of the last complete record so the executor
+//! can truncate and append.
+
+use crate::json::{Json, JsonError};
+use crate::spec::{CampaignSpec, LsqSpec, Scenario};
+use crate::sweep::SweepPoint;
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// One line of an artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// First line: format version + the full spec.
+    Header {
+        /// The campaign spec this artifact realizes.
+        spec: CampaignSpec,
+    },
+    /// Matrix characteristics of one problem (Table-1 inputs).
+    Problem {
+        /// Index into the spec's problem list.
+        index: usize,
+        /// Display name.
+        name: String,
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// Stored nonzeros.
+        nnz: usize,
+        /// Frobenius norm `‖A‖_F` (the paper's safe detector bound).
+        norm_fro: f64,
+        /// Power-iteration estimate of `‖A‖₂`, when the spec asked for it.
+        norm2_est: Option<f64>,
+    },
+    /// One fault-free baseline solve.
+    Baseline {
+        /// Problem index.
+        problem: usize,
+        /// Least-squares policy the baseline ran with.
+        lsq: LsqSpec,
+        /// Outer iterations to convergence.
+        outer_iterations: usize,
+        /// Whether the baseline converged (it must, but record the truth).
+        converged: bool,
+    },
+    /// One completed experiment (one faulted solve).
+    Experiment {
+        /// Position in the canonical unit sequence (0-based).
+        unit: usize,
+        /// The scenario coordinate.
+        scenario: Scenario,
+        /// Stable per-unit seed derived from the spec seed.
+        seed: u64,
+        /// The measured outcome.
+        point: SweepPoint,
+    },
+}
+
+impl Record {
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Record::Header { spec } => {
+                Json::obj(vec![("kind", Json::str("header")), ("spec", spec.to_json())])
+            }
+            Record::Problem { index, name, rows, cols, nnz, norm_fro, norm2_est } => {
+                let mut pairs = vec![
+                    ("kind", Json::str("problem")),
+                    ("index", Json::Num(*index as f64)),
+                    ("name", Json::str(name)),
+                    ("rows", Json::Num(*rows as f64)),
+                    ("cols", Json::Num(*cols as f64)),
+                    ("nnz", Json::Num(*nnz as f64)),
+                    ("norm_fro", Json::Num(*norm_fro)),
+                ];
+                if let Some(n2) = norm2_est {
+                    pairs.push(("norm2_est", Json::Num(*n2)));
+                }
+                Json::obj(pairs)
+            }
+            Record::Baseline { problem, lsq, outer_iterations, converged } => Json::obj(vec![
+                ("kind", Json::str("baseline")),
+                ("problem", Json::Num(*problem as f64)),
+                ("lsq", lsq.to_json()),
+                ("outer_iterations", Json::Num(*outer_iterations as f64)),
+                ("converged", Json::Bool(*converged)),
+            ]),
+            Record::Experiment { unit, scenario, seed, point } => Json::obj(vec![
+                ("kind", Json::str("experiment")),
+                ("unit", Json::Num(*unit as f64)),
+                ("scenario", scenario.to_json()),
+                ("seed", Json::u64(*seed)),
+                ("aggregate", Json::Num(point.aggregate as f64)),
+                ("outer_iterations", Json::Num(point.outer_iterations as f64)),
+                ("converged", Json::Bool(point.converged)),
+                ("injected", Json::Bool(point.injected)),
+                ("detected", Json::Bool(point.detected)),
+                ("restarts", Json::Num(point.restarts as f64)),
+                ("true_rel_residual", Json::Num(point.true_rel_residual)),
+            ]),
+        };
+        v.to_line()
+    }
+
+    /// Parses one JSONL line.
+    pub fn parse(line: &str) -> Result<Record, JsonError> {
+        let v = Json::parse(line)?;
+        match v.field("kind")?.as_str()? {
+            "header" => Ok(Record::Header { spec: CampaignSpec::from_json(v.field("spec")?)? }),
+            "problem" => Ok(Record::Problem {
+                index: v.field("index")?.as_usize()?,
+                name: v.field("name")?.as_str()?.to_string(),
+                rows: v.field("rows")?.as_usize()?,
+                cols: v.field("cols")?.as_usize()?,
+                nnz: v.field("nnz")?.as_usize()?,
+                norm_fro: v.field("norm_fro")?.as_f64()?,
+                norm2_est: match v.get("norm2_est") {
+                    Some(n) => Some(n.as_f64()?),
+                    None => None,
+                },
+            }),
+            "baseline" => Ok(Record::Baseline {
+                problem: v.field("problem")?.as_usize()?,
+                lsq: LsqSpec::from_json(v.field("lsq")?)?,
+                outer_iterations: v.field("outer_iterations")?.as_usize()?,
+                converged: v.field("converged")?.as_bool()?,
+            }),
+            "experiment" => Ok(Record::Experiment {
+                unit: v.field("unit")?.as_usize()?,
+                scenario: Scenario::from_json(v.field("scenario")?)?,
+                seed: v.field("seed")?.as_u64()?,
+                point: SweepPoint {
+                    aggregate: v.field("aggregate")?.as_usize()?,
+                    outer_iterations: v.field("outer_iterations")?.as_usize()?,
+                    converged: v.field("converged")?.as_bool()?,
+                    injected: v.field("injected")?.as_bool()?,
+                    detected: v.field("detected")?.as_bool()?,
+                    restarts: v.field("restarts")?.as_usize()?,
+                    true_rel_residual: v.field("true_rel_residual")?.as_f64()?,
+                },
+            }),
+            other => Err(JsonError { offset: 0, msg: format!("unknown record kind '{other}'") }),
+        }
+    }
+}
+
+/// Errors reading or validating an artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A structurally broken record before the tail (offset is 1-based
+    /// line number).
+    Corrupt {
+        /// 1-based line number of the broken record.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Corrupt { line, msg } => {
+                write!(f, "artifact corrupt at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// The result of scanning an existing artifact.
+#[derive(Debug)]
+pub struct Scan {
+    /// Every complete, parseable record, in file order.
+    pub records: Vec<Record>,
+    /// End byte offset (exclusive, including the newline) of each record
+    /// in `records` — `ends[i]` is where the file would be truncated to
+    /// keep exactly records `0..=i`.
+    pub ends: Vec<u64>,
+    /// Byte length of the valid prefix (everything after this offset is
+    /// a partial or broken tail to be truncated before appending).
+    pub valid_bytes: u64,
+    /// True when the file had a broken/partial tail past `valid_bytes`.
+    pub dirty_tail: bool,
+}
+
+/// Scans an artifact, tolerating a partial trailing line.
+///
+/// A line is only considered at all if it is newline-terminated — a
+/// record whose write was cut short by a kill is, by construction, the
+/// unterminated last line. A *terminated* line that fails to parse stops
+/// the scan there (the rest of the file cannot be trusted to be in
+/// canonical order), returning everything before it as the valid prefix.
+pub fn scan(path: &Path) -> Result<Scan, ArtifactError> {
+    let bytes = std::fs::read(path)?;
+    let mut records = Vec::new();
+    let mut ends = Vec::new();
+    let mut valid_bytes = 0u64;
+    let mut start = 0usize;
+    let mut lineno = 0usize;
+    while start < bytes.len() {
+        let Some(rel_end) = bytes[start..].iter().position(|&b| b == b'\n') else {
+            break; // unterminated tail
+        };
+        let end = start + rel_end;
+        lineno += 1;
+        let line = std::str::from_utf8(&bytes[start..end])
+            .map_err(|_| ArtifactError::Corrupt { line: lineno, msg: "invalid utf-8".into() });
+        let parsed = line.and_then(|l| {
+            Record::parse(l)
+                .map_err(|e| ArtifactError::Corrupt { line: lineno, msg: e.to_string() })
+        });
+        match parsed {
+            Ok(rec) => {
+                records.push(rec);
+                ends.push((end + 1) as u64);
+                valid_bytes = (end + 1) as u64;
+                start = end + 1;
+            }
+            Err(_) => break, // truncate from here
+        }
+    }
+    let dirty_tail = valid_bytes != bytes.len() as u64;
+    Ok(Scan { records, ends, valid_bytes, dirty_tail })
+}
+
+/// Appends one record (plus newline) to a writer.
+pub fn append(w: &mut impl Write, rec: &Record) -> std::io::Result<()> {
+    w.write_all(rec.to_line().as_bytes())?;
+    w.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, DetectorPolicy, ProblemSpec};
+    use sdc_faults::campaign::{FaultClass, MgsPosition};
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::paper_shape("t", vec![ProblemSpec::Poisson { m: 8 }])
+    }
+
+    fn sample_records() -> Vec<Record> {
+        let scenario = Scenario {
+            problem: 0,
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+            detector: DetectorPolicy::Off,
+            lsq: LsqSpec::Standard,
+        };
+        vec![
+            Record::Header { spec: spec() },
+            Record::Problem {
+                index: 0,
+                name: "Poisson 8x8".into(),
+                rows: 64,
+                cols: 64,
+                nnz: 288,
+                norm_fro: 42.5,
+                norm2_est: None,
+            },
+            Record::Baseline {
+                problem: 0,
+                lsq: LsqSpec::Standard,
+                outer_iterations: 9,
+                converged: true,
+            },
+            Record::Experiment {
+                unit: 0,
+                scenario,
+                seed: 0xdead_beef,
+                point: SweepPoint {
+                    aggregate: 1,
+                    outer_iterations: 12,
+                    converged: true,
+                    injected: true,
+                    detected: false,
+                    restarts: 0,
+                    true_rel_residual: 3.5e-9,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for rec in sample_records() {
+            let line = rec.to_line();
+            assert!(!line.contains('\n'));
+            let back = Record::parse(&line).unwrap();
+            assert_eq!(back, rec, "{line}");
+            assert_eq!(back.to_line(), line, "canonical serialization");
+        }
+    }
+
+    #[test]
+    fn scan_handles_partial_tail() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sdc_artifact_scan_{}.jsonl", std::process::id()));
+        let mut buf = Vec::new();
+        let recs = sample_records();
+        for r in &recs {
+            append(&mut buf, r).unwrap();
+        }
+        let full_len = buf.len() as u64;
+
+        // Complete file: everything valid, clean tail.
+        std::fs::write(&path, &buf).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records, recs);
+        assert_eq!(s.valid_bytes, full_len);
+        assert!(!s.dirty_tail);
+
+        // Kill mid-record: the last line is cut short.
+        std::fs::write(&path, &buf[..buf.len() - 17]).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), recs.len() - 1);
+        assert!(s.dirty_tail);
+        // The valid prefix ends exactly where the last complete record did.
+        let third_end = {
+            let mut b = Vec::new();
+            for r in &recs[..3] {
+                append(&mut b, r).unwrap();
+            }
+            b.len() as u64
+        };
+        assert_eq!(s.valid_bytes, third_end);
+
+        // Garbage mid-file stops the scan at the garbage line.
+        let mut garbled = Vec::new();
+        append(&mut garbled, &recs[0]).unwrap();
+        garbled.extend_from_slice(b"{not json}\n");
+        append(&mut garbled, &recs[1]).unwrap();
+        std::fs::write(&path, &garbled).unwrap();
+        let s = scan(&path).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert!(s.dirty_tail);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_scans_clean() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("sdc_artifact_empty_{}.jsonl", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let s = scan(&path).unwrap();
+        assert!(s.records.is_empty());
+        assert_eq!(s.valid_bytes, 0);
+        assert!(!s.dirty_tail);
+        std::fs::remove_file(&path).ok();
+    }
+}

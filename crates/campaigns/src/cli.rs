@@ -1,0 +1,226 @@
+//! A minimal shared command-line flag parser.
+//!
+//! Every experiment binary in the workspace speaks the same tiny flag
+//! vocabulary (`--quick`, `--stride N`, `--matrix PATH`, `--out PATH`,
+//! `--csv DIR`, ...). Before this module each binary hand-rolled its own
+//! `std::env::args` loop with subtly different error behavior; now a
+//! binary declares its flags once and gets parsing, `--help` text and
+//! consistent error messages for free. No external dependencies — the
+//! grammar is just `--flag` and `--flag VALUE`.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+
+#[derive(Clone, Debug)]
+struct FlagSpec {
+    name: &'static str,
+    value_name: Option<&'static str>,
+    help: &'static str,
+}
+
+/// A declarative flag set for one binary (or one subcommand).
+#[derive(Clone, Debug)]
+pub struct Cli {
+    program: String,
+    about: String,
+    flags: Vec<FlagSpec>,
+    accepts_positional: bool,
+}
+
+/// The invoking binary's name (basename of `argv[0]`), for accurate
+/// usage/error text without every call site restating its own name.
+pub fn program_name() -> String {
+    std::env::args()
+        .next()
+        .as_deref()
+        .map(Path::new)
+        .and_then(|p| p.file_name())
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "program".to_string())
+}
+
+impl Cli {
+    /// Starts a flag set for `program`.
+    pub fn new(program: impl Into<String>, about: impl Into<String>) -> Self {
+        Self {
+            program: program.into(),
+            about: about.into(),
+            flags: Vec::new(),
+            accepts_positional: false,
+        }
+    }
+
+    /// Declares a boolean switch (`--name`).
+    pub fn switch(mut self, name: &'static str, help: &'static str) -> Self {
+        self.flags.push(FlagSpec { name, value_name: None, help });
+        self
+    }
+
+    /// Declares a value-taking option (`--name VALUE`).
+    pub fn opt(mut self, name: &'static str, value_name: &'static str, help: &'static str) -> Self {
+        self.flags.push(FlagSpec { name, value_name: Some(value_name), help });
+        self
+    }
+
+    /// Allows bare positional arguments (collected in order).
+    pub fn positional(mut self) -> Self {
+        self.accepts_positional = true;
+        self
+    }
+
+    /// The generated usage text.
+    pub fn usage(&self) -> String {
+        let mut out = format!("{} — {}\n\nflags:\n", self.program, self.about);
+        let width =
+            self.flags.iter().map(|f| f.name.len() + 3 + f.value_name.unwrap_or("").len()).max();
+        let width = width.unwrap_or(0).max(8);
+        for f in &self.flags {
+            let lhs = match f.value_name {
+                Some(v) => format!("--{} {v}", f.name),
+                None => format!("--{}", f.name),
+            };
+            out.push_str(&format!("  {lhs:<width$}  {}\n", f.help));
+        }
+        out.push_str(&format!("  {:<width$}  print this help\n", "--help"));
+        out
+    }
+
+    /// Parses an explicit argument list (testable, no process exit).
+    pub fn parse_from<I: IntoIterator<Item = String>>(&self, args: I) -> Result<Parsed, String> {
+        let mut parsed = Parsed::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                return Err(HELP_SENTINEL.to_string());
+            }
+            if let Some(name) = arg.strip_prefix("--") {
+                let Some(spec) = self.flags.iter().find(|f| f.name == name) else {
+                    return Err(format!("{}: unknown flag --{name}", self.program));
+                };
+                match spec.value_name {
+                    None => {
+                        parsed.switches.insert(spec.name);
+                    }
+                    Some(value_name) => {
+                        let Some(value) = it.next() else {
+                            return Err(format!(
+                                "{}: --{name} needs a {value_name} argument",
+                                self.program
+                            ));
+                        };
+                        if parsed.values.insert(spec.name, value).is_some() {
+                            return Err(format!("{}: --{name} given twice", self.program));
+                        }
+                    }
+                }
+            } else if self.accepts_positional {
+                parsed.positional.push(arg);
+            } else {
+                return Err(format!("{}: unexpected argument '{arg}'", self.program));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Parses the process arguments; prints usage and exits on `--help`
+    /// or error. `skip` is how many leading arguments to drop (1 for the
+    /// program name, 2 when a subcommand was already consumed).
+    pub fn parse_env(&self, skip: usize) -> Parsed {
+        match self.parse_from(std::env::args().skip(skip)) {
+            Ok(p) => p,
+            Err(e) if e == HELP_SENTINEL => {
+                eprint!("{}", self.usage());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                eprint!("{}", self.usage());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+const HELP_SENTINEL: &str = "\u{0}help";
+
+/// Parsed arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Parsed {
+    switches: HashSet<&'static str>,
+    values: HashMap<&'static str, String>,
+    /// Bare positional arguments, in order.
+    pub positional: Vec<String>,
+}
+
+impl Parsed {
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// The raw value of an option, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(|s| s.as_str())
+    }
+
+    /// The value of an option as a path, if given.
+    pub fn path(&self, name: &str) -> Option<PathBuf> {
+        self.value(name).map(PathBuf::from)
+    }
+
+    /// The value of an option parsed to `T`, if given; a parse failure
+    /// is an error naming the flag.
+    pub fn get<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => {
+                raw.parse::<T>().map(Some).map_err(|_| format!("--{name}: cannot parse '{raw}'"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli() -> Cli {
+        Cli::new("demo", "a test binary")
+            .switch("quick", "subsampled run")
+            .opt("stride", "N", "sweep stride")
+            .opt("out", "PATH", "artifact path")
+    }
+
+    #[test]
+    fn parses_switches_values_and_errors() {
+        let p = cli()
+            .parse_from(["--quick", "--stride", "5", "--out", "a.jsonl"].map(String::from))
+            .unwrap();
+        assert!(p.has("quick"));
+        assert_eq!(p.get::<usize>("stride").unwrap(), Some(5));
+        assert_eq!(p.path("out").unwrap(), PathBuf::from("a.jsonl"));
+        assert_eq!(p.get::<usize>("missing").unwrap(), None);
+
+        assert!(cli().parse_from(["--bogus".to_string()]).is_err());
+        assert!(cli().parse_from(["--stride".to_string()]).is_err(), "missing value");
+        assert!(cli().parse_from(["--stride", "1", "--stride", "2"].map(String::from)).is_err());
+        assert!(cli().parse_from(["stray".to_string()]).is_err());
+        let p = cli().positional().parse_from(["stray".to_string()]).unwrap();
+        assert_eq!(p.positional, vec!["stray".to_string()]);
+    }
+
+    #[test]
+    fn bad_value_names_the_flag() {
+        let p = cli().parse_from(["--stride", "lots"].map(String::from)).unwrap();
+        let err = p.get::<usize>("stride").unwrap_err();
+        assert!(err.contains("--stride"), "{err}");
+    }
+
+    #[test]
+    fn usage_lists_every_flag() {
+        let u = cli().usage();
+        for needle in ["--quick", "--stride N", "--out PATH", "--help", "a test binary"] {
+            assert!(u.contains(needle), "usage missing {needle}:\n{u}");
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! The aggregation and report layer: everything here works from a stored
+//! artifact alone — no solver runs, no matrices built.
+//!
+//! [`CampaignData::load`] reconstructs the spec, per-problem
+//! characteristics, baselines and full [`SweepResult`] series from the
+//! JSONL records. [`render_report`] turns that into the Figure-3-style
+//! sweep summary plus a Table-1-style characteristics block, and
+//! [`render_diff`] compares two artifacts series by series (e.g. a new
+//! detector policy against a stored reference run).
+
+use crate::artifact::{self, ArtifactError, Record};
+use crate::json::fmt_f64;
+use crate::spec::{CampaignSpec, LsqSpec, Scenario};
+use crate::sweep::SweepResult;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Matrix characteristics recovered from a problem record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProblemInfo {
+    /// Index into the spec's problem list.
+    pub index: usize,
+    /// Display name.
+    pub name: String,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// `‖A‖_F` — the paper's safe detector bound.
+    pub norm_fro: f64,
+    /// `‖A‖₂` estimate, when the campaign recorded one.
+    pub norm2_est: Option<f64>,
+}
+
+/// Everything an artifact holds, reassembled.
+#[derive(Clone, Debug)]
+pub struct CampaignData {
+    /// The spec stored in the header.
+    pub spec: CampaignSpec,
+    /// One entry per problem record present.
+    pub problems: Vec<ProblemInfo>,
+    /// Baseline outer-iteration counts, in baseline-key order.
+    pub baselines: Vec<((usize, LsqSpec), usize)>,
+    /// One reconstructed series per scenario, in canonical scenario
+    /// order; scenarios with no completed experiments yet have empty
+    /// `points`.
+    pub series: Vec<(Scenario, SweepResult)>,
+    /// Experiment records present in the artifact.
+    pub present_units: usize,
+    /// Experiment records a complete run would hold (computable once all
+    /// baselines are present; 0 beforehand).
+    pub expected_units: usize,
+}
+
+impl CampaignData {
+    /// Loads and reassembles an artifact.
+    ///
+    /// The file must start with a header record; otherwise it is not an
+    /// artifact. A partial tail (killed run) is fine — the data is
+    /// simply incomplete, as reported by [`CampaignData::is_complete`].
+    pub fn load(path: &Path) -> Result<Self, ArtifactError> {
+        let scan = artifact::scan(path)?;
+        let mut records = scan.records.into_iter();
+        let spec = match records.next() {
+            Some(Record::Header { spec }) => spec,
+            _ => {
+                return Err(ArtifactError::Corrupt {
+                    line: 1,
+                    msg: "artifact must start with a header record".into(),
+                })
+            }
+        };
+
+        let scenarios = spec.scenarios();
+        let mut problems = Vec::new();
+        let mut baselines: Vec<((usize, LsqSpec), usize)> = Vec::new();
+        let mut series: Vec<(Scenario, SweepResult)> = scenarios
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    SweepResult {
+                        class: s.class,
+                        position: s.position,
+                        failure_free_outer: 0,
+                        points: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        let mut present_units = 0usize;
+
+        for rec in records {
+            match rec {
+                Record::Header { .. } => {
+                    return Err(ArtifactError::Corrupt {
+                        line: 0,
+                        msg: "duplicate header record".into(),
+                    })
+                }
+                Record::Problem { index, name, rows, cols, nnz, norm_fro, norm2_est } => {
+                    problems.push(ProblemInfo {
+                        index,
+                        name,
+                        rows,
+                        cols,
+                        nnz,
+                        norm_fro,
+                        norm2_est,
+                    });
+                }
+                Record::Baseline { problem, lsq, outer_iterations, .. } => {
+                    baselines.push(((problem, lsq), outer_iterations));
+                    for (s, r) in series.iter_mut() {
+                        if s.problem == problem && s.lsq == lsq {
+                            r.failure_free_outer = outer_iterations;
+                        }
+                    }
+                }
+                Record::Experiment { scenario, point, .. } => {
+                    present_units += 1;
+                    if let Some((_, r)) = series.iter_mut().find(|(s, _)| *s == scenario) {
+                        r.points.push(point);
+                    }
+                }
+            }
+        }
+
+        // Expected units are computable exactly once every baseline is
+        // known: each scenario's domain is 1..=inner·ff stepped by stride.
+        let keys = spec.baseline_keys();
+        let expected_units = if keys.iter().all(|k| baselines.iter().any(|(bk, _)| bk == k)) {
+            scenarios
+                .iter()
+                .map(|s| {
+                    let ff = baselines
+                        .iter()
+                        .find(|(bk, _)| *bk == (s.problem, s.lsq))
+                        .map(|(_, o)| *o)
+                        .unwrap_or(0);
+                    spec.unit_domain(ff).count()
+                })
+                .sum()
+        } else {
+            0
+        };
+
+        Ok(CampaignData { spec, problems, baselines, series, present_units, expected_units })
+    }
+
+    /// True when every expected experiment is present.
+    pub fn is_complete(&self) -> bool {
+        self.expected_units > 0 && self.present_units == self.expected_units
+    }
+
+    /// The reconstructed series for one scenario, if present.
+    pub fn series_for(&self, scenario: &Scenario) -> Option<&SweepResult> {
+        self.series.iter().find(|(s, _)| s == scenario).map(|(_, r)| r)
+    }
+}
+
+fn scenario_line(s: &Scenario, r: &SweepResult) -> String {
+    format!(
+        "{}: points={} worst={} (+{}, {:.1}%) no-penalty={} detected={} failures={}",
+        s.label(),
+        r.points.len(),
+        r.max_outer(),
+        r.max_increase(),
+        r.pct_increase(),
+        r.count_no_penalty(),
+        r.count_detected(),
+        r.count_failures()
+    )
+}
+
+/// Renders the full report: completeness, Table-1-style characteristics,
+/// baselines, one summary line per series, and the §VII-E rollup.
+pub fn render_report(data: &CampaignData) -> String {
+    let mut out = String::new();
+    let status = if data.is_complete() {
+        "complete".to_string()
+    } else if data.expected_units == 0 {
+        format!("{} experiments, preamble incomplete", data.present_units)
+    } else {
+        format!("INCOMPLETE: {}/{} experiments", data.present_units, data.expected_units)
+    };
+    writeln!(out, "=== campaign '{}' ({status}) ===", data.spec.name).unwrap();
+    writeln!(
+        out,
+        "spec: {} problem(s), {} scenario(s), inner_iters={}, outer_tol={}, stride={}, seed={}",
+        data.spec.problems.len(),
+        data.series.len(),
+        data.spec.inner_iters,
+        fmt_f64(data.spec.outer_tol),
+        data.spec.stride,
+        data.spec.seed
+    )
+    .unwrap();
+
+    writeln!(out, "\n-- matrix characteristics (Table 1) --").unwrap();
+    for p in &data.problems {
+        writeln!(out, "problem {}: {}", p.index, p.name).unwrap();
+        writeln!(out, "  rows x cols : {} x {}", p.rows, p.cols).unwrap();
+        writeln!(out, "  nonzeros    : {}", p.nnz).unwrap();
+        writeln!(out, "  ||A||_F     : {}", fmt_f64(p.norm_fro)).unwrap();
+        match p.norm2_est {
+            Some(n2) => writeln!(out, "  ||A||_2 est : {}", fmt_f64(n2)).unwrap(),
+            None => writeln!(out, "  ||A||_2 est : (not recorded)").unwrap(),
+        }
+    }
+
+    writeln!(out, "\n-- fault-free baselines --").unwrap();
+    for ((problem, lsq), outer) in &data.baselines {
+        writeln!(out, "problem {problem}, lsq={}: {outer} outer iterations", lsq.label()).unwrap();
+    }
+
+    writeln!(out, "\n-- sweep series --").unwrap();
+    for (s, r) in &data.series {
+        if r.points.is_empty() {
+            writeln!(out, "{}: (no experiments yet)", s.label()).unwrap();
+        } else {
+            writeln!(out, "{}", scenario_line(s, r)).unwrap();
+        }
+    }
+
+    // §VII-E rollup, per problem: worst case with/without the detector.
+    writeln!(out, "\n-- worst-case summary (paper \u{a7}VII-E) --").unwrap();
+    for p in &data.problems {
+        let undetected: Vec<&SweepResult> = data
+            .series
+            .iter()
+            .filter(|(s, r)| {
+                s.problem == p.index
+                    && s.detector == crate::spec::DetectorPolicy::Off
+                    && !r.points.is_empty()
+            })
+            .map(|(_, r)| r)
+            .collect();
+        let detected: Vec<&SweepResult> = data
+            .series
+            .iter()
+            .filter(|(s, r)| {
+                s.problem == p.index
+                    && s.detector != crate::spec::DetectorPolicy::Off
+                    && !r.points.is_empty()
+            })
+            .map(|(_, r)| r)
+            .collect();
+        let ff = undetected.first().or(detected.first()).map(|r| r.failure_free_outer).unwrap_or(0);
+        writeln!(out, "problem {}: failure-free = {ff} outer", p.index).unwrap();
+        if let Some(worst) = undetected.iter().map(|r| r.max_outer()).max() {
+            writeln!(
+                out,
+                "  worst case, no detector : {worst} (+{}, {:.1}%)",
+                worst.saturating_sub(ff),
+                100.0 * worst.saturating_sub(ff) as f64 / ff.max(1) as f64
+            )
+            .unwrap();
+        }
+        if let Some(worst) = detected.iter().map(|r| r.max_outer()).max() {
+            writeln!(
+                out,
+                "  worst case, detector on : {worst} (+{}, {:.1}%)",
+                worst.saturating_sub(ff),
+                100.0 * worst.saturating_sub(ff) as f64 / ff.max(1) as f64
+            )
+            .unwrap();
+        }
+        let failures: usize =
+            undetected.iter().chain(detected.iter()).map(|r| r.count_failures()).sum();
+        writeln!(out, "  non-converged experiments: {failures}").unwrap();
+    }
+    out
+}
+
+/// Renders a cross-run diff: series present in both artifacts are
+/// compared point by point; series unique to one side are listed.
+pub fn render_diff(a: &CampaignData, b: &CampaignData) -> String {
+    let mut out = String::new();
+    writeln!(out, "=== diff: '{}' vs '{}' ===", a.spec.name, b.spec.name).unwrap();
+    let mut identical = 0usize;
+    for (s, ra) in &a.series {
+        match b.series_for(s) {
+            None => {
+                writeln!(out, "only in '{}': {}", a.spec.name, s.label()).unwrap();
+            }
+            Some(rb) => {
+                let n = ra.points.len().min(rb.points.len());
+                let mut changed_outer = 0usize;
+                let mut changed_residual = 0usize;
+                for (pa, pb) in ra.points[..n].iter().zip(rb.points[..n].iter()) {
+                    if pa.outer_iterations != pb.outer_iterations {
+                        changed_outer += 1;
+                    }
+                    if pa.true_rel_residual.to_bits() != pb.true_rel_residual.to_bits() {
+                        changed_residual += 1;
+                    }
+                }
+                let len_note = if ra.points.len() != rb.points.len() {
+                    format!(" point-count {} -> {}", ra.points.len(), rb.points.len())
+                } else {
+                    String::new()
+                };
+                if changed_outer == 0 && changed_residual == 0 && len_note.is_empty() {
+                    identical += 1;
+                } else {
+                    writeln!(
+                        out,
+                        "{}:{len_note} outer-changed {changed_outer}/{n}, \
+                         residual-changed {changed_residual}/{n}, \
+                         worst {} -> {} (ff {} -> {})",
+                        s.label(),
+                        ra.max_outer(),
+                        rb.max_outer(),
+                        ra.failure_free_outer,
+                        rb.failure_free_outer
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    for (s, _) in &b.series {
+        if a.series_for(s).is_none() {
+            writeln!(out, "only in '{}': {}", b.spec.name, s.label()).unwrap();
+        }
+    }
+    writeln!(out, "identical series: {identical}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run, RunOptions};
+    use crate::spec::{CampaignSpec, DetectorPolicy, ProblemSpec};
+    use std::path::PathBuf;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            inner_iters: 8,
+            outer_tol: 1e-8,
+            outer_max: 60,
+            stride: 5,
+            ..CampaignSpec::paper_shape("tiny-report", vec![ProblemSpec::Poisson { m: 8 }])
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sdc_report_{}_{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn reconstruction_matches_live_sweep() {
+        use crate::sweep::{failure_free, run_sweep};
+        let spec = tiny_spec();
+        let path = tmp("reconstruct");
+        std::fs::remove_file(&path).ok();
+        run(&spec, &path, false, &RunOptions { quiet: true, ..Default::default() }).unwrap();
+
+        let data = CampaignData::load(&path).unwrap();
+        assert!(data.is_complete());
+
+        // Every reconstructed series equals the raw-path sweep.
+        let p = spec.problems[0].build();
+        for (s, reconstructed) in &data.series {
+            let cfg = spec.campaign_config(s);
+            let base_cfg = spec.baseline_config(s.lsq);
+            let ff = failure_free(&p, &base_cfg);
+            let reference = run_sweep(&p, &cfg, s.class, s.position, ff.iterations);
+            assert_eq!(reconstructed.failure_free_outer, reference.failure_free_outer);
+            assert_eq!(reconstructed.points.len(), reference.points.len());
+            for (a, b) in reconstructed.points.iter().zip(reference.points.iter()) {
+                assert_eq!(a.aggregate, b.aggregate);
+                assert_eq!(a.outer_iterations, b.outer_iterations);
+                assert_eq!(a.detected, b.detected);
+                assert_eq!(a.true_rel_residual.to_bits(), b.true_rel_residual.to_bits());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_renders_and_diff_is_clean_for_identical_runs() {
+        let spec = tiny_spec();
+        let p1 = tmp("render1");
+        let p2 = tmp("render2");
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+        let quiet = RunOptions { quiet: true, ..Default::default() };
+        run(&spec, &p1, false, &quiet).unwrap();
+        run(&spec, &p2, false, &quiet).unwrap();
+
+        let d1 = CampaignData::load(&p1).unwrap();
+        let d2 = CampaignData::load(&p2).unwrap();
+
+        let report = render_report(&d1);
+        assert!(report.contains("campaign 'tiny-report' (complete)"));
+        assert!(report.contains("Table 1"));
+        assert!(report.contains("failure-free"));
+        // Detector scenarios appear.
+        assert!(report.contains("detector=restart_inner"));
+
+        let diff = render_diff(&d1, &d2);
+        assert!(diff.contains(&format!("identical series: {}", d1.series.len())), "{diff}");
+
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn incomplete_artifact_reports_progress() {
+        let spec = tiny_spec();
+        let path = tmp("incomplete");
+        std::fs::remove_file(&path).ok();
+        run(
+            &spec,
+            &path,
+            false,
+            &RunOptions { quiet: true, max_units: Some(3), ..Default::default() },
+        )
+        .unwrap();
+        let data = CampaignData::load(&path).unwrap();
+        assert!(!data.is_complete());
+        assert_eq!(data.present_units, 3);
+        assert!(data.expected_units > 3);
+        let report = render_report(&data);
+        assert!(report.contains("INCOMPLETE"), "{report}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn diff_flags_detector_difference() {
+        // Same grid, one run with detector block, one without.
+        let spec_a = tiny_spec();
+        let mut spec_b = tiny_spec();
+        spec_b.blocks.pop(); // drop the detector block
+        let pa = tmp("diff_a");
+        let pb = tmp("diff_b");
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+        let quiet = RunOptions { quiet: true, ..Default::default() };
+        run(&spec_a, &pa, false, &quiet).unwrap();
+        run(&spec_b, &pb, false, &quiet).unwrap();
+        let da = CampaignData::load(&pa).unwrap();
+        let db = CampaignData::load(&pb).unwrap();
+        let diff = render_diff(&da, &db);
+        assert!(diff.contains("only in 'tiny-report'"), "{diff}");
+        assert!(diff.contains(DetectorPolicy::RestartInner.as_str()), "{diff}");
+        std::fs::remove_file(&pa).ok();
+        std::fs::remove_file(&pb).ok();
+    }
+}

@@ -6,6 +6,11 @@
 //! experiments are mutually independent, so the sweep runs them in
 //! parallel with Rayon — each experiment's kernels are deterministic, so
 //! the sweep's output is identical however it is scheduled.
+//!
+//! This module is the *raw* path: one (class, position) series, no
+//! persistence. The [`crate::executor`] runs the same experiments unit by
+//! unit behind an artifact file; [`crate::report`] reconstructs
+//! [`SweepResult`] values from that artifact without re-solving.
 
 use crate::problems::Problem;
 use rayon::prelude::*;
@@ -64,7 +69,7 @@ impl CampaignConfig {
 }
 
 /// One experiment's outcome.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SweepPoint {
     /// The aggregate inner iteration that was faulted (x-axis).
     pub aggregate: usize,
@@ -157,24 +162,32 @@ pub fn run_sweep(
                 class,
                 position,
             };
-            let inj = point.injector();
-            let (x, rep) =
-                sdc_gmres::ftgmres::ftgmres_solve_instrumented(&p.a, &p.b, None, &ft, &inj);
-            let mut r = vec![0.0; p.b.len()];
-            sdc_gmres::operator::residual(&p.a, &p.b, &x, &mut r);
-            let true_rel = sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&p.b).max(1e-300);
-            SweepPoint {
-                aggregate,
-                outer_iterations: rep.iterations,
-                converged: rep.outcome.is_converged(),
-                injected: !rep.injections.is_empty(),
-                detected: rep.detected_anything(),
-                restarts: rep.detector_restarts,
-                true_rel_residual: true_rel,
-            }
+            run_experiment(p, &ft, point)
         })
         .collect();
     SweepResult { class, position, failure_free_outer, points }
+}
+
+/// Runs exactly one experiment: one solve with one SDC coordinate armed.
+///
+/// Both [`run_sweep`] and the campaign executor go through this function,
+/// so a sweep point and the corresponding artifact record are guaranteed
+/// to be the same computation.
+pub fn run_experiment(p: &Problem, ft: &FtGmresConfig, point: CampaignPoint) -> SweepPoint {
+    let inj = point.injector();
+    let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_instrumented(&p.a, &p.b, None, ft, &inj);
+    let mut r = vec![0.0; p.b.len()];
+    sdc_gmres::operator::residual(&p.a, &p.b, &x, &mut r);
+    let true_rel = sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&p.b).max(1e-300);
+    SweepPoint {
+        aggregate: point.aggregate_iteration,
+        outer_iterations: rep.iterations,
+        converged: rep.outcome.is_converged(),
+        injected: !rep.injections.is_empty(),
+        detected: rep.detected_anything(),
+        restarts: rep.detector_restarts,
+        true_rel_residual: true_rel,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! End-to-end smoke test over the committed spec
+//! (`specs/smoke.json`): run → interrupt → resume → report, asserting
+//! the resumed artifact is byte-identical to an uninterrupted run and
+//! the report matches the committed golden summary
+//! (`tests/golden/smoke_report.txt`).
+//!
+//! The CI smoke job drives the same spec and golden through the
+//! `campaign` binary; this test keeps the contract enforced by plain
+//! `cargo test` too. Regenerate the golden after an intentional format
+//! change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sdc_campaigns --test smoke
+//! ```
+
+use sdc_campaigns::{CampaignData, CampaignSpec, RunOptions};
+use std::path::{Path, PathBuf};
+
+fn repo_file(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sdc_smoke_{}_{name}.jsonl", std::process::id()))
+}
+
+fn load_smoke_spec() -> CampaignSpec {
+    let text = std::fs::read_to_string(repo_file("specs/smoke.json")).expect("spec readable");
+    CampaignSpec::parse(&text).expect("committed spec must parse")
+}
+
+#[test]
+fn committed_spec_parses_and_round_trips() {
+    let spec = load_smoke_spec();
+    assert_eq!(spec.name, "smoke");
+    assert_eq!(spec.scenarios().len(), 8);
+    let back = CampaignSpec::parse(&spec.to_json().to_line()).unwrap();
+    assert_eq!(back, spec);
+}
+
+#[test]
+fn run_interrupt_resume_report_matches_golden() {
+    let spec = load_smoke_spec();
+    let quiet = RunOptions { quiet: true, ..Default::default() };
+
+    // Uninterrupted reference run.
+    let full_path = tmp("full");
+    std::fs::remove_file(&full_path).ok();
+    let summary = sdc_campaigns::run(&spec, &full_path, false, &quiet).unwrap();
+    assert!(summary.is_complete());
+    let full_bytes = std::fs::read(&full_path).unwrap();
+
+    // Interrupted run: stop mid-campaign, then chop a partial record off
+    // the tail (what a kill mid-write leaves), then resume to the end.
+    let part_path = tmp("part");
+    std::fs::remove_file(&part_path).ok();
+    let interrupted = sdc_campaigns::run(
+        &spec,
+        &part_path,
+        false,
+        &RunOptions { quiet: true, max_units: Some(9), shard_size: 4 },
+    )
+    .unwrap();
+    assert!(!interrupted.is_complete());
+    let bytes = std::fs::read(&part_path).unwrap();
+    std::fs::write(&part_path, &bytes[..bytes.len() - 23]).unwrap();
+
+    let resumed = sdc_campaigns::run(&spec, &part_path, true, &quiet).unwrap();
+    assert!(resumed.is_complete());
+    assert!(resumed.skipped_units > 0, "resume must reuse completed units");
+    assert_eq!(
+        std::fs::read(&part_path).unwrap(),
+        full_bytes,
+        "resumed artifact must be byte-identical to the uninterrupted run"
+    );
+
+    // A second resume is a byte-preserving no-op.
+    let noop = sdc_campaigns::run(&spec, &part_path, true, &quiet).unwrap();
+    assert_eq!(noop.ran_units, 0);
+    assert_eq!(std::fs::read(&part_path).unwrap(), full_bytes);
+
+    // The report is reconstructed from the artifact alone and must match
+    // the committed golden summary byte for byte.
+    let data = CampaignData::load(&full_path).unwrap();
+    assert!(data.is_complete());
+    let report = sdc_campaigns::render_report(&data);
+    let golden_path = repo_file("tests/golden/smoke_report.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &report).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(report, golden, "report drifted from tests/golden/smoke_report.txt");
+
+    std::fs::remove_file(&full_path).ok();
+    std::fs::remove_file(&part_path).ok();
+}
+
+#[test]
+fn report_numbers_match_live_solves() {
+    // Acceptance check: the artifact-only report reproduces the
+    // Figure-3-style sweep summary and the Table-1 numbers that a live
+    // (re-solving) computation gives.
+    let spec = load_smoke_spec();
+    let path = tmp("live");
+    std::fs::remove_file(&path).ok();
+    sdc_campaigns::run(&spec, &path, false, &RunOptions { quiet: true, ..Default::default() })
+        .unwrap();
+    let data = CampaignData::load(&path).unwrap();
+
+    // Table-1 numbers against a freshly built matrix.
+    let p = spec.problems[0].build();
+    let info = &data.problems[0];
+    assert_eq!(info.rows, p.a.nrows());
+    assert_eq!(info.cols, p.a.ncols());
+    assert_eq!(info.nnz, p.a.nnz());
+    assert_eq!(info.norm_fro.to_bits(), p.a.norm_fro().to_bits());
+
+    // Sweep summary against the raw path.
+    for (s, stored) in &data.series {
+        let base = sdc_campaigns::failure_free(&p, &spec.baseline_config(s.lsq));
+        let live = sdc_campaigns::run_sweep(
+            &p,
+            &spec.campaign_config(s),
+            s.class,
+            s.position,
+            base.iterations,
+        );
+        assert_eq!(stored.failure_free_outer, live.failure_free_outer);
+        assert_eq!(stored.max_outer(), live.max_outer());
+        assert_eq!(stored.max_increase(), live.max_increase());
+        assert_eq!(stored.count_no_penalty(), live.count_no_penalty());
+        assert_eq!(stored.count_detected(), live.count_detected());
+        assert_eq!(stored.count_failures(), live.count_failures());
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -2,7 +2,7 @@
 //!
 //! Umbrella crate for the reproduction of Elliott, Hoemmen & Mueller,
 //! *Evaluating the Impact of SDC on the GMRES Iterative Solver*
-//! (IPDPS 2014). It re-exports the four library crates so applications
+//! (IPDPS 2014). It re-exports the five library crates so applications
 //! can depend on a single crate:
 //!
 //! * [`dense`] — dense linear-algebra substrate (QR, SVD, incremental
@@ -14,12 +14,16 @@
 //!   sandbox executor and bit-flip anatomy.
 //! * [`solvers`] — GMRES / Flexible GMRES / FT-GMRES with the
 //!   invariant-based SDC detector, plus the CG baseline.
+//! * [`campaigns`] — the declarative, resumable, artifact-first
+//!   campaign engine (specs, sharded executor, JSONL artifacts,
+//!   re-solve-free reports).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record. The `examples/`
 //! directory contains runnable walkthroughs and `crates/bench` the
 //! binaries that regenerate every table and figure of the paper.
 
+pub use sdc_campaigns as campaigns;
 pub use sdc_dense as dense;
 pub use sdc_faults as faults;
 pub use sdc_gmres as solvers;
@@ -41,5 +45,10 @@ mod tests {
         assert_eq!(m[(0, 0)], 1.0);
         let f = crate::faults::FaultModel::CLASS1_HUGE;
         assert_eq!(f.apply(1.0), 1e150);
+        let spec = crate::campaigns::CampaignSpec::paper_shape(
+            "wired",
+            vec![crate::campaigns::ProblemSpec::Poisson { m: 4 }],
+        );
+        assert_eq!(spec.scenarios().len(), 8);
     }
 }
