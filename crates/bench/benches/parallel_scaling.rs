@@ -1,0 +1,89 @@
+//! Thread-scaling benchmarks for the two parallel hot paths: SpMV on a
+//! campaign-sized operator, and the campaign engine end to end — each at
+//! 1, 2 and 4 threads. `BENCH_parallel.json` at the repo root records a
+//! committed baseline (with the host's core count, since scaling on a
+//! single-core host is expected to be flat); later PRs diff against it.
+//!
+//! The benches also double as a cheap determinism check: each parallel
+//! result is compared bitwise against the 1-thread result before timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_campaigns::{CampaignSpec, GridBlock, ProblemSpec, RunOptions};
+use std::hint::black_box;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_spmv_scaling(c: &mut Criterion) {
+    // gallery('poisson', 180): n = 32 400, nnz = 161 280 — big enough
+    // that par_spmv takes its parallel path.
+    let a = sdc_sparse::gallery::poisson2d(180);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.37).cos()).collect();
+
+    sdc_parallel::set_threads(1);
+    let mut reference = vec![0.0; a.nrows()];
+    a.par_spmv(&x, &mut reference);
+
+    let mut g = c.benchmark_group("spmv_threads");
+    g.sample_size(20);
+    for t in THREAD_COUNTS {
+        sdc_parallel::set_threads(t);
+        let mut y = vec![0.0; a.nrows()];
+        a.par_spmv(&x, &mut y);
+        assert!(
+            y.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "par_spmv must be bitwise thread-count-independent"
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                a.par_spmv(black_box(&x), &mut y);
+                black_box(y[0])
+            })
+        });
+    }
+    g.finish();
+    sdc_parallel::set_threads(0);
+}
+
+fn bench_campaign_engine_scaling(c: &mut Criterion) {
+    let spec = CampaignSpec {
+        inner_iters: 8,
+        outer_tol: 1e-8,
+        outer_max: 60,
+        stride: 5,
+        blocks: vec![GridBlock::undetected_full()],
+        ..CampaignSpec::paper_shape("bench-threads", vec![ProblemSpec::Poisson { m: 8 }])
+    };
+    let opts = RunOptions { quiet: true, ..Default::default() };
+    let path =
+        std::env::temp_dir().join(format!("sdc_bench_parallel_{}.jsonl", std::process::id()));
+
+    sdc_parallel::set_threads(1);
+    std::fs::remove_file(&path).ok();
+    sdc_campaigns::run(&spec, &path, false, &opts).unwrap();
+    let reference = std::fs::read(&path).unwrap();
+
+    let mut g = c.benchmark_group("campaign_engine_threads");
+    g.sample_size(10);
+    for t in THREAD_COUNTS {
+        sdc_parallel::set_threads(t);
+        std::fs::remove_file(&path).ok();
+        sdc_campaigns::run(&spec, &path, false, &opts).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            reference,
+            "campaign artifact must be byte-identical at any thread count"
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                std::fs::remove_file(&path).ok();
+                black_box(sdc_campaigns::run(&spec, &path, false, &opts).unwrap())
+            })
+        });
+    }
+    g.finish();
+    std::fs::remove_file(&path).ok();
+    sdc_parallel::set_threads(0);
+}
+
+criterion_group!(benches, bench_spmv_scaling, bench_campaign_engine_scaling);
+criterion_main!(benches);

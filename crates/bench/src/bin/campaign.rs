@@ -2,8 +2,8 @@
 //! campaigns described by declarative JSON specs.
 //!
 //! ```text
-//! campaign run    --spec spec.json --out artifact.jsonl [--max-units N] [--shard N] [--quiet]
-//! campaign resume --spec spec.json --out artifact.jsonl [--max-units N] [--shard N] [--quiet]
+//! campaign run    --spec spec.json --out artifact.jsonl [--max-units N] [--shard N] [--threads N] [--quiet]
+//! campaign resume --spec spec.json --out artifact.jsonl [--max-units N] [--shard N] [--threads N] [--quiet]
 //! campaign report --out artifact.jsonl [--plots] [--csv DIR]
 //! campaign diff   --out artifact.jsonl --baseline other.jsonl
 //! campaign example-spec
@@ -41,8 +41,10 @@ fn run_or_resume(resume: bool) {
     .opt("out", "PATH", "artifact output path (JSONL)")
     .opt("max-units", "N", "stop after N new experiments (checkpoint early)")
     .opt("shard", "N", "units per parallel shard/flush (default 64)")
-    .switch("quiet", "suppress progress output");
+    .switch("quiet", "suppress progress output")
+    .with_threads();
     let p = cli.parse_env(2);
+    p.apply_threads().unwrap_or_else(|e| fail(e));
     let spec_path = p.path("spec").unwrap_or_else(|| fail("--spec is required"));
     let out = p.path("out").unwrap_or_else(|| fail("--out is required"));
     let spec = load_spec(&spec_path);

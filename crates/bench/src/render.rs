@@ -174,10 +174,13 @@ impl CliArgs {
             .opt("csv", "DIR", "write raw CSV series into DIR")
             .opt("matrix", "PATH", "Matrix Market file instead of the synthetic generator")
             .opt("out", "PATH", "keep the JSONL campaign artifact at PATH")
+            .with_threads()
     }
 
-    /// Builds from a parsed flag set.
+    /// Builds from a parsed flag set, applying `--threads` to the
+    /// global `sdc_parallel` pool as a side effect.
     pub fn from_parsed(p: &sdc_campaigns::cli::Parsed) -> Result<Self, String> {
+        p.apply_threads()?;
         Ok(CliArgs {
             quick: p.has("quick"),
             csv_dir: p.path("csv"),

@@ -68,6 +68,13 @@ impl Cli {
         self
     }
 
+    /// Declares the workspace-standard `--threads N` flag. Apply it with
+    /// [`Parsed::apply_threads`]; precedence is `--threads` >
+    /// `SDC_THREADS` > available parallelism.
+    pub fn with_threads(self) -> Self {
+        self.opt("threads", "N", "worker threads (overrides SDC_THREADS; default: all cores)")
+    }
+
     /// The generated usage text.
     pub fn usage(&self) -> String {
         let mut out = format!("{} — {}\n\nflags:\n", self.program, self.about);
@@ -178,6 +185,21 @@ impl Parsed {
             }
         }
     }
+
+    /// Applies a `--threads` value (declared with [`Cli::with_threads`])
+    /// to the global `sdc_parallel` pool and returns the effective
+    /// thread count. Without the flag the pool keeps its `SDC_THREADS` /
+    /// hardware default — so precedence is `--threads` > `SDC_THREADS` >
+    /// available parallelism.
+    pub fn apply_threads(&self) -> Result<usize, String> {
+        if let Some(n) = self.get::<usize>("threads")? {
+            if n == 0 {
+                return Err("--threads: must be at least 1".to_string());
+            }
+            sdc_parallel::set_threads(n);
+        }
+        Ok(sdc_parallel::threads())
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +236,24 @@ mod tests {
         let p = cli().parse_from(["--stride", "lots"].map(String::from)).unwrap();
         let err = p.get::<usize>("stride").unwrap_err();
         assert!(err.contains("--stride"), "{err}");
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let _guard = sdc_parallel::test_serial_guard();
+        let c = cli().with_threads();
+        let p = c.parse_from(["--threads", "4"].map(String::from)).unwrap();
+        assert_eq!(p.get::<usize>("threads").unwrap(), Some(4));
+        assert_eq!(p.apply_threads().unwrap(), 4);
+        sdc_parallel::set_threads(0); // restore the default for other tests
+
+        let p = c.parse_from(["--threads", "0"].map(String::from)).unwrap();
+        let err = p.apply_threads().unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+
+        // Without the flag the pool default is untouched but reported.
+        let p = c.parse_from([]).unwrap();
+        assert!(p.apply_threads().unwrap() >= 1);
     }
 
     #[test]

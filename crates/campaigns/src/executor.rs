@@ -7,10 +7,14 @@
 //!    record per distinct (problem, lsq) pair), then one experiment unit
 //!    per (scenario, strided aggregate iteration), scenario-major.
 //! 2. Units are partitioned into fixed-size shards. Each shard's
-//!    experiments run in parallel over the Rayon pool, but results are
-//!    collected and appended to the artifact *in unit order*, followed by
-//!    a flush — so the artifact's bytes are a pure function of the spec,
-//!    and a killed run loses at most one shard.
+//!    experiments run genuinely concurrently over the `sdc_parallel`
+//!    work pool (threads claim units dynamically; nested parallel
+//!    kernels inside a solve run inline on their worker), but results
+//!    are collected and appended to the artifact *in unit order*,
+//!    followed by a flush — so the artifact's bytes are a pure function
+//!    of the spec at **any** thread count, and a killed run loses at
+//!    most one shard. `tests/threads.rs` pins this byte-for-byte at
+//!    1/2/8 threads.
 //! 3. On resume the existing artifact is scanned, validated against the
 //!    canonical sequence, truncated after the last record that matches
 //!    it, and execution continues from the first missing unit. Baselines

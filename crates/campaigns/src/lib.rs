@@ -10,7 +10,7 @@
 //!   as data, serialized with the dependency-free [`json`] module (the
 //!   build container is offline; there is no serde).
 //! * [`executor`] — expands the spec into a deterministic unit sequence,
-//!   runs units in parallel shards over Rayon, and streams one JSONL
+//!   runs units in genuinely parallel shards (real threads), and streams one JSONL
 //!   record per completed experiment to an artifact file whose bytes are
 //!   a pure function of the spec — independent of scheduling, sharding
 //!   or interruption. Killed campaigns resume where they stopped.

@@ -4,7 +4,7 @@
 //! right-hand side and initial guess) with a single fault injected at one
 //! (aggregate inner iteration, MGS position, fault class) coordinate. The
 //! experiments are mutually independent, so the sweep runs them in
-//! parallel with Rayon — each experiment's kernels are deterministic, so
+//! parallel on the sdc_parallel pool — each experiment's kernels are deterministic, so
 //! the sweep's output is identical however it is scheduled.
 //!
 //! This module is the *raw* path: one (class, position) series, no

@@ -1,0 +1,74 @@
+//! The campaign determinism contract under real parallelism: the JSONL
+//! artifact must be byte-identical at every thread count, on the same
+//! committed smoke spec the CI golden uses.
+
+use sdc_campaigns::{run, CampaignSpec, RunOptions};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sdc_threads_{}_{name}.jsonl", std::process::id()))
+}
+
+fn smoke_spec() -> CampaignSpec {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/smoke.json");
+    CampaignSpec::parse(&std::fs::read_to_string(path).expect("committed smoke spec"))
+        .expect("smoke spec parses")
+}
+
+#[test]
+fn artifact_bytes_identical_at_1_2_and_8_threads() {
+    let _guard = sdc_parallel::test_serial_guard();
+    let spec = smoke_spec();
+    let opts = RunOptions { quiet: true, ..Default::default() };
+    let mut artifacts: Vec<(usize, Vec<u8>)> = Vec::new();
+    for t in [1usize, 2, 8] {
+        sdc_parallel::set_threads(t);
+        let path = tmp(&format!("t{t}"));
+        std::fs::remove_file(&path).ok();
+        let summary = run(&spec, &path, false, &opts).unwrap();
+        assert!(summary.is_complete());
+        artifacts.push((t, std::fs::read(&path).unwrap()));
+        std::fs::remove_file(&path).ok();
+    }
+    sdc_parallel::set_threads(0);
+    let (_, reference) = &artifacts[0];
+    assert!(!reference.is_empty());
+    for (t, bytes) in &artifacts[1..] {
+        assert_eq!(bytes, reference, "artifact at {t} threads differs from the 1-thread artifact");
+    }
+}
+
+#[test]
+fn interrupt_and_resume_at_different_thread_counts_is_byte_identical() {
+    let _guard = sdc_parallel::test_serial_guard();
+    // Run to completion at 1 thread; run half at 8 threads, kill, and
+    // resume at 3 — the patched-together artifact must still match.
+    let spec = smoke_spec();
+    let quiet = RunOptions { quiet: true, ..Default::default() };
+
+    sdc_parallel::set_threads(1);
+    let full_path = tmp("full");
+    std::fs::remove_file(&full_path).ok();
+    run(&spec, &full_path, false, &quiet).unwrap();
+    let full = std::fs::read(&full_path).unwrap();
+    std::fs::remove_file(&full_path).ok();
+
+    let part_path = tmp("part");
+    std::fs::remove_file(&part_path).ok();
+    sdc_parallel::set_threads(8);
+    let sum = run(
+        &spec,
+        &part_path,
+        false,
+        &RunOptions { quiet: true, max_units: Some(9), shard_size: 4 },
+    )
+    .unwrap();
+    assert!(!sum.is_complete());
+    sdc_parallel::set_threads(3);
+    let sum = run(&spec, &part_path, true, &quiet).unwrap();
+    assert!(sum.is_complete());
+    sdc_parallel::set_threads(0);
+
+    assert_eq!(std::fs::read(&part_path).unwrap(), full);
+    std::fs::remove_file(&part_path).ok();
+}

@@ -7,9 +7,12 @@
 //! 1. **Determinism.** A fault-injection campaign replays the same solve
 //!    thousands of times with a single value perturbed; any run-to-run
 //!    nondeterminism in the *fault-free* arithmetic would pollute the
-//!    comparison. All reductions here use a fixed-shape pairwise tree whose
-//!    shape depends only on the input length — never on thread count — so
-//!    serial and parallel execution produce bitwise-identical results.
+//!    comparison. Every reduction here goes through the workspace's one
+//!    deterministic primitive, [`sdc_parallel::det_map_sum`]: a
+//!    fixed-block pairwise tree whose shape depends only on the input
+//!    length — never on thread count — so serial and parallel execution
+//!    produce bitwise-identical results. This module contributes only
+//!    the sequential *leaf kernels* (which the compiler vectorizes).
 //! 2. **Accuracy.** Pairwise summation has an error bound of
 //!    `O(log n · eps)` versus `O(n · eps)` for recursive summation, which
 //!    keeps the orthogonality loss of Modified Gram-Schmidt close to the
@@ -17,52 +20,26 @@
 //!    positives.
 
 use rayon::prelude::*;
-
-/// Below this length a reduction is performed with a simple sequential
-/// pairwise tree; above it, the fixed-size blocks are distributed over the
-/// Rayon pool. The block size is a constant of the *algorithm*, not of the
-/// machine, preserving determinism.
-const PAR_BLOCK: usize = 8192;
-
-/// Sequential base case for pairwise reductions.
-const PAIRWISE_BASE: usize = 64;
+use sdc_parallel::{det_map_sum, PAIRWISE_BASE, PAR_MIN};
 
 /// Pairwise sum of a slice with a fixed-shape reduction tree.
 #[inline]
 pub fn pairwise_sum(xs: &[f64]) -> f64 {
-    if xs.len() <= PAIRWISE_BASE {
-        // Simple loop: at this size the compiler vectorizes it, and the
-        // fixed base size keeps the tree shape canonical.
-        let mut acc = 0.0;
-        for &x in xs {
-            acc += x;
-        }
-        acc
-    } else {
-        let mid = xs.len() / 2;
-        pairwise_sum(&xs[..mid]) + pairwise_sum(&xs[mid..])
-    }
+    sdc_parallel::pairwise_sum(xs)
 }
 
-/// Dot product `xᵀy` with a deterministic pairwise tree.
-///
-/// The reduction is canonically *blocked*: the slice is cut into
-/// `PAR_BLOCK`-sized pieces, each reduced with a pairwise tree, and the
-/// partials combined with another pairwise tree. [`par_dot`] uses exactly
-/// the same shape with the blocks evaluated concurrently, which is what
-/// makes serial and parallel results bitwise identical.
+/// Dot product `xᵀy` with the canonical deterministic reduction:
+/// [`sdc_parallel::BLOCK`]-sized blocks, each reduced with a pairwise
+/// tree, the partials combined with another pairwise tree. Large inputs
+/// evaluate their blocks over the thread pool; the shape — hence the
+/// bits — is identical at every thread count.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    if x.len() <= PAR_BLOCK {
-        return dot_rec(x, y);
-    }
-    let partials: Vec<f64> =
-        x.chunks(PAR_BLOCK).zip(y.chunks(PAR_BLOCK)).map(|(cx, cy)| dot_rec(cx, cy)).collect();
-    pairwise_sum(&partials)
+    det_map_sum(x.len(), &|r| dot_rec(&x[r.clone()], &y[r]))
 }
 
 fn dot_rec(x: &[f64], y: &[f64]) -> f64 {
@@ -78,20 +55,13 @@ fn dot_rec(x: &[f64], y: &[f64]) -> f64 {
     }
 }
 
-/// Parallel dot product. Bitwise identical to [`dot`] for any input:
-/// the slice is cut into `PAR_BLOCK`-sized pieces whose partial sums are
-/// combined with the same pairwise tree a serial run would use.
+/// Parallel dot product — an alias for [`dot`], which already runs its
+/// blocks concurrently when the input is large enough to pay for it.
+/// Kept for call sites that want to document intent.
+#[inline]
 pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
-    if x.len() < 4 * PAR_BLOCK {
-        return dot(x, y);
-    }
-    let partials: Vec<f64> = x
-        .par_chunks(PAR_BLOCK)
-        .zip(y.par_chunks(PAR_BLOCK))
-        .map(|(cx, cy)| dot_rec(cx, cy))
-        .collect();
-    pairwise_sum(&partials)
+    dot(x, y)
 }
 
 /// `y ← a·x + y`.
@@ -106,10 +76,12 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
 /// Parallel `y ← a·x + y`; element-wise, hence trivially deterministic.
 pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
-    if x.len() < 4 * PAR_BLOCK {
+    if x.len() < PAR_MIN {
         return axpy(a, x, y);
     }
-    y.par_chunks_mut(PAR_BLOCK).zip(x.par_chunks(PAR_BLOCK)).for_each(|(cy, cx)| axpy(a, cx, cy));
+    y.par_chunks_mut(sdc_parallel::BLOCK)
+        .zip(x.par_chunks(sdc_parallel::BLOCK))
+        .for_each(|(cy, cx)| axpy(a, cx, cy));
 }
 
 /// `x ← a·x`.
@@ -149,7 +121,7 @@ pub fn nrm2(x: &[f64]) -> f64 {
     // Scale so the largest element is 1; the sum of squares then cannot
     // overflow for any realistic length.
     let inv = 1.0 / maxabs;
-    let ss = sum_sq_scaled(x, inv);
+    let ss = det_map_sum(x.len(), &|r| sum_sq_scaled(&x[r], inv));
     maxabs * ss.sqrt()
 }
 
@@ -223,6 +195,34 @@ mod tests {
             let p = par_dot(&x, &y);
             assert_eq!(s.to_bits(), p.to_bits(), "n={n}");
         }
+    }
+
+    #[test]
+    fn dot_bitwise_independent_of_thread_count() {
+        let _guard = sdc_parallel::test_serial_guard();
+        let n = 200_000; // well past PAR_MIN: the pool path runs
+        let x = seq(n);
+        let y: Vec<f64> = x.iter().map(|v| v * 0.9 + 0.1).collect();
+        let mut bits = Vec::new();
+        for t in [1, 2, 8] {
+            sdc_parallel::set_threads(t);
+            bits.push(dot(&x, &y).to_bits());
+        }
+        sdc_parallel::set_threads(0);
+        assert!(bits.windows(2).all(|w| w[0] == w[1]), "{bits:x?}");
+    }
+
+    #[test]
+    fn nrm2_bitwise_independent_of_thread_count() {
+        let _guard = sdc_parallel::test_serial_guard();
+        let x = seq(150_000);
+        let mut bits = Vec::new();
+        for t in [1, 2, 8] {
+            sdc_parallel::set_threads(t);
+            bits.push(nrm2(&x).to_bits());
+        }
+        sdc_parallel::set_threads(0);
+        assert!(bits.windows(2).all(|w| w[0] == w[1]), "{bits:x?}");
     }
 
     #[test]

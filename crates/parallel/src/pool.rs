@@ -1,0 +1,390 @@
+//! The global work pool: plain `std::thread` workers pulling pieces of
+//! submitted jobs from a shared queue.
+//!
+//! Scheduling model: a job is a closure over a *piece index* plus a
+//! piece count. Workers (and the submitting thread itself) claim piece
+//! indices with an atomic counter, so load balancing is dynamic — a
+//! thread that finishes its piece early steals the next unclaimed one —
+//! while the *decomposition into pieces* stays fixed. Callers that need
+//! bitwise-reproducible results therefore only have to make each piece's
+//! result independent of the others (disjoint output slots, partials
+//! combined in piece order); see [`crate::reduce`] for the canonical
+//! floating-point reduction built on this rule.
+//!
+//! Sizing: the worker count is `--threads`/[`set_threads`] when given,
+//! else the `SDC_THREADS` environment variable, else
+//! `std::thread::available_parallelism()`. Workers are spawned lazily on
+//! first use and grow on demand when the setting is raised mid-process
+//! (tests exercise 1/2/8 threads in one binary). A nested submission
+//! from inside a worker runs inline on that worker — parallel kernels
+//! inside parallel campaign units degrade gracefully instead of
+//! deadlocking the pool.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on the thread setting; oversubscription beyond this is
+/// certainly a configuration error.
+const MAX_THREADS: usize = 1024;
+
+/// Explicit override from [`set_threads`]; 0 = unset.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker-thread count for every subsequent parallel
+/// region (`n = 0` clears the override, falling back to `SDC_THREADS`
+/// or the hardware default). Takes effect immediately: the pool grows
+/// on demand, and a setting of 1 makes every region run inline.
+///
+/// Precedence: `set_threads` (i.e. `--threads`) > `SDC_THREADS` >
+/// `available_parallelism()`.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n.min(MAX_THREADS), Ordering::SeqCst);
+}
+
+fn env_threads() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("SDC_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The number of threads parallel regions currently target (including
+/// the submitting thread itself).
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = env_threads() {
+        return n.min(MAX_THREADS);
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on threads currently executing pool work (workers, and any
+/// thread inside a [`run_pieces`] region). Nested submissions from such
+/// threads run inline.
+pub fn is_pool_worker() -> bool {
+    IN_POOL.with(|f| f.get())
+}
+
+/// One submitted parallel region.
+struct Job {
+    /// Borrowed from the submitting stack frame. Safety: the submitter
+    /// blocks in [`run_pieces`] until `completed == pieces`, and a piece
+    /// is only claimed (hence the pointer only dereferenced) before that
+    /// point, so the closure outlives every use.
+    body: *const (dyn Fn(usize) + Sync),
+    pieces: usize,
+    /// Next unclaimed piece index (may grow past `pieces`).
+    next: AtomicUsize,
+    /// Pieces fully executed.
+    completed: AtomicUsize,
+    /// How many *additional* workers may still join (the submitter is
+    /// not counted). Lets a lowered `set_threads` constrain a job even
+    /// when more workers were spawned earlier in the process.
+    worker_budget: AtomicIsize,
+    panicked: AtomicBool,
+    /// The first panic's payload, re-raised verbatim by the submitter so
+    /// assertion messages and locations survive the thread hop.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `body` is only dereferenced under the claim/completion
+// protocol documented on the field; all other state is atomics/locks.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs pieces until none are left. Once any piece has
+    /// panicked the remaining claims drain as no-ops (fail-fast: the
+    /// submitter re-raises without waiting for the rest of the region's
+    /// work), while the claim/complete accounting keeps the completion
+    /// latch exact.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.pieces {
+                break;
+            }
+            if !self.panicked.load(Ordering::SeqCst) {
+                // SAFETY: piece `i` was claimed, so `completed < pieces`
+                // until it finishes and the submitter is still parked in
+                // `run_pieces` borrowing the closure.
+                let body = unsafe { &*self.body };
+                if let Err(payload) =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(i)))
+                {
+                    let mut slot = self.panic_payload.lock().unwrap_or_else(|e| e.into_inner());
+                    slot.get_or_insert(payload);
+                    drop(slot);
+                    self.panicked.store(true, Ordering::SeqCst);
+                }
+            }
+            if self.completed.fetch_add(1, Ordering::SeqCst) + 1 == self.pieces {
+                *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.pieces
+    }
+
+    /// Tries to reserve a worker slot on this job.
+    fn try_join(&self) -> bool {
+        self.worker_budget.fetch_sub(1, Ordering::SeqCst) > 0
+    }
+}
+
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    spawned: AtomicUsize,
+    spawn_lock: Mutex<()>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+        spawn_lock: Mutex::new(()),
+    })
+}
+
+/// Ensures at least `target` workers exist (they are never torn down;
+/// idle workers block on the queue condvar and cost nothing).
+fn ensure_workers(target: usize) {
+    let p = pool();
+    if p.spawned.load(Ordering::SeqCst) >= target {
+        return;
+    }
+    let _guard = p.spawn_lock.lock().unwrap_or_else(|e| e.into_inner());
+    while p.spawned.load(Ordering::SeqCst) < target {
+        let id = p.spawned.fetch_add(1, Ordering::SeqCst);
+        std::thread::Builder::new()
+            .name(format!("sdc-par-{id}"))
+            .spawn(worker_loop)
+            .expect("sdc_parallel: cannot spawn worker thread");
+    }
+}
+
+fn worker_loop() {
+    IN_POOL.with(|f| f.set(true));
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                q.retain(|j| !j.exhausted());
+                if let Some(j) = q.iter().find(|j| j.try_join()) {
+                    break j.clone();
+                }
+                q = p.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.work();
+    }
+}
+
+/// Runs `body(0) ..= body(pieces - 1)`, distributing piece indices over
+/// the pool, and returns once every piece has finished.
+///
+/// The submitting thread participates, so `run_pieces` never deadlocks
+/// and a 1-thread setting is exactly a `for` loop. Pieces are claimed
+/// dynamically; callers guarantee determinism by making piece *results*
+/// independent (write to disjoint, piece-indexed locations). If any
+/// piece panics the panic is re-raised here after the region drains.
+pub fn run_pieces(pieces: usize, body: &(dyn Fn(usize) + Sync)) {
+    if pieces == 0 {
+        return;
+    }
+    if pieces == 1 || threads() <= 1 || is_pool_worker() {
+        for i in 0..pieces {
+            body(i);
+        }
+        return;
+    }
+    let extra_workers = threads() - 1;
+    ensure_workers(extra_workers);
+    // SAFETY: the job's pointer to `body` is only dereferenced while
+    // this frame is alive — we block on `done` below, which flips only
+    // after the final claimed piece completes (see `Job::body`).
+    let body_erased: *const (dyn Fn(usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(body)
+    };
+    let job = Arc::new(Job {
+        body: body_erased,
+        pieces,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        worker_budget: AtomicIsize::new(extra_workers as isize),
+        panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut q = pool().queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(job.clone());
+    }
+    pool().queue_cv.notify_all();
+
+    // Participate; mark the thread so nested regions inline.
+    let was_in_pool = IN_POOL.with(|f| f.replace(true));
+    job.work();
+    IN_POOL.with(|f| f.set(was_in_pool));
+
+    let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+    while !*done {
+        done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(done);
+    {
+        let mut q = pool().queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+    if job.panicked.load(Ordering::SeqCst) {
+        // Re-raise the first piece's payload verbatim so the assertion
+        // message and location read the same as a 1-thread run.
+        let payload = job.panic_payload.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match payload {
+            Some(p) => std::panic::resume_unwind(p),
+            None => panic!("sdc_parallel: a parallel task panicked"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_piece_exactly_once() {
+        let _guard = crate::test_guard();
+        set_threads(4);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        run_pieces(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        set_threads(0);
+    }
+
+    #[test]
+    fn zero_and_one_piece() {
+        run_pieces(0, &|_| panic!("must not run"));
+        let ran = AtomicUsize::new(0);
+        run_pieces(1, &|i| {
+            assert_eq!(i, 0);
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn single_thread_setting_runs_inline() {
+        let _guard = crate::test_guard();
+        set_threads(1);
+        let tid = std::thread::current().id();
+        run_pieces(16, &|_| assert_eq!(std::thread::current().id(), tid));
+        set_threads(0);
+    }
+
+    #[test]
+    fn nested_regions_run_inline_without_deadlock() {
+        let _guard = crate::test_guard();
+        set_threads(4);
+        let total = AtomicUsize::new(0);
+        run_pieces(8, &|_| {
+            run_pieces(8, &|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
+        set_threads(0);
+    }
+
+    #[test]
+    fn results_are_piece_indexed_and_complete() {
+        let _guard = crate::test_guard();
+        set_threads(8);
+        let out: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        run_pieces(out.len(), &|i| {
+            out[i].store((i as u64) * 3 + 1, Ordering::Relaxed);
+        });
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), (i as u64) * 3 + 1);
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn growing_the_setting_mid_process_works() {
+        let _guard = crate::test_guard();
+        set_threads(2);
+        let a = AtomicUsize::new(0);
+        run_pieces(32, &|_| {
+            a.fetch_add(1, Ordering::SeqCst);
+        });
+        set_threads(6);
+        run_pieces(32, &|_| {
+            a.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(a.load(Ordering::SeqCst), 64);
+        set_threads(0);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let _guard = crate::test_guard();
+        set_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            run_pieces(16, &|i| {
+                if i == 7 {
+                    panic!("piece 7 exploded");
+                }
+            });
+        });
+        let payload = result.expect_err("the panic must reach the submitter");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("piece 7 exploded"), "original payload must survive: {msg:?}");
+        // The pool must remain usable afterwards.
+        let ran = AtomicUsize::new(0);
+        run_pieces(16, &|_| {
+            ran.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+        set_threads(0);
+    }
+
+    #[test]
+    fn thread_setting_is_clamped_and_clearable() {
+        let _guard = crate::test_guard();
+        set_threads(usize::MAX);
+        assert_eq!(threads(), MAX_THREADS);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the deterministic reduction: the canonical tree
+//! must produce bitwise-identical results no matter how its blocks are
+//! scheduled — across thread counts, and against a hand-rolled serial
+//! evaluation of the same shape.
+
+use proptest::prelude::*;
+use sdc_parallel::{det_map_sum, pairwise_sum, set_threads, BLOCK, PAIRWISE_BASE};
+
+/// Reference leaf: the sequential pairwise tree over a slice.
+fn leaf_sum(xs: &[f64]) -> f64 {
+    if xs.len() <= PAIRWISE_BASE {
+        xs.iter().sum()
+    } else {
+        let mid = xs.len() / 2;
+        leaf_sum(&xs[..mid]) + leaf_sum(&xs[mid..])
+    }
+}
+
+/// The canonical shape, written out independently of `det_map_sum`:
+/// block partials in order, combined with the pairwise tree.
+fn reference_shape(xs: &[f64]) -> f64 {
+    if xs.len() <= BLOCK {
+        return leaf_sum(xs);
+    }
+    let partials: Vec<f64> = xs.chunks(BLOCK).map(leaf_sum).collect();
+    pairwise_sum(&partials)
+}
+
+fn values(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    // Mixed magnitudes so any reassociation would actually change bits.
+    proptest::collection::vec(prop_oneof![-1e9f64..1e9, -1.0f64..1.0, -1e-9f64..1e-9], len)
+}
+
+proptest! {
+    #[test]
+    fn det_map_sum_is_bitwise_equal_across_thread_counts(
+        xs in (0usize..200_000).prop_flat_map(values)
+    ) {
+        let _guard = sdc_parallel::test_serial_guard();
+        let mut bits = Vec::new();
+        for t in [1, 2, 3, 8] {
+            set_threads(t);
+            bits.push(det_map_sum(xs.len(), &|r| leaf_sum(&xs[r])).to_bits());
+        }
+        set_threads(0);
+        prop_assert!(bits.windows(2).all(|w| w[0] == w[1]), "bits differ: {bits:x?}");
+    }
+
+    #[test]
+    fn det_map_sum_matches_the_reference_shape(
+        xs in (0usize..100_000).prop_flat_map(values)
+    ) {
+        let _guard = sdc_parallel::test_serial_guard();
+        set_threads(4);
+        let got = det_map_sum(xs.len(), &|r| leaf_sum(&xs[r])).to_bits();
+        set_threads(0);
+        prop_assert_eq!(got, reference_shape(&xs).to_bits());
+    }
+
+    #[test]
+    fn pairwise_sum_matches_independent_tree_reference(
+        xs in (1usize..10_000).prop_flat_map(values)
+    ) {
+        // Pins the canonical tree shape: `leaf_sum` above is an
+        // independent re-implementation of the base-64 pairwise tree,
+        // so e.g. regressing pairwise_sum to a running left-to-right
+        // accumulation would change the bits and fail here.
+        prop_assert_eq!(pairwise_sum(&xs).to_bits(), leaf_sum(&xs).to_bits());
+    }
+}

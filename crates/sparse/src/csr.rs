@@ -2,9 +2,10 @@
 //!
 //! CSR is the compute format: GMRES' dominant kernel, sparse
 //! matrix–vector multiply (SpMV), streams each row's column indices and
-//! values once. The parallel SpMV partitions *rows* disjointly across the
-//! Rayon pool, so every output element is written by exactly one task and
-//! the result is bitwise identical to the serial kernel — campaign
+//! values once. The parallel SpMV partitions *rows* disjointly across
+//! the `sdc_parallel` work pool (threads claim contiguous row chunks
+//! dynamically), so every output element is written by exactly one task
+//! and the result is bitwise identical to the serial kernel — campaign
 //! reproducibility does not depend on thread count.
 
 use rayon::prelude::*;

@@ -5,7 +5,7 @@
 //!
 //! * Triplet ([`coo`]), compressed-sparse-row ([`csr`]) and
 //!   compressed-sparse-column ([`csc`]) storage with validated construction.
-//! * Serial and Rayon-parallel sparse matrix–vector products. Row
+//! * Serial and thread-parallel sparse matrix–vector products. Row
 //!   partitioning is disjoint, so parallel SpMV is bitwise identical to
 //!   serial SpMV — fault-injection campaigns stay reproducible.
 //! * Sparse matrix algebra ([`ops`]): addition, scaling, Kronecker

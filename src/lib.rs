@@ -2,9 +2,12 @@
 //!
 //! Umbrella crate for the reproduction of Elliott, Hoemmen & Mueller,
 //! *Evaluating the Impact of SDC on the GMRES Iterative Solver*
-//! (IPDPS 2014). It re-exports the five library crates so applications
+//! (IPDPS 2014). It re-exports the six library crates so applications
 //! can depend on a single crate:
 //!
+//! * [`parallel`] — the execution substrate: a deterministic
+//!   `std::thread` work pool and the canonical tree reduction every
+//!   `par_*` kernel dispatches to (`--threads` / `SDC_THREADS`).
 //! * [`dense`] — dense linear-algebra substrate (QR, SVD, incremental
 //!   Hessenberg least squares, rank-revealing solve policies).
 //! * [`sparse`] — sparse matrices, kernels, Matrix Market I/O, the
@@ -27,6 +30,7 @@ pub use sdc_campaigns as campaigns;
 pub use sdc_dense as dense;
 pub use sdc_faults as faults;
 pub use sdc_gmres as solvers;
+pub use sdc_parallel as parallel;
 pub use sdc_sparse as sparse;
 
 /// Everything an application typically needs.
@@ -50,5 +54,6 @@ mod tests {
             vec![crate::campaigns::ProblemSpec::Poisson { m: 4 }],
         );
         assert_eq!(spec.scenarios().len(), 8);
+        assert!(crate::parallel::threads() >= 1);
     }
 }

@@ -1,89 +1,508 @@
-//! Offline stand-in for `rayon`: the prelude subset this workspace uses,
-//! implemented **sequentially** over std iterators.
+//! Offline stand-in for `rayon`: the prelude subset this workspace
+//! uses, executed for real on the [`sdc_parallel`] work pool.
 //!
-//! Every `par_*` method returns the corresponding `std` iterator, so the
-//! full std `Iterator` combinator vocabulary (`zip`, `map`, `enumerate`,
-//! `for_each`, `collect`, …) works unchanged and results are trivially
-//! bitwise-identical to the serial code paths. This preserves the
-//! workspace's determinism contract (fault campaigns replay solves and
-//! compare bitwise); it gives up parallel speed-up until the real rayon
-//! can be restored in `[workspace.dependencies]`.
+//! The façade keeps rayon's names (`par_iter`, `par_iter_mut`,
+//! `par_chunks`, `par_chunks_mut`, `into_par_iter` and the
+//! `map`/`zip`/`enumerate`/`for_each`/`collect`/`sum` combinators), so
+//! every call site in the workspace upgraded from the old sequential
+//! stand-in to real threads without a source change.
+//!
+//! Execution model: a parallel iterator is a [`Producer`] — a splittable,
+//! random-access description of the sequence. A consumer splits it into
+//! at most [`MAX_PIECES`] contiguous pieces (**a function of the length
+//! alone, never of thread count**), the pool's threads claim pieces
+//! dynamically, and piece results are kept in piece order. `collect`
+//! therefore preserves the sequential element order and `for_each`
+//! touches each element exactly once, making every consumer's output
+//! bitwise-identical to the serial code path — the determinism contract
+//! the SDC campaigns replay and diff against. Nested parallel regions
+//! (a `par_chunks` dot product inside a `par_iter` campaign shard) run
+//! inline on the current pool thread.
 
 #![forbid(unsafe_code)]
 
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on pieces per region: enough for dynamic load balancing
+/// at any sane thread count, small enough that piece handoff is noise.
+const MAX_PIECES: usize = 64;
+
+/// A splittable description of a parallel sequence.
+///
+/// `split_at` cuts the sequence in two at an element boundary;
+/// `into_seq` yields one piece's elements in order on a single thread.
+#[allow(clippy::len_without_is_empty)] // a length-only protocol: pieces are never emptiness-tested
+pub trait Producer: Send + Sized {
+    /// Element type.
+    type Item: Send;
+    /// Sequential iterator over one piece.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Remaining element count.
+    fn len(&self) -> usize;
+    /// Splits into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Sequential traversal of this piece.
+    fn into_seq(self) -> Self::SeqIter;
+}
+
+/// Cuts a producer into `k` balanced contiguous pieces.
+fn split_even<P: Producer>(p: P, k: usize) -> Vec<P> {
+    let mut out = Vec::with_capacity(k);
+    let mut rest = p;
+    for i in 0..k - 1 {
+        let take = rest.len() / (k - i);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+    }
+    out.push(rest);
+    out
+}
+
+/// Runs `per_piece` over the pieces of `p`, returning results in piece
+/// (i.e. sequence) order. Piece boundaries depend only on `p.len()`.
+fn drive<P, T, F>(p: P, per_piece: F) -> Vec<T>
+where
+    P: Producer,
+    T: Send,
+    F: Fn(P) -> T + Sync,
+{
+    let n = p.len();
+    if n <= 1 || sdc_parallel::threads() <= 1 || sdc_parallel::is_pool_worker() {
+        return vec![per_piece(p)];
+    }
+    let k = n.min(MAX_PIECES);
+    let slots: Vec<Mutex<Option<P>>> =
+        split_even(p, k).into_iter().map(|piece| Mutex::new(Some(piece))).collect();
+    let outs: Vec<Mutex<Option<T>>> = (0..k).map(|_| Mutex::new(None)).collect();
+    sdc_parallel::run_pieces(k, &|i| {
+        let piece = slots[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("each piece is claimed exactly once");
+        *outs[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(per_piece(piece));
+    });
+    outs.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("run_pieces returned, so every piece completed")
+        })
+        .collect()
+}
+
+/// The parallel iterator: a producer plus the combinator vocabulary.
+pub struct ParIter<P: Producer> {
+    producer: P,
+}
+
+impl<P: Producer> ParIter<P> {
+    fn new(producer: P) -> Self {
+        Self { producer }
+    }
+
+    /// Maps each element through `f`.
+    pub fn map<R, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        R: Send,
+        F: Fn(P::Item) -> R + Send + Sync,
+    {
+        ParIter::new(Map { base: self.producer, f: Arc::new(f) })
+    }
+
+    /// Pairs elements with a second parallel iterator (stops at the
+    /// shorter sequence, like `Iterator::zip`).
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<Zip<P, Q>> {
+        ParIter::new(Zip { a: self.producer, b: other.producer })
+    }
+
+    /// Pairs each element with its sequence index.
+    pub fn enumerate(self) -> ParIter<Enumerate<P>> {
+        ParIter::new(Enumerate { base: self.producer, offset: 0 })
+    }
+
+    /// Consumes every element on the pool.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        drive(self.producer, |piece| piece.into_seq().for_each(&f));
+    }
+
+    /// Collects into `C`, preserving the sequential element order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<P::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the elements. The partials are combined in sequence order,
+    /// so the result matches the serial sum for any thread count.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item>,
+    {
+        self.collect::<Vec<P::Item>>().into_iter().sum()
+    }
+}
+
+/// Order-preserving parallel `collect` target.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection from a parallel iterator.
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: Producer<Item = T>>(iter: ParIter<P>) -> Self {
+        let parts = drive(iter.producer, |piece| {
+            let mut v = Vec::with_capacity(piece.len());
+            v.extend(piece.into_seq());
+            v
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adapter producers.
+// ---------------------------------------------------------------------
+
+/// Producer for [`ParIter::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+/// Sequential side of [`Map`].
+pub struct MapSeqIter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for MapSeqIter<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<P, F, R> Producer for Map<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    type SeqIter = MapSeqIter<P::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (Map { base: a, f: self.f.clone() }, Map { base: b, f: self.f })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        MapSeqIter { base: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// Producer for [`ParIter::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(mid);
+        let (b1, b2) = self.b.split_at(mid);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Producer for [`ParIter::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`].
+pub struct EnumerateSeqIter<I> {
+    base: I,
+    next_index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeqIter<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.base.next()?;
+        let i = self.next_index;
+        self.next_index += 1;
+        Some((i, item))
+    }
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type SeqIter = EnumerateSeqIter<P::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Enumerate { base: a, offset: self.offset },
+            Enumerate { base: b, offset: self.offset + mid },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        EnumerateSeqIter { base: self.base.into_seq(), next_index: self.offset }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source producers.
+// ---------------------------------------------------------------------
+
+/// Shared-slice element producer (`par_iter`).
+pub struct SliceProducer<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(mid);
+        (SliceProducer { slice: a }, SliceProducer { slice: b })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+/// Exclusive-slice element producer (`par_iter_mut`).
+pub struct SliceMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(mid);
+        (SliceMutProducer { slice: a }, SliceMutProducer { slice: b })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Shared chunk producer (`par_chunks`); elements are subslices.
+pub struct ChunksProducer<'a, T: Sync> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(at);
+        (ChunksProducer { slice: a, size: self.size }, ChunksProducer { slice: b, size: self.size })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Exclusive chunk producer (`par_chunks_mut`).
+pub struct ChunksMutProducer<'a, T: Send> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(at);
+        (
+            ChunksMutProducer { slice: a, size: self.size },
+            ChunksMutProducer { slice: b, size: self.size },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Index-range producer (`(a..b).into_par_iter()`).
+pub struct RangeProducer {
+    range: std::ops::Range<usize>,
+}
+
+impl Producer for RangeProducer {
+    type Item = usize;
+    type SeqIter = std::ops::Range<usize>;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let split = self.range.start + mid;
+        (
+            RangeProducer { range: self.range.start..split },
+            RangeProducer { range: split..self.range.end },
+        )
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.range
+    }
+}
+
+/// Owned-vector producer (`vec.into_par_iter()`).
+pub struct VecProducer<T: Send> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(mid);
+        (self, VecProducer { vec: tail })
+    }
+    fn into_seq(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry-point traits (rayon's names, so call sites compile unchanged).
+// ---------------------------------------------------------------------
+
 pub mod slice {
-    /// `par_chunks` / `par_iter` over shared slices.
+    use super::{ChunksMutProducer, ChunksProducer, ParIter};
+
+    /// `par_chunks` over shared slices.
     pub trait ParallelSlice<T: Sync> {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>>;
     }
 
     impl<T: Sync> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>> {
             assert!(chunk_size > 0, "par_chunks: chunk_size must be > 0");
-            self.chunks(chunk_size)
+            ParIter::new(ChunksProducer { slice: self, size: chunk_size })
         }
     }
 
-    /// `par_chunks_mut` / `par_iter_mut` over exclusive slices.
+    /// `par_chunks_mut` over exclusive slices.
     pub trait ParallelSliceMut<T: Send> {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
     }
 
     impl<T: Send> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
             assert!(chunk_size > 0, "par_chunks_mut: chunk_size must be > 0");
-            self.chunks_mut(chunk_size)
+            ParIter::new(ChunksMutProducer { slice: self, size: chunk_size })
         }
     }
 }
 
 pub mod iter {
-    /// `.par_iter()` — borrow a collection as a "parallel" iterator.
+    use super::{ParIter, RangeProducer, SliceMutProducer, SliceProducer, VecProducer};
+
+    /// `.par_iter()` — borrow a collection as a parallel iterator.
     pub trait IntoParallelRefIterator<'data> {
-        type Iter: Iterator;
+        /// The borrowed parallel iterator.
+        type Iter;
         fn par_iter(&'data self) -> Self::Iter;
     }
 
     impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+        type Iter = ParIter<SliceProducer<'data, T>>;
         fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+            ParIter::new(SliceProducer { slice: self })
         }
     }
 
     /// `.par_iter_mut()` — exclusively borrow a collection.
     pub trait IntoParallelRefMutIterator<'data> {
-        type Iter: Iterator;
+        /// The borrowed parallel iterator.
+        type Iter;
         fn par_iter_mut(&'data mut self) -> Self::Iter;
     }
 
     impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
-        type Iter = std::slice::IterMut<'data, T>;
+        type Iter = ParIter<SliceMutProducer<'data, T>>;
         fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.iter_mut()
+            ParIter::new(SliceMutProducer { slice: self })
         }
     }
 
     /// `.into_par_iter()` — consume a collection.
     pub trait IntoParallelIterator {
-        type Iter: Iterator<Item = Self::Item>;
-        type Item;
+        /// The owning parallel iterator.
+        type Iter;
         fn into_par_iter(self) -> Self::Iter;
     }
 
     impl<T: Send> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
-        type Item = T;
+        type Iter = ParIter<VecProducer<T>>;
         fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+            ParIter::new(VecProducer { vec: self })
         }
     }
 
     impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = std::ops::Range<usize>;
-        type Item = usize;
+        type Iter = ParIter<RangeProducer>;
         fn into_par_iter(self) -> Self::Iter {
-            self
+            ParIter::new(RangeProducer { range: self })
         }
     }
 }
@@ -137,5 +556,48 @@ mod tests {
     fn into_par_iter_range() {
         let total: usize = (0..5usize).into_par_iter().sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn into_par_iter_vec() {
+        let v: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let out: Vec<String> = v.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out, vec!["a!", "b!", "c!"]);
+    }
+
+    #[test]
+    fn collect_preserves_order_on_large_inputs() {
+        let _guard = sdc_parallel::test_serial_guard();
+        // Large enough to split into every piece the engine will use.
+        sdc_parallel::set_threads(4);
+        let n = 10_000usize;
+        let v: Vec<usize> = (0..n).collect();
+        let out: Vec<usize> = v.par_iter().map(|&i| i * 2).collect();
+        assert_eq!(out.len(), n);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i * 2));
+        sdc_parallel::set_threads(0);
+    }
+
+    #[test]
+    fn for_each_covers_every_element_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let _guard = sdc_parallel::test_serial_guard();
+        sdc_parallel::set_threads(8);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        let idx: Vec<usize> = (0..1000).collect();
+        idx.par_iter().for_each(|&i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        sdc_parallel::set_threads(0);
+    }
+
+    #[test]
+    fn zip_stops_at_shorter_sequence() {
+        let x = [1, 2, 3, 4, 5];
+        let y = [10, 20, 30];
+        let pairs: Vec<(i32, i32)> =
+            x.par_iter().zip(y.par_iter()).map(|(&a, &b)| (a, b)).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
     }
 }
