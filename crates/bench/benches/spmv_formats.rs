@@ -1,0 +1,93 @@
+//! CSR vs SELL-C-σ SpMV across the gallery's two structural classes, at
+//! 1/2/4 threads. `BENCH_spmv.json` at the repo root commits the
+//! baseline medians; CI's `bench-regression` job re-runs this bench in
+//! quick mode (`BENCH_QUICK=1`, same matrices, fewer samples) and fails
+//! on gross slowdowns via the `bench_gate` binary.
+//!
+//! Before timing anything, every SELL product is compared *bitwise*
+//! against the 1-thread CSR result — the bench doubles as an end-to-end
+//! witness of the format/thread determinism contract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_sparse::{auto_format, gallery, CsrMatrix, SellMatrix, SparseFormat};
+use std::hint::black_box;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Case {
+    name: &'static str,
+    a: CsrMatrix,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        // Near-uniform rows (5-point stencil): SELL's best case; auto
+        // picks SELL. n = 32 400, nnz = 161 280.
+        Case { name: "poisson180", a: gallery::poisson2d(180) },
+        // Ragged circuit rows (supply rails): padding-hostile; the auto
+        // heuristic decides from the fill ratio.
+        Case {
+            name: "circuit3000",
+            a: gallery::circuit_mna(&gallery::CircuitMnaConfig {
+                nodes: 3000,
+                seed: 7,
+                ..Default::default()
+            }),
+        },
+    ]
+}
+
+fn bench_spmv_formats(c: &mut Criterion) {
+    for case in cases() {
+        let a = &case.a;
+        let sell = SellMatrix::from_csr(a);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.37).cos()).collect();
+
+        sdc_parallel::set_threads(1);
+        let mut reference = vec![0.0; a.nrows()];
+        a.par_spmv(&x, &mut reference);
+
+        let stats = sdc_sparse::structure::row_length_stats(a);
+        println!(
+            "{}: n={} nnz={} row_len(mean={:.2} cv={:.2}) sell_fill={:.3} auto={}",
+            case.name,
+            a.nrows(),
+            a.nnz(),
+            stats.mean,
+            stats.cv(),
+            sell.fill_ratio(),
+            auto_format(a)
+        );
+
+        for (fmt_name, fmt) in [("csr", SparseFormat::Csr), ("sell", SparseFormat::Sell)] {
+            let mut g = c.benchmark_group(format!("spmv_{fmt_name}_{}", case.name));
+            g.sample_size(20);
+            for t in THREAD_COUNTS {
+                sdc_parallel::set_threads(t);
+                let mut y = vec![0.0; a.nrows()];
+                match fmt {
+                    SparseFormat::Sell => sell.par_spmv(&x, &mut y),
+                    _ => a.par_spmv(&x, &mut y),
+                }
+                assert!(
+                    y.iter().zip(&reference).all(|(p, q)| p.to_bits() == q.to_bits()),
+                    "{fmt_name} SpMV must be bitwise format- and thread-independent"
+                );
+                g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+                    b.iter(|| {
+                        match fmt {
+                            SparseFormat::Sell => sell.par_spmv(black_box(&x), &mut y),
+                            _ => a.par_spmv(black_box(&x), &mut y),
+                        }
+                        black_box(y[0])
+                    })
+                });
+            }
+            g.finish();
+        }
+        sdc_parallel::set_threads(0);
+    }
+}
+
+criterion_group!(benches, bench_spmv_formats);
+criterion_main!(benches);

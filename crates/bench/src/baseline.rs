@@ -1,0 +1,248 @@
+//! Committed performance baselines and the CI regression gate.
+//!
+//! The repo commits `BENCH_*.json` files recording, per benchmark id,
+//! the median sample time of a baseline run. The benches regenerate the
+//! raw data as a JSONL *dump* (one line per benchmark, written by the
+//! vendored criterion when `BENCH_JSON=path` is set); this module parses
+//! both, compares medians with a generous tolerance (CI hardware varies
+//! — the gate only fails on gross slowdowns), and renders the committed
+//! baseline format from a fresh dump. The `bench_gate` binary is the
+//! thin CLI over these functions; the CI `bench-regression` job and the
+//! baseline regeneration workflow in the README both go through it, so
+//! the file format has exactly one reader and one writer.
+
+use sdc_campaigns::json::{Json, JsonError};
+use std::collections::BTreeMap;
+
+/// One benchmark's measurements from a `BENCH_JSON` dump line.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchStats {
+    /// Timed samples.
+    pub samples: usize,
+    /// Fastest sample, microseconds.
+    pub min_us: f64,
+    /// Median sample, microseconds — the quantity the gate compares.
+    pub median_us: f64,
+    /// Mean sample, microseconds.
+    pub mean_us: f64,
+}
+
+/// Parses a `BENCH_JSON` JSONL dump into `id → stats`. A rerun appends
+/// to the same file, so the *last* line per id wins.
+pub fn parse_dump(text: &str) -> Result<BTreeMap<String, BenchStats>, JsonError> {
+    let mut out = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = Json::parse(line)?;
+        out.insert(
+            v.field("id")?.as_str()?.to_string(),
+            BenchStats {
+                samples: v.field("samples")?.as_usize()?,
+                min_us: v.field("min_us")?.as_f64()?,
+                median_us: v.field("median_us")?.as_f64()?,
+                mean_us: v.field("mean_us")?.as_f64()?,
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Parses a committed `BENCH_*.json` baseline's `medians_us` map.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, f64>, JsonError> {
+    let v = Json::parse(text)?;
+    let Json::Obj(medians) = v.field("medians_us")? else {
+        return Err(JsonError { offset: 0, msg: "medians_us must be an object".into() });
+    };
+    medians.iter().map(|(k, m)| Ok((k.clone(), m.as_f64()?))).collect()
+}
+
+/// One gate comparison row.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// Benchmark id (`group/param`).
+    pub id: String,
+    /// Committed baseline median, microseconds.
+    pub baseline_us: f64,
+    /// Fresh median, microseconds.
+    pub fresh_us: f64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+}
+
+/// The gate verdict over a full baseline/dump pair.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Per-benchmark comparisons (every baseline id found in the dump).
+    pub rows: Vec<GateRow>,
+    /// Baseline ids absent from the fresh dump — a fail: silently
+    /// dropping a bench would otherwise retire its baseline.
+    pub missing: Vec<String>,
+    /// Ids whose ratio exceeded the tolerance.
+    pub regressions: Vec<String>,
+}
+
+impl GateReport {
+    /// True when nothing regressed and nothing went missing.
+    pub fn pass(&self) -> bool {
+        self.missing.is_empty() && self.regressions.is_empty()
+    }
+
+    /// Renders the human-readable comparison table.
+    pub fn render(&self, tol: f64) -> String {
+        let mut out = String::new();
+        let w = self.rows.iter().map(|r| r.id.len()).max().unwrap_or(8).max(8);
+        out.push_str(&format!(
+            "{:<w$} {:>12} {:>12} {:>8}  verdict (fail > {tol}x)\n",
+            "bench", "base µs", "fresh µs", "ratio"
+        ));
+        for r in &self.rows {
+            let verdict = if r.ratio > tol { "REGRESSED" } else { "ok" };
+            out.push_str(&format!(
+                "{:<w$} {:>12.1} {:>12.1} {:>8.2}  {verdict}\n",
+                r.id, r.baseline_us, r.fresh_us, r.ratio
+            ));
+        }
+        for id in &self.missing {
+            out.push_str(&format!("{id:<w$} missing from fresh dump: FAIL\n"));
+        }
+        out
+    }
+}
+
+/// Compares a committed baseline against a fresh dump: every baseline id
+/// must be present, and its fresh median must not exceed `tol ×` the
+/// committed median. Extra ids in the dump are ignored (new benches land
+/// in the baseline when it is next regenerated).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, BenchStats>,
+    tol: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    for (id, &base_us) in baseline {
+        match fresh.get(id) {
+            None => report.missing.push(id.clone()),
+            Some(stats) => {
+                let ratio = if base_us > 0.0 { stats.median_us / base_us } else { f64::INFINITY };
+                if ratio > tol {
+                    report.regressions.push(id.clone());
+                }
+                report.rows.push(GateRow {
+                    id: id.clone(),
+                    baseline_us: base_us,
+                    fresh_us: stats.median_us,
+                    ratio,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Renders a fresh dump as the committed `BENCH_*.json` baseline format
+/// (canonical: sorted keys, round-trip-exact floats, trailing newline).
+pub fn emit_baseline(
+    fresh: &BTreeMap<String, BenchStats>,
+    comment: &str,
+    command: &str,
+    host_cores: usize,
+) -> String {
+    let medians =
+        fresh.iter().map(|(id, s)| (id.as_str(), Json::Num(s.median_us))).collect::<Vec<_>>();
+    let stats = fresh
+        .iter()
+        .map(|(id, s)| {
+            (
+                id.as_str(),
+                Json::obj(vec![
+                    ("samples", Json::Num(s.samples as f64)),
+                    ("min_us", Json::Num(s.min_us)),
+                    ("median_us", Json::Num(s.median_us)),
+                    ("mean_us", Json::Num(s.mean_us)),
+                ]),
+            )
+        })
+        .collect::<Vec<_>>();
+    let doc = Json::obj(vec![
+        ("comment", Json::str(comment)),
+        ("command", Json::str(command)),
+        ("host_cores", Json::Num(host_cores as f64)),
+        ("medians_us", Json::obj(medians)),
+        ("stats", Json::obj(stats)),
+    ]);
+    let mut line = doc.to_line();
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump_line(id: &str, median: f64) -> String {
+        format!("{{\"id\":\"{id}\",\"samples\":5,\"min_us\":{median},\"median_us\":{median},\"mean_us\":{median}}}")
+    }
+
+    #[test]
+    fn dump_parses_and_last_line_wins() {
+        let text =
+            [dump_line("a/1", 10.0), dump_line("b/2", 20.0), dump_line("a/1", 12.0)].join("\n");
+        let dump = parse_dump(&text).unwrap();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump["a/1"].median_us, 12.0);
+        assert_eq!(dump["b/2"].samples, 5);
+        assert!(parse_dump("{bogus").is_err());
+    }
+
+    #[test]
+    fn emit_then_parse_round_trips_medians() {
+        let dump =
+            parse_dump(&[dump_line("a/1", 10.5), dump_line("b/2", 0.125)].join("\n")).unwrap();
+        let text = emit_baseline(&dump, "test baseline", "cargo bench", 4);
+        let medians = parse_baseline(&text).unwrap();
+        assert_eq!(medians["a/1"], 10.5);
+        assert_eq!(medians["b/2"], 0.125);
+        // Canonical: serializing twice is identical.
+        assert_eq!(text, emit_baseline(&dump, "test baseline", "cargo bench", 4));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let baseline = parse_baseline(&emit_baseline(
+            &parse_dump(&dump_line("a/1", 100.0)).unwrap(),
+            "",
+            "",
+            1,
+        ))
+        .unwrap();
+        // 2.4x slower: within the 2.5x gate.
+        let fresh = parse_dump(&dump_line("a/1", 240.0)).unwrap();
+        let rep = compare(&baseline, &fresh, 2.5);
+        assert!(rep.pass(), "{}", rep.render(2.5));
+        assert!((rep.rows[0].ratio - 2.4).abs() < 1e-12);
+        // 2.6x slower: regression.
+        let fresh = parse_dump(&dump_line("a/1", 260.0)).unwrap();
+        let rep = compare(&baseline, &fresh, 2.5);
+        assert!(!rep.pass());
+        assert_eq!(rep.regressions, vec!["a/1".to_string()]);
+        assert!(rep.render(2.5).contains("REGRESSED"));
+        // Faster is always fine.
+        let fresh = parse_dump(&dump_line("a/1", 10.0)).unwrap();
+        assert!(compare(&baseline, &fresh, 2.5).pass());
+    }
+
+    #[test]
+    fn gate_fails_on_missing_bench_and_ignores_extras() {
+        let baseline = parse_baseline(&emit_baseline(
+            &parse_dump(&dump_line("a/1", 100.0)).unwrap(),
+            "",
+            "",
+            1,
+        ))
+        .unwrap();
+        let fresh = parse_dump(&dump_line("new/3", 1.0)).unwrap();
+        let rep = compare(&baseline, &fresh, 2.5);
+        assert!(!rep.pass());
+        assert_eq!(rep.missing, vec!["a/1".to_string()]);
+        assert!(rep.render(2.5).contains("missing"));
+    }
+}

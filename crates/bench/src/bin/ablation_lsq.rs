@@ -84,6 +84,7 @@ fn main() {
             outer_tol: 1e-7,
             stride,
             inner_lsq: policy,
+            format: args.format,
             ..Default::default()
         };
         let ff = failure_free(&problem, &cfg);

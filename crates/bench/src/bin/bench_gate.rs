@@ -1,0 +1,118 @@
+//! CI performance-regression gate over the committed `BENCH_*.json`
+//! baselines.
+//!
+//! Check mode (the CI `bench-regression` job):
+//!
+//! ```sh
+//! BENCH_QUICK=1 BENCH_JSON=fresh.jsonl cargo bench -p sdc_bench --bench spmv_formats
+//! bench_gate --baseline BENCH_spmv.json --fresh fresh.jsonl --tol 2.5
+//! ```
+//!
+//! exits 1 if any committed median regressed by more than `--tol` (or a
+//! baselined bench vanished from the dump). The tolerance is generous on
+//! purpose: CI hardware varies run to run; the gate exists to catch
+//! order-of-magnitude rot, not percent-level drift.
+//!
+//! Emit mode regenerates a committed baseline from a *full* (non-quick)
+//! run on a quiet machine:
+//!
+//! ```sh
+//! BENCH_JSON=fresh.jsonl cargo bench -p sdc_bench --bench spmv_formats
+//! bench_gate --fresh fresh.jsonl --emit BENCH_spmv.json \
+//!     --comment "..." --command "BENCH_JSON=... cargo bench --bench spmv_formats -p sdc_bench"
+//! ```
+
+use sdc_bench::baseline;
+use sdc_campaigns::cli::{program_name, Cli};
+
+fn main() {
+    let cli = Cli::new(program_name(), "compare or regenerate committed BENCH_*.json baselines")
+        .opt("baseline", "PATH", "committed baseline JSON to check against")
+        .opt("fresh", "PATH", "fresh BENCH_JSON dump (JSONL) from a bench run")
+        .opt("tol", "X", "fail when fresh median > X * baseline median (default 2.5)")
+        .opt("emit", "PATH", "write PATH as a new baseline from --fresh instead of checking")
+        .opt("comment", "TEXT", "comment field for --emit")
+        .opt("command", "TEXT", "regeneration command recorded by --emit");
+    let p = cli.parse_env(1);
+
+    let run = || -> Result<bool, String> {
+        let fresh_path = p.path("fresh").ok_or("--fresh is required")?;
+        let fresh_text = std::fs::read_to_string(&fresh_path)
+            .map_err(|e| format!("cannot read {}: {e}", fresh_path.display()))?;
+        let fresh = baseline::parse_dump(&fresh_text)
+            .map_err(|e| format!("{}: {e}", fresh_path.display()))?;
+        if fresh.is_empty() {
+            return Err(format!("{}: empty dump — did the bench run?", fresh_path.display()));
+        }
+
+        if let Some(out) = p.path("emit") {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            // Re-baselining in place: keep the existing file's comment
+            // and regeneration command unless explicitly overridden, so
+            // the recorded provenance survives `--emit` round trips.
+            let existing = std::fs::read_to_string(&out)
+                .ok()
+                .and_then(|t| sdc_campaigns::json::Json::parse(&t).ok());
+            let inherited = |key: &str| {
+                existing
+                    .as_ref()
+                    .and_then(|v| v.get(key))
+                    .and_then(|v| v.as_str().ok().map(str::to_string))
+            };
+            let comment = p
+                .value("comment")
+                .map(str::to_string)
+                .or_else(|| inherited("comment"))
+                .unwrap_or_else(|| {
+                    "Committed perf baseline; CI's bench-regression job fails on gross slowdowns \
+                     against these medians. Regenerate with the recorded command on a quiet host."
+                        .to_string()
+                });
+            let command = p
+                .value("command")
+                .map(str::to_string)
+                .or_else(|| inherited("command"))
+                .unwrap_or_default();
+            let text = baseline::emit_baseline(&fresh, &comment, &command, cores);
+            std::fs::write(&out, text)
+                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            println!("wrote {} ({} benches)", out.display(), fresh.len());
+            return Ok(true);
+        }
+
+        let base_path = p.path("baseline").ok_or("--baseline is required (or use --emit)")?;
+        let base_text = std::fs::read_to_string(&base_path)
+            .map_err(|e| format!("cannot read {}: {e}", base_path.display()))?;
+        let base = baseline::parse_baseline(&base_text)
+            .map_err(|e| format!("{}: {e}", base_path.display()))?;
+        let tol = p.get::<f64>("tol")?.unwrap_or(2.5);
+        if tol.is_nan() || tol <= 0.0 {
+            return Err("--tol: must be positive".into());
+        }
+        let report = baseline::compare(&base, &fresh, tol);
+        print!("{}", report.render(tol));
+        if report.pass() {
+            println!(
+                "gate PASS ({} benches within {tol}x of {})",
+                report.rows.len(),
+                base_path.display()
+            );
+        } else {
+            println!(
+                "gate FAIL: {} regression(s), {} missing bench(es)",
+                report.regressions.len(),
+                report.missing.len()
+            );
+        }
+        Ok(report.pass())
+    };
+
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("{}: {e}", program_name());
+            std::process::exit(2);
+        }
+    }
+}

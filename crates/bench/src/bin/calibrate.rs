@@ -15,7 +15,7 @@ fn main() {
     println!("== failure-free outer iterations (25 inner each) ==");
     let poisson = problems::poisson(pm);
     for tol in [3e-7, 1e-7, 3e-8] {
-        let cfg = CampaignConfig { outer_tol: tol, ..Default::default() };
+        let cfg = CampaignConfig { outer_tol: tol, format: args.format, ..Default::default() };
         let rep = failure_free(&poisson, &cfg);
         println!(
             "{}: tol={tol:.0e} outer={} inner_total={} outcome={:?} true_res={:.2e}",
@@ -28,7 +28,12 @@ fn main() {
     }
     let dcop = problems::dcop(None, dn, 1311);
     for tol in [5e-9, 3e-9, 2e-9, 1e-9] {
-        let cfg = CampaignConfig { outer_tol: tol, outer_max: 200, ..Default::default() };
+        let cfg = CampaignConfig {
+            outer_tol: tol,
+            outer_max: 200,
+            format: args.format,
+            ..Default::default()
+        };
         let rep = failure_free(&dcop, &cfg);
         println!(
             "{}: tol={tol:.0e} outer={} inner_total={} outcome={:?} true_res={:.2e}",

@@ -11,8 +11,9 @@
 
 use sdc_bench::render::CliArgs;
 use sdc_gmres::arnoldi::{arnoldi, tridiagonality_defect};
+use sdc_gmres::operator::LinearOperator;
 use sdc_gmres::ortho::OrthoStrategy;
-use sdc_sparse::CsrMatrix;
+use sdc_sparse::{CsrMatrix, FormatMatrix, SparseFormat};
 
 fn structure_diagram(h: &sdc_dense::DenseMatrix, k: usize, tol: f64) -> String {
     let mut out = String::new();
@@ -29,7 +30,11 @@ fn structure_diagram(h: &sdc_dense::DenseMatrix, k: usize, tol: f64) -> String {
     out
 }
 
-fn analyze(name: &str, a: &CsrMatrix, steps: usize) {
+fn analyze(name: &str, a: &CsrMatrix, steps: usize, format: SparseFormat) {
+    // The Arnoldi process only needs `y = A x`; run it through the
+    // chosen storage engine (bitwise-invisible to H's structure).
+    let op = FormatMatrix::convert(a, format);
+    let a: &dyn LinearOperator = &op;
     let n = a.nrows();
     let v0: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.317).sin() + 0.73).collect();
     let dec = arnoldi(a, &v0, steps, OrthoStrategy::Mgs);
@@ -61,7 +66,7 @@ fn main() {
 
     println!("FIGURE 2: upper Hessenberg vs tridiagonal structure\n");
     println!("SPD input (Poisson {pm}x{pm}) -- H should be tridiagonal:");
-    analyze("poisson", &sdc_sparse::gallery::poisson2d(pm), steps);
+    analyze("poisson", &sdc_sparse::gallery::poisson2d(pm), steps, args.format);
 
     println!("Nonsymmetric input (synthetic circuit, n={dn}) -- H is full upper Hessenberg:");
     let circuit = sdc_sparse::gallery::circuit_mna(&sdc_sparse::gallery::CircuitMnaConfig {
@@ -69,8 +74,13 @@ fn main() {
         seed: 1311,
         ..Default::default()
     });
-    analyze("circuit", &circuit, steps);
+    analyze("circuit", &circuit, steps, args.format);
 
     println!("Nonsymmetric input (convection-diffusion, wind=3) -- intermediate:");
-    analyze("convdiff", &sdc_sparse::gallery::convection_diffusion_2d(pm.min(40), 3.0, 1.0), steps);
+    analyze(
+        "convdiff",
+        &sdc_sparse::gallery::convection_diffusion_2d(pm.min(40), 3.0, 1.0),
+        steps,
+        args.format,
+    );
 }

@@ -62,19 +62,34 @@ fn main() {
         detector: Some(SdcDetector::with_frobenius_bound(a, DetectorResponse::Record)),
         ..Default::default()
     };
-    // Fault-free reference.
-    let op = InstrumentedSpmv::new(a, &sdc_faults::NoFaults).with_checksum(1e-12);
+    // Fault-free reference. The --format choice picks the SpMV engine
+    // (converted once, shared by every wrapper below); sites, checksums
+    // and results are bitwise format-independent.
+    let sell = match problem.resolved_format(args.format) {
+        sdc_sparse::SparseFormat::Sell => Some(sdc_sparse::SellMatrix::from_csr(a)),
+        _ => None,
+    };
+    fn engine<'a>(
+        op: InstrumentedSpmv<'a>,
+        sell: &'a Option<sdc_sparse::SellMatrix>,
+    ) -> InstrumentedSpmv<'a> {
+        match sell {
+            Some(s) => op.with_sell(s),
+            None => op,
+        }
+    }
+    let op = engine(InstrumentedSpmv::new(a, &sdc_faults::NoFaults), &sell).with_checksum(1e-12);
     let (x_ref, _) = gmres_solve(&op, b, None, &cfg);
 
     println!("single SDC in one SpMV output element (row {row}, apply {apply}) during GMRES(25)");
-    println!("matrix: {} | ‖A‖_F = {:.1}\n", problem.name, a.norm_fro());
+    println!("matrix: {} | ‖A‖_F = {:.1} | engine: {}\n", problem.name, a.norm_fro(), op.format());
     println!(
         "{:<24} {:>10} {:>10} {:>14} {:>12}",
         "fault", "bound-det", "checksum", "iterate-drift", "finite"
     );
     for (label, model) in faults {
         let inj = SingleFaultInjector::new(*model, Trigger::once(spmv_site(apply, row)));
-        let op = InstrumentedSpmv::new(a, &inj).with_checksum(1e-12);
+        let op = engine(InstrumentedSpmv::new(a, &inj), &sell).with_checksum(1e-12);
         let (x, rep) = gmres_solve_instrumented(
             &op,
             b,

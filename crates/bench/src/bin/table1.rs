@@ -10,7 +10,7 @@
 
 use sdc_bench::render::{two_column_table, CliArgs};
 use sdc_gmres::prelude::*;
-use sdc_sparse::{norm_est, structure, CsrMatrix};
+use sdc_sparse::{norm_est, structure, CsrMatrix, FormatMatrix, SparseFormat};
 
 struct Characteristics {
     rows: usize,
@@ -25,10 +25,15 @@ struct Characteristics {
     norm_fro: f64,
 }
 
-fn characterize(a: &CsrMatrix, spd_known: Option<bool>, estimate_cond: bool) -> Characteristics {
+fn characterize(
+    a: &CsrMatrix,
+    spd_known: Option<bool>,
+    estimate_cond: bool,
+    format: SparseFormat,
+) -> Characteristics {
     let norm2 = norm_est::norm2_est(a, 3000, 1e-12).value;
     let cond_estimate = if estimate_cond {
-        let smin = sigma_min_estimate(a);
+        let smin = sigma_min_estimate(a, format);
         if smin > 0.0 {
             norm2 / smin
         } else {
@@ -55,14 +60,19 @@ fn characterize(a: &CsrMatrix, spd_known: Option<bool>, estimate_cond: bool) -> 
 /// inverse applied through FT-GMRES solves. If the solves stall (severely
 /// ill-conditioned operators), the returned value is an *upper* bound on
 /// σ_min, i.e. the condition estimate is a lower bound.
-fn sigma_min_estimate(a: &CsrMatrix) -> f64 {
+fn sigma_min_estimate(a: &CsrMatrix, format: SparseFormat) -> f64 {
     let n = a.nrows();
     let ft = FtGmresConfig {
         outer: sdc_gmres::fgmres::FgmresConfig { tol: 1e-10, max_outer: 80, ..Default::default() },
         inner_iters: 25,
         ..Default::default()
     };
-    let at = a.transpose();
+    // The inner FT-GMRES solves run on the chosen engine (results are
+    // bitwise format-independent; this only affects speed).
+    let a = FormatMatrix::convert(a, format);
+    let at = FormatMatrix::from_csr(a.to_csr().transpose(), format);
+    let a = &a;
+    let at = &at;
     let mut x: Vec<f64> = (0..n).map(|i| ((i as f64 + 1.0) * 0.61).sin() + 0.3).collect();
     sdc_dense::vector::normalize(&mut x);
     let mut est = 0.0;
@@ -106,9 +116,17 @@ fn main() {
     };
 
     eprintln!("characterizing Poisson...");
-    let cp = characterize(&poisson, Some(true), estimate_cond);
+    let cp = characterize(&poisson, Some(true), estimate_cond, args.format);
     eprintln!("characterizing circuit matrix (condition estimate may take minutes)...");
-    let cd = characterize(&dcop_raw, Some(false), estimate_cond);
+    let cd = characterize(&dcop_raw, Some(false), estimate_cond, args.format);
+
+    // Not a paper row, but the same structural data drives the SpMV
+    // engine choice; report what --format resolves to for each matrix.
+    let engine = |a: &CsrMatrix| match args.format {
+        SparseFormat::Auto => format!("{} (auto)", sdc_sparse::auto_format(a)),
+        f => f.to_string(),
+    };
+    let (ep, ed) = (engine(&poisson), engine(&dcop_raw));
 
     let fmt = |v: f64| format!("{v:.4}");
     let rows = vec![
@@ -177,6 +195,7 @@ fn main() {
             format!("{} (paper 446)", fmt(cp.norm_fro)),
             format!("{} (paper 42.4179)", fmt(cd.norm_fro)),
         ),
+        ("SpMV engine (--format)".to_string(), ep, ed),
     ];
     println!("{}", two_column_table("TABLE I: Sample Matrices", &rows));
 

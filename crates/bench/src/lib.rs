@@ -29,6 +29,7 @@ pub mod problems {
     pub use sdc_campaigns::problems::*;
 }
 
+pub mod baseline;
 pub mod figure;
 pub mod render;
 

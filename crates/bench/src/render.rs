@@ -163,6 +163,9 @@ pub struct CliArgs {
     pub stride: Option<usize>,
     /// `--out PATH`: keep the JSONL campaign artifact at PATH.
     pub out: Option<std::path::PathBuf>,
+    /// `--format {csr,sell,auto}`: sparse storage engine for the
+    /// operator (default `auto`; bitwise-invisible to results).
+    pub format: sdc_sparse::SparseFormat,
 }
 
 impl CliArgs {
@@ -175,6 +178,7 @@ impl CliArgs {
             .opt("matrix", "PATH", "Matrix Market file instead of the synthetic generator")
             .opt("out", "PATH", "keep the JSONL campaign artifact at PATH")
             .with_threads()
+            .with_format()
     }
 
     /// Builds from a parsed flag set, applying `--threads` to the
@@ -187,6 +191,7 @@ impl CliArgs {
             matrix: p.path("matrix"),
             stride: p.get::<usize>("stride")?,
             out: p.path("out"),
+            format: p.format()?,
         })
     }
 

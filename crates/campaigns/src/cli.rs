@@ -75,6 +75,13 @@ impl Cli {
         self.opt("threads", "N", "worker threads (overrides SDC_THREADS; default: all cores)")
     }
 
+    /// Declares the workspace-standard `--format {csr,sell,auto}` flag.
+    /// Read it with [`Parsed::format`]; the default is `auto` (pick the
+    /// SpMV engine per matrix from its row-length distribution).
+    pub fn with_format(self) -> Self {
+        self.opt("format", "F", "sparse storage engine: csr, sell or auto (default: auto)")
+    }
+
     /// The generated usage text.
     pub fn usage(&self) -> String {
         let mut out = format!("{} — {}\n\nflags:\n", self.program, self.about);
@@ -200,6 +207,15 @@ impl Parsed {
         }
         Ok(sdc_parallel::threads())
     }
+
+    /// The value of a `--format` flag (declared with [`Cli::with_format`]),
+    /// defaulting to `auto`; a bad value is an error naming the flag.
+    pub fn format(&self) -> Result<sdc_sparse::SparseFormat, String> {
+        match self.value("format") {
+            None => Ok(sdc_sparse::SparseFormat::Auto),
+            Some(raw) => sdc_sparse::SparseFormat::parse(raw).map_err(|e| format!("--format: {e}")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +270,23 @@ mod tests {
         // Without the flag the pool default is untouched but reported.
         let p = c.parse_from([]).unwrap();
         assert!(p.apply_threads().unwrap() >= 1);
+    }
+
+    #[test]
+    fn format_flag_parses_defaults_and_rejects() {
+        use sdc_sparse::SparseFormat;
+        let c = cli().with_format();
+        for (raw, want) in
+            [("csr", SparseFormat::Csr), ("sell", SparseFormat::Sell), ("auto", SparseFormat::Auto)]
+        {
+            let p = c.parse_from(["--format", raw].map(String::from)).unwrap();
+            assert_eq!(p.format().unwrap(), want);
+        }
+        // Default without the flag.
+        assert_eq!(c.parse_from([]).unwrap().format().unwrap(), SparseFormat::Auto);
+        let err =
+            c.parse_from(["--format", "ell"].map(String::from)).unwrap().format().unwrap_err();
+        assert!(err.contains("--format"), "{err}");
     }
 
     #[test]

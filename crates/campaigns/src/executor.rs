@@ -448,8 +448,12 @@ pub fn run(
                     class: s.class,
                     position: s.position,
                 };
-                let measured =
-                    run_experiment(problems.get(s.problem), &ft_configs[u.scenario_idx], point);
+                let measured = run_experiment(
+                    problems.get(s.problem),
+                    &ft_configs[u.scenario_idx],
+                    point,
+                    spec.format,
+                );
                 Record::Experiment {
                     unit: u.index,
                     scenario: s,

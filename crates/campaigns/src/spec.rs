@@ -437,6 +437,12 @@ pub struct CampaignSpec {
     /// problem; 0 skips the estimate (keeps tiny CI artifacts free of
     /// libm-dependent values).
     pub norm2_iters: usize,
+    /// Sparse storage engine for the operators (`csr`, `sell` or
+    /// `auto`). SELL SpMV is bitwise identical to CSR, so the choice is
+    /// a pure performance knob — artifact bytes cannot depend on it. The
+    /// field is omitted from the JSON when it is the default (`auto`),
+    /// keeping pre-existing specs and artifact headers byte-stable.
+    pub format: sdc_sparse::SparseFormat,
     /// The scenario grid, as a union of cross-product blocks.
     pub blocks: Vec<GridBlock>,
 }
@@ -454,6 +460,7 @@ impl CampaignSpec {
             stride: 1,
             seed: 0x5dc_2014,
             norm2_iters: 0,
+            format: sdc_sparse::SparseFormat::Auto,
             blocks: vec![GridBlock::undetected_full(), GridBlock::detector_class1()],
         }
     }
@@ -467,6 +474,7 @@ impl CampaignSpec {
             detector_response: scenario.detector.response(),
             stride: self.stride,
             inner_lsq: scenario.lsq.policy(),
+            format: self.format,
         }
     }
 
@@ -480,6 +488,7 @@ impl CampaignSpec {
             detector_response: None,
             stride: self.stride,
             inner_lsq: lsq.policy(),
+            format: self.format,
         }
     }
 
@@ -524,9 +533,11 @@ impl CampaignSpec {
         out
     }
 
-    /// Serializes the spec.
+    /// Serializes the spec. The `format` field is written only when it
+    /// differs from the default `auto`, so adding the axis changed no
+    /// existing spec or artifact-header bytes.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("version", Json::Num(FORMAT_VERSION as f64)),
             ("name", Json::str(&self.name)),
             ("problems", Json::Arr(self.problems.iter().map(|p| p.to_json()).collect())),
@@ -537,7 +548,11 @@ impl CampaignSpec {
             ("seed", Json::u64(self.seed)),
             ("norm2_iters", Json::Num(self.norm2_iters as f64)),
             ("blocks", Json::Arr(self.blocks.iter().map(|b| b.to_json()).collect())),
-        ])
+        ];
+        if self.format != sdc_sparse::SparseFormat::Auto {
+            fields.push(("format", Json::str(self.format.as_str())));
+        }
+        Json::obj(fields)
     }
 
     /// Parses and validates a spec.
@@ -565,6 +580,11 @@ impl CampaignSpec {
             norm2_iters: match v.get("norm2_iters") {
                 Some(n) => n.as_usize()?,
                 None => 0,
+            },
+            format: match v.get("format") {
+                Some(f) => sdc_sparse::SparseFormat::parse(f.as_str()?)
+                    .map_err(|msg| JsonError { offset: 0, msg })?,
+                None => sdc_sparse::SparseFormat::Auto,
             },
             blocks: v
                 .field("blocks")?
@@ -645,6 +665,7 @@ mod tests {
             stride: 5,
             seed: 42,
             norm2_iters: 0,
+            format: sdc_sparse::SparseFormat::Auto,
             blocks: vec![GridBlock::undetected_full(), GridBlock::detector_class1()],
         }
     }
@@ -656,6 +677,31 @@ mod tests {
         let back = CampaignSpec::parse(&line).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.to_json().to_line(), line, "serialization is canonical");
+    }
+
+    #[test]
+    fn format_field_round_trips_and_defaults_to_auto() {
+        use sdc_sparse::SparseFormat;
+        // Default (auto) is omitted from the serialization: legacy specs
+        // and artifact headers keep their exact bytes.
+        let spec = sample_spec();
+        assert!(!spec.to_json().to_line().contains("format"));
+        assert_eq!(
+            CampaignSpec::parse(&spec.to_json().to_line()).unwrap().format,
+            SparseFormat::Auto
+        );
+        // Non-default values round-trip.
+        for fmt in [SparseFormat::Csr, SparseFormat::Sell] {
+            let spec = CampaignSpec { format: fmt, ..sample_spec() };
+            let line = spec.to_json().to_line();
+            assert!(line.contains(&format!("\"format\":\"{fmt}\"")), "{line}");
+            let back = CampaignSpec::parse(&line).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.campaign_config(&back.scenarios()[0]).format, fmt);
+        }
+        // Unknown strings are a parse error.
+        let bad = sample_spec().to_json().to_line().replacen("{", "{\"format\":\"coo\",", 1);
+        assert!(CampaignSpec::parse(&bad).is_err());
     }
 
     #[test]

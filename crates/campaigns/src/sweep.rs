@@ -34,6 +34,10 @@ pub struct CampaignConfig {
     pub stride: usize,
     /// Inner projected-LSQ policy (§VI-D; the paper recommends 1 or 3).
     pub inner_lsq: LstsqPolicy,
+    /// Sparse storage engine for the operator. SELL SpMV is bitwise
+    /// identical to CSR, so this is a pure performance knob: artifacts
+    /// are byte-identical whichever engine runs.
+    pub format: sdc_sparse::SparseFormat,
 }
 
 impl Default for CampaignConfig {
@@ -45,6 +49,7 @@ impl Default for CampaignConfig {
             detector_response: None,
             stride: 1,
             inner_lsq: LstsqPolicy::Standard,
+            format: sdc_sparse::SparseFormat::Auto,
         }
     }
 }
@@ -136,7 +141,7 @@ impl SweepResult {
 /// Runs the failure-free baseline and returns its report.
 pub fn failure_free(p: &Problem, cfg: &CampaignConfig) -> SolveReport {
     let ft = cfg.ft_config(&p.a);
-    let (_, rep) = sdc_gmres::ftgmres::ftgmres_solve(&p.a, &p.b, None, &ft);
+    let (_, rep) = sdc_gmres::ftgmres::ftgmres_solve(p.operator(cfg.format), &p.b, None, &ft);
     rep
 }
 
@@ -162,7 +167,7 @@ pub fn run_sweep(
                 class,
                 position,
             };
-            run_experiment(p, &ft, point)
+            run_experiment(p, &ft, point, cfg.format)
         })
         .collect();
     SweepResult { class, position, failure_free_outer, points }
@@ -172,10 +177,17 @@ pub fn run_sweep(
 ///
 /// Both [`run_sweep`] and the campaign executor go through this function,
 /// so a sweep point and the corresponding artifact record are guaranteed
-/// to be the same computation.
-pub fn run_experiment(p: &Problem, ft: &FtGmresConfig, point: CampaignPoint) -> SweepPoint {
+/// to be the same computation. `format` picks the SpMV engine; results
+/// are bitwise independent of it.
+pub fn run_experiment(
+    p: &Problem,
+    ft: &FtGmresConfig,
+    point: CampaignPoint,
+    format: sdc_sparse::SparseFormat,
+) -> SweepPoint {
     let inj = point.injector();
-    let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_instrumented(&p.a, &p.b, None, ft, &inj);
+    let (x, rep) =
+        sdc_gmres::ftgmres::ftgmres_solve_instrumented(p.operator(format), &p.b, None, ft, &inj);
     let mut r = vec![0.0; p.b.len()];
     sdc_gmres::operator::residual(&p.a, &p.b, &x, &mut r);
     let true_rel = sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&p.b).max(1e-300);
@@ -203,6 +215,7 @@ mod tests {
             detector_response: None,
             stride: 5,
             inner_lsq: LstsqPolicy::Standard,
+            format: sdc_sparse::SparseFormat::Auto,
         }
     }
 

@@ -1,0 +1,54 @@
+//! The storage-format invariance contract: a campaign solved through
+//! the SELL-C-σ engine emits exactly the bytes the CSR engine emits.
+//! Only the artifact *header* may differ (it embeds the spec, which
+//! names the format); every baseline, problem and experiment record —
+//! residuals, iteration counts, detector events — must be identical,
+//! because SELL SpMV is bitwise-equal to CSR SpMV by construction.
+
+use sdc_campaigns::{run, CampaignSpec, RunOptions};
+use sdc_sparse::SparseFormat;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sdc_formats_{}_{name}.jsonl", std::process::id()))
+}
+
+fn smoke_spec() -> CampaignSpec {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/smoke.json");
+    CampaignSpec::parse(&std::fs::read_to_string(path).expect("committed smoke spec"))
+        .expect("smoke spec parses")
+}
+
+/// Artifact lines after the header (which embeds the format axis).
+fn records(spec: &CampaignSpec, name: &str) -> Vec<String> {
+    let path = tmp(name);
+    std::fs::remove_file(&path).ok();
+    let opts = RunOptions { quiet: true, ..Default::default() };
+    let summary = run(spec, &path, false, &opts).unwrap();
+    assert!(summary.is_complete());
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<String> = text.lines().map(String::from).collect();
+    assert!(lines[0].contains("\"kind\":\"header\""));
+    lines[1..].to_vec()
+}
+
+#[test]
+fn campaign_records_are_byte_identical_across_formats() {
+    let base = smoke_spec();
+    assert_eq!(base.format, SparseFormat::Auto, "committed smoke spec stays on auto");
+    let reference = records(&base, "auto");
+    assert!(!reference.is_empty());
+    for fmt in [SparseFormat::Csr, SparseFormat::Sell] {
+        let spec = CampaignSpec { format: fmt, ..base.clone() };
+        let got = records(&spec, fmt.as_str());
+        assert_eq!(
+            got.len(),
+            reference.len(),
+            "format {fmt}: record count differs from the auto run"
+        );
+        for (i, (a, b)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(a, b, "format {fmt}: record {i} differs");
+        }
+    }
+}

@@ -178,19 +178,21 @@ pub fn ftgmres_solve_instrumented<A: LinearOperator + ?Sized>(
 /// host "can force guest code to stop within a predefined finite time",
 /// converting hangs (e.g. livelocked guest code) into rejections.
 ///
-/// Requires owned (`'static`) captures, hence the `Arc`s.
-pub struct SandboxedInnerGmres {
-    a: std::sync::Arc<sdc_sparse::CsrMatrix>,
+/// Requires owned (`'static`) captures, hence the `Arc`s. Generic over
+/// the operator so sandboxed inner solves run on any storage format
+/// (CSR, SELL-C-σ, [`sdc_sparse::FormatMatrix`]) or matrix-free operator.
+pub struct SandboxedInnerGmres<A: LinearOperator + Send + Sync + 'static = sdc_sparse::CsrMatrix> {
+    a: std::sync::Arc<A>,
     cfg: GmresConfig,
     injector: std::sync::Arc<dyn FaultInjector + 'static>,
     sandbox: sdc_faults::SandboxConfig,
     validation: InnerValidation,
 }
 
-impl SandboxedInnerGmres {
+impl<A: LinearOperator + Send + Sync + 'static> SandboxedInnerGmres<A> {
     /// Builds the sandboxed preconditioner with the given time budget.
     pub fn new(
-        a: std::sync::Arc<sdc_sparse::CsrMatrix>,
+        a: std::sync::Arc<A>,
         ft: &FtGmresConfig,
         injector: std::sync::Arc<dyn FaultInjector + 'static>,
         budget: std::time::Duration,
@@ -215,7 +217,7 @@ impl SandboxedInnerGmres {
     }
 }
 
-impl FlexiblePreconditioner for SandboxedInnerGmres {
+impl<A: LinearOperator + Send + Sync + 'static> FlexiblePreconditioner for SandboxedInnerGmres<A> {
     fn apply_flexible(
         &mut self,
         outer_iteration: usize,
@@ -273,8 +275,8 @@ impl FlexiblePreconditioner for SandboxedInnerGmres {
 }
 
 /// FT-GMRES with thread-isolated, time-budgeted inner solves.
-pub fn ftgmres_solve_sandboxed(
-    a: std::sync::Arc<sdc_sparse::CsrMatrix>,
+pub fn ftgmres_solve_sandboxed<A: LinearOperator + Send + Sync + 'static>(
+    a: std::sync::Arc<A>,
     b: &[f64],
     x0: Option<&[f64]>,
     cfg: &FtGmresConfig,

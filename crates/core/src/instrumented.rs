@@ -15,7 +15,7 @@ use crate::operator::LinearOperator;
 use parking_lot::Mutex;
 use sdc_faults::{FaultInjector, Kernel, Site};
 use sdc_sparse::checksum::{ChecksumOutcome, ColumnChecksum};
-use sdc_sparse::CsrMatrix;
+use sdc_sparse::{CsrMatrix, SellMatrix, SparseFormat};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A recorded checksum violation.
@@ -30,6 +30,13 @@ pub struct ChecksumEvent {
 /// SpMV with per-element fault injection and optional checksum auditing.
 pub struct InstrumentedSpmv<'a> {
     a: &'a CsrMatrix,
+    /// SELL engine when a `--format` choice resolved to SELL; `None`
+    /// applies through CSR. Either way the product is bitwise identical,
+    /// so instrumentation sites and checksums are format-independent.
+    /// Borrowed ([`InstrumentedSpmv::with_sell`]) when many wrappers
+    /// share one conversion, owned ([`InstrumentedSpmv::with_format`])
+    /// for one-off use.
+    sell: Option<std::borrow::Cow<'a, SellMatrix>>,
     injector: &'a dyn FaultInjector,
     checksum: Option<ColumnChecksum>,
     applies: AtomicUsize,
@@ -45,12 +52,40 @@ impl<'a> InstrumentedSpmv<'a> {
     pub fn new(a: &'a CsrMatrix, injector: &'a dyn FaultInjector) -> Self {
         Self {
             a,
+            sell: None,
             injector,
             checksum: None,
             applies: AtomicUsize::new(0),
             events: Mutex::new(Vec::new()),
             outer_iteration: 0,
             inner_solve: 0,
+        }
+    }
+
+    /// Applies the product through the chosen storage engine (`Auto`
+    /// resolves via [`sdc_sparse::auto_format`]). Checksum auditing and
+    /// fault sites are unchanged — only the kernel layout differs.
+    pub fn with_format(mut self, format: SparseFormat) -> Self {
+        self.sell = match format.resolve(self.a) {
+            SparseFormat::Sell => Some(std::borrow::Cow::Owned(SellMatrix::from_csr(self.a))),
+            _ => None,
+        };
+        self
+    }
+
+    /// Applies the product through a prebuilt SELL engine, so a loop
+    /// wrapping the same matrix with many injectors converts once.
+    pub fn with_sell(mut self, sell: &'a SellMatrix) -> Self {
+        self.sell = Some(std::borrow::Cow::Borrowed(sell));
+        self
+    }
+
+    /// The engine the product currently runs on (`Csr` or `Sell`).
+    pub fn format(&self) -> SparseFormat {
+        if self.sell.is_some() {
+            SparseFormat::Sell
+        } else {
+            SparseFormat::Csr
         }
     }
 
@@ -80,7 +115,10 @@ impl<'a> LinearOperator for InstrumentedSpmv<'a> {
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         let ordinal = self.applies.fetch_add(1, Ordering::Relaxed) + 1;
-        self.a.par_spmv(x, y);
+        match &self.sell {
+            Some(s) => s.par_spmv(x, y),
+            None => self.a.par_spmv(x, y),
+        }
         // Element-granular corruption opportunity.
         for (row, yr) in y.iter_mut().enumerate() {
             let site = Site {
@@ -138,6 +176,37 @@ mod tests {
         a.spmv(&x, &mut y2);
         assert_eq!(y1, y2);
         assert_eq!(op.applies(), 1);
+    }
+
+    #[test]
+    fn sell_format_wrapper_matches_csr_bitwise() {
+        let a = gallery::poisson2d(10);
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let csr_op = InstrumentedSpmv::new(&a, &NoFaults).with_format(SparseFormat::Csr);
+        let sell_op = InstrumentedSpmv::new(&a, &NoFaults).with_format(SparseFormat::Sell);
+        assert_eq!(csr_op.format(), SparseFormat::Csr);
+        assert_eq!(sell_op.format(), SparseFormat::Sell);
+        let mut y1 = vec![0.0; 100];
+        let mut y2 = vec![0.0; 100];
+        csr_op.apply(&x, &mut y1);
+        sell_op.apply(&x, &mut y2);
+        assert!(y1.iter().zip(&y2).all(|(p, q)| p.to_bits() == q.to_bits()));
+    }
+
+    #[test]
+    fn checksum_still_catches_faults_through_sell() {
+        let a = gallery::poisson2d(10);
+        let inj =
+            SingleFaultInjector::new(FaultModel::Offset(5.0), Trigger::once(spmv_site(4, 37)));
+        let op =
+            InstrumentedSpmv::new(&a, &inj).with_format(SparseFormat::Sell).with_checksum(1e-12);
+        let b = b_for(&a);
+        let cfg = GmresConfig { tol: 1e-9, max_iters: 300, ..Default::default() };
+        let (_, _) =
+            gmres_solve_instrumented(&op, &b, None, &cfg, &NoFaults, SiteContext::default());
+        assert_eq!(inj.fired_count(), 1);
+        assert_eq!(op.checksum_events().len(), 1);
+        assert_eq!(op.checksum_events()[0].apply_ordinal, 4);
     }
 
     #[test]

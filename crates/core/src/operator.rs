@@ -4,7 +4,7 @@
 //! with explicit sparse matrices, matrix-free stencils, and the test
 //! suite's synthetic operators alike.
 
-use sdc_sparse::CsrMatrix;
+use sdc_sparse::{CsrMatrix, FormatMatrix, SellMatrix};
 
 /// Anything that can apply itself to a vector.
 pub trait LinearOperator: Sync {
@@ -27,6 +27,34 @@ impl LinearOperator for CsrMatrix {
     }
     fn ncols(&self) -> usize {
         CsrMatrix::ncols(self)
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.par_spmv(x, y);
+    }
+}
+
+impl LinearOperator for SellMatrix {
+    fn nrows(&self) -> usize {
+        SellMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        SellMatrix::ncols(self)
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.par_spmv(x, y);
+    }
+}
+
+// A format-committed matrix is an operator too, so campaigns can feed
+// either engine to any solver (outer SpMV *and* the inner/preconditioner
+// solves, which reuse the same operator). The SELL kernel is bitwise
+// identical to CSR, so swapping formats here cannot change a result.
+impl LinearOperator for FormatMatrix {
+    fn nrows(&self) -> usize {
+        FormatMatrix::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        FormatMatrix::ncols(self)
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.par_spmv(x, y);
@@ -122,6 +150,32 @@ mod tests {
         let mut r = [0.0; 5];
         residual(&a, &b, &x, &mut r);
         assert!(r.iter().all(|v| v.abs() < 1e-15));
+    }
+
+    #[test]
+    fn format_operators_match_csr_bitwise() {
+        use sdc_sparse::SparseFormat;
+        let a = gallery::poisson2d(12);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.17).sin()).collect();
+        let mut y_csr = vec![0.0; a.nrows()];
+        LinearOperator::apply(&a, &x, &mut y_csr);
+
+        let sell = sdc_sparse::SellMatrix::from_csr(&a);
+        let mut y = vec![0.0; a.nrows()];
+        LinearOperator::apply(&sell, &x, &mut y);
+        assert!(y.iter().zip(&y_csr).all(|(p, q)| p.to_bits() == q.to_bits()));
+
+        for fmt in [SparseFormat::Csr, SparseFormat::Sell, SparseFormat::Auto] {
+            let m = FormatMatrix::convert(&a, fmt);
+            let dyn_op: &dyn LinearOperator = &m;
+            assert_eq!(dyn_op.nrows(), a.nrows());
+            let mut y = vec![0.0; a.nrows()];
+            dyn_op.apply(&x, &mut y);
+            assert!(
+                y.iter().zip(&y_csr).all(|(p, q)| p.to_bits() == q.to_bits()),
+                "format {fmt:?} diverged from CSR"
+            );
+        }
     }
 
     #[test]

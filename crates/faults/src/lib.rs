@@ -28,6 +28,9 @@
 //!   model (§III-A-2).
 //! * [`campaign`] — the paper's fault classes and Gram-Schmidt positions
 //!   as enums, plus deterministic campaign-plan builders.
+//! * [`storage`] — persistent faults in the operator's stored data,
+//!   mapped onto both sparse engines (CSR and SELL-C-σ) so bitflip
+//!   campaigns can target value/column storage in either layout.
 
 pub mod bitflip;
 pub mod campaign;
@@ -35,6 +38,7 @@ pub mod injector;
 pub mod model;
 pub mod sandbox;
 pub mod site;
+pub mod storage;
 pub mod taxonomy;
 pub mod trigger;
 

@@ -28,6 +28,13 @@ pub enum Kernel {
     LsqSolve,
     /// Preconditioner application.
     Precond,
+    /// A value in the operator's *stored data* (matrix storage), struck
+    /// in memory rather than in flight. `loop_index` carries the flat
+    /// storage slot + 1 — `row_ptr[r] + k` for CSR, the chunk-interleaved
+    /// slot for SELL-C-σ (see `sdc_faults::storage` for the mapping);
+    /// iteration coordinates are 0 (the corruption persists across
+    /// iterations until repaired).
+    MatrixValue,
 }
 
 /// Full coordinates of one instrumented scalar operation.

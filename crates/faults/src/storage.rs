@@ -1,0 +1,213 @@
+//! Faults in the operator's *stored data* — matrix storage corruption
+//! for both sparse engines.
+//!
+//! The paper's protocol strikes values in flight (orthogonalization
+//! coefficients, SpMV outputs). Prior work (Shantharam et al., ref. 12)
+//! instead corrupts the matrix itself: a bit flip in `A`'s value array
+//! persists across every subsequent apply. This module maps that fault
+//! class onto both storage engines so a campaign addressing "entry `k`
+//! of row `r`" hits the same logical value whether the operator is CSR
+//! or SELL-C-σ:
+//!
+//! * CSR stores it at flat slot `row_ptr[r] + k`;
+//! * SELL stores it at a chunk-interleaved slot
+//!   ([`sdc_sparse::SellMatrix::entry_slot`]), and additionally carries
+//!   *padding* slots the kernel never reads — a fault landing there is
+//!   architecturally masked, a real phenomenon this module lets
+//!   campaigns measure.
+//!
+//! Injection goes through the ordinary [`FaultInjector`] protocol
+//! ([`Kernel::MatrixValue`] sites, slot addressed via `loop_index`), so
+//! triggers, firing modes and injection records all work unchanged.
+
+use crate::injector::FaultInjector;
+use crate::site::{Kernel, Site};
+use sdc_sparse::{FormatMatrix, SellMatrix};
+
+/// The site of value-storage slot `slot` (see [`Kernel::MatrixValue`]).
+pub fn value_site(slot: usize) -> Site {
+    Site {
+        kernel: Kernel::MatrixValue,
+        outer_iteration: 0,
+        inner_solve: 0,
+        inner_iteration: 0,
+        loop_index: slot + 1,
+    }
+}
+
+/// Flat value-storage slot of logical entry `k` of row `r`, in whichever
+/// format `m` is committed to.
+pub fn value_slot(m: &FormatMatrix, r: usize, k: usize) -> usize {
+    m.entry_slot(r, k)
+}
+
+/// Passes every stored value of `m` (including SELL padding slots)
+/// through `injector` at its [`value_site`], committing whatever the
+/// trigger fires. Returns the number of slots whose bits changed.
+///
+/// With a `Trigger::once` predicate matching one slot this realizes the
+/// single-persistent-storage-fault protocol; the injector's records say
+/// exactly which slot was hit and what it became.
+pub fn inject_values(m: &mut FormatMatrix, injector: &dyn FaultInjector) -> usize {
+    let mut changed = 0;
+    for (slot, v) in m.values_mut().iter_mut().enumerate() {
+        let corrupted = injector.corrupt(value_site(slot), *v);
+        if corrupted.to_bits() != v.to_bits() {
+            *v = corrupted;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Flips bit `bit` (0–63 on this platform) of the column *index* at SELL
+/// storage slot `slot`, modelling pointer-structure corruption. Returns
+/// `Ok((old, new))` when the flipped index stays inside `0..ncols` (the
+/// kernel will silently gather the wrong `x` element), or
+/// `Err((old, new))` when it does not — committing such a flip would
+/// make SpMV panic (a memory-safe crash: the taxonomy's hard-fault
+/// outcome), so it is reported rather than written.
+pub fn flip_sell_col_bit(
+    m: &mut SellMatrix,
+    slot: usize,
+    bit: u32,
+) -> Result<(usize, usize), (usize, usize)> {
+    assert!((bit as usize) < usize::BITS as usize, "bit index out of range");
+    let old = m.col_idx()[slot];
+    let new = old ^ (1usize << bit);
+    if new < m.ncols() {
+        m.col_idx_mut()[slot] = new;
+        Ok((old, new))
+    } else {
+        Err((old, new))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultModel;
+    use crate::trigger::{LoopPosition, SitePredicate, Trigger};
+    use crate::{NoFaults, SingleFaultInjector};
+    use sdc_sparse::{CooMatrix, SparseFormat};
+
+    fn sample() -> sdc_sparse::CsrMatrix {
+        let mut coo = CooMatrix::new(4, 4);
+        for &(r, c, v) in &[
+            (0, 0, 2.0),
+            (0, 2, -1.0),
+            (1, 1, 3.0),
+            (2, 0, 1.0),
+            (2, 1, -2.0),
+            (2, 3, 4.0),
+            (3, 3, 5.0),
+        ] {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    }
+
+    fn slot_predicate(slot: usize) -> SitePredicate {
+        SitePredicate {
+            kernel: Some(Kernel::MatrixValue),
+            outer_iteration: None,
+            inner_solve: None,
+            inner_iteration: None,
+            loop_position: LoopPosition::Index(slot + 1),
+        }
+    }
+
+    #[test]
+    fn same_logical_entry_both_formats() {
+        let a = sample();
+        for fmt in [SparseFormat::Csr, SparseFormat::Sell] {
+            let mut m = FormatMatrix::convert(&a, fmt);
+            // Target entry 2 of row 2 (value 4.0) by logical coordinates.
+            let slot = value_slot(&m, 2, 2);
+            let inj = SingleFaultInjector::new(
+                FaultModel::SetValue(99.0),
+                Trigger::once(slot_predicate(slot)),
+            );
+            assert_eq!(inject_values(&mut m, &inj), 1, "{fmt}");
+            assert_eq!(inj.fired_count(), 1);
+            assert_eq!(m.values()[slot], 99.0);
+            // The corruption lands on the same logical entry.
+            assert_eq!(m.to_csr().get(2, 3), 99.0, "{fmt}");
+            let rec = inj.records()[0];
+            assert_eq!(rec.site.kernel, Kernel::MatrixValue);
+            assert_eq!(rec.original, 4.0);
+        }
+    }
+
+    #[test]
+    fn no_faults_changes_nothing() {
+        let a = sample();
+        let mut m = FormatMatrix::convert(&a, SparseFormat::Sell);
+        assert_eq!(inject_values(&mut m, &NoFaults), 0);
+        assert_eq!(m.to_csr(), a);
+    }
+
+    #[test]
+    fn padding_slot_fault_is_masked() {
+        let a = sample();
+        let mut m = FormatMatrix::convert(&a, SparseFormat::Sell);
+        let FormatMatrix::Sell(ref s) = m else { panic!("expected SELL") };
+        let padding: Vec<usize> = (0..s.storage_len()).filter(|&i| s.is_padding_slot(i)).collect();
+        assert!(!padding.is_empty(), "ragged sample must pad");
+        let slot = padding[0];
+        let inj = SingleFaultInjector::new(
+            FaultModel::SetValue(1e300),
+            Trigger::once(slot_predicate(slot)),
+        );
+        // The fault commits into storage...
+        assert_eq!(inject_values(&mut m, &inj), 1);
+        // ...but the kernel never reads it: SpMV and round-trip unchanged.
+        let x = [1.0, -1.0, 0.5, 2.0];
+        let mut y = [0.0; 4];
+        m.par_spmv(&x, &mut y);
+        let mut y_ref = [0.0; 4];
+        a.par_spmv(&x, &mut y_ref);
+        assert_eq!(y, y_ref);
+        assert_eq!(m.to_csr(), a);
+    }
+
+    #[test]
+    fn sell_col_bitflips_split_into_wild_reads_and_crashes() {
+        let a = sample();
+        let mut s = SellMatrix::from_csr(&a);
+        // Slot of (row 2, entry 0): column index 0. Flipping bit 0 gives
+        // column 1 — in range, a silent wrong gather.
+        let slot = s.entry_slot(2, 0);
+        assert_eq!(flip_sell_col_bit(&mut s, slot, 0), Ok((0, 1)));
+        let x = [1.0, 10.0, 100.0, 1000.0];
+        let mut y = [0.0; 4];
+        s.spmv(&x, &mut y);
+        // Row 2 was 1·x0 − 2·x1 + 4·x3; now reads x1 instead of x0.
+        assert_eq!(y[2], 10.0 - 20.0 + 4000.0);
+        // A high bit pushes the index out of range: reported, not committed.
+        let before = s.col_idx()[slot];
+        assert!(flip_sell_col_bit(&mut s, slot, 40).is_err());
+        assert_eq!(s.col_idx()[slot], before);
+    }
+
+    #[test]
+    fn storage_fault_then_solve_biases_every_apply() {
+        // The persistent-storage fault model end to end: corrupt one CSR
+        // value, the residual of the *original* system stays wrong.
+        let a = sample();
+        let mut m = FormatMatrix::convert(&a, SparseFormat::Csr);
+        let slot = value_slot(&m, 1, 0);
+        let inj = SingleFaultInjector::new(
+            FaultModel::ScaleRelative(2.0),
+            Trigger::once(slot_predicate(slot)),
+        );
+        inject_values(&mut m, &inj);
+        let x = [1.0; 4];
+        let mut y_fault = [0.0; 4];
+        m.spmv(&x, &mut y_fault);
+        let mut y_ref = [0.0; 4];
+        a.spmv(&x, &mut y_ref);
+        assert_ne!(y_fault[1], y_ref[1]);
+        assert_eq!(y_fault[0], y_ref[0], "other rows untouched");
+    }
+}

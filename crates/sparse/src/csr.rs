@@ -136,7 +136,7 @@ impl CsrMatrix {
     pub fn par_spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "par_spmv: x length");
         assert_eq!(y.len(), self.nrows, "par_spmv: y length");
-        if self.nnz() < 1 << 14 {
+        if self.nnz() < crate::PAR_SPMV_MIN_NNZ {
             return self.spmv(x, y);
         }
         y.par_iter_mut().enumerate().for_each(|(r, yr)| {

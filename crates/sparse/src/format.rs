@@ -1,0 +1,292 @@
+//! Storage-format selection: CSR vs SELL-C-σ, and the `auto` heuristic.
+//!
+//! Both engines compute bitwise-identical SpMV results (see [`crate::sell`]),
+//! so the format is a pure performance knob: campaigns, benches and
+//! binaries can switch it freely without perturbing a single artifact
+//! byte. [`SparseFormat`] is the spec/CLI-level choice (`csr`, `sell`,
+//! `auto`), [`FormatMatrix`] a matrix committed to one engine, and
+//! [`auto_format`] the heuristic that resolves `auto` from the
+//! row-length distribution.
+
+use crate::csr::CsrMatrix;
+use crate::sell::{self, SellMatrix};
+
+/// The storage-format axis exposed to specs and CLIs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SparseFormat {
+    /// Compressed sparse row (the workspace's original engine).
+    Csr,
+    /// SELL-C-σ with the default `C`/σ.
+    Sell,
+    /// Decide per matrix via [`auto_format`].
+    #[default]
+    Auto,
+}
+
+impl SparseFormat {
+    /// The spec/CLI string for this format.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SparseFormat::Csr => "csr",
+            SparseFormat::Sell => "sell",
+            SparseFormat::Auto => "auto",
+        }
+    }
+
+    /// Parses a spec/CLI string (`csr`, `sell` or `auto`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "csr" => Ok(SparseFormat::Csr),
+            "sell" => Ok(SparseFormat::Sell),
+            "auto" => Ok(SparseFormat::Auto),
+            other => Err(format!("unknown sparse format '{other}' (expected csr|sell|auto)")),
+        }
+    }
+
+    /// Resolves `Auto` against a concrete matrix; `Csr` and `Sell` map
+    /// to themselves.
+    pub fn resolve(&self, a: &CsrMatrix) -> SparseFormat {
+        match self {
+            SparseFormat::Auto => auto_format(a),
+            concrete => *concrete,
+        }
+    }
+}
+
+impl std::fmt::Display for SparseFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// SELL fill ratios above this keep the matrix in CSR: the padded slabs
+/// would stream >25% dead data per apply.
+pub const AUTO_MAX_FILL: f64 = 1.25;
+
+/// Picks CSR or SELL (never `Auto`) for a matrix from its row-length
+/// distribution.
+///
+/// The decision variable is the SELL-C-σ *fill ratio*
+/// ([`sell::fill_ratio_of`]): stored slots (padding included) per matrix
+/// entry. It is the operational form of within-window row-length
+/// variance — uniform rows give exactly 1.0, ragged rows inflate it —
+/// so low-variance matrices (stencils, circulants) go to SELL and
+/// high-variance ones (circuit MNA with dense supply rails) stay in
+/// CSR. Matrices below the parallel-SpMV threshold also stay in CSR:
+/// their applies are too cheap for layout to matter.
+pub fn auto_format(a: &CsrMatrix) -> SparseFormat {
+    if a.nnz() < crate::PAR_SPMV_MIN_NNZ {
+        return SparseFormat::Csr;
+    }
+    if sell::fill_ratio_of(a, sell::DEFAULT_CHUNK, sell::DEFAULT_SIGMA) <= AUTO_MAX_FILL {
+        SparseFormat::Sell
+    } else {
+        SparseFormat::Csr
+    }
+}
+
+/// A sparse matrix committed to one storage engine.
+///
+/// `LinearOperator` wiring lives in `sdc_gmres::operator`; this type
+/// only owns the storage and dispatches the kernels.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FormatMatrix {
+    /// CSR storage.
+    Csr(CsrMatrix),
+    /// SELL-C-σ storage.
+    Sell(SellMatrix),
+}
+
+impl FormatMatrix {
+    /// Commits `a` to `format` (resolving `Auto`), consuming the CSR.
+    pub fn from_csr(a: CsrMatrix, format: SparseFormat) -> Self {
+        match format.resolve(&a) {
+            SparseFormat::Sell => FormatMatrix::Sell(SellMatrix::from_csr(&a)),
+            _ => FormatMatrix::Csr(a),
+        }
+    }
+
+    /// Like [`FormatMatrix::from_csr`] but borrowing (clones CSR storage
+    /// when the choice is CSR).
+    pub fn convert(a: &CsrMatrix, format: SparseFormat) -> Self {
+        match format.resolve(a) {
+            SparseFormat::Sell => FormatMatrix::Sell(SellMatrix::from_csr(a)),
+            _ => FormatMatrix::Csr(a.clone()),
+        }
+    }
+
+    /// The engine this matrix is committed to (`Csr` or `Sell`).
+    pub fn format(&self) -> SparseFormat {
+        match self {
+            FormatMatrix::Csr(_) => SparseFormat::Csr,
+            FormatMatrix::Sell(_) => SparseFormat::Sell,
+        }
+    }
+
+    /// Lossless CSR view (clones for the CSR variant).
+    pub fn to_csr(&self) -> CsrMatrix {
+        match self {
+            FormatMatrix::Csr(a) => a.clone(),
+            FormatMatrix::Sell(s) => s.to_csr(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        match self {
+            FormatMatrix::Csr(a) => a.nrows(),
+            FormatMatrix::Sell(s) => s.nrows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        match self {
+            FormatMatrix::Csr(a) => a.ncols(),
+            FormatMatrix::Sell(s) => s.ncols(),
+        }
+    }
+
+    /// Number of stored matrix entries (SELL padding excluded).
+    pub fn nnz(&self) -> usize {
+        match self {
+            FormatMatrix::Csr(a) => a.nnz(),
+            FormatMatrix::Sell(s) => s.nnz(),
+        }
+    }
+
+    /// Serial SpMV; bitwise identical across the two variants.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            FormatMatrix::Csr(a) => a.spmv(x, y),
+            FormatMatrix::Sell(s) => s.spmv(x, y),
+        }
+    }
+
+    /// Parallel SpMV; bitwise identical across variants and thread counts.
+    pub fn par_spmv(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            FormatMatrix::Csr(a) => a.par_spmv(x, y),
+            FormatMatrix::Sell(s) => s.par_spmv(x, y),
+        }
+    }
+
+    /// Raw value storage (the fault-injection surface; for SELL this
+    /// includes padding slots).
+    pub fn values(&self) -> &[f64] {
+        match self {
+            FormatMatrix::Csr(a) => a.values(),
+            FormatMatrix::Sell(s) => s.values(),
+        }
+    }
+
+    /// Mutable value storage for fault campaigns.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        match self {
+            FormatMatrix::Csr(a) => a.values_mut(),
+            FormatMatrix::Sell(s) => s.values_mut(),
+        }
+    }
+
+    /// The flat value-storage slot of logical entry `k` of row `r`
+    /// (CSR: `row_ptr[r] + k`; SELL: [`SellMatrix::entry_slot`]).
+    pub fn entry_slot(&self, r: usize, k: usize) -> usize {
+        match self {
+            FormatMatrix::Csr(a) => {
+                assert!(k < a.row(r).0.len(), "entry_slot: row {r} has too few entries");
+                a.row_ptr()[r] + k
+            }
+            FormatMatrix::Sell(s) => s.entry_slot(r, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gallery;
+
+    #[test]
+    fn format_strings_round_trip() {
+        for f in [SparseFormat::Csr, SparseFormat::Sell, SparseFormat::Auto] {
+            assert_eq!(SparseFormat::parse(f.as_str()).unwrap(), f);
+            assert_eq!(format!("{f}"), f.as_str());
+        }
+        assert!(SparseFormat::parse("ellpack").is_err());
+        assert_eq!(SparseFormat::default(), SparseFormat::Auto);
+    }
+
+    #[test]
+    fn auto_picks_sell_for_uniform_large_and_csr_for_small() {
+        // Poisson 2-D at n = 10 000: 5-point stencil, near-uniform rows.
+        let big = gallery::poisson2d(100);
+        assert_eq!(auto_format(&big), SparseFormat::Sell);
+        // Tiny matrix: stay CSR regardless of shape.
+        let small = gallery::poisson2d(5);
+        assert_eq!(auto_format(&small), SparseFormat::Csr);
+    }
+
+    #[test]
+    fn auto_rejects_ragged_rows() {
+        // One dense row in an otherwise diagonal matrix: within the
+        // first σ-window the dense row forces a full-width chunk, and
+        // the matrix is small enough that this dominates the fill ratio.
+        let n = 20_000;
+        let mut coo = crate::CooMatrix::with_capacity(n, n, 2 * n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+        }
+        for j in 0..n {
+            if j != 0 {
+                coo.push(0, j, 0.5);
+            }
+        }
+        let a = coo.to_csr();
+        let ratio =
+            crate::sell::fill_ratio_of(&a, crate::sell::DEFAULT_CHUNK, crate::sell::DEFAULT_SIGMA);
+        assert!(ratio > AUTO_MAX_FILL, "fill ratio {ratio} should exceed the gate");
+        assert_eq!(auto_format(&a), SparseFormat::Csr);
+    }
+
+    #[test]
+    fn format_matrix_dispatch_is_bitwise_consistent() {
+        let a = gallery::poisson2d(40);
+        let csr = FormatMatrix::convert(&a, SparseFormat::Csr);
+        let sell = FormatMatrix::convert(&a, SparseFormat::Sell);
+        assert_eq!(csr.format(), SparseFormat::Csr);
+        assert_eq!(sell.format(), SparseFormat::Sell);
+        assert_eq!(csr.nnz(), sell.nnz());
+        assert_eq!(sell.to_csr(), a);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.21).sin()).collect();
+        let mut y1 = vec![0.0; a.nrows()];
+        let mut y2 = vec![0.0; a.nrows()];
+        csr.par_spmv(&x, &mut y1);
+        sell.par_spmv(&x, &mut y2);
+        for i in 0..a.nrows() {
+            assert_eq!(y1[i].to_bits(), y2[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn entry_slot_agrees_with_values() {
+        let a = gallery::sprand(30, 30, 0.15, 11);
+        for fmt in [SparseFormat::Csr, SparseFormat::Sell] {
+            let m = FormatMatrix::convert(&a, fmt);
+            for r in 0..a.nrows() {
+                let (_, vals) = a.row(r);
+                for (k, &v) in vals.iter().enumerate() {
+                    assert_eq!(m.values()[m.entry_slot(r, k)], v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolution_never_returns_auto() {
+        for a in [gallery::poisson2d(100), gallery::poisson2d(5)] {
+            assert_ne!(SparseFormat::Auto.resolve(&a), SparseFormat::Auto);
+            assert_eq!(SparseFormat::Csr.resolve(&a), SparseFormat::Csr);
+            assert_eq!(SparseFormat::Sell.resolve(&a), SparseFormat::Sell);
+        }
+    }
+}

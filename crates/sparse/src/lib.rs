@@ -5,9 +5,15 @@
 //!
 //! * Triplet ([`coo`]), compressed-sparse-row ([`csr`]) and
 //!   compressed-sparse-column ([`csc`]) storage with validated construction.
+//! * A second SpMV engine ([`sell`]): SELL-C-σ sliced-ELLPACK storage
+//!   with chunk-parallel kernels, plus a format abstraction and
+//!   row-length-variance `auto` heuristic ([`format`](mod@format))
+//!   choosing between the engines per matrix.
 //! * Serial and thread-parallel sparse matrix–vector products. Row
 //!   partitioning is disjoint, so parallel SpMV is bitwise identical to
-//!   serial SpMV — fault-injection campaigns stay reproducible.
+//!   serial SpMV — and the SELL kernels preserve each row's accumulation
+//!   order exactly, so the *format* is bitwise-invisible too;
+//!   fault-injection campaigns stay reproducible either way.
 //! * Sparse matrix algebra ([`ops`]): addition, scaling, Kronecker
 //!   products (used to assemble Poisson operators the same way Matlab's
 //!   `gallery('poisson',n)` does), identity/diagonal constructors.
@@ -33,13 +39,23 @@ pub mod checksum;
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod format;
 pub mod gallery;
 pub mod io;
 pub mod norm_est;
 pub mod ops;
 pub mod perm;
+pub mod sell;
 pub mod structure;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
+pub use format::{auto_format, FormatMatrix, SparseFormat};
+pub use sell::SellMatrix;
+
+/// Below this many nonzeros the parallel kernels (`par_spmv` in either
+/// format, `kron` assembly) stay serial: piece handoff on the pool would
+/// cost more than the arithmetic saves. Shared by [`csr`], [`sell`] and
+/// [`ops`] so the formats agree on when "parallel" begins.
+pub const PAR_SPMV_MIN_NNZ: usize = 1 << 14;

@@ -112,7 +112,7 @@ pub fn kron(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
 
     let mut col_idx = vec![0usize; nnz];
     let mut values = vec![0.0f64; nnz];
-    if nnz < PAR_KRON_MIN_NNZ {
+    if nnz < crate::PAR_SPMV_MIN_NNZ {
         fill_rows(0..nrows, &mut col_idx, &mut values);
     } else {
         // Contiguous row chunks; `row_ptr` gives each chunk's exact
@@ -134,10 +134,6 @@ pub fn kron(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     }
     CsrMatrix::from_raw(nrows, ncols, row_ptr, col_idx, values)
 }
-
-/// Below this output size the Kronecker assembly stays serial — piece
-/// handoff would cost more than the fills save.
-const PAR_KRON_MIN_NNZ: usize = 1 << 14;
 
 /// Symmetric tridiagonal Toeplitz matrix `tridiag(sub, diag, sup)` of
 /// order `n`.

@@ -164,6 +164,57 @@ pub fn avg_nnz_per_row(a: &CsrMatrix) -> f64 {
     }
 }
 
+/// Moments of the row-length (nnz-per-row) distribution. Low variance
+/// is why sliced-ELLPACK chunks pad almost nothing on stencil matrices;
+/// note the actual CSR-vs-SELL gate in [`crate::format::auto_format`]
+/// is the sharper [`crate::sell::fill_ratio_of`] (variance *within σ
+/// windows* is what padding responds to) — these moments are the
+/// structural summary reported next to the Table-I metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RowLengthStats {
+    /// Shortest row.
+    pub min: usize,
+    /// Longest row.
+    pub max: usize,
+    /// Mean row length.
+    pub mean: f64,
+    /// Population variance of the row lengths.
+    pub variance: f64,
+}
+
+impl RowLengthStats {
+    /// Coefficient of variation (`σ / μ`; `0` for an empty matrix).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.variance.sqrt() / self.mean
+        }
+    }
+}
+
+/// Computes [`RowLengthStats`] from the row pointer array in one pass.
+pub fn row_length_stats(a: &CsrMatrix) -> RowLengthStats {
+    let n = a.nrows();
+    if n == 0 {
+        return RowLengthStats { min: 0, max: 0, mean: 0.0, variance: 0.0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut sum = 0usize;
+    let mut sum_sq = 0u128;
+    for r in 0..n {
+        let len = a.row_ptr()[r + 1] - a.row_ptr()[r];
+        min = min.min(len);
+        max = max.max(len);
+        sum += len;
+        sum_sq += (len as u128) * (len as u128);
+    }
+    let mean = sum as f64 / n as f64;
+    let variance = (sum_sq as f64 / n as f64 - mean * mean).max(0.0);
+    RowLengthStats { min, max, mean, variance }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +296,26 @@ mod tests {
     fn avg_nnz() {
         let t = tridiag_toeplitz(4, -1.0, 2.0, -1.0);
         assert!((avg_nnz_per_row(&t) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn row_length_moments() {
+        // tridiag(4): lengths 2,3,3,2 — mean 2.5, variance 0.25.
+        let t = tridiag_toeplitz(4, -1.0, 2.0, -1.0);
+        let s = row_length_stats(&t);
+        assert_eq!((s.min, s.max), (2, 3));
+        assert!((s.mean - 2.5).abs() < 1e-15);
+        assert!((s.variance - 0.25).abs() < 1e-15);
+        assert!((s.cv() - 0.5 / 2.5).abs() < 1e-15);
+
+        // Uniform rows: zero variance.
+        let d = crate::CsrMatrix::identity(6);
+        let s = row_length_stats(&d);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.cv(), 0.0);
+
+        let empty = crate::CsrMatrix::from_raw(0, 0, vec![0], vec![], vec![]);
+        assert_eq!(row_length_stats(&empty).mean, 0.0);
     }
 
     #[test]

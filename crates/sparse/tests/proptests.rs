@@ -89,6 +89,41 @@ proptest! {
         }
     }
 
+    // SELL-C-σ: the format must be lossless and bitwise-invisible for
+    // *every* pattern and every (C, σ) — not just the gallery shapes.
+
+    #[test]
+    fn csr_sell_csr_round_trip_is_exact(
+        coo in coo_strategy(14),
+        chunk in 1usize..9,
+        sigma in 1usize..20,
+    ) {
+        let a = coo.to_csr();
+        let s = sdc_sparse::SellMatrix::from_csr_with(&a, chunk, sigma);
+        prop_assert_eq!(s.to_csr(), a);
+    }
+
+    #[test]
+    fn sell_spmv_is_bitwise_equal_to_csr(
+        coo in coo_strategy(14),
+        chunk in 1usize..9,
+        sigma in 1usize..20,
+    ) {
+        let a = coo.to_csr();
+        let s = sdc_sparse::SellMatrix::from_csr_with(&a, chunk, sigma);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64 * 0.61).sin() + 0.3).collect();
+        let mut yc = vec![0.0; a.nrows()];
+        let mut ys = vec![0.0; a.nrows()];
+        let mut yp = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut yc);
+        s.spmv(&x, &mut ys);
+        s.par_spmv(&x, &mut yp);
+        for i in 0..a.nrows() {
+            prop_assert_eq!(yc[i].to_bits(), ys[i].to_bits(), "serial row {}", i);
+            prop_assert_eq!(yc[i].to_bits(), yp[i].to_bits(), "parallel row {}", i);
+        }
+    }
+
     #[test]
     fn frobenius_dominates_each_entry(coo in coo_strategy(10)) {
         // The detector-bound chain: every |a_ij| ≤ ‖A‖_max ≤ ‖A‖_F.

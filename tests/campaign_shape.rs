@@ -16,6 +16,7 @@ fn cfg() -> CampaignConfig {
         detector_response: None,
         stride: 3,
         inner_lsq: LstsqPolicy::Standard,
+        ..Default::default()
     }
 }
 

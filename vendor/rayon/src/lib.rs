@@ -9,7 +9,7 @@
 //!
 //! Execution model: a parallel iterator is a [`Producer`] — a splittable,
 //! random-access description of the sequence. A consumer splits it into
-//! at most [`MAX_PIECES`] contiguous pieces (**a function of the length
+//! at most `MAX_PIECES` (64) contiguous pieces (**a function of the length
 //! alone, never of thread count**), the pool's threads claim pieces
 //! dynamically, and piece results are kept in piece order. `collect`
 //! therefore preserves the sequential element order and `for_each`
