@@ -1,0 +1,104 @@
+//! Served-solve throughput at 1/2/4 worker threads.
+//!
+//! Each measurement drives a real `sdc_server` over loopback TCP: an
+//! engine is built per thread count (the pool size is frozen at engine
+//! construction — exactly the production startup path), a Poisson
+//! matrix is registered once, and the timed unit is one full
+//! request→response round trip through the scheduler. A separate
+//! multi-connection sample exercises the same-matrix batching path via
+//! the load generator.
+//!
+//! `BENCH_server.json` at the repo root commits the baseline medians
+//! (see README "Performance"); the CI `bench-regression` job re-runs
+//! this in quick mode and gates with `bench_gate`. Like the other
+//! scaling benches, the committed numbers come from a 1-core container,
+//! so scaling there is flat by construction — the gate catches rot, not
+//! jitter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdc_campaigns::json::Json;
+use sdc_server::{load_gen, serve, Client, Engine, EngineConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn start_server(threads: usize) -> sdc_server::ServerHandle {
+    sdc_parallel::set_threads(threads);
+    let engine = Arc::new(Engine::new(EngineConfig { threads: 0, queue_cap: 64, batch_max: 8 }));
+    serve(engine, "127.0.0.1:0").expect("bind")
+}
+
+fn shutdown(handle: sdc_server::ServerHandle) {
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    c.request_lines("{\"cmd\":\"shutdown\"}").expect("shutdown");
+    handle.wait();
+}
+
+fn load_poisson(client: &mut Client) {
+    let r = client
+        .call(
+            &Json::parse(
+                "{\"cmd\":\"load_matrix\",\"name\":\"bench\",\"problem\":{\"kind\":\"poisson\",\"m\":24}}",
+            )
+            .unwrap(),
+        )
+        .expect("load_matrix");
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+}
+
+fn solve_request() -> Json {
+    Json::parse(
+        "{\"cmd\":\"solve\",\"matrix\":\"bench\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10}",
+    )
+    .unwrap()
+}
+
+/// One connection, sequential round trips: the per-request service
+/// latency floor (queue + dispatch + solve + serialization).
+fn bench_single_connection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_solve");
+    g.sample_size(10);
+    for t in THREAD_COUNTS {
+        let handle = start_server(t);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        load_poisson(&mut client);
+        let req = solve_request();
+        // Warm the format caches and verify the response once.
+        let warm = client.call(&req).expect("solve");
+        assert!(warm.field("ok").unwrap().as_bool().unwrap());
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| black_box(client.call(&req).expect("solve")))
+        });
+        shutdown(handle);
+    }
+    g.finish();
+    sdc_parallel::set_threads(0);
+}
+
+/// Four concurrent connections through the load generator: exercises
+/// accept, per-connection threads and the same-matrix batching path.
+fn bench_concurrent_connections(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_batch");
+    g.sample_size(10);
+    for t in THREAD_COUNTS {
+        let handle = start_server(t);
+        let mut setup = Client::connect(handle.addr()).expect("connect");
+        load_poisson(&mut setup);
+        let req = solve_request();
+        let addr = handle.addr();
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| {
+                let report = load_gen(addr, 4, 2, &req).expect("load gen");
+                assert_eq!(report.completed, 8, "all batched solves must succeed");
+                black_box(report.completed)
+            })
+        });
+        shutdown(handle);
+    }
+    g.finish();
+    sdc_parallel::set_threads(0);
+}
+
+criterion_group!(benches, bench_single_connection, bench_concurrent_connections);
+criterion_main!(benches);

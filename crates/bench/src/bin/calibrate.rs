@@ -7,6 +7,7 @@
 use sdc_bench::campaign::{failure_free, CampaignConfig};
 use sdc_bench::problems;
 use sdc_bench::render::CliArgs;
+use sdc_gmres::prelude::SolveSummary;
 
 fn main() {
     let args = CliArgs::parse();
@@ -17,14 +18,7 @@ fn main() {
     for tol in [3e-7, 1e-7, 3e-8] {
         let cfg = CampaignConfig { outer_tol: tol, format: args.format, ..Default::default() };
         let rep = failure_free(&poisson, &cfg);
-        println!(
-            "{}: tol={tol:.0e} outer={} inner_total={} outcome={:?} true_res={:.2e}",
-            poisson.name,
-            rep.iterations,
-            rep.total_inner_iterations,
-            rep.outcome,
-            rep.true_residual_norm.unwrap_or(f64::NAN),
-        );
+        println!("{}: tol={tol:.0e} {}", poisson.name, SolveSummary::from_report(&rep).render());
     }
     let dcop = problems::dcop(None, dn, 1311);
     for tol in [5e-9, 3e-9, 2e-9, 1e-9] {
@@ -35,13 +29,6 @@ fn main() {
             ..Default::default()
         };
         let rep = failure_free(&dcop, &cfg);
-        println!(
-            "{}: tol={tol:.0e} outer={} inner_total={} outcome={:?} true_res={:.2e}",
-            dcop.name,
-            rep.iterations,
-            rep.total_inner_iterations,
-            rep.outcome,
-            rep.true_residual_norm.unwrap_or(f64::NAN),
-        );
+        println!("{}: tol={tol:.0e} {}", dcop.name, SolveSummary::from_report(&rep).render());
     }
 }

@@ -91,7 +91,7 @@ fn main() {
                     }
                 }
                 SolveOutcome::Halted(_) => "halted-loud".to_string(),
-                other => format!("{other:?}").chars().take(12).collect(),
+                other => other.label().chars().take(12).collect(),
             };
             println!(
                 "{label:<34} {defense:<14} {:>6} {:>9} {:>9} {:>10} {:>12}",

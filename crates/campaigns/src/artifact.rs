@@ -71,7 +71,13 @@ pub enum Record {
 impl Record {
     /// Serializes to one JSONL line (no trailing newline).
     pub fn to_line(&self) -> String {
-        let v = match self {
+        self.to_json().to_line()
+    }
+
+    /// The record as a JSON value (exactly what [`Record::to_line`]
+    /// serializes; `sdc_server` embeds this in streamed job events).
+    pub fn to_json(&self) -> Json {
+        match self {
             Record::Header { spec } => {
                 Json::obj(vec![("kind", Json::str("header")), ("spec", spec.to_json())])
             }
@@ -110,8 +116,7 @@ impl Record {
                 ("restarts", Json::Num(point.restarts as f64)),
                 ("true_rel_residual", Json::Num(point.true_rel_residual)),
             ]),
-        };
-        v.to_line()
+        }
     }
 
     /// Parses one JSONL line.

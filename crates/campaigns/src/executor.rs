@@ -38,8 +38,16 @@ use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+/// A job-progress callback: invoked once per record *appended by this
+/// invocation* (records already on disk from a resumed run are not
+/// replayed), on the thread that owns the artifact file, immediately
+/// after the record is written. `sdc_server` streams campaign jobs to
+/// clients through this hook; it sees exactly the lines the artifact
+/// gained.
+pub type ProgressHook = std::sync::Arc<dyn Fn(&Record) + Send + Sync>;
+
 /// Executor tuning knobs.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct RunOptions {
     /// Units per shard: the parallel batch size and the flush/checkpoint
     /// granularity. A killed run re-does at most this many experiments.
@@ -49,11 +57,24 @@ pub struct RunOptions {
     /// Stop (cleanly, mid-campaign) after running this many new units —
     /// a deterministic stand-in for `kill` in tests and smoke runs.
     pub max_units: Option<usize>,
+    /// Called for every newly appended record (see [`ProgressHook`]).
+    pub on_record: Option<ProgressHook>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { shard_size: 64, quiet: false, max_units: None }
+        Self { shard_size: 64, quiet: false, max_units: None, on_record: None }
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("shard_size", &self.shard_size)
+            .field("quiet", &self.quiet)
+            .field("max_units", &self.max_units)
+            .field("on_record", &self.on_record.as_ref().map(|_| "<hook>"))
+            .finish()
     }
 }
 
@@ -407,6 +428,9 @@ pub fn run(
             }
         };
         artifact::append(&mut out, &rec)?;
+        if let Some(hook) = &opts.on_record {
+            hook(&rec);
+        }
     }
     out.flush()?;
 
@@ -464,6 +488,9 @@ pub fn run(
             .collect();
         for rec in &records {
             artifact::append(&mut out, rec)?;
+            if let Some(hook) = &opts.on_record {
+                hook(rec);
+            }
         }
         out.flush()?;
         ran += shard.len();
@@ -552,7 +579,7 @@ mod tests {
             &spec,
             &part_path,
             false,
-            &RunOptions { quiet: true, max_units: Some(7), shard_size: 5 },
+            &RunOptions { quiet: true, max_units: Some(7), shard_size: 5, ..Default::default() },
         )
         .unwrap();
         assert_eq!(sum.ran_units, 7);
@@ -605,6 +632,36 @@ mod tests {
         let sum = run(&spec, &path, true, &quiet).unwrap();
         assert_eq!(sum.ran_units, 0);
         assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn on_record_hook_sees_exactly_the_appended_lines() {
+        use std::sync::{Arc, Mutex};
+        let spec = tiny_spec();
+        let path = tmp("hook");
+        std::fs::remove_file(&path).ok();
+
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let opts = RunOptions {
+            quiet: true,
+            on_record: Some(Arc::new(move |r: &Record| {
+                sink.lock().unwrap().push(r.to_line());
+            })),
+            ..Default::default()
+        };
+        run(&spec, &path, false, &opts).unwrap();
+
+        // The hook saw every line of the artifact, in order.
+        let file_lines: Vec<String> =
+            std::fs::read_to_string(&path).unwrap().lines().map(String::from).collect();
+        assert_eq!(*seen.lock().unwrap(), file_lines);
+
+        // A complete resume appends nothing, so the hook stays silent.
+        seen.lock().unwrap().clear();
+        run(&spec, &path, true, &opts).unwrap();
+        assert!(seen.lock().unwrap().is_empty(), "no-op resume must not replay records");
         std::fs::remove_file(&path).ok();
     }
 

@@ -38,10 +38,12 @@ pub mod json;
 pub mod problems;
 pub mod report;
 pub mod spec;
+pub mod summary;
 pub mod sweep;
 
-pub use executor::{run, RunError, RunOptions, RunSummary};
+pub use executor::{run, ProgressHook, RunError, RunOptions, RunSummary};
 pub use problems::Problem;
 pub use report::{render_diff, render_report, CampaignData};
 pub use spec::{CampaignSpec, DetectorPolicy, GridBlock, LsqSpec, ProblemSpec, Scenario};
+pub use summary::summary_json;
 pub use sweep::{failure_free, run_sweep, CampaignConfig, SweepPoint, SweepResult};

@@ -1,0 +1,72 @@
+//! JSON rendering of solver telemetry digests.
+//!
+//! [`sdc_gmres::telemetry::SolveSummary`] is the single source of field
+//! names and outcome labels for solve summaries; this module is its one
+//! JSON renderer. The experiment binaries print summaries through
+//! [`SolveSummary::render`], the `sdc_server` wire protocol embeds
+//! [`summary_json`] in every `solve` response — both read the same
+//! digest, so the surfaces cannot drift apart.
+
+use crate::json::Json;
+use sdc_gmres::prelude::{SolveSummary, SummaryValue};
+
+/// Renders a summary as a canonical JSON object (sorted keys, exact
+/// floats; optional fields omitted when absent).
+pub fn summary_json(s: &SolveSummary) -> Json {
+    Json::Obj(
+        s.fields()
+            .into_iter()
+            .map(|(k, v)| {
+                let j = match v {
+                    SummaryValue::Count(n) => Json::Num(n as f64),
+                    SummaryValue::Float(x) => Json::Num(x),
+                    SummaryValue::Bool(b) => Json::Bool(b),
+                    SummaryValue::Text(t) => Json::Str(t),
+                };
+                (k.to_string(), j)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdc_gmres::prelude::{SolveOutcome, SolveReport};
+
+    fn sample_report() -> SolveReport {
+        let mut rep = SolveReport::new();
+        rep.outcome = SolveOutcome::Converged;
+        rep.iterations = 9;
+        rep.total_inner_iterations = 225;
+        rep.residual_norm = 1.5e-9;
+        rep.true_residual_norm = Some(2.5e-9);
+        rep
+    }
+
+    #[test]
+    fn summary_json_is_canonical_and_round_trips() {
+        let s = SolveSummary::from_report(&sample_report());
+        let j = summary_json(&s);
+        let line = j.to_line();
+        // Canonical: parse → serialize is the identity.
+        assert_eq!(Json::parse(&line).unwrap().to_line(), line);
+        // Field spot checks through the parsed form.
+        let back = Json::parse(&line).unwrap();
+        assert_eq!(back.field("outcome").unwrap().as_str().unwrap(), "converged");
+        assert_eq!(back.field("iterations").unwrap().as_usize().unwrap(), 9);
+        assert_eq!(back.field("true_residual_norm").unwrap().as_f64().unwrap(), 2.5e-9);
+        assert!(back.get("detail").is_none(), "absent detail must be omitted");
+    }
+
+    #[test]
+    fn non_finite_residuals_survive_serialization() {
+        let mut rep = sample_report();
+        rep.residual_norm = f64::NAN;
+        rep.true_residual_norm = Some(f64::INFINITY);
+        let line = summary_json(&SolveSummary::from_report(&rep)).to_line();
+        let back = Json::parse(&line).unwrap();
+        assert!(back.field("residual_norm").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(back.field("true_residual_norm").unwrap().as_f64().unwrap(), f64::INFINITY);
+    }
+}

@@ -58,7 +58,7 @@ fn run_interrupt_resume_report_matches_golden() {
         &spec,
         &part_path,
         false,
-        &RunOptions { quiet: true, max_units: Some(9), shard_size: 4 },
+        &RunOptions { quiet: true, max_units: Some(9), shard_size: 4, ..Default::default() },
     )
     .unwrap();
     assert!(!interrupted.is_complete());

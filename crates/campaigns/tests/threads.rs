@@ -60,7 +60,7 @@ fn interrupt_and_resume_at_different_thread_counts_is_byte_identical() {
         &spec,
         &part_path,
         false,
-        &RunOptions { quiet: true, max_units: Some(9), shard_size: 4 },
+        &RunOptions { quiet: true, max_units: Some(9), shard_size: 4, ..Default::default() },
     )
     .unwrap();
     assert!(!sum.is_complete());

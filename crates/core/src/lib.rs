@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::operator::{FnOperator, LinearOperator};
     pub use crate::ortho::OrthoStrategy;
     pub use crate::precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
-    pub use crate::telemetry::{SolveOutcome, SolveReport};
+    pub use crate::telemetry::{SolveOutcome, SolveReport, SolveSummary, SummaryValue};
     pub use sdc_dense::lstsq::LstsqPolicy;
 }
 

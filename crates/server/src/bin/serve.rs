@@ -1,0 +1,65 @@
+//! The solve-service daemon.
+//!
+//! ```text
+//! serve [--addr HOST] [--port N] [--threads N] [--queue-cap N] [--batch-max N]
+//! ```
+//!
+//! Binds `HOST:PORT` (default `127.0.0.1:0`, an OS-assigned port),
+//! prints `listening on HOST:PORT` on stdout, and serves until a client
+//! sends `shutdown` — then drains the solve queue and exits.
+//!
+//! The worker-pool size is read **once** here, before the engine is
+//! built (`--threads` > `SDC_THREADS` > hardware default), and reported
+//! by `stats` for the lifetime of the process; no request can change it.
+
+use sdc_campaigns::cli::Cli;
+use sdc_server::{serve, Engine, EngineConfig};
+use std::io::Write;
+use std::sync::Arc;
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("serve: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let cli = Cli::new("serve", "long-lived solve service (newline-delimited JSON over TCP)")
+        .opt("addr", "HOST", "bind address (default 127.0.0.1)")
+        .opt("port", "N", "bind port; 0 = OS-assigned (default 0)")
+        .opt("queue-cap", "N", "solve-queue capacity before busy rejections (default 64)")
+        .opt("batch-max", "N", "max same-matrix solves per dispatch (default 8)")
+        .with_threads();
+    let p = cli.parse_env(1);
+    // The one and only point where the pool size is set for this
+    // process; Engine::new snapshots it and stats reports it.
+    p.apply_threads().unwrap_or_else(|e| fail(e));
+
+    let defaults = EngineConfig::default();
+    let cfg = EngineConfig {
+        threads: 0, // snapshot what apply_threads just established
+        queue_cap: p
+            .get::<usize>("queue-cap")
+            .unwrap_or_else(|e| fail(e))
+            .unwrap_or(defaults.queue_cap),
+        batch_max: p
+            .get::<usize>("batch-max")
+            .unwrap_or_else(|e| fail(e))
+            .unwrap_or(defaults.batch_max),
+    };
+    let addr = p.value("addr").unwrap_or("127.0.0.1");
+    let port = p.get::<u16>("port").unwrap_or_else(|e| fail(e)).unwrap_or(0);
+
+    let engine = Arc::new(Engine::new(cfg));
+    eprintln!(
+        "serve: threads={} queue_cap={} batch_max={}",
+        engine.threads(),
+        cfg.queue_cap,
+        cfg.batch_max
+    );
+    let handle = serve(engine, &format!("{addr}:{port}")).unwrap_or_else(|e| fail(e));
+    // The machine-readable line scripts and CI wait for.
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    handle.wait();
+    eprintln!("serve: drained, bye");
+}

@@ -1,0 +1,160 @@
+//! The service client, script driver and load generator.
+//!
+//! ```text
+//! solve-client send    --addr HOST:PORT [--file reqs.jsonl] [REQUEST_JSON ...]
+//! solve-client offline [--threads N] [--file reqs.jsonl] [REQUEST_JSON ...]
+//! solve-client bench   --addr HOST:PORT [--connections N] [--requests M] [--m SIZE]
+//! ```
+//!
+//! `send` plays request frames against a live server and prints every
+//! response frame verbatim. `offline` plays the same frames through an
+//! in-process [`sdc_server::Engine`] — no sockets — and prints the
+//! same bytes; `diff <(send …) <(offline …)` is the serve-vs-offline
+//! determinism check CI runs. Both assign sequential `id`s to frames
+//! that lack one, so outputs line up.
+//!
+//! `bench` is the load generator: it registers a Poisson matrix, then
+//! drives N connections × M FT-GMRES solves and prints latency
+//! percentiles and throughput.
+
+use sdc_campaigns::cli::Cli;
+use sdc_campaigns::json::Json;
+use sdc_server::{load_gen, protocol, Client, Engine, EngineConfig};
+use std::io::{BufRead, Write};
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("solve-client: {msg}");
+    std::process::exit(1);
+}
+
+/// Request frames from `--file` (one per line) and/or positionals, with
+/// sequential ids assigned to frames that lack one.
+fn gather_requests(p: &sdc_campaigns::cli::Parsed) -> Vec<String> {
+    let mut raw: Vec<String> = Vec::new();
+    if let Some(path) = p.path("file") {
+        let f = std::fs::File::open(&path)
+            .unwrap_or_else(|e| fail(format_args!("cannot open {}: {e}", path.display())));
+        for line in std::io::BufReader::new(f).lines() {
+            let line = line.unwrap_or_else(|e| fail(e));
+            if !line.trim().is_empty() {
+                raw.push(line);
+            }
+        }
+    }
+    raw.extend(p.positional.iter().cloned());
+    if raw.is_empty() {
+        fail("no requests given (use --file and/or positional JSON frames)");
+    }
+    let mut next_id = 1u64;
+    raw.iter()
+        .map(|line| {
+            let v = Json::parse(line)
+                .unwrap_or_else(|e| fail(format_args!("bad request frame: {e}\n  in: {line}")));
+            protocol::assign_id(v, &mut next_id).to_line()
+        })
+        .collect()
+}
+
+fn send() {
+    let cli = Cli::new("solve-client send", "play request frames against a live server")
+        .opt("addr", "HOST:PORT", "server address (required)")
+        .opt("file", "PATH", "request frames, one JSON object per line")
+        .positional();
+    let p = cli.parse_env(2);
+    let addr = p
+        .value("addr")
+        .unwrap_or_else(|| fail("--addr is required"))
+        .parse()
+        .unwrap_or_else(|e| fail(format_args!("bad --addr: {e}")));
+    let requests = gather_requests(&p);
+    let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for req in &requests {
+        let frames = client.request_lines(req).unwrap_or_else(|e| fail(e));
+        for frame in frames {
+            writeln!(out, "{frame}").unwrap_or_else(|e| fail(e));
+        }
+    }
+    out.flush().ok();
+}
+
+fn offline() {
+    let cli = Cli::new(
+        "solve-client offline",
+        "play request frames through an in-process engine (no server)",
+    )
+    .opt("file", "PATH", "request frames, one JSON object per line")
+    .positional()
+    .with_threads();
+    let p = cli.parse_env(2);
+    p.apply_threads().unwrap_or_else(|e| fail(e));
+    let requests = gather_requests(&p);
+    let engine = Engine::new(EngineConfig::default());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for req in &requests {
+        let mut emit = |j: &Json| {
+            writeln!(out, "{}", j.to_line()).unwrap_or_else(|e| fail(e));
+        };
+        let resp = engine.handle_line(req, &mut emit);
+        writeln!(out, "{}", resp.to_line()).unwrap_or_else(|e| fail(e));
+    }
+    out.flush().ok();
+    engine.drain();
+}
+
+fn bench() {
+    let cli = Cli::new("solve-client bench", "load generator: N connections x M solves")
+        .opt("addr", "HOST:PORT", "server address (required)")
+        .opt("connections", "N", "concurrent connections (default 4)")
+        .opt("requests", "M", "requests per connection (default 25)")
+        .opt("m", "SIZE", "Poisson grid side for the workload matrix (default 24)")
+        .opt("inner", "N", "inner iterations per outer (default 10)");
+    let p = cli.parse_env(2);
+    let addr: std::net::SocketAddr = p
+        .value("addr")
+        .unwrap_or_else(|| fail("--addr is required"))
+        .parse()
+        .unwrap_or_else(|e| fail(format_args!("bad --addr: {e}")));
+    let connections = p.get::<usize>("connections").unwrap_or_else(|e| fail(e)).unwrap_or(4);
+    let requests = p.get::<usize>("requests").unwrap_or_else(|e| fail(e)).unwrap_or(25);
+    let m = p.get::<usize>("m").unwrap_or_else(|e| fail(e)).unwrap_or(24);
+    let inner = p.get::<usize>("inner").unwrap_or_else(|e| fail(e)).unwrap_or(10);
+
+    let mut setup = Client::connect(addr).unwrap_or_else(|e| fail(e));
+    let load = Json::parse(&format!(
+        "{{\"cmd\":\"load_matrix\",\"name\":\"bench\",\"problem\":{{\"kind\":\"poisson\",\"m\":{m}}}}}"
+    ))
+    .expect("static frame");
+    let resp = setup.call(&load).unwrap_or_else(|e| fail(e));
+    if !resp.field("ok").and_then(|v| v.as_bool()).unwrap_or(false) {
+        fail(format_args!("load_matrix failed: {}", resp.to_line()));
+    }
+    let solve = Json::parse(&format!(
+        "{{\"cmd\":\"solve\",\"matrix\":\"bench\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":{inner}}}"
+    ))
+    .expect("static frame");
+
+    eprintln!(
+        "bench: {connections} connections x {requests} requests, poisson m={m}, inner={inner}"
+    );
+    let report = load_gen(addr, connections, requests, &solve).unwrap_or_else(|e| fail(e));
+    println!("{}", report.render());
+}
+
+fn main() {
+    let sub = std::env::args().nth(1).unwrap_or_default();
+    match sub.as_str() {
+        "send" => send(),
+        "offline" => offline(),
+        "bench" => bench(),
+        other => {
+            eprintln!(
+                "usage: solve-client <send|offline|bench> [flags]\n\
+                 (got '{other}'; each subcommand supports --help)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The client library: a blocking NDJSON connection plus the
+//! multi-connection load generator behind `solve-client bench` and the
+//! `server_throughput` criterion bench.
+
+use crate::protocol::is_final_frame;
+use sdc_campaigns::json::Json;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// A blocking client connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server closed the connection mid-request.
+    Closed,
+    /// A response line was not valid JSON (should never happen).
+    BadFrame(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::BadFrame(l) => write!(f, "unparseable response frame: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one raw frame (a single line, no newline).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next frame verbatim (without the newline); `None` on a
+    /// clean EOF.
+    pub fn read_frame(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Ok(if line.is_empty() { None } else { Some(line) }),
+                Ok(_) => {
+                    let trimmed = line.trim_end_matches(['\n', '\r']);
+                    return Ok(Some(trimmed.to_string()));
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends a request frame and collects every frame it produces, in
+    /// order: streamed events first, the final response last.
+    pub fn request_lines(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
+        self.send_line(line)?;
+        let mut out = Vec::new();
+        loop {
+            let Some(frame) = self.read_frame()? else {
+                return Err(ClientError::Closed);
+            };
+            let parsed = Json::parse(&frame).map_err(|_| ClientError::BadFrame(frame.clone()))?;
+            let done = is_final_frame(&parsed);
+            out.push(frame);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Sends a request and returns the parsed final response (events
+    /// are parsed and handed to `on_event`).
+    pub fn call_with(
+        &mut self,
+        req: &Json,
+        mut on_event: impl FnMut(Json),
+    ) -> Result<Json, ClientError> {
+        self.send_line(&req.to_line())?;
+        loop {
+            let Some(frame) = self.read_frame()? else {
+                return Err(ClientError::Closed);
+            };
+            let parsed = Json::parse(&frame).map_err(|_| ClientError::BadFrame(frame))?;
+            if is_final_frame(&parsed) {
+                return Ok(parsed);
+            }
+            on_event(parsed);
+        }
+    }
+
+    /// Sends a request and returns the parsed final response, ignoring
+    /// streamed events.
+    pub fn call(&mut self, req: &Json) -> Result<Json, ClientError> {
+        self.call_with(req, |_| {})
+    }
+}
+
+/// Aggregated load-generator results.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Total requests completed successfully.
+    pub completed: usize,
+    /// Requests that returned `ok:false` (e.g. `busy` rejections).
+    pub rejected: usize,
+    /// Per-request latencies, microseconds, sorted ascending.
+    pub latencies_us: Vec<f64>,
+    /// Wall-clock of the whole run, seconds.
+    pub wall_s: f64,
+}
+
+impl LoadReport {
+    /// The `p`-th latency percentile (0..=100), µs.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        if self.latencies_us.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.latencies_us.len() as f64).ceil().max(1.0) as usize;
+        self.latencies_us[rank.min(self.latencies_us.len()) - 1]
+    }
+
+    /// Completed requests per second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.completed as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the human summary table.
+    pub fn render(&self) -> String {
+        format!(
+            "requests: {} ok, {} rejected | {:.1} req/s | latency µs: \
+             p50={:.0} p90={:.0} p99={:.0} max={:.0}",
+            self.completed,
+            self.rejected,
+            self.throughput(),
+            self.percentile_us(50.0),
+            self.percentile_us(90.0),
+            self.percentile_us(99.0),
+            self.latencies_us.last().copied().unwrap_or(0.0),
+        )
+    }
+}
+
+/// Drives `connections × requests_per_connection` copies of `req`
+/// against the server: the load-generator mode of `solve-client` and
+/// the workload of the `server_throughput` bench. Each connection runs
+/// its requests sequentially; connections run concurrently.
+pub fn load_gen(
+    addr: SocketAddr,
+    connections: usize,
+    requests_per_connection: usize,
+    req: &Json,
+) -> Result<LoadReport, ClientError> {
+    let started = Instant::now();
+    let line = req.to_line();
+    let workers: Vec<_> = (0..connections.max(1))
+        .map(|_| {
+            let line = line.clone();
+            std::thread::spawn(move || -> Result<(Vec<f64>, usize), ClientError> {
+                let mut client = Client::connect(addr)?;
+                let mut latencies = Vec::with_capacity(requests_per_connection);
+                let mut rejected = 0usize;
+                for _ in 0..requests_per_connection {
+                    let t = Instant::now();
+                    let resp = client.request_lines(&line)?;
+                    let us = t.elapsed().as_micros() as f64;
+                    let last = resp.last().expect("request_lines is non-empty");
+                    if last.contains("\"ok\":true") {
+                        latencies.push(us);
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                Ok((latencies, rejected))
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut rejected = 0usize;
+    for w in workers {
+        let (l, r) = w
+            .join()
+            .map_err(|_| ClientError::Io(std::io::Error::other("load-gen worker panicked")))??;
+        latencies.extend(l);
+        rejected += r;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(LoadReport {
+        completed: latencies.len(),
+        rejected,
+        latencies_us: latencies,
+        wall_s: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_report_percentiles_and_throughput() {
+        let r = LoadReport {
+            completed: 4,
+            rejected: 1,
+            latencies_us: vec![10.0, 20.0, 30.0, 100.0],
+            wall_s: 2.0,
+        };
+        assert_eq!(r.percentile_us(50.0), 20.0);
+        assert_eq!(r.percentile_us(100.0), 100.0);
+        assert_eq!(r.throughput(), 2.0);
+        assert!(r.render().contains("4 ok, 1 rejected"));
+        let empty = LoadReport { completed: 0, rejected: 0, latencies_us: vec![], wall_s: 0.0 };
+        assert_eq!(empty.percentile_us(50.0), 0.0);
+        assert_eq!(empty.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! `sdc_server` — the long-lived solve service.
+//!
+//! Every capability of the workspace (GMRES/FGMRES/FT-GMRES with fault
+//! injection, the campaign engine, the deterministic thread pool, the
+//! CSR/SELL SpMV engines) was previously reachable only through
+//! one-shot batch binaries: every invocation re-parsed its matrix,
+//! re-converted storage formats and re-warmed nothing. This crate turns
+//! the stack into a persistent process:
+//!
+//! * [`protocol`] — newline-delimited JSON requests/responses
+//!   (`load_matrix`, `solve`, `campaign`, `stats`, `list`,
+//!   `shutdown`), parsed strictly and answered canonically.
+//! * [`registry`] — the content-hashed, ref-counted matrix cache:
+//!   parse once, convert to SELL at most once, share across every
+//!   solve and batch.
+//! * [`scheduler`] — the bounded solve queue: same-matrix requests
+//!   batch into one parallel dispatch; a full queue rejects loudly
+//!   (`busy`) instead of buffering unbounded latency.
+//! * [`engine`] — the transport-free service semantics, shared by the
+//!   TCP server and `solve-client offline` so served and offline
+//!   results can be byte-diffed.
+//! * [`server`] — `std::net::TcpListener`, one thread per connection,
+//!   graceful drain on `shutdown`.
+//! * [`metrics`] — request counters, queue gauges, cache hit rate,
+//!   detector tallies and a solve-latency histogram behind `stats`.
+//! * [`client`] — the blocking client + load generator used by
+//!   `solve-client`, the e2e tests and the `server_throughput` bench.
+//!
+//! **Determinism guarantee.** A served `solve` or `campaign` with a
+//! fixed request is bitwise identical to the offline equivalent at any
+//! `--threads` setting: result frames contain no timestamps or
+//! scheduling-dependent values, floats serialize round-trip-exact, and
+//! every kernel underneath is bitwise thread-count-independent
+//! (`tests/determinism.rs` pins this; the `serve_smoke` CI job diffs a
+//! live server against `solve-client offline`).
+//!
+//! See `crates/server/README.md` for the protocol reference.
+
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{load_gen, Client, ClientError, LoadReport};
+pub use engine::{Engine, EngineConfig};
+pub use metrics::Metrics;
+pub use protocol::{ErrorCode, Request, SolveRequest, SolverKind};
+pub use registry::MatrixRegistry;
+pub use server::{serve, ServerHandle};

@@ -1,0 +1,271 @@
+//! Server metrics: request counters, queue gauges, cache hit rate,
+//! detector outcome tallies and a solve-latency histogram — all plain
+//! atomics, rendered as one canonical JSON object by the `stats`
+//! command.
+//!
+//! Everything here is observability-only: no solve result ever depends
+//! on a metric, so the counters can be maintained with relaxed ordering
+//! and read without stopping the world.
+
+use sdc_campaigns::json::Json;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+/// Number of log₂ latency buckets: bucket `i` counts solves with
+/// latency `< 2^i` µs; the last bucket is the overflow.
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// A log₂-bucketed latency histogram (microseconds).
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, us: u64) {
+        let idx = (64 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.total_us.fetch_add(us, Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Estimates the `p`-th percentile (0..=100) from the buckets; the
+    /// estimate is the upper bound of the bucket the rank falls in.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << i) as f64;
+            }
+        }
+        (1u64 << (LATENCY_BUCKETS - 1)) as f64
+    }
+
+    /// Renders count, mean and percentile estimates plus the raw
+    /// buckets (upper-bound µs → count, zero buckets omitted).
+    pub fn to_json(&self) -> Json {
+        let count = self.count.load(Relaxed);
+        let total = self.total_us.load(Relaxed);
+        let mean = if count > 0 { total as f64 / count as f64 } else { 0.0 };
+        let buckets: Vec<(String, Json)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Relaxed);
+                (c > 0).then(|| (format!("le_{}", 1u64 << i), Json::Num(c as f64)))
+            })
+            .collect();
+        Json::obj(vec![
+            ("count", Json::Num(count as f64)),
+            ("mean_us", Json::Num(mean)),
+            ("p50_us", Json::Num(self.percentile_us(50.0))),
+            ("p90_us", Json::Num(self.percentile_us(90.0))),
+            ("p99_us", Json::Num(self.percentile_us(99.0))),
+            ("buckets_us", Json::Obj(buckets.into_iter().collect())),
+        ])
+    }
+}
+
+/// The request kinds the server counts.
+pub const REQUEST_KINDS: [&str; 6] =
+    ["campaign", "list", "load_matrix", "shutdown", "solve", "stats"];
+
+/// All server counters.
+#[derive(Default)]
+pub struct Metrics {
+    /// Requests per kind, indexed like [`REQUEST_KINDS`].
+    requests: [AtomicU64; REQUEST_KINDS.len()],
+    /// Frames rejected as malformed or invalid.
+    pub protocol_errors: AtomicU64,
+    /// Solves rejected with `busy` (queue full).
+    pub busy_rejects: AtomicU64,
+    /// `load_matrix` content-cache hits / misses.
+    pub cache_hits: AtomicU64,
+    /// See [`Metrics::cache_hits`].
+    pub cache_misses: AtomicU64,
+    /// Solves that converged.
+    pub solves_converged: AtomicU64,
+    /// Solves that terminated without convergence.
+    pub solves_unconverged: AtomicU64,
+    /// Scheduler dispatches (a batch of ≥ 1 same-matrix solves).
+    pub batches_dispatched: AtomicU64,
+    /// Solves that rode in a batch of ≥ 2.
+    pub batched_solves: AtomicU64,
+    /// Current solve-queue depth.
+    pub queue_depth: AtomicUsize,
+    /// High-water mark of the queue depth.
+    pub queue_peak: AtomicUsize,
+    /// Detector violations observed across all served solves.
+    pub detector_events: AtomicU64,
+    /// Faults actually committed by served injections.
+    pub injections_committed: AtomicU64,
+    /// Inner results rejected by the reliable outer validation.
+    pub inner_rejections: AtomicU64,
+    /// Connections accepted since startup.
+    pub connections_opened: AtomicU64,
+    /// Currently open connections.
+    pub connections_active: AtomicUsize,
+    /// Campaign jobs completed.
+    pub campaigns_completed: AtomicU64,
+    /// Campaign records streamed to clients.
+    pub campaign_records_streamed: AtomicU64,
+    /// Solve latency (queue wait + solve), microseconds.
+    pub solve_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request of `kind` (a [`REQUEST_KINDS`] entry).
+    pub fn count_request(&self, kind: &str) {
+        if let Ok(i) = REQUEST_KINDS.binary_search(&kind) {
+            self.requests[i].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Updates the queue gauges after a push/pop to `depth`.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Relaxed);
+        self.queue_peak.fetch_max(depth, Relaxed);
+    }
+
+    /// The full snapshot the `stats` command returns. Server-level
+    /// configuration (thread count, queue capacity, …) is passed in by
+    /// the engine so the snapshot is self-describing.
+    pub fn snapshot(&self, server: Vec<(&str, Json)>) -> Json {
+        let requests: Vec<(String, Json)> = REQUEST_KINDS
+            .iter()
+            .zip(&self.requests)
+            .map(|(k, c)| (k.to_string(), Json::Num(c.load(Relaxed) as f64)))
+            .collect();
+        let g = |a: &AtomicU64| Json::Num(a.load(Relaxed) as f64);
+        let gu = |a: &AtomicUsize| Json::Num(a.load(Relaxed) as f64);
+        let mut fields = vec![
+            ("requests", Json::Obj(requests.into_iter().collect())),
+            ("protocol_errors", g(&self.protocol_errors)),
+            (
+                "cache",
+                Json::obj(vec![("hits", g(&self.cache_hits)), ("misses", g(&self.cache_misses))]),
+            ),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", gu(&self.queue_depth)),
+                    ("peak", gu(&self.queue_peak)),
+                    ("busy_rejects", g(&self.busy_rejects)),
+                ]),
+            ),
+            (
+                "scheduler",
+                Json::obj(vec![
+                    ("batches_dispatched", g(&self.batches_dispatched)),
+                    ("batched_solves", g(&self.batched_solves)),
+                ]),
+            ),
+            (
+                "solves",
+                Json::obj(vec![
+                    ("converged", g(&self.solves_converged)),
+                    ("unconverged", g(&self.solves_unconverged)),
+                ]),
+            ),
+            (
+                "detector",
+                Json::obj(vec![
+                    ("events", g(&self.detector_events)),
+                    ("injections_committed", g(&self.injections_committed)),
+                    ("inner_rejections", g(&self.inner_rejections)),
+                ]),
+            ),
+            (
+                "connections",
+                Json::obj(vec![
+                    ("opened", g(&self.connections_opened)),
+                    ("active", gu(&self.connections_active)),
+                ]),
+            ),
+            (
+                "campaigns",
+                Json::obj(vec![
+                    ("completed", g(&self.campaigns_completed)),
+                    ("records_streamed", g(&self.campaign_records_streamed)),
+                ]),
+            ),
+            ("solve_latency", self.solve_latency.to_json()),
+        ];
+        fields.extend(server);
+        Json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_kinds_are_sorted_for_binary_search() {
+        let mut sorted = REQUEST_KINDS;
+        sorted.sort_unstable();
+        assert_eq!(sorted, REQUEST_KINDS);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(50.0), 0.0, "empty histogram");
+        for us in [1u64, 3, 3, 3, 100, 100, 5000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 7);
+        // p50 falls in the 3µs observations → bucket upper bound 4.
+        assert_eq!(h.percentile_us(50.0), 4.0);
+        // p99 is the slowest observation's bucket (5000 < 8192).
+        assert_eq!(h.percentile_us(99.0), 8192.0);
+        let j = h.to_json();
+        assert_eq!(j.field("count").unwrap().as_usize().unwrap(), 7);
+        // Canonical serialization.
+        let line = j.to_line();
+        assert_eq!(Json::parse(&line).unwrap().to_line(), line);
+    }
+
+    #[test]
+    fn huge_latencies_land_in_the_overflow_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.percentile_us(50.0), (1u64 << (LATENCY_BUCKETS - 1)) as f64);
+    }
+
+    #[test]
+    fn snapshot_counts_requests_and_embeds_server_fields() {
+        let m = Metrics::new();
+        m.count_request("solve");
+        m.count_request("solve");
+        m.count_request("stats");
+        m.count_request("not_a_kind"); // ignored, not a panic
+        m.set_queue_depth(3);
+        m.set_queue_depth(1);
+        let snap = m.snapshot(vec![("threads", Json::Num(2.0))]);
+        assert_eq!(snap.field("requests").unwrap().field("solve").unwrap().as_usize().unwrap(), 2);
+        assert_eq!(snap.field("threads").unwrap().as_usize().unwrap(), 2);
+        assert_eq!(snap.field("queue").unwrap().field("peak").unwrap().as_usize().unwrap(), 3);
+        assert_eq!(snap.field("queue").unwrap().field("depth").unwrap().as_usize().unwrap(), 1);
+    }
+}

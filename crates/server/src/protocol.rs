@@ -1,0 +1,763 @@
+//! The wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every frame is one complete JSON object on one line (JSONL). A
+//! request carries a `"cmd"` field naming the operation and an optional
+//! `"id"` (any JSON scalar) that the server echoes on every response and
+//! event line it produces for that request, so clients can multiplex.
+//!
+//! Responses are canonical JSON ([`sdc_campaigns::json`]: sorted keys,
+//! round-trip-exact floats), which is what makes the served-vs-offline
+//! byte-diff in CI and the determinism tests possible. Requests are
+//! parsed *strictly*: an unknown field is a structured error, not a
+//! silent ignore — so a typo cannot quietly change a solve, and a client
+//! cannot smuggle in server-level settings (`threads` is the canonical
+//! example: the worker pool is sized once at startup).
+//!
+//! See `crates/server/README.md` for the full protocol reference with a
+//! copy-pasteable session.
+
+use sdc_campaigns::json::{Json, JsonError};
+use sdc_campaigns::spec::{class_parse, class_str, position_parse, position_str};
+use sdc_campaigns::{CampaignSpec, DetectorPolicy, LsqSpec, ProblemSpec};
+use sdc_faults::campaign::{FaultClass, MgsPosition};
+use sdc_sparse::SparseFormat;
+use std::path::PathBuf;
+
+/// Wire protocol version, reported by `stats`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError { offset: 0, msg: msg.into() })
+}
+
+/// Rejects unknown fields so client typos fail loudly. `threads` gets a
+/// dedicated message: the pool is sized once at server startup and is
+/// not a per-request knob.
+fn check_keys(v: &Json, allowed: &[&str]) -> Result<(), JsonError> {
+    if let Json::Obj(m) = v {
+        for k in m.keys() {
+            if k == "threads" {
+                return err("unknown field 'threads': the worker-pool size is fixed at server \
+                     startup (serve --threads / SDC_THREADS) and reported by stats");
+            }
+            if !allowed.contains(&k.as_str()) {
+                return err(format!("unknown field '{k}'"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Which solver a [`SolveRequest`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Plain (optionally restarted) GMRES.
+    Gmres,
+    /// Flexible GMRES with the identity preconditioner.
+    Fgmres,
+    /// FT-GMRES: reliable outer FGMRES around unreliable inner GMRES —
+    /// the only solver that accepts a fault-injection spec.
+    FtGmres,
+}
+
+impl SolverKind {
+    /// The wire string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolverKind::Gmres => "gmres",
+            SolverKind::Fgmres => "fgmres",
+            SolverKind::FtGmres => "ftgmres",
+        }
+    }
+
+    /// Parses the wire string.
+    pub fn parse(s: &str) -> Result<Self, JsonError> {
+        match s {
+            "gmres" => Ok(SolverKind::Gmres),
+            "fgmres" => Ok(SolverKind::Fgmres),
+            "ftgmres" => Ok(SolverKind::FtGmres),
+            other => err(format!("unknown solver '{other}' (gmres, fgmres or ftgmres)")),
+        }
+    }
+}
+
+/// A single-SDC fault coordinate for a served FT-GMRES solve — the same
+/// (class, position, aggregate iteration) vocabulary as the campaign
+/// engine's sweep grids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Fault magnitude class.
+    pub class: FaultClass,
+    /// MGS loop position.
+    pub position: MgsPosition,
+    /// 1-based aggregate inner iteration to fault.
+    pub aggregate: usize,
+}
+
+impl FaultSpec {
+    /// Serializes to the wire form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("class", Json::str(class_str(self.class))),
+            ("position", Json::str(position_str(self.position))),
+            ("aggregate", Json::Num(self.aggregate as f64)),
+        ])
+    }
+
+    /// Parses the wire form.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        check_keys(v, &["class", "position", "aggregate"])?;
+        let spec = FaultSpec {
+            class: class_parse(v.field("class")?.as_str()?)?,
+            position: position_parse(v.field("position")?.as_str()?)?,
+            aggregate: v.field("aggregate")?.as_usize()?,
+        };
+        if spec.aggregate == 0 {
+            return err("fault.aggregate is 1-based and must be >= 1");
+        }
+        Ok(spec)
+    }
+}
+
+/// Where a `load_matrix` request gets its matrix from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatrixSource {
+    /// A gallery/file problem, in the campaign engine's `ProblemSpec`
+    /// vocabulary (`poisson`, `dcop`, `matrix_market` by server path).
+    Problem(ProblemSpec),
+    /// Inline COO triplets.
+    Coo {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// `(row, col, value)` triplets; duplicates sum.
+        entries: Vec<(usize, usize, f64)>,
+    },
+    /// Inline Matrix Market text.
+    MatrixMarket(String),
+}
+
+/// `load_matrix`: parse/generate a matrix once, cache it under a
+/// content-hashed key (and an optional friendly name) for later solves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadMatrixRequest {
+    /// Optional alias registered alongside the content key.
+    pub name: Option<String>,
+    /// The matrix source.
+    pub source: MatrixSource,
+}
+
+/// `solve`: one linear solve against a registered matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveRequest {
+    /// Registry key or alias of the operator.
+    pub matrix: String,
+    /// Which solver to run.
+    pub solver: SolverKind,
+    /// Right-hand side; defaults to the registered problem's `b = A·1`.
+    pub b: Option<Vec<f64>>,
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Iteration cap (outer iterations for nested solvers).
+    pub maxit: usize,
+    /// GMRES restart length (`gmres` only; `None` = no restarting).
+    pub restart: Option<usize>,
+    /// Inner iterations per outer iteration (`ftgmres` only).
+    pub inner_iters: usize,
+    /// Sparse storage engine (bitwise-invisible to results).
+    pub format: SparseFormat,
+    /// Detector policy (the campaign vocabulary; `none` = off).
+    pub detector: DetectorPolicy,
+    /// Projected least-squares policy.
+    pub lsq: LsqSpec,
+    /// Optional single-SDC injection (`ftgmres` only).
+    pub fault: Option<FaultSpec>,
+    /// Request seed, echoed in the response. The paper's single-fault
+    /// solves are fully deterministic and do not consume it; it exists
+    /// so stochastic workloads stay reproducible.
+    pub seed: u64,
+    /// Return the solution vector (round-trip-exact floats).
+    pub return_x: bool,
+}
+
+impl Default for SolveRequest {
+    fn default() -> Self {
+        Self {
+            matrix: String::new(),
+            solver: SolverKind::FtGmres,
+            b: None,
+            tol: 1e-8,
+            maxit: 100,
+            restart: None,
+            inner_iters: 25,
+            format: SparseFormat::Auto,
+            detector: DetectorPolicy::Off,
+            lsq: LsqSpec::Standard,
+            fault: None,
+            seed: 0,
+            return_x: false,
+        }
+    }
+}
+
+/// `campaign`: run a full campaign spec as a streaming job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignRequest {
+    /// The campaign grid to run.
+    pub spec: CampaignSpec,
+    /// Server-side artifact path. When given, the artifact persists and
+    /// a re-request resumes it; when omitted the job runs on a scratch
+    /// file that is deleted afterwards.
+    pub artifact: Option<PathBuf>,
+}
+
+/// One parsed request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register a matrix.
+    LoadMatrix(LoadMatrixRequest),
+    /// Run one solve.
+    Solve(SolveRequest),
+    /// Run a campaign job, streaming records.
+    Campaign(CampaignRequest),
+    /// Metrics snapshot.
+    Stats,
+    /// Matrix registry listing.
+    List,
+    /// Begin graceful drain and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// The `cmd` string of this request.
+    pub fn cmd(&self) -> &'static str {
+        match self {
+            Request::LoadMatrix(_) => "load_matrix",
+            Request::Solve(_) => "solve",
+            Request::Campaign(_) => "campaign",
+            Request::Stats => "stats",
+            Request::List => "list",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Serializes to the wire form (no `id`; the transport attaches it).
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> = vec![("cmd", Json::str(self.cmd()))];
+        match self {
+            Request::LoadMatrix(r) => {
+                if let Some(name) = &r.name {
+                    fields.push(("name", Json::str(name)));
+                }
+                match &r.source {
+                    MatrixSource::Problem(p) => fields.push(("problem", p.to_json())),
+                    MatrixSource::Coo { rows, cols, entries } => {
+                        let entries = entries
+                            .iter()
+                            .map(|&(i, j, v)| {
+                                Json::Arr(vec![
+                                    Json::Num(i as f64),
+                                    Json::Num(j as f64),
+                                    Json::Num(v),
+                                ])
+                            })
+                            .collect();
+                        fields.push((
+                            "coo",
+                            Json::obj(vec![
+                                ("rows", Json::Num(*rows as f64)),
+                                ("cols", Json::Num(*cols as f64)),
+                                ("entries", Json::Arr(entries)),
+                            ]),
+                        ));
+                    }
+                    MatrixSource::MatrixMarket(text) => fields.push(("mtx", Json::str(text))),
+                }
+            }
+            Request::Solve(r) => {
+                fields.push(("matrix", Json::str(&r.matrix)));
+                fields.push(("solver", Json::str(r.solver.as_str())));
+                if let Some(b) = &r.b {
+                    fields.push(("b", Json::Arr(b.iter().map(|&x| Json::Num(x)).collect())));
+                }
+                fields.push(("tol", Json::Num(r.tol)));
+                fields.push(("maxit", Json::Num(r.maxit as f64)));
+                if let Some(m) = r.restart {
+                    fields.push(("restart", Json::Num(m as f64)));
+                }
+                fields.push(("inner_iters", Json::Num(r.inner_iters as f64)));
+                if r.format != SparseFormat::Auto {
+                    fields.push(("format", Json::str(r.format.as_str())));
+                }
+                if r.detector != DetectorPolicy::Off {
+                    fields.push(("detector", Json::str(r.detector.as_str())));
+                }
+                if r.lsq != LsqSpec::Standard {
+                    fields.push(("lsq", r.lsq.to_json()));
+                }
+                if let Some(f) = &r.fault {
+                    fields.push(("fault", f.to_json()));
+                }
+                if r.seed != 0 {
+                    fields.push(("seed", Json::u64(r.seed)));
+                }
+                if r.return_x {
+                    fields.push(("return_x", Json::Bool(true)));
+                }
+            }
+            Request::Campaign(r) => {
+                fields.push(("spec", r.spec.to_json()));
+                if let Some(p) = &r.artifact {
+                    fields.push(("artifact", Json::str(p.to_string_lossy())));
+                }
+            }
+            Request::Stats | Request::List | Request::Shutdown => {}
+        }
+        Json::obj(fields)
+    }
+
+    /// Parses a request frame (strict: unknown fields are errors). The
+    /// `id` field is transport-level and accepted on every command.
+    pub fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let cmd = v.field("cmd")?.as_str()?;
+        match cmd {
+            "load_matrix" => {
+                check_keys(v, &["cmd", "id", "name", "problem", "coo", "mtx"])?;
+                let name = match v.get("name") {
+                    Some(n) => Some(n.as_str()?.to_string()),
+                    None => None,
+                };
+                let sources = [v.get("problem"), v.get("coo"), v.get("mtx")];
+                if sources.iter().flatten().count() != 1 {
+                    return err("load_matrix needs exactly one of: problem, coo, mtx");
+                }
+                let source = if let Some(p) = v.get("problem") {
+                    MatrixSource::Problem(ProblemSpec::from_json(p)?)
+                } else if let Some(c) = v.get("coo") {
+                    check_keys(c, &["rows", "cols", "entries"])?;
+                    let entries = c
+                        .field("entries")?
+                        .as_arr()?
+                        .iter()
+                        .map(|e| {
+                            let t = e.as_arr()?;
+                            if t.len() != 3 {
+                                return err("coo entry must be [row, col, value]");
+                            }
+                            Ok((t[0].as_usize()?, t[1].as_usize()?, t[2].as_f64()?))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    MatrixSource::Coo {
+                        rows: c.field("rows")?.as_usize()?,
+                        cols: c.field("cols")?.as_usize()?,
+                        entries,
+                    }
+                } else {
+                    MatrixSource::MatrixMarket(v.field("mtx")?.as_str()?.to_string())
+                };
+                Ok(Request::LoadMatrix(LoadMatrixRequest { name, source }))
+            }
+            "solve" => {
+                check_keys(
+                    v,
+                    &[
+                        "cmd",
+                        "id",
+                        "matrix",
+                        "solver",
+                        "b",
+                        "tol",
+                        "maxit",
+                        "restart",
+                        "inner_iters",
+                        "format",
+                        "detector",
+                        "lsq",
+                        "fault",
+                        "seed",
+                        "return_x",
+                    ],
+                )?;
+                let d = SolveRequest::default();
+                let req = SolveRequest {
+                    matrix: v.field("matrix")?.as_str()?.to_string(),
+                    solver: match v.get("solver") {
+                        Some(s) => SolverKind::parse(s.as_str()?)?,
+                        None => d.solver,
+                    },
+                    b: match v.get("b") {
+                        Some(b) => Some(
+                            b.as_arr()?
+                                .iter()
+                                .map(|x| x.as_f64())
+                                .collect::<Result<Vec<_>, _>>()?,
+                        ),
+                        None => None,
+                    },
+                    tol: match v.get("tol") {
+                        Some(t) => t.as_f64()?,
+                        None => d.tol,
+                    },
+                    maxit: match v.get("maxit") {
+                        Some(m) => m.as_usize()?,
+                        None => d.maxit,
+                    },
+                    restart: match v.get("restart") {
+                        Some(m) => Some(m.as_usize()?),
+                        None => None,
+                    },
+                    inner_iters: match v.get("inner_iters") {
+                        Some(m) => m.as_usize()?,
+                        None => d.inner_iters,
+                    },
+                    format: match v.get("format") {
+                        Some(f) => SparseFormat::parse(f.as_str()?)
+                            .map_err(|msg| JsonError { offset: 0, msg })?,
+                        None => d.format,
+                    },
+                    detector: match v.get("detector") {
+                        Some(s) => DetectorPolicy::parse(s.as_str()?)?,
+                        None => d.detector,
+                    },
+                    lsq: match v.get("lsq") {
+                        Some(l) => LsqSpec::from_json(l)?,
+                        None => d.lsq,
+                    },
+                    fault: match v.get("fault") {
+                        Some(f) => Some(FaultSpec::from_json(f)?),
+                        None => None,
+                    },
+                    seed: match v.get("seed") {
+                        Some(s) => s.as_u64()?,
+                        None => d.seed,
+                    },
+                    return_x: match v.get("return_x") {
+                        Some(b) => b.as_bool()?,
+                        None => d.return_x,
+                    },
+                };
+                req.validate().map_err(|msg| JsonError { offset: 0, msg })?;
+                Ok(Request::Solve(req))
+            }
+            "campaign" => {
+                check_keys(v, &["cmd", "id", "spec", "artifact"])?;
+                Ok(Request::Campaign(CampaignRequest {
+                    spec: CampaignSpec::from_json(v.field("spec")?)?,
+                    artifact: match v.get("artifact") {
+                        Some(p) => Some(PathBuf::from(p.as_str()?)),
+                        None => None,
+                    },
+                }))
+            }
+            "stats" => {
+                check_keys(v, &["cmd", "id"])?;
+                Ok(Request::Stats)
+            }
+            "list" => {
+                check_keys(v, &["cmd", "id"])?;
+                Ok(Request::List)
+            }
+            "shutdown" => {
+                check_keys(v, &["cmd", "id"])?;
+                Ok(Request::Shutdown)
+            }
+            other => err(format!("unknown cmd '{other}'")),
+        }
+    }
+}
+
+impl SolveRequest {
+    /// Structural validation beyond JSON well-formedness.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.matrix.is_empty() {
+            return Err("matrix must name a registered matrix (key or alias)".into());
+        }
+        // Negated so a NaN tolerance lands in the error branch too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.tol >= 0.0) {
+            return Err("tol must be a non-negative number".into());
+        }
+        if self.maxit == 0 {
+            return Err("maxit must be >= 1".into());
+        }
+        if self.inner_iters == 0 {
+            return Err("inner_iters must be >= 1".into());
+        }
+        if self.restart == Some(0) {
+            return Err("restart must be >= 1 when given".into());
+        }
+        if self.restart.is_some() && self.solver != SolverKind::Gmres {
+            return Err("restart only applies to solver=gmres".into());
+        }
+        if self.fault.is_some() && self.solver != SolverKind::FtGmres {
+            return Err(
+                "fault injection requires solver=ftgmres (the sandboxed inner solve)".into()
+            );
+        }
+        if self.detector != DetectorPolicy::Off && self.solver == SolverKind::Fgmres {
+            return Err("fgmres has no detector hook (its outer loop is the reliable layer); \
+                 use solver=gmres or solver=ftgmres"
+                .into());
+        }
+        if let Some(b) = &self.b {
+            if b.iter().any(|x| !x.is_finite()) {
+                return Err("b must be finite".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Structured error codes (the HTTP-status analogues of the protocol).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed frame or invalid request (400).
+    BadRequest,
+    /// Unknown matrix key/alias (404).
+    NotFound,
+    /// Solve queue full — backpressure, retry later (429).
+    Busy,
+    /// Server is draining after `shutdown` (503).
+    ShuttingDown,
+    /// Unexpected server-side failure (500).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::Busy => "busy",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A success frame: `{"id":…,"ok":true,"result":…}` (the `id` appears
+/// only when the request carried one).
+pub fn ok_response(id: Option<&Json>, result: Json) -> Json {
+    let mut fields = vec![("ok", Json::Bool(true)), ("result", result)];
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    Json::obj(fields)
+}
+
+/// An error frame: `{"id":…,"ok":false,"error":{"code":…,"message":…}}`.
+pub fn error_response(id: Option<&Json>, code: ErrorCode, message: impl Into<String>) -> Json {
+    let mut fields = vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("code", Json::str(code.as_str())),
+                ("message", Json::str(message.into())),
+            ]),
+        ),
+    ];
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    Json::obj(fields)
+}
+
+/// A streamed event frame (not final): `{"id":…,"event":…,…payload}`.
+/// Clients keep reading until a frame with an `"ok"` field arrives.
+pub fn event_response(id: Option<&Json>, event: &str, payload: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![("event", Json::str(event))];
+    fields.extend(payload);
+    if let Some(id) = id {
+        fields.push(("id", id.clone()));
+    }
+    Json::obj(fields)
+}
+
+/// True for frames that terminate a request (response or error, as
+/// opposed to a streamed event).
+pub fn is_final_frame(v: &Json) -> bool {
+    v.get("ok").is_some()
+}
+
+/// Gives a request frame an `id` if it lacks one, incrementing `next`.
+/// `solve-client send` and `solve-client offline` share this, so their
+/// outputs diff byte-for-byte.
+pub fn assign_id(v: Json, next: &mut u64) -> Json {
+    match v {
+        Json::Obj(mut m) if !m.contains_key("id") => {
+            m.insert("id".to_string(), Json::Num(*next as f64));
+            *next += 1;
+            Json::Obj(m)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_round_trips_with_defaults_elided() {
+        let req = Request::Solve(SolveRequest { matrix: "p".into(), ..SolveRequest::default() });
+        let line = req.to_json().to_line();
+        assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
+        // Defaults are elided from the wire form.
+        assert!(!line.contains("format"), "{line}");
+        assert!(!line.contains("detector"), "{line}");
+        assert!(!line.contains("return_x"), "{line}");
+    }
+
+    #[test]
+    fn solve_round_trips_fully_specified() {
+        let req = Request::Solve(SolveRequest {
+            matrix: "m0123456789abcdef".into(),
+            solver: SolverKind::FtGmres,
+            b: Some(vec![1.0, -2.5, 1e-300]),
+            tol: 1e-7,
+            maxit: 150,
+            restart: None,
+            inner_iters: 25,
+            format: SparseFormat::Sell,
+            detector: DetectorPolicy::RestartInner,
+            lsq: LsqSpec::RankRevealing { tol: 1e-12 },
+            fault: Some(FaultSpec {
+                class: FaultClass::Huge,
+                position: MgsPosition::First,
+                aggregate: 26,
+            }),
+            seed: u64::MAX,
+            return_x: true,
+        });
+        let line = req.to_json().to_line();
+        assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
+    }
+
+    #[test]
+    fn load_matrix_variants_round_trip() {
+        for req in [
+            Request::LoadMatrix(LoadMatrixRequest {
+                name: Some("p24".into()),
+                source: MatrixSource::Problem(ProblemSpec::Poisson { m: 24 }),
+            }),
+            Request::LoadMatrix(LoadMatrixRequest {
+                name: None,
+                source: MatrixSource::Coo {
+                    rows: 2,
+                    cols: 2,
+                    entries: vec![(0, 0, 4.0), (1, 1, 0.5), (0, 1, -1.0)],
+                },
+            }),
+            Request::LoadMatrix(LoadMatrixRequest {
+                name: Some("file".into()),
+                source: MatrixSource::MatrixMarket(
+                    "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.0\n".into(),
+                ),
+            }),
+        ] {
+            let line = req.to_json().to_line();
+            assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn campaign_and_plain_commands_round_trip() {
+        let spec = CampaignSpec::paper_shape("wire", vec![ProblemSpec::Poisson { m: 8 }]);
+        for req in [
+            Request::Campaign(CampaignRequest { spec, artifact: Some(PathBuf::from("a.jsonl")) }),
+            Request::Stats,
+            Request::List,
+            Request::Shutdown,
+        ] {
+            let line = req.to_json().to_line();
+            assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_and_threads_gets_a_pointed_message() {
+        let e = Request::from_json(
+            &Json::parse("{\"cmd\":\"solve\",\"matrix\":\"p\",\"bogus\":1}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown field 'bogus'"), "{e}");
+
+        let e = Request::from_json(
+            &Json::parse("{\"cmd\":\"solve\",\"matrix\":\"p\",\"threads\":8}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("fixed at server startup"), "{e}");
+        // stats/list/shutdown are strict too.
+        let e = Request::from_json(&Json::parse("{\"cmd\":\"stats\",\"threads\":2}").unwrap())
+            .unwrap_err();
+        assert!(e.msg.contains("threads"), "{e}");
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_solves() {
+        let ok = |f: &dyn Fn(&mut SolveRequest)| {
+            let mut r = SolveRequest { matrix: "p".into(), ..SolveRequest::default() };
+            f(&mut r);
+            r.validate()
+        };
+        assert!(ok(&|_| {}).is_ok());
+        assert!(ok(&|r| r.matrix.clear()).is_err());
+        assert!(ok(&|r| r.tol = f64::NAN).is_err());
+        assert!(ok(&|r| r.maxit = 0).is_err());
+        assert!(ok(&|r| r.inner_iters = 0).is_err());
+        assert!(ok(&|r| {
+            r.solver = SolverKind::Gmres;
+            r.fault = Some(FaultSpec {
+                class: FaultClass::Huge,
+                position: MgsPosition::First,
+                aggregate: 1,
+            });
+        })
+        .is_err());
+        assert!(ok(&|r| r.b = Some(vec![1.0, f64::NAN])).is_err());
+        assert!(ok(&|r| r.restart = Some(10)).is_err(), "restart needs solver=gmres");
+        assert!(ok(&|r| {
+            r.solver = SolverKind::Gmres;
+            r.restart = Some(10);
+        })
+        .is_ok());
+        // fgmres has no detector hook: a detector there would be
+        // silently ignored, which the protocol forbids.
+        assert!(ok(&|r| {
+            r.solver = SolverKind::Fgmres;
+            r.detector = DetectorPolicy::RestartInner;
+        })
+        .is_err());
+        assert!(ok(&|r| {
+            r.solver = SolverKind::Gmres;
+            r.detector = DetectorPolicy::RestartInner;
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn response_helpers_shape_and_finality() {
+        let id = Json::Num(7.0);
+        let ok = ok_response(Some(&id), Json::obj(vec![("x", Json::Num(1.0))]));
+        assert_eq!(ok.to_line(), "{\"id\":7,\"ok\":true,\"result\":{\"x\":1}}");
+        assert!(is_final_frame(&ok));
+        let e = error_response(None, ErrorCode::Busy, "queue full");
+        assert!(e.to_line().contains("\"code\":\"busy\""));
+        assert!(is_final_frame(&e));
+        let ev = event_response(Some(&id), "record", vec![("record", Json::Null)]);
+        assert!(!is_final_frame(&ev));
+    }
+
+    #[test]
+    fn assign_id_fills_gaps_only() {
+        let mut next = 1;
+        let a = assign_id(Json::parse("{\"cmd\":\"stats\"}").unwrap(), &mut next);
+        assert_eq!(a.field("id").unwrap().as_usize().unwrap(), 1);
+        let b = assign_id(Json::parse("{\"cmd\":\"stats\",\"id\":\"mine\"}").unwrap(), &mut next);
+        assert_eq!(b.field("id").unwrap().as_str().unwrap(), "mine");
+        assert_eq!(next, 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! The content-hashed, ref-counted matrix registry.
+//!
+//! A `load_matrix` request parses/generates its matrix once and files
+//! the resulting [`Problem`] under a *content key* — an FNV-1a hash of
+//! the CSR structure and the exact bit patterns of its values — plus an
+//! optional friendly alias. Every later `solve` that references the key
+//! or alias shares the same [`std::sync::Arc`]`<Problem>`:
+//!
+//! * the CSR matrix and `b = A·1` are built exactly once;
+//! * the SELL-C-σ engine and the `auto` format verdict live in the
+//!   `Problem`'s `OnceLock`s, so the conversion happens at most once per
+//!   matrix no matter how many solves (or concurrent batches) ask for it;
+//! * re-loading identical content (even under a different name) is a
+//!   cache hit — the old entry is reused and the parse is the only
+//!   repeated work.
+//!
+//! Keys are stable across processes and platforms: the same matrix
+//! always hashes to the same `m…` key, so clients may hard-code keys.
+
+use sdc_campaigns::Problem;
+use sdc_sparse::CsrMatrix;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// 64-bit FNV-1a over the matrix shape, structure and exact values.
+pub fn content_key(a: &CsrMatrix) -> String {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(a.nrows() as u64);
+    eat(a.ncols() as u64);
+    for &p in a.row_ptr() {
+        eat(p as u64);
+    }
+    for &c in a.col_idx() {
+        eat(c as u64);
+    }
+    for &v in a.values() {
+        eat(v.to_bits());
+    }
+    format!("m{h:016x}")
+}
+
+/// One registry listing row.
+#[derive(Clone, Debug)]
+pub struct MatrixInfo {
+    /// Content key.
+    pub key: String,
+    /// Aliases pointing at this key (sorted).
+    pub names: Vec<String>,
+    /// Display name of the underlying problem.
+    pub problem: String,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Live references outside the registry (in-flight solves/batches).
+    pub in_use: usize,
+}
+
+/// Exact (bit-level) content equality — NaN-safe, unlike `PartialEq`
+/// on the value slices.
+fn same_content(a: &CsrMatrix, b: &CsrMatrix) -> bool {
+    a.nrows() == b.nrows()
+        && a.ncols() == b.ncols()
+        && a.row_ptr() == b.row_ptr()
+        && a.col_idx() == b.col_idx()
+        && a.values().len() == b.values().len()
+        && a.values().iter().zip(b.values()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[derive(Default)]
+struct State {
+    by_key: BTreeMap<String, Arc<Problem>>,
+    aliases: BTreeMap<String, String>,
+}
+
+/// The shared registry (interior mutability; cheap to share via `Arc`).
+#[derive(Default)]
+pub struct MatrixRegistry {
+    state: Mutex<State>,
+}
+
+impl MatrixRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Files `problem` under its content key (reusing an existing entry
+    /// with identical content) and registers `name` as an alias.
+    /// Returns `(key, shared problem, cache_hit)`.
+    ///
+    /// A key hit is trusted only after a bitwise content comparison: a
+    /// 64-bit hash collision must never silently hand a solve the
+    /// wrong operator (that would be exactly the silent corruption this
+    /// project exists to catch). A genuine collision — distinct content,
+    /// same hash — gets a salted key (`<key>-1`, `-2`, …) instead.
+    pub fn insert(&self, name: Option<&str>, problem: Problem) -> (String, Arc<Problem>, bool) {
+        let base = content_key(&problem.a);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut key = base.clone();
+        let mut salt = 0usize;
+        let (arc, hit) = loop {
+            match st.by_key.get(&key) {
+                Some(existing) if same_content(&existing.a, &problem.a) => {
+                    break (existing.clone(), true);
+                }
+                Some(_collision) => {
+                    salt += 1;
+                    key = format!("{base}-{salt}");
+                }
+                None => {
+                    let arc = Arc::new(problem);
+                    st.by_key.insert(key.clone(), arc.clone());
+                    break (arc, false);
+                }
+            }
+        };
+        if let Some(name) = name {
+            st.aliases.insert(name.to_string(), key.clone());
+        }
+        (key, arc, hit)
+    }
+
+    /// Resolves a content key or alias to its shared problem.
+    pub fn resolve(&self, key_or_name: &str) -> Option<(String, Arc<Problem>)> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = st.by_key.get(key_or_name) {
+            return Some((key_or_name.to_string(), p.clone()));
+        }
+        let key = st.aliases.get(key_or_name)?;
+        Some((key.clone(), st.by_key.get(key)?.clone()))
+    }
+
+    /// Number of distinct matrices held.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).by_key.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A listing snapshot, sorted by key.
+    pub fn list(&self) -> Vec<MatrixInfo> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.by_key
+            .iter()
+            .map(|(key, p)| MatrixInfo {
+                key: key.clone(),
+                names: st
+                    .aliases
+                    .iter()
+                    .filter(|(_, k)| *k == key)
+                    .map(|(n, _)| n.clone())
+                    .collect(),
+                problem: p.name.clone(),
+                rows: p.a.nrows(),
+                cols: p.a.ncols(),
+                nnz: p.a.nnz(),
+                // One strong count is the registry's own; the rest are
+                // in-flight borrowers.
+                in_use: Arc::strong_count(p).saturating_sub(1),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poisson_problem(m: usize) -> Problem {
+        Problem::with_ones_solution(format!("p{m}"), sdc_sparse::gallery::poisson2d(m))
+    }
+
+    #[test]
+    fn content_key_is_stable_and_content_sensitive() {
+        let a = sdc_sparse::gallery::poisson2d(6);
+        let k1 = content_key(&a);
+        assert_eq!(k1, content_key(&a), "same content, same key");
+        assert!(k1.starts_with('m') && k1.len() == 17, "{k1}");
+        // A different matrix gets a different key, including a pure
+        // value change with identical structure.
+        assert_ne!(k1, content_key(&sdc_sparse::gallery::poisson2d(7)));
+        let mut b = a.clone();
+        let flipped = f64::from_bits(b.values()[0].to_bits() ^ 1);
+        b.values_mut()[0] = flipped;
+        assert_ne!(k1, content_key(&b), "value bit flips must change the key");
+    }
+
+    #[test]
+    fn identical_content_is_a_hit_and_aliases_resolve() {
+        let reg = MatrixRegistry::new();
+        let (k1, p1, hit1) = reg.insert(Some("a"), poisson_problem(6));
+        assert!(!hit1);
+        let (k2, p2, hit2) = reg.insert(Some("b"), poisson_problem(6));
+        assert!(hit2, "identical content must be cached");
+        assert_eq!(k1, k2);
+        assert!(Arc::ptr_eq(&p1, &p2), "hit must share the Arc");
+        assert_eq!(reg.len(), 1);
+
+        // Both aliases and the key itself resolve.
+        for name in ["a", "b", k1.as_str()] {
+            let (k, p) = reg.resolve(name).unwrap();
+            assert_eq!(k, k1);
+            assert!(Arc::ptr_eq(&p, &p1));
+        }
+        assert!(reg.resolve("missing").is_none());
+
+        let info = reg.list();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].names, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(info[0].rows, 36);
+    }
+
+    #[test]
+    fn hits_are_content_verified_and_nan_values_still_hit() {
+        // The hit path compares bits, not PartialEq: a matrix carrying
+        // NaN values (legal through the JSON NaN extension) must still
+        // cache-hit against its identical reload instead of being
+        // treated as a collision.
+        let nan_problem = || {
+            let mut coo = sdc_sparse::CooMatrix::new(2, 2);
+            coo.push(0, 0, f64::NAN);
+            coo.push(1, 1, 2.0);
+            Problem::with_ones_solution("nan", coo.to_csr())
+        };
+        let reg = MatrixRegistry::new();
+        let (k1, _, hit1) = reg.insert(None, nan_problem());
+        assert!(!hit1);
+        let (k2, _, hit2) = reg.insert(None, nan_problem());
+        assert!(hit2, "bitwise-identical NaN content must hit");
+        assert_eq!(k1, k2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn cache_hit_preserves_lazy_sell_conversion() {
+        // The shared Problem's SELL engine is built once; a second load
+        // of the same content sees the already-converted operator.
+        let reg = MatrixRegistry::new();
+        let (_, p1, _) = reg.insert(None, poisson_problem(8));
+        let op1 = p1.operator(sdc_sparse::SparseFormat::Sell) as *const _ as *const u8;
+        let (_, p2, hit) = reg.insert(None, poisson_problem(8));
+        assert!(hit);
+        let op2 = p2.operator(sdc_sparse::SparseFormat::Sell) as *const _ as *const u8;
+        assert_eq!(op1, op2, "SELL engine must be converted once and shared");
+    }
+}

@@ -1,0 +1,307 @@
+//! The bounded solve queue with same-matrix batching and backpressure.
+//!
+//! `solve` requests do not run on their connection threads. Each is
+//! packaged as a [`SolveJob`] and submitted to this scheduler:
+//!
+//! * **Backpressure** — the queue is bounded; a submit against a full
+//!   queue is rejected immediately (the protocol's `busy` error, the
+//!   429 of this protocol) instead of letting latency grow without
+//!   bound. The client owns the retry policy.
+//! * **Batching** — the dispatcher pops the oldest job and then pulls
+//!   every other queued job for the *same matrix* (up to `batch_max`)
+//!   into one dispatch, running the group as a single parallel region
+//!   on the `sdc_parallel` pool. Same-matrix requests therefore share
+//!   one operator pass through the pool — one warm SELL engine, one
+//!   scheduling round — instead of queueing N cold dispatches.
+//! * **Determinism** — batching never changes results: each job is an
+//!   independent deterministic solve, and every parallel kernel below
+//!   it is bitwise thread-count-independent, so scheduling (batched,
+//!   interleaved, or serial) cannot alter a single output byte.
+//!
+//! [`Scheduler::drain`] is the graceful-shutdown half: it stops new
+//! submissions, lets the dispatcher finish everything queued, and joins
+//! it.
+
+use crate::metrics::Metrics;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One queued solve: which matrix it reads (the batching key) and the
+/// closure that runs it (owns its response channel).
+pub struct SolveJob {
+    /// Registry content key of the operator.
+    pub matrix_key: String,
+    /// The work; must not panic (wrap fallible work in `catch_unwind`).
+    pub run: Box<dyn FnOnce() + Send>,
+}
+
+/// Why a submit was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity — the backpressure signal.
+    Busy,
+    /// The server is draining after `shutdown`.
+    Draining,
+}
+
+struct State {
+    queue: VecDeque<SolveJob>,
+    draining: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    capacity: usize,
+    batch_max: usize,
+    metrics: Arc<Metrics>,
+}
+
+/// The bounded batching scheduler; owns one dispatcher thread.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts a scheduler with the given queue capacity and batch cap
+    /// (both clamped to ≥ 1).
+    pub fn new(capacity: usize, batch_max: usize, metrics: Arc<Metrics>) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), draining: false }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            batch_max: batch_max.max(1),
+            metrics,
+        });
+        let worker = shared.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name("sdc-dispatch".into())
+            .spawn(move || dispatch_loop(&worker))
+            .expect("cannot spawn dispatcher thread");
+        Self { shared, dispatcher: Mutex::new(Some(dispatcher)) }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Batch cap.
+    pub fn batch_max(&self) -> usize {
+        self.shared.batch_max
+    }
+
+    /// Enqueues a job, or rejects it when the queue is full or the
+    /// scheduler is draining.
+    pub fn submit(&self, job: SolveJob) -> Result<(), SubmitError> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.draining {
+            return Err(SubmitError::Draining);
+        }
+        if st.queue.len() >= self.shared.capacity {
+            self.shared.metrics.busy_rejects.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(SubmitError::Busy);
+        }
+        st.queue.push_back(job);
+        self.shared.metrics.set_queue_depth(st.queue.len());
+        drop(st);
+        self.shared.cv.notify_all();
+        Ok(())
+    }
+
+    /// Graceful shutdown: refuse new work, run everything queued, join
+    /// the dispatcher. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.draining = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(h) = self.dispatcher.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn dispatch_loop(shared: &Shared) {
+    loop {
+        // Collect the next batch: the oldest job plus every queued job
+        // on the same matrix, preserving arrival order.
+        let batch: Vec<SolveJob> = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if st.draining {
+                    return;
+                }
+                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let first = st.queue.pop_front().expect("non-empty");
+            let key = first.matrix_key.clone();
+            let mut batch = vec![first];
+            let mut i = 0;
+            while i < st.queue.len() && batch.len() < shared.batch_max {
+                if st.queue[i].matrix_key == key {
+                    batch.push(st.queue.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+            shared.metrics.set_queue_depth(st.queue.len());
+            batch
+        };
+
+        use std::sync::atomic::Ordering::Relaxed;
+        shared.metrics.batches_dispatched.fetch_add(1, Relaxed);
+        if batch.len() > 1 {
+            shared.metrics.batched_solves.fetch_add(batch.len() as u64, Relaxed);
+        }
+        run_batch(batch);
+    }
+}
+
+/// A job closure parked in a claimable slot for the parallel region.
+type JobSlot = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+
+/// Runs a batch as one parallel region. Jobs promise not to panic, but
+/// a defensive `catch_unwind` keeps a violation from killing the
+/// dispatcher (the job's response channel reports the failure).
+fn run_batch(batch: Vec<SolveJob>) {
+    let run_guarded = |f: Box<dyn FnOnce() + Send>| {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    };
+    if batch.len() == 1 {
+        let job = batch.into_iter().next().expect("len 1");
+        run_guarded(job.run);
+        return;
+    }
+    let slots: Vec<JobSlot> = batch.into_iter().map(|j| Mutex::new(Some(j.run))).collect();
+    sdc_parallel::run_pieces(slots.len(), &|i| {
+        if let Some(f) = slots[i].lock().unwrap_or_else(|e| e.into_inner()).take() {
+            run_guarded(f);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    fn job(key: &str, f: impl FnOnce() + Send + 'static) -> SolveJob {
+        SolveJob { matrix_key: key.into(), run: Box::new(f) }
+    }
+
+    #[test]
+    fn jobs_run_and_drain_completes_queued_work() {
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(16, 4, metrics.clone());
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let ran = ran.clone();
+            sched
+                .submit(job("k", move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+        }
+        sched.drain();
+        assert_eq!(ran.load(Ordering::SeqCst), 10, "drain must finish queued work");
+        assert!(metrics.batches_dispatched.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn submit_after_drain_is_refused() {
+        let sched = Scheduler::new(4, 2, Arc::new(Metrics::new()));
+        sched.drain();
+        assert_eq!(sched.submit(job("k", || {})).unwrap_err(), SubmitError::Draining);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(2, 1, metrics.clone());
+        // Block the dispatcher on the first job so the queue backs up.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        sched
+            .submit(job("k", move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            }))
+            .unwrap();
+        started_rx.recv().unwrap(); // dispatcher is now busy, queue empty
+        sched.submit(job("k", || {})).unwrap();
+        sched.submit(job("k", || {})).unwrap();
+        let err = sched.submit(job("k", || {})).unwrap_err();
+        assert_eq!(err, SubmitError::Busy);
+        assert_eq!(metrics.busy_rejects.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.queue_peak.load(Ordering::Relaxed), 2);
+        release_tx.send(()).unwrap();
+        sched.drain();
+    }
+
+    #[test]
+    fn same_matrix_jobs_batch_and_results_arrive_per_job() {
+        let metrics = Arc::new(Metrics::new());
+        let sched = Scheduler::new(32, 8, metrics.clone());
+        // Hold the dispatcher so all jobs are queued before any runs.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        sched
+            .submit(job("other", move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            }))
+            .unwrap();
+        started_rx.recv().unwrap();
+
+        let (tx, rx) = mpsc::channel::<usize>();
+        for i in 0..6 {
+            let tx = tx.clone();
+            let key = if i % 2 == 0 { "a" } else { "b" };
+            sched
+                .submit(job(key, move || {
+                    tx.send(i).unwrap();
+                }))
+                .unwrap();
+        }
+        release_tx.send(()).unwrap();
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        sched.drain();
+        // The interleaved a/b queue must have produced at least one
+        // multi-job batch (3 "a" jobs were queued together).
+        assert!(
+            metrics.batched_solves.load(Ordering::Relaxed) >= 2,
+            "same-matrix jobs queued together must batch"
+        );
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_dispatcher() {
+        let sched = Scheduler::new(8, 4, Arc::new(Metrics::new()));
+        sched.submit(job("k", || panic!("job exploded"))).unwrap();
+        let (tx, rx) = mpsc::channel::<()>();
+        sched
+            .submit(job("k", move || {
+                tx.send(()).unwrap();
+            }))
+            .unwrap();
+        rx.recv_timeout(std::time::Duration::from_secs(10))
+            .expect("dispatcher must survive a panicking job");
+        sched.drain();
+    }
+}

@@ -1,0 +1,169 @@
+//! The TCP transport: accept loop, per-connection worker threads,
+//! graceful drain.
+//!
+//! Each accepted connection gets its own thread running a strict
+//! request → response(s) loop over newline-delimited JSON frames (one
+//! request at a time per connection; concurrency comes from opening
+//! more connections — that is also what feeds the scheduler's
+//! same-matrix batching). All semantics live in [`crate::engine`]; this
+//! module only moves bytes.
+//!
+//! Shutdown: a `shutdown` request flips the engine's drain flag. The
+//! accept loop (which polls the flag) stops taking connections, the
+//! scheduler finishes every queued solve, and connection threads close
+//! as soon as they are idle — in-flight requests always get their
+//! response first.
+
+use crate::engine::Engine;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often blocked reads/accepts re-check the drain flag. Also the
+/// worst-case accept latency for a fresh connection, so it is kept
+/// small; polling at this rate costs no measurable CPU.
+const POLL: Duration = Duration::from_millis(10);
+
+/// A running server; dropping it does *not* stop the threads — call
+/// [`ServerHandle::wait`] after shutdown, or keep it alive for the
+/// process lifetime.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `--port 0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine (for in-process tests and metrics scraping).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Blocks until a `shutdown` request has drained the server: joins
+    /// the accept loop, finishes queued solves, joins every connection.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.engine.drain();
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) and starts
+/// accepting connections for `engine`.
+pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_engine = engine.clone();
+    let accept_conns = conns.clone();
+    let accept = std::thread::Builder::new()
+        .name("sdc-accept".into())
+        .spawn(move || accept_loop(listener, accept_engine, accept_conns))
+        .expect("cannot spawn accept thread");
+
+    Ok(ServerHandle { addr: local, engine, accept: Some(accept), conns })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if engine.shutdown_requested() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                engine.metrics.connections_opened.fetch_add(1, Relaxed);
+                engine.metrics.connections_active.fetch_add(1, Relaxed);
+                let conn_engine = engine.clone();
+                let handle = std::thread::Builder::new()
+                    .name("sdc-conn".into())
+                    .spawn(move || {
+                        let _ = connection(stream, &conn_engine);
+                        conn_engine.metrics.connections_active.fetch_sub(1, Relaxed);
+                    })
+                    .expect("cannot spawn connection thread");
+                let mut conns = conns.lock().unwrap_or_else(|e| e.into_inner());
+                // Sweep finished connections so a long-lived server does
+                // not accumulate one dead JoinHandle per client forever.
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    // The listener is non-blocking (accept polls the drain flag); the
+    // per-connection socket must not inherit that — reads block with a
+    // timeout instead (Windows inherits the flag, Linux does not).
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // Frames are accumulated as raw bytes with `read_until`, not
+    // `read_line`: on a timeout, `read_line` discards consumed bytes
+    // whenever the partial tail is not valid UTF-8 (a poll tick landing
+    // mid-multibyte-character would corrupt the frame), while
+    // `read_until` keeps every byte it consumed. UTF-8 is validated
+    // per complete frame instead.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut line) {
+            // EOF: a trailing unterminated frame is not a request.
+            Ok(0) => return Ok(()),
+            Ok(_) if line.last() != Some(&b'\n') => {
+                // EOF in the middle of a frame (read_until also returns
+                // on EOF): nothing complete to answer.
+                return Ok(());
+            }
+            Ok(_) => {
+                let text = String::from_utf8_lossy(&line);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    let resp = engine.handle_line(trimmed, &mut |event| {
+                        // Best-effort streaming; a dead client surfaces
+                        // on the final write below.
+                        let _ = writeln!(writer, "{}", event.to_line());
+                        let _ = writer.flush();
+                    });
+                    writeln!(writer, "{}", resp.to_line())?;
+                    writer.flush()?;
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll tick (partial bytes stay in `line`); close
+                // only when idle *and* draining.
+                if engine.shutdown_requested() && line.is_empty() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

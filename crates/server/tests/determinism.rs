@@ -1,0 +1,154 @@
+//! The acceptance-criteria pin: a served `solve` / `campaign` with a
+//! fixed request sequence is **byte-identical** to the offline
+//! equivalent, at two different thread counts.
+//!
+//! "Offline" means the same engine driven without sockets — exactly
+//! what `solve-client offline` runs — and, for campaigns, the plain
+//! `sdc_campaigns::run` path the `campaign` binary uses. Responses are
+//! compared as raw frame bytes; campaign artifacts as raw file bytes.
+
+use sdc_campaigns::json::Json;
+use sdc_campaigns::{CampaignSpec, ProblemSpec, RunOptions};
+use sdc_server::{serve, Client, Engine, EngineConfig};
+use std::sync::Arc;
+
+/// The smoke request sequence: load a matrix, three solves (plain
+/// GMRES, clean FT-GMRES returning x, faulted+detected FT-GMRES
+/// returning x). Mirrors the CI `serve_smoke` script.
+fn request_sequence() -> Vec<String> {
+    let raw = [
+        "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":12}}",
+        "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":300}",
+        "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10,\"return_x\":true}",
+        "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10,\"detector\":\"restart_inner\",\"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":12},\"return_x\":true}",
+    ];
+    let mut next = 1u64;
+    raw.iter()
+        .map(|l| sdc_server::protocol::assign_id(Json::parse(l).unwrap(), &mut next).to_line())
+        .collect()
+}
+
+/// Runs the sequence through an in-process engine (the `solve-client
+/// offline` path) and returns every output frame.
+fn run_offline(requests: &[String]) -> Vec<String> {
+    let engine = Engine::new(EngineConfig::default());
+    let mut out = Vec::new();
+    for req in requests {
+        let resp = engine.handle_line(req, &mut |ev| out.push(ev.to_line()));
+        out.push(resp.to_line());
+    }
+    engine.drain();
+    out
+}
+
+/// Runs the sequence against a real server over TCP.
+fn run_served(requests: &[String]) -> Vec<String> {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let mut out = Vec::new();
+    for req in requests {
+        out.extend(client.request_lines(req).expect("request"));
+    }
+    let r = client.request_lines("{\"cmd\":\"shutdown\"}").expect("shutdown");
+    assert!(r.last().unwrap().contains("\"ok\":true"));
+    handle.wait();
+    out
+}
+
+#[test]
+fn served_solves_match_offline_bitwise_at_two_thread_counts() {
+    let _guard = sdc_parallel::test_serial_guard();
+    let requests = request_sequence();
+
+    let mut outputs = Vec::new();
+    for threads in [1usize, 3] {
+        sdc_parallel::set_threads(threads);
+        outputs.push((threads, "offline", run_offline(&requests)));
+        outputs.push((threads, "served", run_served(&requests)));
+    }
+    sdc_parallel::set_threads(0);
+
+    let (t0, k0, reference) = &outputs[0];
+    assert_eq!(reference.len(), requests.len(), "one final frame per request, no events");
+    // The faulted solve really did inject and detect.
+    let last = Json::parse(reference.last().unwrap()).unwrap();
+    let summary = last.field("result").unwrap().field("summary").unwrap();
+    assert_eq!(summary.field("injections").unwrap().as_usize().unwrap(), 1);
+    assert!(summary.field("detector_events").unwrap().as_usize().unwrap() >= 1);
+    assert!(last.field("result").unwrap().get("x").is_some(), "return_x honored");
+
+    for (t, kind, lines) in &outputs[1..] {
+        assert_eq!(
+            lines, reference,
+            "{kind} at {t} threads must be byte-identical to {k0} at {t0} threads"
+        );
+    }
+}
+
+#[test]
+fn served_campaign_artifact_matches_offline_bitwise_at_two_thread_counts() {
+    let _guard = sdc_parallel::test_serial_guard();
+    let spec = CampaignSpec {
+        inner_iters: 6,
+        outer_tol: 1e-8,
+        outer_max: 60,
+        stride: 9,
+        ..CampaignSpec::paper_shape("det", vec![ProblemSpec::Poisson { m: 8 }])
+    };
+
+    let tmp = std::env::temp_dir();
+    let pid = std::process::id();
+    let mut artifacts: Vec<(String, Vec<u8>, Vec<String>)> = Vec::new();
+
+    for threads in [1usize, 3] {
+        sdc_parallel::set_threads(threads);
+
+        // Offline reference: the `campaign run` library path.
+        let off_path = tmp.join(format!("sdc_det_off_{pid}_{threads}.jsonl"));
+        std::fs::remove_file(&off_path).ok();
+        sdc_campaigns::run(
+            &spec,
+            &off_path,
+            false,
+            &RunOptions { quiet: true, ..Default::default() },
+        )
+        .expect("offline campaign");
+        let off_bytes = std::fs::read(&off_path).expect("offline artifact");
+        std::fs::remove_file(&off_path).ok();
+        artifacts.push((format!("offline@{threads}"), off_bytes, Vec::new()));
+
+        // Served: the same spec through the engine, streaming records.
+        let srv_path = tmp.join(format!("sdc_det_srv_{pid}_{threads}.jsonl"));
+        std::fs::remove_file(&srv_path).ok();
+        let engine = Engine::new(EngineConfig::default());
+        let req = format!(
+            "{{\"cmd\":\"campaign\",\"id\":1,\"spec\":{},\"artifact\":{}}}",
+            spec.to_json().to_line(),
+            Json::str(srv_path.to_string_lossy()).to_line()
+        );
+        let mut events = Vec::new();
+        let resp = engine.handle_line(&req, &mut |ev| {
+            events.push(ev.field("record").unwrap().to_line());
+        });
+        assert!(resp.field("ok").unwrap().as_bool().unwrap(), "{}", resp.to_line());
+        assert!(resp.field("result").unwrap().field("complete").unwrap().as_bool().unwrap());
+        engine.drain();
+        let srv_bytes = std::fs::read(&srv_path).expect("served artifact");
+        std::fs::remove_file(&srv_path).ok();
+        artifacts.push((format!("served@{threads}"), srv_bytes, events));
+    }
+    sdc_parallel::set_threads(0);
+
+    let (name0, reference, _) = &artifacts[0];
+    assert!(!reference.is_empty());
+    for (name, bytes, events) in &artifacts[1..] {
+        assert_eq!(bytes, reference, "{name} artifact must be byte-identical to {name0}");
+        if !events.is_empty() {
+            // The streamed records are exactly the artifact's lines.
+            let artifact_lines: Vec<String> =
+                String::from_utf8(bytes.clone()).unwrap().lines().map(String::from).collect();
+            assert_eq!(events, &artifact_lines, "{name} stream must mirror the artifact");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! End-to-end tests over real sockets: a served session exercising the
+//! full protocol, malformed-frame handling, the fixed-threads contract
+//! and graceful shutdown.
+
+use sdc_campaigns::json::Json;
+use sdc_server::{serve, Client, Engine, EngineConfig, ServerHandle};
+use std::sync::Arc;
+
+fn start() -> ServerHandle {
+    let engine = Arc::new(Engine::new(EngineConfig { threads: 0, queue_cap: 16, batch_max: 4 }));
+    serve(engine, "127.0.0.1:0").expect("bind")
+}
+
+fn call(client: &mut Client, line: &str) -> Json {
+    let frames = client.request_lines(line).expect("request");
+    Json::parse(frames.last().expect("non-empty")).expect("valid frame")
+}
+
+fn shutdown(handle: ServerHandle, client: &mut Client) {
+    let r = call(client, "{\"cmd\":\"shutdown\"}");
+    assert!(r.field("ok").unwrap().as_bool().unwrap());
+    handle.wait();
+}
+
+#[test]
+fn full_session_load_solve_stats_list() {
+    let handle = start();
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let r = call(
+        &mut c,
+        "{\"cmd\":\"load_matrix\",\"id\":1,\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+    );
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+    assert_eq!(r.field("id").unwrap().as_usize().unwrap(), 1);
+
+    // A plain solve and a faulted FT-GMRES solve with the detector on.
+    let r = call(
+        &mut c,
+        "{\"cmd\":\"solve\",\"id\":2,\"matrix\":\"p\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":300}",
+    );
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+    let r = call(
+        &mut c,
+        "{\"cmd\":\"solve\",\"id\":3,\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\
+         \"inner_iters\":10,\"detector\":\"restart_inner\",\
+         \"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":12}}",
+    );
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+    let s = r.field("result").unwrap().field("summary").unwrap();
+    assert_eq!(s.field("injections").unwrap().as_usize().unwrap(), 1);
+    assert!(s.field("converged").unwrap().as_bool().unwrap());
+
+    let r = call(&mut c, "{\"cmd\":\"stats\",\"id\":4}");
+    let stats = r.field("result").unwrap();
+    assert_eq!(stats.field("queue_capacity").unwrap().as_usize().unwrap(), 16);
+    assert_eq!(stats.field("requests").unwrap().field("solve").unwrap().as_usize().unwrap(), 2);
+    assert!(stats.field("connections").unwrap().field("active").unwrap().as_usize().unwrap() >= 1);
+
+    let r = call(&mut c, "{\"cmd\":\"list\",\"id\":5}");
+    assert_eq!(r.field("result").unwrap().field("matrices").unwrap().as_arr().unwrap().len(), 1);
+
+    shutdown(handle, &mut c);
+}
+
+#[test]
+fn malformed_frames_get_structured_errors_and_keep_the_connection() {
+    let handle = start();
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    for garbage in ["this is not json", "{\"cmd\":", "[1,2,3", "{\"cmd\":\"nope\"}"] {
+        let r = call(&mut c, garbage);
+        assert!(!r.field("ok").unwrap().as_bool().unwrap(), "{garbage}");
+        assert_eq!(
+            r.field("error").unwrap().field("code").unwrap().as_str().unwrap(),
+            "bad_request",
+            "{garbage}"
+        );
+    }
+    // The connection must still be perfectly usable afterwards.
+    let r = call(&mut c, "{\"cmd\":\"stats\"}");
+    assert!(r.field("ok").unwrap().as_bool().unwrap());
+    assert_eq!(r.field("result").unwrap().field("protocol_errors").unwrap().as_usize().unwrap(), 4);
+
+    shutdown(handle, &mut c);
+}
+
+#[test]
+fn threads_are_fixed_at_startup_and_requests_cannot_change_them() {
+    let handle = start();
+    let frozen = handle.engine().threads();
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let before = call(&mut c, "{\"cmd\":\"stats\"}");
+    assert_eq!(
+        before.field("result").unwrap().field("threads").unwrap().as_usize().unwrap(),
+        frozen
+    );
+
+    // A client trying to re-size the pool gets a pointed error…
+    let r = call(&mut c, "{\"cmd\":\"solve\",\"matrix\":\"p\",\"threads\":64}");
+    assert!(!r.field("ok").unwrap().as_bool().unwrap());
+    let msg = r.field("error").unwrap().field("message").unwrap().as_str().unwrap().to_string();
+    assert!(msg.contains("fixed at server startup"), "{msg}");
+    // …on every command that could plausibly carry it.
+    let r = call(&mut c, "{\"cmd\":\"stats\",\"threads\":64}");
+    assert!(!r.field("ok").unwrap().as_bool().unwrap());
+
+    // And the pool is exactly as it was.
+    let after = call(&mut c, "{\"cmd\":\"stats\"}");
+    assert_eq!(
+        after.field("result").unwrap().field("threads").unwrap().as_usize().unwrap(),
+        frozen
+    );
+    assert_eq!(handle.engine().threads(), frozen);
+
+    shutdown(handle, &mut c);
+}
+
+#[test]
+fn concurrent_connections_solve_the_same_matrix() {
+    let handle = start();
+    let mut setup = Client::connect(handle.addr()).expect("connect");
+    let r = call(
+        &mut setup,
+        "{\"cmd\":\"load_matrix\",\"name\":\"shared\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+    );
+    assert!(r.field("ok").unwrap().as_bool().unwrap());
+
+    let solve = "{\"cmd\":\"solve\",\"matrix\":\"shared\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":8}";
+    let report = sdc_server::load_gen(handle.addr(), 4, 3, &Json::parse(solve).unwrap())
+        .expect("load generator");
+    assert_eq!(report.completed, 12, "every request must succeed");
+    assert_eq!(report.rejected, 0);
+    assert!(report.percentile_us(50.0) > 0.0);
+
+    // The cache amortized: one matrix, many solves.
+    let r = call(&mut setup, "{\"cmd\":\"stats\"}");
+    let stats = r.field("result").unwrap();
+    assert_eq!(stats.field("matrices").unwrap().as_usize().unwrap(), 1);
+    assert_eq!(stats.field("solves").unwrap().field("converged").unwrap().as_usize().unwrap(), 12);
+
+    shutdown(handle, &mut setup);
+}
+
+#[test]
+fn shutdown_drains_and_wait_returns() {
+    let handle = start();
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).expect("connect");
+    call(
+        &mut c,
+        "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}",
+    );
+    // Queue a few solves, then shut down from a second connection: the
+    // in-flight work must complete (graceful drain), then wait() ends.
+    let solve =
+        "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":200}";
+    let r = call(&mut c, solve);
+    assert!(r.field("ok").unwrap().as_bool().unwrap());
+
+    let mut c2 = Client::connect(addr).expect("connect 2");
+    let r = call(&mut c2, "{\"cmd\":\"shutdown\"}");
+    assert!(r.field("ok").unwrap().as_bool().unwrap());
+    assert!(r.field("result").unwrap().field("draining").unwrap().as_bool().unwrap());
+    handle.wait();
+
+    // Post-drain solves on a still-open connection are refused loudly
+    // (the socket may also already be closed — both are clean outcomes).
+    if let Ok(frames) = c.request_lines(solve) {
+        let last = Json::parse(frames.last().unwrap()).unwrap();
+        assert_eq!(
+            last.field("error").unwrap().field("code").unwrap().as_str().unwrap(),
+            "shutting_down"
+        );
+    }
+}

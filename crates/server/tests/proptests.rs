@@ -1,0 +1,209 @@
+//! Property tests for the wire protocol: random valid requests
+//! round-trip through `sdc_campaigns::json` exactly, and arbitrary
+//! malformed frames always come back as structured errors (never a
+//! panic, never a dropped frame).
+
+use proptest::prelude::*;
+use sdc_campaigns::json::Json;
+use sdc_campaigns::{DetectorPolicy, LsqSpec, ProblemSpec};
+use sdc_faults::campaign::{FaultClass, MgsPosition};
+use sdc_server::protocol::{FaultSpec, LoadMatrixRequest, MatrixSource, Request, SolveRequest};
+use sdc_server::SolverKind;
+use sdc_sparse::SparseFormat;
+
+/// `Option<T>` from a strategy plus a None arm (the vendored proptest
+/// has no `proptest::option`).
+fn opt<S>(s: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + 'static,
+{
+    prop_oneof![s.prop_map(Some), Just(None)].boxed()
+}
+
+fn bool_strategy() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|b| b == 1)
+}
+
+const NAMES: [&str; 8] = ["p", "poisson_100", "dcop", "a1", "m_big", "x", "bench", "k0"];
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_string())
+}
+
+fn solver_strategy() -> impl Strategy<Value = SolverKind> {
+    prop_oneof![Just(SolverKind::Gmres), Just(SolverKind::Fgmres), Just(SolverKind::FtGmres),]
+}
+
+fn detector_strategy() -> impl Strategy<Value = DetectorPolicy> {
+    prop_oneof![
+        Just(DetectorPolicy::Off),
+        Just(DetectorPolicy::Record),
+        Just(DetectorPolicy::RestartInner),
+        Just(DetectorPolicy::AbortInner),
+        Just(DetectorPolicy::Halt),
+    ]
+}
+
+fn lsq_strategy() -> impl Strategy<Value = LsqSpec> {
+    prop_oneof![
+        Just(LsqSpec::Standard),
+        (1e-15f64..1e-6).prop_map(|tol| LsqSpec::FallbackOnNonFinite { tol }),
+        (1e-15f64..1e-6).prop_map(|tol| LsqSpec::RankRevealing { tol }),
+    ]
+}
+
+fn format_strategy() -> impl Strategy<Value = SparseFormat> {
+    prop_oneof![Just(SparseFormat::Auto), Just(SparseFormat::Csr), Just(SparseFormat::Sell)]
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+    (
+        prop_oneof![Just(FaultClass::Huge), Just(FaultClass::Slight), Just(FaultClass::Tiny)],
+        prop_oneof![Just(MgsPosition::First), Just(MgsPosition::Last)],
+        1usize..10_000,
+    )
+        .prop_map(|(class, position, aggregate)| FaultSpec { class, position, aggregate })
+}
+
+/// A random *valid* solve request (fault only with ftgmres, restart
+/// only with gmres, finite b) — the invariants `validate()` enforces.
+fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
+    (
+        (
+            name_strategy(),
+            solver_strategy(),
+            opt(proptest::collection::vec(-1e6f64..1e6, 1..20)),
+            1e-12f64..1e-2,
+            1usize..500,
+            opt(1usize..60),
+        ),
+        (
+            1usize..40,
+            format_strategy(),
+            detector_strategy(),
+            lsq_strategy(),
+            opt(fault_strategy()),
+            (0u64..u64::MAX, bool_strategy()),
+        ),
+    )
+        .prop_map(
+            |(
+                (matrix, solver, b, tol, maxit, restart),
+                (inner_iters, format, detector, lsq, fault, (seed, return_x)),
+            )| {
+                SolveRequest {
+                    matrix,
+                    solver,
+                    b,
+                    tol,
+                    maxit,
+                    restart: if solver == SolverKind::Gmres { restart } else { None },
+                    inner_iters,
+                    format,
+                    // fgmres has no detector hook; validate() rejects it.
+                    detector: if solver == SolverKind::Fgmres {
+                        DetectorPolicy::Off
+                    } else {
+                        detector
+                    },
+                    lsq,
+                    fault: if solver == SolverKind::FtGmres { fault } else { None },
+                    seed,
+                    return_x,
+                }
+            },
+        )
+}
+
+fn load_strategy() -> impl Strategy<Value = LoadMatrixRequest> {
+    let source = prop_oneof![
+        (2usize..40).prop_map(|m| MatrixSource::Problem(ProblemSpec::Poisson { m })),
+        (
+            1usize..8,
+            1usize..8,
+            proptest::collection::vec((0usize..8, 0usize..8, -100.0f64..100.0), 0..20),
+        )
+            .prop_map(|(rows, cols, raw)| MatrixSource::Coo {
+                rows,
+                cols,
+                entries: raw.into_iter().map(|(i, j, v)| (i % rows, j % cols, v)).collect(),
+            }),
+    ];
+    (opt(name_strategy()), source).prop_map(|(name, source)| LoadMatrixRequest { name, source })
+}
+
+proptest! {
+    #[test]
+    fn solve_requests_round_trip_exactly(req in solve_strategy()) {
+        let wire = Request::Solve(req);
+        let line = wire.to_json().to_line();
+        let back = Request::from_json(&Json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn load_requests_round_trip_exactly(req in load_strategy()) {
+        let wire = Request::LoadMatrix(req);
+        let line = wire.to_json().to_line();
+        let back = Request::from_json(&Json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn request_serialization_is_canonical(req in solve_strategy()) {
+        // Serializing, parsing as raw JSON and re-serializing is the
+        // identity — the property the served-vs-offline diff rests on.
+        let line = Request::Solve(req).to_json().to_line();
+        prop_assert_eq!(Json::parse(&line).unwrap().to_line(), line);
+    }
+
+    #[test]
+    fn malformed_frames_always_yield_structured_errors(
+        bytes in proptest::collection::vec(0x20u8..0x7f, 0..60)
+    ) {
+        let garbage = String::from_utf8(bytes).expect("printable ascii");
+        // Whatever bytes arrive, the engine answers with a frame — it
+        // never panics and never goes silent. (Frames that happen to
+        // parse as valid requests are allowed to succeed.)
+        let engine = sdc_server::Engine::new(sdc_server::EngineConfig {
+            queue_cap: 2,
+            batch_max: 1,
+            threads: 0,
+        });
+        let mut events = Vec::new();
+        let resp = engine.handle_line(&garbage, &mut |e| events.push(e.clone()));
+        let ok = resp.field("ok").unwrap().as_bool().unwrap();
+        if !ok {
+            let err = resp.field("error").unwrap();
+            prop_assert!(!err.field("code").unwrap().as_str().unwrap().is_empty());
+            prop_assert!(!err.field("message").unwrap().as_str().unwrap().is_empty());
+        }
+        engine.drain();
+    }
+}
+
+/// The TCP-level half of the malformed-frame satellite: the server
+/// answers garbage with a structured error *on the same connection*,
+/// which stays open for the next (valid) request.
+#[test]
+fn malformed_frame_over_tcp_keeps_the_connection_alive() {
+    use sdc_server::{serve, Client, Engine, EngineConfig};
+    use std::sync::Arc;
+
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let mut c = Client::connect(handle.addr()).expect("connect");
+
+    let frames = c.request_lines("{{{{ totally broken").expect("error frame, not a hangup");
+    let err = Json::parse(frames.last().unwrap()).unwrap();
+    assert!(!err.field("ok").unwrap().as_bool().unwrap());
+    assert_eq!(err.field("error").unwrap().field("code").unwrap().as_str().unwrap(), "bad_request");
+
+    let frames = c.request_lines("{\"cmd\":\"stats\"}").expect("connection must survive");
+    assert!(frames.last().unwrap().contains("\"ok\":true"));
+
+    let r = c.request_lines("{\"cmd\":\"shutdown\"}").expect("shutdown");
+    assert!(r.last().unwrap().contains("\"ok\":true"));
+    handle.wait();
+}

@@ -2,7 +2,7 @@
 //!
 //! Umbrella crate for the reproduction of Elliott, Hoemmen & Mueller,
 //! *Evaluating the Impact of SDC on the GMRES Iterative Solver*
-//! (IPDPS 2014). It re-exports the six library crates so applications
+//! (IPDPS 2014). It re-exports the seven library crates so applications
 //! can depend on a single crate:
 //!
 //! * [`parallel`] — the execution substrate: a deterministic
@@ -20,6 +20,9 @@
 //! * [`campaigns`] — the declarative, resumable, artifact-first
 //!   campaign engine (specs, sharded executor, JSONL artifacts,
 //!   re-solve-free reports).
+//! * [`server`] — the long-lived solve service: matrix registry,
+//!   batching scheduler, streaming campaign jobs over a
+//!   newline-delimited JSON protocol (`serve` / `solve-client`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record. The `examples/`
@@ -31,6 +34,7 @@ pub use sdc_dense as dense;
 pub use sdc_faults as faults;
 pub use sdc_gmres as solvers;
 pub use sdc_parallel as parallel;
+pub use sdc_server as server;
 pub use sdc_sparse as sparse;
 
 /// Everything an application typically needs.
