@@ -35,6 +35,7 @@ fn main() {
         outer_max: 150,
         stride,
         format: args.format,
+        precond: args.precond,
         ..CampaignSpec::paper_shape("fig3", vec![ProblemSpec::Poisson { m }])
     };
     run_figure("fig3", &spec, args.csv_dir.as_deref(), args.out.as_deref(), 75);

@@ -41,6 +41,7 @@ fn main() {
         outer_max: 200,
         stride,
         format: args.format,
+        precond: args.precond,
         ..CampaignSpec::paper_shape("fig4", vec![problem])
     };
     run_figure("fig4", &spec, args.csv_dir.as_deref(), args.out.as_deref(), 75);

@@ -166,6 +166,9 @@ pub struct CliArgs {
     /// `--format {csr,sell,auto}`: sparse storage engine for the
     /// operator (default `auto`; bitwise-invisible to results).
     pub format: sdc_sparse::SparseFormat,
+    /// `--precond {none,jacobi,ilu0,chebyshev}`: right preconditioner
+    /// inside the inner solves (default `none`; the legacy figures).
+    pub precond: sdc_gmres::precond::PrecondKind,
 }
 
 impl CliArgs {
@@ -179,6 +182,7 @@ impl CliArgs {
             .opt("out", "PATH", "keep the JSONL campaign artifact at PATH")
             .with_threads()
             .with_format()
+            .with_precond()
     }
 
     /// Builds from a parsed flag set, applying `--threads` to the
@@ -192,6 +196,7 @@ impl CliArgs {
             stride: p.get::<usize>("stride")?,
             out: p.path("out"),
             format: p.format()?,
+            precond: p.precond()?,
         })
     }
 

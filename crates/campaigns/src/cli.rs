@@ -82,6 +82,12 @@ impl Cli {
         self.opt("format", "F", "sparse storage engine: csr, sell or auto (default: auto)")
     }
 
+    /// Declares the workspace-standard `--precond {none,jacobi,ilu0,chebyshev}`
+    /// flag. Read it with [`Parsed::precond`]; the default is `none`.
+    pub fn with_precond(self) -> Self {
+        self.opt("precond", "P", "right preconditioner: none, jacobi, ilu0 or chebyshev")
+    }
+
     /// The generated usage text.
     pub fn usage(&self) -> String {
         let mut out = format!("{} — {}\n\nflags:\n", self.program, self.about);
@@ -216,6 +222,18 @@ impl Parsed {
             Some(raw) => sdc_sparse::SparseFormat::parse(raw).map_err(|e| format!("--format: {e}")),
         }
     }
+
+    /// The value of a `--precond` flag (declared with
+    /// [`Cli::with_precond`]), defaulting to `none`; a bad value is an
+    /// error naming the flag.
+    pub fn precond(&self) -> Result<sdc_gmres::precond::PrecondKind, String> {
+        match self.value("precond") {
+            None => Ok(sdc_gmres::precond::PrecondKind::None),
+            Some(raw) => {
+                sdc_gmres::precond::PrecondKind::parse(raw).map_err(|e| format!("--precond: {e}"))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +305,26 @@ mod tests {
         let err =
             c.parse_from(["--format", "ell"].map(String::from)).unwrap().format().unwrap_err();
         assert!(err.contains("--format"), "{err}");
+    }
+
+    #[test]
+    fn precond_flag_parses_defaults_and_rejects() {
+        use sdc_gmres::precond::PrecondKind;
+        let c = cli().with_precond();
+        for (raw, want) in [
+            ("none", PrecondKind::None),
+            ("jacobi", PrecondKind::Jacobi),
+            ("ilu0", PrecondKind::Ilu0),
+            ("chebyshev", PrecondKind::Chebyshev),
+        ] {
+            let p = c.parse_from(["--precond", raw].map(String::from)).unwrap();
+            assert_eq!(p.precond().unwrap(), want);
+        }
+        // Default without the flag.
+        assert_eq!(c.parse_from([]).unwrap().precond().unwrap(), PrecondKind::None);
+        let err =
+            c.parse_from(["--precond", "amg"].map(String::from)).unwrap().precond().unwrap_err();
+        assert!(err.contains("--precond"), "{err}");
     }
 
     #[test]

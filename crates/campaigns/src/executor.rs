@@ -444,7 +444,11 @@ pub fn run(
     } else {
         plan.scenarios
             .iter()
-            .map(|s| spec.campaign_config(s).ft_config(&problems.get(s.problem).a))
+            .map(|s| {
+                let cfg = spec.campaign_config(s);
+                let p = problems.get(s.problem);
+                cfg.ft_config_with(&p.a, cfg.precond(p))
+            })
             .collect()
     };
     let budget = opts.max_units.unwrap_or(usize::MAX);
@@ -472,11 +476,13 @@ pub fn run(
                     class: s.class,
                     position: s.position,
                 };
+                let p = problems.get(s.problem);
                 let measured = run_experiment(
-                    problems.get(s.problem),
+                    p,
                     &ft_configs[u.scenario_idx],
                     point,
                     spec.format,
+                    p.precond(spec.precond).expect("validated at plan time"),
                 );
                 Record::Experiment {
                     unit: u.index,

@@ -1,5 +1,6 @@
 //! The evaluation problems of §VII-A.
 
+use sdc_gmres::precond::{BuiltPrecond, PrecondKind};
 use sdc_sparse::gallery::{self, CircuitMnaConfig};
 use sdc_sparse::{io, CsrMatrix, SellMatrix, SparseFormat};
 use std::path::Path;
@@ -23,6 +24,11 @@ pub struct Problem {
     /// length, which must not re-run on each of a campaign's thousands
     /// of solves.
     auto: OnceLock<SparseFormat>,
+    /// Lazily-built preconditioners, one slot per non-trivial
+    /// [`PrecondKind`] (jacobi / ilu0 / chebyshev). A campaign's
+    /// thousands of solves share one factorization; the setup cost
+    /// (ILU elimination, Chebyshev eigenvalue estimate) is paid once.
+    precond: [OnceLock<Result<BuiltPrecond, String>>; 3],
 }
 
 impl Problem {
@@ -31,7 +37,30 @@ impl Problem {
         let ones = vec![1.0; a.ncols()];
         let mut b = vec![0.0; a.nrows()];
         a.par_spmv(&ones, &mut b);
-        Self { name: name.into(), a, b, sell: OnceLock::new(), auto: OnceLock::new() }
+        Self {
+            name: name.into(),
+            a,
+            b,
+            sell: OnceLock::new(),
+            auto: OnceLock::new(),
+            precond: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+        }
+    }
+
+    /// The preconditioner of `kind` for this problem, built on first use
+    /// and cached. `PrecondKind::None` never fails and allocates nothing.
+    pub fn precond(&self, kind: PrecondKind) -> Result<&BuiltPrecond, String> {
+        static NONE: BuiltPrecond = BuiltPrecond::None;
+        let slot = match kind {
+            PrecondKind::None => return Ok(&NONE),
+            PrecondKind::Jacobi => 0,
+            PrecondKind::Ilu0 => 1,
+            PrecondKind::Chebyshev => 2,
+        };
+        self.precond[slot]
+            .get_or_init(|| BuiltPrecond::build(kind, &self.a))
+            .as_ref()
+            .map_err(Clone::clone)
     }
 
     /// The operator in the requested storage format (`Auto` resolves via
@@ -139,6 +168,17 @@ mod tests {
             );
         }
         assert_ne!(p.resolved_format(SparseFormat::Auto), SparseFormat::Auto);
+    }
+
+    #[test]
+    fn precond_cache_builds_once_per_kind() {
+        let p = poisson(10);
+        for kind in PrecondKind::all() {
+            let pc = p.precond(kind).expect("build must succeed on poisson");
+            assert_eq!(pc.kind(), kind);
+            let again = p.precond(kind).expect("cached");
+            assert!(std::ptr::eq(pc, again), "{kind}: second call must hit the cache");
+        }
     }
 
     #[test]

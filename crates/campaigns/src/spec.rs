@@ -16,7 +16,7 @@ use crate::json::{Json, JsonError};
 use crate::problems::{self, Problem};
 use crate::sweep::CampaignConfig;
 use sdc_faults::campaign::{FaultClass, MgsPosition};
-use sdc_gmres::prelude::{DetectorResponse, LstsqPolicy};
+use sdc_gmres::prelude::{DetectorResponse, LstsqPolicy, PrecondKind};
 use std::path::PathBuf;
 
 /// Current spec/artifact format version.
@@ -443,6 +443,14 @@ pub struct CampaignSpec {
     /// field is omitted from the JSON when it is the default (`auto`),
     /// keeping pre-existing specs and artifact headers byte-stable.
     pub format: sdc_sparse::SparseFormat,
+    /// Right preconditioner for every solve of the campaign (`none`,
+    /// `jacobi`, `ilu0` or `chebyshev`). Like `format`, the field is
+    /// omitted from the JSON when it is the default (`none`), so
+    /// pre-existing specs and artifact headers keep their exact bytes —
+    /// and unlike `format`, a non-default value *does* change results,
+    /// which is why it lives in the spec and therefore in the artifact
+    /// header.
+    pub precond: PrecondKind,
     /// The scenario grid, as a union of cross-product blocks.
     pub blocks: Vec<GridBlock>,
 }
@@ -461,6 +469,7 @@ impl CampaignSpec {
             seed: 0x5dc_2014,
             norm2_iters: 0,
             format: sdc_sparse::SparseFormat::Auto,
+            precond: PrecondKind::None,
             blocks: vec![GridBlock::undetected_full(), GridBlock::detector_class1()],
         }
     }
@@ -475,6 +484,7 @@ impl CampaignSpec {
             stride: self.stride,
             inner_lsq: scenario.lsq.policy(),
             format: self.format,
+            precond: self.precond,
         }
     }
 
@@ -489,6 +499,7 @@ impl CampaignSpec {
             stride: self.stride,
             inner_lsq: lsq.policy(),
             format: self.format,
+            precond: self.precond,
         }
     }
 
@@ -552,6 +563,9 @@ impl CampaignSpec {
         if self.format != sdc_sparse::SparseFormat::Auto {
             fields.push(("format", Json::str(self.format.as_str())));
         }
+        if self.precond != PrecondKind::None {
+            fields.push(("precond", Json::str(self.precond.as_str())));
+        }
         Json::obj(fields)
     }
 
@@ -585,6 +599,12 @@ impl CampaignSpec {
                 Some(f) => sdc_sparse::SparseFormat::parse(f.as_str()?)
                     .map_err(|msg| JsonError { offset: 0, msg })?,
                 None => sdc_sparse::SparseFormat::Auto,
+            },
+            precond: match v.get("precond") {
+                Some(p) => {
+                    PrecondKind::parse(p.as_str()?).map_err(|msg| JsonError { offset: 0, msg })?
+                }
+                None => PrecondKind::None,
             },
             blocks: v
                 .field("blocks")?
@@ -666,6 +686,7 @@ mod tests {
             seed: 42,
             norm2_iters: 0,
             format: sdc_sparse::SparseFormat::Auto,
+            precond: PrecondKind::None,
             blocks: vec![GridBlock::undetected_full(), GridBlock::detector_class1()],
         }
     }
@@ -702,6 +723,32 @@ mod tests {
         // Unknown strings are a parse error.
         let bad = sample_spec().to_json().to_line().replacen("{", "{\"format\":\"coo\",", 1);
         assert!(CampaignSpec::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn precond_field_round_trips_and_defaults_to_none() {
+        // Default (none) is omitted from the serialization: legacy specs
+        // and artifact headers keep their exact bytes.
+        let spec = sample_spec();
+        assert!(!spec.to_json().to_line().contains("precond"));
+        assert_eq!(
+            CampaignSpec::parse(&spec.to_json().to_line()).unwrap().precond,
+            PrecondKind::None
+        );
+        // Non-default values round-trip and reach the solver config.
+        for kind in [PrecondKind::Jacobi, PrecondKind::Ilu0, PrecondKind::Chebyshev] {
+            let spec = CampaignSpec { precond: kind, ..sample_spec() };
+            let line = spec.to_json().to_line();
+            assert!(line.contains(&format!("\"precond\":\"{kind}\"")), "{line}");
+            let back = CampaignSpec::parse(&line).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.campaign_config(&back.scenarios()[0]).precond, kind);
+            assert_eq!(back.baseline_config(LsqSpec::Standard).precond, kind);
+        }
+        // Unknown strings are a structured parse error, not a default.
+        let bad = sample_spec().to_json().to_line().replacen("{", "{\"precond\":\"amg\",", 1);
+        let err = CampaignSpec::parse(&bad).unwrap_err();
+        assert!(err.msg.contains("unknown preconditioner 'amg'"), "{}", err.msg);
     }
 
     #[test]

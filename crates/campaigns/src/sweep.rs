@@ -38,6 +38,11 @@ pub struct CampaignConfig {
     /// identical to CSR, so this is a pure performance knob: artifacts
     /// are byte-identical whichever engine runs.
     pub format: sdc_sparse::SparseFormat,
+    /// Right preconditioner applied inside the inner solves (the sequel
+    /// paper's opaque inner operator). `None` reproduces the
+    /// unpreconditioned solver bit-for-bit, including the legacy
+    /// Frobenius detector bound.
+    pub precond: PrecondKind,
 }
 
 impl Default for CampaignConfig {
@@ -50,13 +55,27 @@ impl Default for CampaignConfig {
             stride: 1,
             inner_lsq: LstsqPolicy::Standard,
             format: sdc_sparse::SparseFormat::Auto,
+            precond: PrecondKind::None,
         }
     }
 }
 
 impl CampaignConfig {
-    /// The FT-GMRES configuration realizing this campaign on matrix `a`.
+    /// The FT-GMRES configuration realizing this campaign on matrix `a`
+    /// with no preconditioner (legacy path, byte-stable).
     pub fn ft_config(&self, a: &sdc_sparse::CsrMatrix) -> FtGmresConfig {
+        self.ft_config_with(a, &BuiltPrecond::None)
+    }
+
+    /// The FT-GMRES configuration realizing this campaign on matrix `a`,
+    /// preconditioned by `precond`. The detector bound follows the
+    /// iteration it guards: the Frobenius bound for plain Arnoldi, the
+    /// `‖A‖_F·‖M⁻¹‖`-scaled bound when the inner operator is `A·M⁻¹`.
+    pub fn ft_config_with(
+        &self,
+        a: &sdc_sparse::CsrMatrix,
+        precond: &BuiltPrecond,
+    ) -> FtGmresConfig {
         FtGmresConfig {
             outer: sdc_gmres::fgmres::FgmresConfig {
                 tol: self.outer_tol,
@@ -65,11 +84,22 @@ impl CampaignConfig {
             },
             inner_iters: self.inner_iters,
             inner_lsq_policy: self.inner_lsq,
-            inner_detector: self
-                .detector_response
-                .map(|resp| SdcDetector::with_frobenius_bound(a, resp)),
+            inner_detector: self.detector_response.map(|resp| {
+                if precond.is_none() {
+                    SdcDetector::with_frobenius_bound(a, resp)
+                } else {
+                    SdcDetector::with_preconditioned_bound(a, precond, resp)
+                }
+            }),
             ..Default::default()
         }
+    }
+
+    /// Resolves this config's preconditioner on problem `p` (cached per
+    /// problem). Panics on a build failure: campaign configs are
+    /// validated up front, so an unfactorable matrix is a caller bug.
+    pub fn precond<'p>(&self, p: &'p Problem) -> &'p BuiltPrecond {
+        p.precond(self.precond).unwrap_or_else(|e| panic!("{} on {}: {e}", self.precond, p.name))
     }
 }
 
@@ -140,8 +170,16 @@ impl SweepResult {
 
 /// Runs the failure-free baseline and returns its report.
 pub fn failure_free(p: &Problem, cfg: &CampaignConfig) -> SolveReport {
-    let ft = cfg.ft_config(&p.a);
-    let (_, rep) = sdc_gmres::ftgmres::ftgmres_solve(p.operator(cfg.format), &p.b, None, &ft);
+    let pc = cfg.precond(p);
+    let ft = cfg.ft_config_with(&p.a, pc);
+    let (_, rep) = sdc_gmres::ftgmres::ftgmres_solve_precond(
+        p.operator(cfg.format),
+        &p.b,
+        None,
+        &ft,
+        pc,
+        &sdc_faults::NoFaults,
+    );
     rep
 }
 
@@ -155,7 +193,8 @@ pub fn run_sweep(
     position: MgsPosition,
     failure_free_outer: usize,
 ) -> SweepResult {
-    let ft = cfg.ft_config(&p.a);
+    let pc = cfg.precond(p);
+    let ft = cfg.ft_config_with(&p.a, pc);
     let domain: Vec<usize> =
         (1..=cfg.inner_iters * failure_free_outer).step_by(cfg.stride.max(1)).collect();
     let points: Vec<SweepPoint> = domain
@@ -167,7 +206,7 @@ pub fn run_sweep(
                 class,
                 position,
             };
-            run_experiment(p, &ft, point, cfg.format)
+            run_experiment(p, &ft, point, cfg.format, pc)
         })
         .collect();
     SweepResult { class, position, failure_free_outer, points }
@@ -184,10 +223,17 @@ pub fn run_experiment(
     ft: &FtGmresConfig,
     point: CampaignPoint,
     format: sdc_sparse::SparseFormat,
+    precond: &BuiltPrecond,
 ) -> SweepPoint {
     let inj = point.injector();
-    let (x, rep) =
-        sdc_gmres::ftgmres::ftgmres_solve_instrumented(p.operator(format), &p.b, None, ft, &inj);
+    let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_precond(
+        p.operator(format),
+        &p.b,
+        None,
+        ft,
+        precond,
+        &inj,
+    );
     let mut r = vec![0.0; p.b.len()];
     sdc_gmres::operator::residual(&p.a, &p.b, &x, &mut r);
     let true_rel = sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&p.b).max(1e-300);
@@ -216,6 +262,7 @@ mod tests {
             stride: 5,
             inner_lsq: LstsqPolicy::Standard,
             format: sdc_sparse::SparseFormat::Auto,
+            precond: PrecondKind::None,
         }
     }
 
@@ -260,6 +307,25 @@ mod tests {
         for (a, b) in r1.points.iter().zip(r2.points.iter()) {
             assert_eq!(a.outer_iterations, b.outer_iterations);
             assert_eq!(a.true_rel_residual.to_bits(), b.true_rel_residual.to_bits());
+        }
+    }
+
+    #[test]
+    fn preconditioned_sweep_converges_and_is_deterministic() {
+        let p = problems::poisson(8);
+        for kind in [PrecondKind::Jacobi, PrecondKind::Ilu0, PrecondKind::Chebyshev] {
+            let mut cfg = tiny_cfg();
+            cfg.precond = kind;
+            cfg.detector_response = Some(DetectorResponse::RestartInner);
+            let ff = failure_free(&p, &cfg);
+            assert!(ff.outcome.is_converged(), "{kind}: baseline must converge");
+            let r1 = run_sweep(&p, &cfg, FaultClass::Huge, MgsPosition::First, ff.iterations);
+            let r2 = run_sweep(&p, &cfg, FaultClass::Huge, MgsPosition::First, ff.iterations);
+            assert_eq!(r1.count_failures(), 0, "{kind}: every experiment must converge");
+            for (a, b) in r1.points.iter().zip(r2.points.iter()) {
+                assert_eq!(a.outer_iterations, b.outer_iterations, "{kind}");
+                assert_eq!(a.true_rel_residual.to_bits(), b.true_rel_residual.to_bits(), "{kind}");
+            }
         }
     }
 

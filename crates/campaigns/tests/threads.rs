@@ -39,6 +39,43 @@ fn artifact_bytes_identical_at_1_2_and_8_threads() {
 }
 
 #[test]
+fn preconditioned_artifact_bytes_identical_at_1_and_4_threads() {
+    let _guard = sdc_parallel::test_serial_guard();
+    // The committed ILU(0) precond spec: the campaign determinism
+    // contract must survive the preconditioned inner solves, whose
+    // triangular sweeps and Chebyshev-style kernels run inside the
+    // worker pool.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/specs/smoke_precond.json");
+    let spec = CampaignSpec::parse(&std::fs::read_to_string(path).expect("committed precond spec"))
+        .expect("precond spec parses");
+    assert_eq!(spec.precond, sdc_gmres::precond::PrecondKind::Ilu0);
+    // The legacy smoke spec predates the precond axis: its canonical
+    // serialization must not mention it (byte-stability of old specs).
+    assert!(!smoke_spec().to_json().to_line().contains("precond"));
+
+    let opts = RunOptions { quiet: true, ..Default::default() };
+    let mut artifacts: Vec<(usize, Vec<u8>)> = Vec::new();
+    for t in [1usize, 4] {
+        sdc_parallel::set_threads(t);
+        let path = tmp(&format!("precond_t{t}"));
+        std::fs::remove_file(&path).ok();
+        let summary = run(&spec, &path, false, &opts).unwrap();
+        assert!(summary.is_complete());
+        artifacts.push((t, std::fs::read(&path).unwrap()));
+        std::fs::remove_file(&path).ok();
+    }
+    sdc_parallel::set_threads(0);
+    let (_, reference) = &artifacts[0];
+    assert!(!reference.is_empty());
+    for (t, bytes) in &artifacts[1..] {
+        assert_eq!(
+            bytes, reference,
+            "preconditioned artifact at {t} threads differs from the 1-thread artifact"
+        );
+    }
+}
+
+#[test]
 fn interrupt_and_resume_at_different_thread_counts_is_byte_identical() {
     let _guard = sdc_parallel::test_serial_guard();
     // Run to completion at 1 thread; run half at 8 threads, kill, and

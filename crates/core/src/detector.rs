@@ -64,6 +64,25 @@ impl SdcDetector {
         Self { bound: a.norm_fro(), response }
     }
 
+    /// Detector bound for a *right-preconditioned* iteration (the sequel
+    /// paper's opaque-preconditioner model): the Arnoldi coefficients are
+    /// projections of `B = A·M⁻¹`, so `|h_ij| ≤ ‖B‖₂ ≤ ‖A‖₂·‖M⁻¹‖₂`.
+    /// The bound is `‖A‖_F` times a deterministic power-iteration
+    /// estimate of `‖M⁻¹‖₂` times a safety factor of 2 (the estimate
+    /// converges from below; the `‖A‖_F ≥ ‖A‖₂` slack absorbs the rest).
+    /// For the `none` kind this is `2·‖A‖_F` — still exact, just looser
+    /// than [`SdcDetector::with_frobenius_bound`]; callers keep the
+    /// legacy constructor on unpreconditioned solves.
+    pub fn with_preconditioned_bound(
+        a: &sdc_sparse::CsrMatrix,
+        precond: &crate::precond::BuiltPrecond,
+        response: DetectorResponse,
+    ) -> Self {
+        const SAFETY: f64 = 2.0;
+        let minv = precond.inv_norm_est(a.nrows(), 8).max(1.0);
+        Self { bound: a.norm_fro() * minv * SAFETY, response }
+    }
+
     /// Checks a Hessenberg value; `Some(violation)` if it is impossible
     /// under exact arithmetic.
     #[inline]
@@ -132,5 +151,24 @@ mod tests {
         let d = SdcDetector::with_frobenius_bound(&a, DetectorResponse::RestartInner);
         assert!((d.bound - 446.0).abs() < 1.0);
         assert_eq!(d.response, DetectorResponse::RestartInner);
+    }
+
+    #[test]
+    fn preconditioned_bound_scales_with_inverse_norm() {
+        use crate::precond::PrecondKind;
+        let a = sdc_sparse::gallery::poisson2d(20);
+        let fro = a.norm_fro();
+        for kind in PrecondKind::all() {
+            let p = kind.build(&a).unwrap();
+            let d = SdcDetector::with_preconditioned_bound(&a, &p, DetectorResponse::Record);
+            // Never tighter than the unpreconditioned Frobenius bound
+            // (the estimate multiplier is clamped to >= 1, safety = 2).
+            assert!(d.bound >= 2.0 * fro, "{kind}: bound {} < 2*fro {fro}", d.bound);
+            assert!(d.bound.is_finite(), "{kind}");
+        }
+        // Jacobi on Poisson: diag = 4, so ‖M⁻¹‖₂ = 1/4 < 1 — clamped.
+        let jac = PrecondKind::Jacobi.build(&a).unwrap();
+        let d = SdcDetector::with_preconditioned_bound(&a, &jac, DetectorResponse::Record);
+        assert!((d.bound - 2.0 * fro).abs() < 1e-9);
     }
 }

@@ -22,6 +22,7 @@ use crate::fgmres::{fgmres_solve, FgmresConfig, FlexiblePreconditioner, PrecondR
 use crate::gmres::{gmres_solve_instrumented, GmresConfig, SiteContext};
 use crate::operator::LinearOperator;
 use crate::ortho::OrthoStrategy;
+use crate::precond::{BuiltPrecond, FaultedPrecond};
 use crate::telemetry::{SolveOutcome, SolveReport};
 use sdc_dense::lstsq::LstsqPolicy;
 use sdc_faults::{FaultInjector, NoFaults};
@@ -171,6 +172,138 @@ pub fn ftgmres_solve_instrumented<A: LinearOperator + ?Sized>(
 ) -> (Vec<f64>, SolveReport) {
     let mut precond = InnerGmresPrecond::new(a, cfg, injector);
     fgmres_solve(a, b, x0, &cfg.outer, &mut precond)
+}
+
+/// The unreliable inner solve with a *right-preconditioned* operator:
+/// the inner GMRES runs on `B = A·M⁻¹` (both the operator applies and
+/// the orthogonalization passing through the fault injector — `M` is the
+/// sequel paper's opaque preconditioner, corruptible via
+/// [`FaultedPrecond`]), and the returned direction is `z = M⁻¹u`, mapped
+/// through the *clean* application (stored-factor corruption, being
+/// persistent, still applies). The outer FGMRES remains reliable and
+/// unpreconditioned — the residual identity `b − A x = b − B u` keeps
+/// its convergence checks and detector bounds valid; see
+/// [`crate::precond`].
+pub struct PrecondInnerGmres<'a, A: LinearOperator + ?Sized> {
+    a: &'a A,
+    cfg: GmresConfig,
+    precond: FaultedPrecond<'a>,
+    injector: &'a dyn FaultInjector,
+    validation: InnerValidation,
+}
+
+impl<'a, A: LinearOperator + ?Sized> PrecondInnerGmres<'a, A> {
+    /// Builds the preconditioned inner solve from an FT-GMRES config.
+    pub fn new(
+        a: &'a A,
+        ft: &FtGmresConfig,
+        precond: &'a BuiltPrecond,
+        injector: &'a dyn FaultInjector,
+    ) -> Self {
+        let cfg = GmresConfig {
+            tol: 0.0,
+            max_iters: ft.inner_iters,
+            restart: None,
+            ortho: ft.inner_ortho,
+            lsq_policy: ft.inner_lsq_policy,
+            detector: ft.inner_detector,
+            breakdown_rel: 1e-13,
+            max_detector_restarts: 4,
+        };
+        Self {
+            a,
+            cfg,
+            precond: FaultedPrecond::new(precond, injector),
+            injector,
+            validation: ft.validation,
+        }
+    }
+}
+
+impl<'a, A: LinearOperator + ?Sized> FlexiblePreconditioner for PrecondInnerGmres<'a, A> {
+    fn apply_flexible(
+        &mut self,
+        outer_iteration: usize,
+        q: &[f64],
+        z: &mut [f64],
+    ) -> PrecondReport {
+        let mut preport = PrecondReport::default();
+        let n = self.a.nrows();
+        let ctx = SiteContext { outer_iteration, inner_solve: outer_iteration };
+        let injections_before = self.injector.records().len();
+
+        // Apply-ordinal counter for transient preconditioner faults.
+        // Atomic only because `FnOperator` requires `Fn + Sync`; the
+        // inner GMRES applies the operator strictly sequentially, so the
+        // ordinal sequence is deterministic.
+        let applies = std::sync::atomic::AtomicUsize::new(0);
+        let a = self.a;
+        let precond = &self.precond;
+        let op = crate::operator::FnOperator::square(n, |u: &[f64], y: &mut [f64]| {
+            let ordinal = applies.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            let mut m_u = vec![0.0; n];
+            precond.solve_faulted(u, &mut m_u, outer_iteration, ordinal);
+            a.apply(&m_u, y);
+        });
+
+        let guest = catch_unwind(AssertUnwindSafe(|| {
+            gmres_solve_instrumented(&op, q, None, &self.cfg, self.injector, ctx)
+        }));
+
+        match guest {
+            Ok((u, inner_rep)) => {
+                preport.inner_iterations = inner_rep.iterations;
+                preport.detector_events = inner_rep.detector_events;
+                preport.detector_restarts = inner_rep.detector_restarts;
+                preport.injections =
+                    self.injector.records().into_iter().skip(injections_before).collect();
+                if let SolveOutcome::Halted(v) = inner_rep.outcome {
+                    preport.halted = Some(v);
+                    z.copy_from_slice(q);
+                    return preport;
+                }
+                // Reliable host phase: map u back through the clean
+                // application, then validate the direction before use.
+                self.precond.solve_clean(&u, z);
+                let ok = match self.validation {
+                    InnerValidation::None => true,
+                    InnerValidation::RejectNonFinite => sdc_dense::all_finite(z),
+                };
+                if !ok {
+                    preport.rejected = true;
+                    z.copy_from_slice(q);
+                }
+            }
+            Err(_) => {
+                preport.rejected = true;
+                z.copy_from_slice(q);
+            }
+        }
+        preport
+    }
+
+    fn name(&self) -> &'static str {
+        "inner-gmres (unreliable, right-preconditioned)"
+    }
+}
+
+/// FT-GMRES with a right-preconditioned inner solve and the
+/// opaque-preconditioner fault surface armed. With
+/// [`PrecondKind::None`](crate::precond::PrecondKind::None) this *is*
+/// [`ftgmres_solve_instrumented`], bit for bit.
+pub fn ftgmres_solve_precond<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    cfg: &FtGmresConfig,
+    precond: &BuiltPrecond,
+    injector: &dyn FaultInjector,
+) -> (Vec<f64>, SolveReport) {
+    if precond.is_none() {
+        return ftgmres_solve_instrumented(a, b, x0, cfg, injector);
+    }
+    let mut p = PrecondInnerGmres::new(a, cfg, precond, injector);
+    fgmres_solve(a, b, x0, &cfg.outer, &mut p)
 }
 
 /// The fully sandboxed inner solve: each guest runs on its own thread
@@ -544,6 +677,131 @@ mod tests {
         let inj = point.injector();
         let (_, rep) = ftgmres_solve_instrumented(&a, &b, None, &cfg, &inj);
         assert!(matches!(rep.outcome, SolveOutcome::Halted(_)), "{:?}", rep.outcome);
+    }
+
+    #[test]
+    fn precond_none_is_plain_ftgmres_bit_for_bit() {
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = poisson_cfg();
+        let (x1, r1) = ftgmres_solve(&a, &b, None, &cfg);
+        let (x2, r2) =
+            ftgmres_solve_precond(&a, &b, None, &cfg, &BuiltPrecond::None, &sdc_faults::NoFaults);
+        assert_eq!(r1.iterations, r2.iterations);
+        for i in 0..x1.len() {
+            assert_eq!(x1[i].to_bits(), x2[i].to_bits(), "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn preconditioned_inner_solves_cut_outer_iterations() {
+        use crate::precond::PrecondKind;
+        let a = gallery::poisson2d(16);
+        let b = b_for(&a);
+        let cfg = FtGmresConfig {
+            outer: FgmresConfig { tol: 1e-8, max_outer: 60, ..Default::default() },
+            inner_iters: 5,
+            ..Default::default()
+        };
+        let (_, plain) = ftgmres_solve(&a, &b, None, &cfg);
+        for kind in [PrecondKind::Jacobi, PrecondKind::Ilu0, PrecondKind::Chebyshev] {
+            let p = kind.build(&a).unwrap();
+            let (x, rep) = ftgmres_solve_precond(&a, &b, None, &cfg, &p, &sdc_faults::NoFaults);
+            assert!(rep.outcome.is_converged(), "{kind}: {:?}", rep.outcome);
+            check_solution(&a, &b, &x, 1e-7);
+            assert!(
+                rep.iterations <= plain.iterations,
+                "{kind}: {} vs plain {}",
+                rep.iterations,
+                plain.iterations
+            );
+            if kind == PrecondKind::Chebyshev {
+                assert!(
+                    rep.iterations * 2 <= plain.iterations,
+                    "{kind} must at least halve outer iterations: {} vs {}",
+                    rep.iterations,
+                    plain.iterations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn opaque_precond_transient_fault_is_survived() {
+        use crate::precond::PrecondKind;
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let cfg = poisson_cfg();
+        for kind in [PrecondKind::Jacobi, PrecondKind::Chebyshev] {
+            let p = kind.build(&a).unwrap();
+            // Aggregate 3 = inner solve 1, apply 3: guaranteed reached
+            // even when the preconditioned solve converges in one outer
+            // iteration.
+            let point = CampaignPoint {
+                aggregate_iteration: 3,
+                inner_per_outer: cfg.inner_iters,
+                class: FaultClass::Huge,
+                position: MgsPosition::First,
+            };
+            let inj = point.injector_precond_apply(a.nrows());
+            let (x, rep) = ftgmres_solve_precond(&a, &b, None, &cfg, &p, &inj);
+            assert!(rep.outcome.is_converged(), "{kind}: {:?}", rep.outcome);
+            assert_eq!(rep.injections.len(), 1, "{kind}: exactly one SDC");
+            check_solution(&a, &b, &x, 1e-7);
+        }
+    }
+
+    #[test]
+    fn opaque_precond_stored_factor_fault_is_survived_and_detected() {
+        use crate::precond::PrecondKind;
+        let a = gallery::poisson2d(10);
+        let b = b_for(&a);
+        let p = PrecondKind::Ilu0.build(&a).unwrap();
+        let mut cfg = poisson_cfg();
+        let point = CampaignPoint {
+            aggregate_iteration: 12,
+            inner_per_outer: cfg.inner_iters,
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+        };
+        let nnz = match &p {
+            BuiltPrecond::Ilu0(f) => f.factor_data().nnz(),
+            _ => unreachable!(),
+        };
+        // Undetected: the corrupted factors poison inner directions, but
+        // the reliable outer layer still converges to the true solution.
+        let inj = point.injector_precond_factor(nnz);
+        let (x, rep) = ftgmres_solve_precond(&a, &b, None, &cfg, &p, &inj);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        assert_eq!(rep.injections.len(), 1);
+        check_solution(&a, &b, &x, 1e-7);
+
+        // Detected: the huge factor inflates an inner Hessenberg entry
+        // beyond the preconditioned bound.
+        cfg.inner_detector =
+            Some(SdcDetector::with_preconditioned_bound(&a, &p, DetectorResponse::Record));
+        let inj = point.injector_precond_factor(nnz);
+        let (x, rep) = ftgmres_solve_precond(&a, &b, None, &cfg, &p, &inj);
+        assert!(rep.outcome.is_converged(), "{:?}", rep.outcome);
+        assert!(rep.detected_anything(), "huge stored-factor fault must trip the bound");
+        check_solution(&a, &b, &x, 1e-7);
+    }
+
+    #[test]
+    fn preconditioned_detector_never_fires_fault_free() {
+        use crate::precond::PrecondKind;
+        let a = gallery::poisson2d(12);
+        let b = b_for(&a);
+        for kind in [PrecondKind::Jacobi, PrecondKind::Ilu0, PrecondKind::Chebyshev] {
+            let p = kind.build(&a).unwrap();
+            let mut cfg = poisson_cfg();
+            cfg.inner_detector =
+                Some(SdcDetector::with_preconditioned_bound(&a, &p, DetectorResponse::Halt));
+            let (x, rep) = ftgmres_solve_precond(&a, &b, None, &cfg, &p, &sdc_faults::NoFaults);
+            assert!(rep.outcome.is_converged(), "{kind}: false positive: {:?}", rep.outcome);
+            assert!(rep.detector_events.is_empty(), "{kind}");
+            check_solution(&a, &b, &x, 1e-7);
+        }
     }
 
     #[test]

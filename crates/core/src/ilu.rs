@@ -9,6 +9,7 @@
 //! as inner-solve preconditioners or directly under FGMRES.
 
 use crate::precond::Preconditioner;
+use sdc_sparse::ilu::{Ilu0Error, Ilu0Factor};
 use sdc_sparse::CsrMatrix;
 
 /// Error from the ILU(0) factorization.
@@ -24,6 +25,15 @@ pub enum IluError {
     },
 }
 
+impl From<Ilu0Error> for IluError {
+    fn from(e: Ilu0Error) -> Self {
+        match e {
+            Ilu0Error::NotSquare => IluError::NotSquare,
+            Ilu0Error::BadPivot { row } => IluError::BadPivot { row },
+        }
+    }
+}
+
 impl std::fmt::Display for IluError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -35,110 +45,45 @@ impl std::fmt::Display for IluError {
 
 impl std::error::Error for IluError {}
 
-/// The ILU(0) factorization `A ≈ L·U` with unit-diagonal `L`, stored on
-/// the pattern of `A` (LU-in-place, IKJ variant).
+/// The ILU(0) preconditioner: a [`Preconditioner`] wrapper around the
+/// sparse substrate's [`Ilu0Factor`] (the factorization math and the
+/// stored-factor fault surface live in `sdc_sparse::ilu`).
 #[derive(Clone, Debug)]
 pub struct Ilu0 {
-    n: usize,
-    row_ptr: Vec<usize>,
-    col_idx: Vec<usize>,
-    /// Combined factors on A's pattern: strictly-lower part holds L
-    /// (unit diagonal implicit), diagonal + upper part holds U.
-    values: Vec<f64>,
-    /// Position of the diagonal entry within each row's slice.
-    diag_pos: Vec<usize>,
+    factor: Ilu0Factor,
 }
 
 impl Ilu0 {
     /// Computes ILU(0) of `a`.
     pub fn factor(a: &CsrMatrix) -> Result<Self, IluError> {
-        if a.nrows() != a.ncols() {
-            return Err(IluError::NotSquare);
-        }
-        let n = a.nrows();
-        let row_ptr = a.row_ptr().to_vec();
-        let col_idx = a.col_idx().to_vec();
-        let mut values = a.values().to_vec();
+        Ok(Self { factor: Ilu0Factor::factor(a)? })
+    }
 
-        // Locate diagonals; a missing structural diagonal is a bad pivot.
-        let mut diag_pos = vec![usize::MAX; n];
-        for i in 0..n {
-            for k in row_ptr[i]..row_ptr[i + 1] {
-                if col_idx[k] == i {
-                    diag_pos[i] = k;
-                    break;
-                }
-            }
-            if diag_pos[i] == usize::MAX {
-                return Err(IluError::BadPivot { row: i });
-            }
-        }
-
-        // IKJ Gaussian elimination restricted to the pattern.
-        // Work array: column -> position in current row (or MAX).
-        let mut pos_of_col = vec![usize::MAX; n];
-        for i in 0..n {
-            let row_span = row_ptr[i]..row_ptr[i + 1];
-            for k in row_span.clone() {
-                pos_of_col[col_idx[k]] = k;
-            }
-            // Eliminate using previous rows k (< i) present in row i.
-            for kk in row_span.clone() {
-                let k = col_idx[kk];
-                if k >= i {
-                    break;
-                }
-                let pivot = values[diag_pos[k]];
-                if pivot == 0.0 || !pivot.is_finite() {
-                    return Err(IluError::BadPivot { row: k });
-                }
-                let lik = values[kk] / pivot;
-                values[kk] = lik;
-                // Subtract lik * U(k, j) for j > k where (i, j) exists.
-                for uj in diag_pos[k] + 1..row_ptr[k + 1] {
-                    let j = col_idx[uj];
-                    let p = pos_of_col[j];
-                    if p != usize::MAX {
-                        values[p] -= lik * values[uj];
-                    }
-                }
-            }
-            let di = values[diag_pos[i]];
-            if di == 0.0 || !di.is_finite() {
-                return Err(IluError::BadPivot { row: i });
-            }
-            for k in row_span {
-                pos_of_col[col_idx[k]] = usize::MAX;
-            }
-        }
-        Ok(Self { n, row_ptr, col_idx, values, diag_pos })
+    /// Wraps an existing factorization (e.g. one with fault-corrupted
+    /// stored factors).
+    pub fn from_factor(factor: Ilu0Factor) -> Self {
+        Self { factor }
     }
 
     /// Applies `z = U⁻¹ L⁻¹ q` (the preconditioner solve).
     pub fn solve(&self, q: &[f64], z: &mut [f64]) {
-        assert_eq!(q.len(), self.n, "ilu0 solve: rhs length");
-        assert_eq!(z.len(), self.n, "ilu0 solve: output length");
-        // Forward: L y = q (unit diagonal).
-        for i in 0..self.n {
-            let mut s = q[i];
-            for k in self.row_ptr[i]..self.diag_pos[i] {
-                s -= self.values[k] * z[self.col_idx[k]];
-            }
-            z[i] = s;
-        }
-        // Backward: U z = y.
-        for i in (0..self.n).rev() {
-            let mut s = z[i];
-            for k in self.diag_pos[i] + 1..self.row_ptr[i + 1] {
-                s -= self.values[k] * z[self.col_idx[k]];
-            }
-            z[i] = s / self.values[self.diag_pos[i]];
-        }
+        self.factor.solve(q, z)
     }
 
     /// Matrix order.
     pub fn order(&self) -> usize {
-        self.n
+        self.factor.order()
+    }
+
+    /// The underlying stored factorization.
+    pub fn factor_data(&self) -> &Ilu0Factor {
+        &self.factor
+    }
+
+    /// Mutable access to the stored factorization — the
+    /// opaque-preconditioner fault surface.
+    pub fn factor_data_mut(&mut self) -> &mut Ilu0Factor {
+        &mut self.factor
     }
 }
 

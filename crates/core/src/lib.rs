@@ -21,7 +21,10 @@
 //! * [`ftgmres`] — FT-GMRES: reliable FGMRES outer iteration around
 //!   sandboxed, unreliable inner GMRES solves (§VI).
 //! * [`cg`] — Conjugate Gradient, the SPD baseline Table I alludes to.
-//! * [`precond`] — identity/Jacobi/scaled-diagonal preconditioners.
+//! * [`precond`] — right/flexible preconditioning: identity, Jacobi,
+//!   ILU(0) and Chebyshev implementations, the `PrecondKind` axis, and
+//!   the opaque-preconditioner fault surface of the sequel paper
+//!   (stored-factor corruption, per-apply transient flips).
 //! * [`telemetry`] — solve reports: outcomes, residual histories,
 //!   detector events, injection records.
 //!
@@ -63,11 +66,18 @@ pub mod prelude {
     pub use crate::cg::{cg_solve, CgConfig};
     pub use crate::detector::{DetectorResponse, SdcDetector, Violation};
     pub use crate::fgmres::{fgmres_solve, FgmresConfig};
-    pub use crate::ftgmres::{ftgmres_solve, FtGmresConfig, InnerValidation};
-    pub use crate::gmres::{gmres_solve, gmres_solve_instrumented, GmresConfig, SiteContext};
+    pub use crate::ftgmres::{
+        ftgmres_solve, ftgmres_solve_precond, FtGmresConfig, InnerValidation,
+    };
+    pub use crate::gmres::{
+        gmres_solve, gmres_solve_instrumented, gmres_solve_right_precond, GmresConfig, SiteContext,
+    };
     pub use crate::operator::{FnOperator, LinearOperator};
     pub use crate::ortho::OrthoStrategy;
-    pub use crate::precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
+    pub use crate::precond::{
+        BuiltPrecond, ChebyshevPrecond, FaultedPrecond, IdentityPrecond, JacobiPrecond,
+        PrecondKind, Preconditioner,
+    };
     pub use crate::telemetry::{SolveOutcome, SolveReport, SolveSummary, SummaryValue};
     pub use sdc_dense::lstsq::LstsqPolicy;
 }

@@ -85,6 +85,47 @@ impl MgsPosition {
     }
 }
 
+/// Which solver surface a single-fault experiment corrupts.
+///
+/// The paper's protocol strikes the Modified Gram-Schmidt loop
+/// ([`FaultTarget::Mgs`]); the sequel's opaque-preconditioner model
+/// strikes the preconditioner instead ([`FaultTarget::Precond`]) —
+/// transiently in its output for stateless applications
+/// (Jacobi/Chebyshev), persistently in its stored factors for ILU(0).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FaultTarget {
+    /// The orthogonalization loop (the paper's Hessenberg-entry faults).
+    #[default]
+    Mgs,
+    /// The preconditioner application (the sequel's opaque operator).
+    Precond,
+}
+
+impl FaultTarget {
+    /// The wire/CLI string for this target.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultTarget::Mgs => "mgs",
+            FaultTarget::Precond => "precond",
+        }
+    }
+
+    /// Parses a wire/CLI string.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "mgs" => Ok(FaultTarget::Mgs),
+            "precond" => Ok(FaultTarget::Precond),
+            other => Err(format!("unknown fault target '{other}' (expected mgs|precond)")),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One experiment of the sweep: a single SDC event at a specific
 /// aggregate inner iteration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -117,6 +158,38 @@ impl CampaignPoint {
             self.inner_iteration(),
             self.position.loop_position(),
         );
+        SingleFaultInjector::new(self.class.model(), Trigger::once(predicate))
+    }
+
+    /// Builds the injector realizing this point against the
+    /// *preconditioner application* of an order-`n_rows` operator
+    /// (transient model, Jacobi/Chebyshev): the fault lands on the
+    /// first or last output element of the `inner_iteration()`-th apply
+    /// of the `inner_solve()`-th inner solve.
+    pub fn injector_precond_apply(&self, n_rows: usize) -> SingleFaultInjector {
+        let position = match self.position {
+            MgsPosition::First => LoopPosition::First,
+            // LoopPosition::Last means "loop index == inner iteration"
+            // (MGS column semantics) — for an output vector the last
+            // element is an explicit index.
+            MgsPosition::Last => LoopPosition::Index(n_rows.max(1)),
+        };
+        let predicate =
+            SitePredicate::precond_apply(self.inner_solve(), self.inner_iteration(), position);
+        SingleFaultInjector::new(self.class.model(), Trigger::once(predicate))
+    }
+
+    /// Builds the injector realizing this point against *stored
+    /// preconditioner factors* (persistent model, ILU(0)): the fault
+    /// lands on factor slot `aggregate_iteration` (1-based, wrapped into
+    /// `1..=nnz` by the caller if needed) and persists for the solve.
+    pub fn injector_precond_factor(&self, factor_nnz: usize) -> SingleFaultInjector {
+        let slot = if factor_nnz == 0 {
+            self.aggregate_iteration
+        } else {
+            (self.aggregate_iteration - 1) % factor_nnz + 1
+        };
+        let predicate = SitePredicate::precond_factor(slot);
         SingleFaultInjector::new(self.class.model(), Trigger::once(predicate))
     }
 }
@@ -197,6 +270,58 @@ mod tests {
         assert_eq!(inj.corrupt(miss, 1.0), 1.0);
         assert_eq!(inj.corrupt(target, 1.0), 1e150);
         assert_eq!(inj.corrupt(target, 1.0), 1.0, "single shot");
+    }
+
+    #[test]
+    fn fault_target_strings_round_trip() {
+        assert_eq!(FaultTarget::parse("mgs").unwrap(), FaultTarget::Mgs);
+        assert_eq!(FaultTarget::parse("precond").unwrap(), FaultTarget::Precond);
+        assert_eq!(FaultTarget::default(), FaultTarget::Mgs);
+        assert_eq!(format!("{}", FaultTarget::Precond), "precond");
+        let err = FaultTarget::parse("spmv").unwrap_err();
+        assert!(err.contains("unknown fault target 'spmv'"), "{err}");
+    }
+
+    #[test]
+    fn precond_apply_injector_fires_on_the_selected_element() {
+        let p = CampaignPoint {
+            aggregate_iteration: 27,
+            inner_per_outer: 25,
+            class: FaultClass::Huge,
+            position: MgsPosition::Last,
+        };
+        let inj = p.injector_precond_apply(100);
+        let target = Site {
+            kernel: Kernel::Precond,
+            outer_iteration: 2,
+            inner_solve: 2,
+            inner_iteration: 2,
+            loop_index: 100,
+        };
+        assert_eq!(inj.corrupt(Site { loop_index: 1, ..target }, 1.0), 1.0);
+        assert_eq!(inj.corrupt(target, 1.0), 1e150);
+        assert_eq!(inj.corrupt(target, 1.0), 1.0, "single shot");
+    }
+
+    #[test]
+    fn precond_factor_injector_wraps_slot_into_nnz() {
+        let p = CampaignPoint {
+            aggregate_iteration: 12,
+            inner_per_outer: 25,
+            class: FaultClass::Huge,
+            position: MgsPosition::First,
+        };
+        let inj = p.injector_precond_factor(5);
+        // slot = (12-1) % 5 + 1 = 2, regardless of iteration coords.
+        let target = Site {
+            kernel: Kernel::Precond,
+            outer_iteration: 0,
+            inner_solve: 0,
+            inner_iteration: 0,
+            loop_index: 2,
+        };
+        assert_eq!(inj.corrupt(Site { loop_index: 1, ..target }, 1.0), 1.0);
+        assert_eq!(inj.corrupt(target, 1.0), 1e150);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod storage;
 pub mod taxonomy;
 pub mod trigger;
 
-pub use campaign::{FaultClass, MgsPosition};
+pub use campaign::{FaultClass, FaultTarget, MgsPosition};
 pub use injector::{FaultInjector, InjectionRecord, NoFaults, SingleFaultInjector};
 pub use model::FaultModel;
 pub use sandbox::{run_sandboxed, SandboxConfig, SandboxError};

@@ -60,6 +60,37 @@ impl SitePredicate {
         }
     }
 
+    /// Predicate for the opaque-preconditioner model's transient faults:
+    /// a preconditioner *application* inside inner solve `solve`, at
+    /// operator apply `apply` of that solve, striking the output element
+    /// selected by `position` (`First` = element 1; use
+    /// `LoopPosition::Index(n)` for the last element of an order-`n`
+    /// operator — `Last` has MGS column semantics and never matches
+    /// apply sites).
+    pub fn precond_apply(solve: usize, apply: usize, position: LoopPosition) -> Self {
+        Self {
+            kernel: Some(Kernel::Precond),
+            outer_iteration: None,
+            inner_solve: Some(solve),
+            inner_iteration: Some(apply),
+            loop_position: position,
+        }
+    }
+
+    /// Predicate for the opaque-preconditioner model's *persistent*
+    /// faults: stored-factor slot `slot` (1-based, mirroring the
+    /// `Kernel::MatrixValue` convention). Iteration coordinates are
+    /// wildcarded — stored-factor sweeps carry zeros there.
+    pub fn precond_factor(slot: usize) -> Self {
+        Self {
+            kernel: Some(Kernel::Precond),
+            outer_iteration: None,
+            inner_solve: None,
+            inner_iteration: None,
+            loop_position: LoopPosition::Index(slot),
+        }
+    }
+
     /// Tests the predicate against a site.
     pub fn matches(&self, site: &Site) -> bool {
         if let Some(k) = self.kernel {
@@ -221,6 +252,37 @@ mod tests {
         assert!(t.should_fire(4, 1));
         assert!(t.should_fire(5, 2));
         assert!(!t.should_fire(6, 3));
+    }
+
+    #[test]
+    fn precond_apply_matches_transient_sites_only() {
+        let p = SitePredicate::precond_apply(2, 3, LoopPosition::First);
+        let hit = Site {
+            kernel: Kernel::Precond,
+            outer_iteration: 2,
+            inner_solve: 2,
+            inner_iteration: 3,
+            loop_index: 1,
+        };
+        assert!(p.matches(&hit));
+        assert!(!p.matches(&Site { loop_index: 2, ..hit }));
+        assert!(!p.matches(&Site { inner_solve: 1, ..hit }));
+        assert!(!p.matches(&Site { kernel: Kernel::OrthoDot, ..hit }));
+    }
+
+    #[test]
+    fn precond_factor_matches_stored_slots_regardless_of_iteration() {
+        let p = SitePredicate::precond_factor(7);
+        let hit = Site {
+            kernel: Kernel::Precond,
+            outer_iteration: 0,
+            inner_solve: 0,
+            inner_iteration: 0,
+            loop_index: 7,
+        };
+        assert!(p.matches(&hit));
+        assert!(p.matches(&Site { outer_iteration: 3, inner_solve: 3, ..hit }));
+        assert!(!p.matches(&Site { loop_index: 8, ..hit }));
     }
 
     #[test]

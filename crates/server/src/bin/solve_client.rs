@@ -110,7 +110,8 @@ fn bench() {
         .opt("connections", "N", "concurrent connections (default 4)")
         .opt("requests", "M", "requests per connection (default 25)")
         .opt("m", "SIZE", "Poisson grid side for the workload matrix (default 24)")
-        .opt("inner", "N", "inner iterations per outer (default 10)");
+        .opt("inner", "N", "inner iterations per outer (default 10)")
+        .with_precond();
     let p = cli.parse_env(2);
     let addr: std::net::SocketAddr = p
         .value("addr")
@@ -121,6 +122,7 @@ fn bench() {
     let requests = p.get::<usize>("requests").unwrap_or_else(|e| fail(e)).unwrap_or(25);
     let m = p.get::<usize>("m").unwrap_or_else(|e| fail(e)).unwrap_or(24);
     let inner = p.get::<usize>("inner").unwrap_or_else(|e| fail(e)).unwrap_or(10);
+    let precond = p.precond().unwrap_or_else(|e| fail(e));
 
     let mut setup = Client::connect(addr).unwrap_or_else(|e| fail(e));
     let load = Json::parse(&format!(
@@ -131,13 +133,18 @@ fn bench() {
     if !resp.field("ok").and_then(|v| v.as_bool()).unwrap_or(false) {
         fail(format_args!("load_matrix failed: {}", resp.to_line()));
     }
+    let precond_field = if precond == sdc_gmres::precond::PrecondKind::None {
+        String::new()
+    } else {
+        format!(",\"precond\":\"{precond}\"")
+    };
     let solve = Json::parse(&format!(
-        "{{\"cmd\":\"solve\",\"matrix\":\"bench\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":{inner}}}"
+        "{{\"cmd\":\"solve\",\"matrix\":\"bench\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":{inner}{precond_field}}}"
     ))
     .expect("static frame");
 
     eprintln!(
-        "bench: {connections} connections x {requests} requests, poisson m={m}, inner={inner}"
+        "bench: {connections} connections x {requests} requests, poisson m={m}, inner={inner}, precond={precond}"
     );
     let report = load_gen(addr, connections, requests, &solve).unwrap_or_else(|e| fail(e));
     println!("{}", report.render());

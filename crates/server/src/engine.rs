@@ -22,7 +22,8 @@ use crate::registry::MatrixRegistry;
 use crate::scheduler::{Scheduler, SolveJob, SubmitError};
 use sdc_campaigns::json::{fmt_f64, Json};
 use sdc_campaigns::{Problem, RunOptions};
-use sdc_faults::campaign::CampaignPoint;
+use sdc_faults::campaign::{CampaignPoint, FaultTarget};
+use sdc_faults::NoFaults;
 use sdc_gmres::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::{mpsc, Arc, Mutex};
@@ -403,11 +404,22 @@ fn execute_solve(
 ) -> Result<(Json, SolveSummary), String> {
     let op = problem.operator(req.format);
     let b: &[f64] = req.b.as_deref().unwrap_or(&problem.b);
+    // Built once per (matrix, kind) and cached on the registered
+    // problem; an unfactorable matrix surfaces as a structured error.
+    let precond = problem.precond(req.precond)?;
     // The Frobenius bound is an O(nnz) scan; build it only for the
     // solvers that wire a detector in (validate() rejects detector +
-    // fgmres, which has no hook).
-    let detector =
-        || req.detector.response().map(|resp| SdcDetector::with_frobenius_bound(&problem.a, resp));
+    // fgmres, which has no hook). A preconditioned iteration projects
+    // `A·M⁻¹`, so its bound carries the `‖M⁻¹‖₂` estimate.
+    let detector = || {
+        req.detector.response().map(|resp| {
+            if precond.is_none() {
+                SdcDetector::with_frobenius_bound(&problem.a, resp)
+            } else {
+                SdcDetector::with_preconditioned_bound(&problem.a, precond, resp)
+            }
+        })
+    };
 
     let (x, rep) = match req.solver {
         SolverKind::Gmres => {
@@ -419,7 +431,7 @@ fn execute_solve(
                 detector: detector(),
                 ..Default::default()
             };
-            gmres_solve(op, b, None, &cfg)
+            gmres_solve_right_precond(op, b, None, &cfg, precond)
         }
         SolverKind::Fgmres => {
             let cfg = FgmresConfig {
@@ -428,8 +440,13 @@ fn execute_solve(
                 lsq_policy: req.lsq.policy(),
                 ..Default::default()
             };
-            let mut precond = sdc_gmres::fgmres::FixedPrecond(IdentityPrecond);
-            sdc_gmres::fgmres::fgmres_solve(op, b, None, &cfg, &mut precond)
+            if precond.is_none() {
+                let mut pm = sdc_gmres::fgmres::FixedPrecond(IdentityPrecond);
+                sdc_gmres::fgmres::fgmres_solve(op, b, None, &cfg, &mut pm)
+            } else {
+                let mut pm = sdc_gmres::fgmres::FixedPrecond(precond);
+                sdc_gmres::fgmres::fgmres_solve(op, b, None, &cfg, &mut pm)
+            }
         }
         SolverKind::FtGmres => {
             let cfg = FtGmresConfig {
@@ -440,7 +457,9 @@ fn execute_solve(
                 ..Default::default()
             };
             match &req.fault {
-                None => sdc_gmres::ftgmres::ftgmres_solve(op, b, None, &cfg),
+                None => {
+                    sdc_gmres::ftgmres::ftgmres_solve_precond(op, b, None, &cfg, precond, &NoFaults)
+                }
                 Some(f) => {
                     let point = CampaignPoint {
                         aggregate_iteration: f.aggregate,
@@ -448,8 +467,19 @@ fn execute_solve(
                         class: f.class,
                         position: f.position,
                     };
-                    let inj = point.injector();
-                    sdc_gmres::ftgmres::ftgmres_solve_instrumented(op, b, None, &cfg, &inj)
+                    let inj = match f.target {
+                        FaultTarget::Mgs => point.injector(),
+                        // Opaque-preconditioner surface: corrupt a stored
+                        // ILU factor slot, or flip one element of a
+                        // transient Jacobi/Chebyshev application.
+                        FaultTarget::Precond => match precond {
+                            BuiltPrecond::Ilu0(ilu) => {
+                                point.injector_precond_factor(ilu.factor_data().nnz())
+                            }
+                            _ => point.injector_precond_apply(problem.a.nrows()),
+                        },
+                    };
+                    sdc_gmres::ftgmres::ftgmres_solve_precond(op, b, None, &cfg, precond, &inj)
                 }
             }
         }
@@ -578,6 +608,77 @@ mod tests {
         assert!(s.field("detector_events").unwrap().as_usize().unwrap() >= 1);
         assert!(s.field("converged").unwrap().as_bool().unwrap());
         assert_eq!(e.metrics.injections_committed.load(Relaxed), 1);
+        e.drain();
+    }
+
+    #[test]
+    fn preconditioned_solves_converge_for_every_kind_and_solver() {
+        let e = engine();
+        drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+        );
+        for solver in ["gmres", "fgmres", "ftgmres"] {
+            for precond in ["jacobi", "ilu0", "chebyshev"] {
+                let (_, r) = drive(
+                    &e,
+                    &format!(
+                        "{{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"{solver}\",\"precond\":\"{precond}\",\"tol\":1e-8,\"maxit\":200,\"inner_iters\":10}}"
+                    ),
+                );
+                assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+                let res = r.field("result").unwrap();
+                assert!(
+                    res.field("summary").unwrap().field("converged").unwrap().as_bool().unwrap(),
+                    "{solver}+{precond}: {}",
+                    r.to_line()
+                );
+                assert!(
+                    res.field("true_rel_residual").unwrap().as_f64().unwrap() < 1e-6,
+                    "{solver}+{precond}"
+                );
+            }
+        }
+        e.drain();
+    }
+
+    #[test]
+    fn opaque_precond_fault_is_injected_and_survived() {
+        let e = engine();
+        drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+        );
+        // Transient per-apply flip (chebyshev, apply 3 of solve 1 — always
+        // reached) and stored-factor corruption (ilu0, aggregate selects
+        // the corrupted slot and is committed on the first apply).
+        for (precond, aggregate) in [("chebyshev", 3), ("ilu0", 12)] {
+            let (_, r) = drive(
+                &e,
+                &format!(
+                    "{{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"precond\":\"{precond}\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10,\"detector\":\"record\",\"fault\":{{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":{aggregate},\"target\":\"precond\"}}}}"
+                ),
+            );
+            assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+            let s = r.field("result").unwrap().field("summary").unwrap();
+            assert_eq!(
+                s.field("injections").unwrap().as_usize().unwrap(),
+                1,
+                "{precond}: {}",
+                r.to_line()
+            );
+            assert!(s.field("converged").unwrap().as_bool().unwrap(), "{precond}");
+        }
+        // target=precond without a preconditioner is a structured error.
+        let (_, r) = drive(
+            &e,
+            "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":1,\"target\":\"precond\"}}",
+        );
+        assert!(!r.field("ok").unwrap().as_bool().unwrap());
+        assert_eq!(
+            r.field("error").unwrap().field("code").unwrap().as_str().unwrap(),
+            "bad_request"
+        );
         e.drain();
     }
 

@@ -19,7 +19,8 @@
 use sdc_campaigns::json::{Json, JsonError};
 use sdc_campaigns::spec::{class_parse, class_str, position_parse, position_str};
 use sdc_campaigns::{CampaignSpec, DetectorPolicy, LsqSpec, ProblemSpec};
-use sdc_faults::campaign::{FaultClass, MgsPosition};
+use sdc_faults::campaign::{FaultClass, FaultTarget, MgsPosition};
+use sdc_gmres::precond::PrecondKind;
 use sdc_sparse::SparseFormat;
 use std::path::PathBuf;
 
@@ -88,29 +89,45 @@ impl SolverKind {
 pub struct FaultSpec {
     /// Fault magnitude class.
     pub class: FaultClass,
-    /// MGS loop position.
+    /// MGS loop position (for `target=precond` it selects the first/last
+    /// element of the preconditioner apply instead).
     pub position: MgsPosition,
     /// 1-based aggregate inner iteration to fault.
     pub aggregate: usize,
+    /// Which kernel the fault strikes: the orthogonalization loop
+    /// (`mgs`, the paper's surface, default) or the opaque
+    /// preconditioner application (`precond`, the sequel's surface).
+    /// Elided from the wire when it is the default.
+    pub target: FaultTarget,
 }
 
 impl FaultSpec {
     /// Serializes to the wire form.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("class", Json::str(class_str(self.class))),
             ("position", Json::str(position_str(self.position))),
             ("aggregate", Json::Num(self.aggregate as f64)),
-        ])
+        ];
+        if self.target != FaultTarget::Mgs {
+            fields.push(("target", Json::str(self.target.as_str())));
+        }
+        Json::obj(fields)
     }
 
     /// Parses the wire form.
     pub fn from_json(v: &Json) -> Result<Self, JsonError> {
-        check_keys(v, &["class", "position", "aggregate"])?;
+        check_keys(v, &["class", "position", "aggregate", "target"])?;
         let spec = FaultSpec {
             class: class_parse(v.field("class")?.as_str()?)?,
             position: position_parse(v.field("position")?.as_str()?)?,
             aggregate: v.field("aggregate")?.as_usize()?,
+            target: match v.get("target") {
+                Some(t) => {
+                    FaultTarget::parse(t.as_str()?).map_err(|msg| JsonError { offset: 0, msg })?
+                }
+                None => FaultTarget::Mgs,
+            },
         };
         if spec.aggregate == 0 {
             return err("fault.aggregate is 1-based and must be >= 1");
@@ -167,6 +184,10 @@ pub struct SolveRequest {
     pub inner_iters: usize,
     /// Sparse storage engine (bitwise-invisible to results).
     pub format: SparseFormat,
+    /// Right preconditioner (`none`, `jacobi`, `ilu0`, `chebyshev`).
+    /// Applied as right preconditioning in `gmres`, flexibly in
+    /// `fgmres`, and inside the sandboxed inner solves in `ftgmres`.
+    pub precond: PrecondKind,
     /// Detector policy (the campaign vocabulary; `none` = off).
     pub detector: DetectorPolicy,
     /// Projected least-squares policy.
@@ -192,6 +213,7 @@ impl Default for SolveRequest {
             restart: None,
             inner_iters: 25,
             format: SparseFormat::Auto,
+            precond: PrecondKind::None,
             detector: DetectorPolicy::Off,
             lsq: LsqSpec::Standard,
             fault: None,
@@ -290,6 +312,9 @@ impl Request {
                 if r.format != SparseFormat::Auto {
                     fields.push(("format", Json::str(r.format.as_str())));
                 }
+                if r.precond != PrecondKind::None {
+                    fields.push(("precond", Json::str(r.precond.as_str())));
+                }
                 if r.detector != DetectorPolicy::Off {
                     fields.push(("detector", Json::str(r.detector.as_str())));
                 }
@@ -372,6 +397,7 @@ impl Request {
                         "restart",
                         "inner_iters",
                         "format",
+                        "precond",
                         "detector",
                         "lsq",
                         "fault",
@@ -415,6 +441,11 @@ impl Request {
                         Some(f) => SparseFormat::parse(f.as_str()?)
                             .map_err(|msg| JsonError { offset: 0, msg })?,
                         None => d.format,
+                    },
+                    precond: match v.get("precond") {
+                        Some(p) => PrecondKind::parse(p.as_str()?)
+                            .map_err(|msg| JsonError { offset: 0, msg })?,
+                        None => d.precond,
                     },
                     detector: match v.get("detector") {
                         Some(s) => DetectorPolicy::parse(s.as_str()?)?,
@@ -494,6 +525,13 @@ impl SolveRequest {
             return Err(
                 "fault injection requires solver=ftgmres (the sandboxed inner solve)".into()
             );
+        }
+        if let Some(f) = &self.fault {
+            if f.target == FaultTarget::Precond && self.precond == PrecondKind::None {
+                return Err("fault.target=precond requires a preconditioner \
+                     (precond=jacobi, ilu0 or chebyshev)"
+                    .into());
+            }
         }
         if self.detector != DetectorPolicy::Off && self.solver == SolverKind::Fgmres {
             return Err("fgmres has no detector hook (its outer loop is the reliable layer); \
@@ -607,8 +645,50 @@ mod tests {
         assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
         // Defaults are elided from the wire form.
         assert!(!line.contains("format"), "{line}");
+        assert!(!line.contains("precond"), "{line}");
         assert!(!line.contains("detector"), "{line}");
         assert!(!line.contains("return_x"), "{line}");
+    }
+
+    #[test]
+    fn precond_and_fault_target_parse_strictly() {
+        // precond round-trips and unknown values are structured errors.
+        let req = Request::Solve(SolveRequest {
+            matrix: "p".into(),
+            precond: PrecondKind::Ilu0,
+            ..SolveRequest::default()
+        });
+        let line = req.to_json().to_line();
+        assert!(line.contains("\"precond\":\"ilu0\""), "{line}");
+        assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
+        let e = Request::from_json(
+            &Json::parse("{\"cmd\":\"solve\",\"matrix\":\"p\",\"precond\":\"amg\"}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown preconditioner 'amg'"), "{e}");
+
+        // fault.target defaults to mgs, round-trips, and rejects unknowns.
+        let f = FaultSpec {
+            class: FaultClass::Huge,
+            position: MgsPosition::Last,
+            aggregate: 3,
+            target: FaultTarget::Mgs,
+        };
+        let line = f.to_json().to_line();
+        assert!(!line.contains("target"), "{line}");
+        assert_eq!(FaultSpec::from_json(&Json::parse(&line).unwrap()).unwrap(), f);
+        let f = FaultSpec { target: FaultTarget::Precond, ..f };
+        let line = f.to_json().to_line();
+        assert!(line.contains("\"target\":\"precond\""), "{line}");
+        assert_eq!(FaultSpec::from_json(&Json::parse(&line).unwrap()).unwrap(), f);
+        let e = FaultSpec::from_json(
+            &Json::parse(
+                "{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":1,\"target\":\"spmv\"}",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown fault target 'spmv'"), "{e}");
     }
 
     #[test]
@@ -622,12 +702,14 @@ mod tests {
             restart: None,
             inner_iters: 25,
             format: SparseFormat::Sell,
+            precond: PrecondKind::Chebyshev,
             detector: DetectorPolicy::RestartInner,
             lsq: LsqSpec::RankRevealing { tol: 1e-12 },
             fault: Some(FaultSpec {
                 class: FaultClass::Huge,
                 position: MgsPosition::First,
                 aggregate: 26,
+                target: FaultTarget::Precond,
             }),
             seed: u64::MAX,
             return_x: true,
@@ -714,9 +796,30 @@ mod tests {
                 class: FaultClass::Huge,
                 position: MgsPosition::First,
                 aggregate: 1,
+                target: FaultTarget::Mgs,
             });
         })
         .is_err());
+        // A precond-target fault needs a preconditioner to strike.
+        assert!(ok(&|r| {
+            r.fault = Some(FaultSpec {
+                class: FaultClass::Huge,
+                position: MgsPosition::First,
+                aggregate: 1,
+                target: FaultTarget::Precond,
+            });
+        })
+        .is_err());
+        assert!(ok(&|r| {
+            r.precond = PrecondKind::Ilu0;
+            r.fault = Some(FaultSpec {
+                class: FaultClass::Huge,
+                position: MgsPosition::First,
+                aggregate: 1,
+                target: FaultTarget::Precond,
+            });
+        })
+        .is_ok());
         assert!(ok(&|r| r.b = Some(vec![1.0, f64::NAN])).is_err());
         assert!(ok(&|r| r.restart = Some(10)).is_err(), "restart needs solver=gmres");
         assert!(ok(&|r| {

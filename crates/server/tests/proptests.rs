@@ -6,7 +6,8 @@
 use proptest::prelude::*;
 use sdc_campaigns::json::Json;
 use sdc_campaigns::{DetectorPolicy, LsqSpec, ProblemSpec};
-use sdc_faults::campaign::{FaultClass, MgsPosition};
+use sdc_faults::campaign::{FaultClass, FaultTarget, MgsPosition};
+use sdc_gmres::precond::PrecondKind;
 use sdc_server::protocol::{FaultSpec, LoadMatrixRequest, MatrixSource, Request, SolveRequest};
 use sdc_server::SolverKind;
 use sdc_sparse::SparseFormat;
@@ -57,13 +58,28 @@ fn format_strategy() -> impl Strategy<Value = SparseFormat> {
     prop_oneof![Just(SparseFormat::Auto), Just(SparseFormat::Csr), Just(SparseFormat::Sell)]
 }
 
+fn precond_strategy() -> impl Strategy<Value = PrecondKind> {
+    prop_oneof![
+        Just(PrecondKind::None),
+        Just(PrecondKind::Jacobi),
+        Just(PrecondKind::Ilu0),
+        Just(PrecondKind::Chebyshev),
+    ]
+}
+
 fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
     (
         prop_oneof![Just(FaultClass::Huge), Just(FaultClass::Slight), Just(FaultClass::Tiny)],
         prop_oneof![Just(MgsPosition::First), Just(MgsPosition::Last)],
         1usize..10_000,
+        prop_oneof![Just(FaultTarget::Mgs), Just(FaultTarget::Precond)],
     )
-        .prop_map(|(class, position, aggregate)| FaultSpec { class, position, aggregate })
+        .prop_map(|(class, position, aggregate, target)| FaultSpec {
+            class,
+            position,
+            aggregate,
+            target,
+        })
 }
 
 /// A random *valid* solve request (fault only with ftgmres, restart
@@ -80,7 +96,7 @@ fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
         ),
         (
             1usize..40,
-            format_strategy(),
+            (format_strategy(), precond_strategy()),
             detector_strategy(),
             lsq_strategy(),
             opt(fault_strategy()),
@@ -90,8 +106,16 @@ fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
         .prop_map(
             |(
                 (matrix, solver, b, tol, maxit, restart),
-                (inner_iters, format, detector, lsq, fault, (seed, return_x)),
+                (inner_iters, (format, precond), detector, lsq, fault, (seed, return_x)),
             )| {
+                // A precond-target fault needs a preconditioner to
+                // strike; validate() rejects the combination.
+                let fault = fault.map(|mut f| {
+                    if precond == PrecondKind::None {
+                        f.target = FaultTarget::Mgs;
+                    }
+                    f
+                });
                 SolveRequest {
                     matrix,
                     solver,
@@ -101,6 +125,7 @@ fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
                     restart: if solver == SolverKind::Gmres { restart } else { None },
                     inner_iters,
                     format,
+                    precond,
                     // fgmres has no detector hook; validate() rejects it.
                     detector: if solver == SolverKind::Fgmres {
                         DetectorPolicy::Off
@@ -156,6 +181,26 @@ proptest! {
         // identity — the property the served-vs-offline diff rests on.
         let line = Request::Solve(req).to_json().to_line();
         prop_assert_eq!(Json::parse(&line).unwrap().to_line(), line);
+    }
+
+    #[test]
+    fn unknown_precond_values_are_structured_errors(
+        idx in 0usize..6
+    ) {
+        let raw = ["amg", "ssor", "lu", "spai", "cheby", "jacobian"][idx];
+        prop_assert!(PrecondKind::parse(raw).is_err());
+        // In a solve request.
+        let line = format!("{{\"cmd\":\"solve\",\"matrix\":\"p\",\"precond\":\"{raw}\"}}");
+        let e = Request::from_json(&Json::parse(&line).unwrap()).unwrap_err();
+        prop_assert!(e.msg.contains("unknown preconditioner"), "{}", e.msg);
+        // In a fault target.
+        let line = format!(
+            "{{\"cmd\":\"solve\",\"matrix\":\"p\",\"fault\":{{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":1,\"target\":\"{raw}\"}}}}"
+        );
+        if FaultTarget::parse(raw).is_err() {
+            let e = Request::from_json(&Json::parse(&line).unwrap()).unwrap_err();
+            prop_assert!(e.msg.contains("unknown fault target"), "{}", e.msg);
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod csc;
 pub mod csr;
 pub mod format;
 pub mod gallery;
+pub mod ilu;
 pub mod io;
 pub mod norm_est;
 pub mod ops;
@@ -52,6 +53,7 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use format::{auto_format, FormatMatrix, SparseFormat};
+pub use ilu::{Ilu0Error, Ilu0Factor};
 pub use sell::SellMatrix;
 
 /// Below this many nonzeros the parallel kernels (`par_spmv` in either
