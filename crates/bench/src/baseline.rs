@@ -122,7 +122,16 @@ pub fn compare(
         match fresh.get(id) {
             None => report.missing.push(id.clone()),
             Some(stats) => {
-                let ratio = if base_us > 0.0 { stats.median_us / base_us } else { f64::INFINITY };
+                // A zero baseline is an exact-count gate (e.g. "detector
+                // false positives = 0"): equal is a pass, anything above
+                // is an unconditional fail.
+                let ratio = if base_us > 0.0 {
+                    stats.median_us / base_us
+                } else if stats.median_us == 0.0 {
+                    1.0
+                } else {
+                    f64::INFINITY
+                };
                 if ratio > tol {
                     report.regressions.push(id.clone());
                 }
@@ -228,6 +237,27 @@ mod tests {
         // Faster is always fine.
         let fresh = parse_dump(&dump_line("a/1", 10.0)).unwrap();
         assert!(compare(&baseline, &fresh, 2.5).pass());
+    }
+
+    #[test]
+    fn zero_baseline_is_an_exact_count_gate() {
+        let baseline = parse_baseline(&emit_baseline(
+            &parse_dump(&dump_line("metrics/sdc_detector_events_total", 0.0)).unwrap(),
+            "",
+            "",
+            1,
+        ))
+        .unwrap();
+        // 0 == 0: pass at any tolerance.
+        let fresh = parse_dump(&dump_line("metrics/sdc_detector_events_total", 0.0)).unwrap();
+        let rep = compare(&baseline, &fresh, 2.5);
+        assert!(rep.pass(), "{}", rep.render(2.5));
+        assert_eq!(rep.rows[0].ratio, 1.0);
+        // Any nonzero count against a zero baseline fails unconditionally.
+        let fresh = parse_dump(&dump_line("metrics/sdc_detector_events_total", 1.0)).unwrap();
+        let rep = compare(&baseline, &fresh, 1e9);
+        assert!(!rep.pass());
+        assert_eq!(rep.regressions.len(), 1);
     }
 
     #[test]

@@ -41,6 +41,7 @@ fn run_or_resume(resume: bool) {
     .opt("out", "PATH", "artifact output path (JSONL)")
     .opt("max-units", "N", "stop after N new experiments (checkpoint early)")
     .opt("shard", "N", "units per parallel shard/flush (default 64)")
+    .opt("trace-out", "PATH", "write per-unit deterministic solve traces (JSONL)")
     .switch("quiet", "suppress progress output")
     .with_threads();
     let p = cli.parse_env(2);
@@ -51,6 +52,7 @@ fn run_or_resume(resume: bool) {
     let mut opts = RunOptions {
         quiet: p.has("quiet"),
         max_units: p.get::<usize>("max-units").unwrap_or_else(|e| fail(e)),
+        trace_out: p.path("trace-out"),
         ..Default::default()
     };
     if let Some(shard) = p.get::<usize>("shard").unwrap_or_else(|e| fail(e)) {

@@ -38,5 +38,12 @@ fn main() {
         precond: args.precond,
         ..CampaignSpec::paper_shape("fig3", vec![ProblemSpec::Poisson { m }])
     };
-    run_figure("fig3", &spec, args.csv_dir.as_deref(), args.out.as_deref(), 75);
+    run_figure(
+        "fig3",
+        &spec,
+        args.csv_dir.as_deref(),
+        args.out.as_deref(),
+        args.trace_out.as_deref(),
+        75,
+    );
 }

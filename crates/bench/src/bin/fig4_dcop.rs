@@ -44,5 +44,12 @@ fn main() {
         precond: args.precond,
         ..CampaignSpec::paper_shape("fig4", vec![problem])
     };
-    run_figure("fig4", &spec, args.csv_dir.as_deref(), args.out.as_deref(), 75);
+    run_figure(
+        "fig4",
+        &spec,
+        args.csv_dir.as_deref(),
+        args.out.as_deref(),
+        args.trace_out.as_deref(),
+        75,
+    );
 }

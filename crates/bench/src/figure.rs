@@ -36,6 +36,7 @@ pub fn run_figure(
     spec: &CampaignSpec,
     csv_dir: Option<&Path>,
     artifact_out: Option<&Path>,
+    trace_out: Option<&Path>,
     plot_width: usize,
 ) -> FigureOutput {
     // Without --out the artifact lives in a scratch path; with --out it
@@ -55,13 +56,13 @@ pub fn run_figure(
     if resume {
         eprintln!("[{label}] resuming artifact {}", artifact.display());
     }
-    let summary = sdc_campaigns::run(spec, artifact, resume, &RunOptions::default())
-        .unwrap_or_else(|e| {
-            // A bad spec or a foreign --out file is user error, not a bug:
-            // report it without a panic backtrace.
-            eprintln!("campaign '{label}' failed: {e}");
-            std::process::exit(1);
-        });
+    let opts = RunOptions { trace_out: trace_out.map(Path::to_path_buf), ..RunOptions::default() };
+    let summary = sdc_campaigns::run(spec, artifact, resume, &opts).unwrap_or_else(|e| {
+        // A bad spec or a foreign --out file is user error, not a bug:
+        // report it without a panic backtrace.
+        eprintln!("campaign '{label}' failed: {e}");
+        std::process::exit(1);
+    });
     assert!(summary.is_complete(), "figure campaigns run to completion");
 
     let data = CampaignData::load(artifact).expect("artifact just written must load");

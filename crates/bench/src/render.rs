@@ -163,6 +163,8 @@ pub struct CliArgs {
     pub stride: Option<usize>,
     /// `--out PATH`: keep the JSONL campaign artifact at PATH.
     pub out: Option<std::path::PathBuf>,
+    /// `--trace-out PATH`: write per-unit deterministic solve traces.
+    pub trace_out: Option<std::path::PathBuf>,
     /// `--format {csr,sell,auto}`: sparse storage engine for the
     /// operator (default `auto`; bitwise-invisible to results).
     pub format: sdc_sparse::SparseFormat,
@@ -180,6 +182,7 @@ impl CliArgs {
             .opt("csv", "DIR", "write raw CSV series into DIR")
             .opt("matrix", "PATH", "Matrix Market file instead of the synthetic generator")
             .opt("out", "PATH", "keep the JSONL campaign artifact at PATH")
+            .opt("trace-out", "PATH", "write per-unit deterministic solve traces (JSONL)")
             .with_threads()
             .with_format()
             .with_precond()
@@ -195,6 +198,7 @@ impl CliArgs {
             matrix: p.path("matrix"),
             stride: p.get::<usize>("stride")?,
             out: p.path("out"),
+            trace_out: p.path("trace-out"),
             format: p.format()?,
             precond: p.precond()?,
         })

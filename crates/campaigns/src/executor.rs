@@ -59,11 +59,19 @@ pub struct RunOptions {
     pub max_units: Option<usize>,
     /// Called for every newly appended record (see [`ProgressHook`]).
     pub on_record: Option<ProgressHook>,
+    /// Write each unit's deterministic solve trace (the `sdc_obs` Det
+    /// channel) to this path as JSONL: a `campaign.unit` marker line per
+    /// unit followed by that unit's events. Units are captured with
+    /// per-unit thread-local sinks and appended in canonical unit order,
+    /// so the file is byte-identical at any thread count. The file is
+    /// rewritten from scratch on every invocation; units skipped by a
+    /// resume are not re-traced.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { shard_size: 64, quiet: false, max_units: None, on_record: None }
+        Self { shard_size: 64, quiet: false, max_units: None, on_record: None, trace_out: None }
     }
 }
 
@@ -74,6 +82,7 @@ impl std::fmt::Debug for RunOptions {
             .field("quiet", &self.quiet)
             .field("max_units", &self.max_units)
             .field("on_record", &self.on_record.as_ref().map(|_| "<hook>"))
+            .field("trace_out", &self.trace_out)
             .finish()
     }
 }
@@ -453,6 +462,11 @@ pub fn run(
     };
     let budget = opts.max_units.unwrap_or(usize::MAX);
     let mut ran = 0usize;
+    let traced = opts.trace_out.is_some();
+    let mut trace_file = match &opts.trace_out {
+        Some(p) => Some(std::io::BufWriter::new(std::fs::File::create(p)?)),
+        None => None,
+    };
     for shard in todo.chunks(opts.shard_size.max(1)) {
         if ran >= budget {
             break;
@@ -466,7 +480,7 @@ pub fn run(
                 plan.units.len()
             );
         }
-        let records: Vec<Record> = shard
+        let records: Vec<(Record, Option<String>)> = shard
             .par_iter()
             .map(|u| {
                 let s = plan.scenarios[u.scenario_idx];
@@ -477,28 +491,54 @@ pub fn run(
                     position: s.position,
                 };
                 let p = problems.get(s.problem);
-                let measured = run_experiment(
-                    p,
-                    &ft_configs[u.scenario_idx],
-                    point,
-                    spec.format,
-                    p.precond(spec.precond).expect("validated at plan time"),
-                );
-                Record::Experiment {
+                let solve = || {
+                    run_experiment(
+                        p,
+                        &ft_configs[u.scenario_idx],
+                        point,
+                        spec.format,
+                        p.precond(spec.precond).expect("validated at plan time"),
+                    )
+                };
+                // Per-unit capture on the claiming thread: the solve
+                // orchestration (and thus every Det event) runs here, so
+                // the captured lines are independent of the thread count.
+                let (measured, trace) = if traced {
+                    let sink = std::sync::Arc::new(sdc_obs::trace::TraceSink::new());
+                    let m = sdc_obs::with_local(sink.clone(), solve);
+                    (m, Some(sink.det_bytes()))
+                } else {
+                    (solve(), None)
+                };
+                let rec = Record::Experiment {
                     unit: u.index,
                     scenario: s,
                     seed: unit_seed(spec.seed, u.index as u64),
                     point: measured,
-                }
+                };
+                (rec, trace)
             })
             .collect();
-        for rec in &records {
+        for (rec, trace) in &records {
             artifact::append(&mut out, rec)?;
             if let Some(hook) = &opts.on_record {
                 hook(rec);
             }
+            if let (Some(tf), Some(trace), Record::Experiment { unit, seed, point, .. }) =
+                (trace_file.as_mut(), trace, rec)
+            {
+                writeln!(
+                    tf,
+                    "{{\"aggregate\":{},\"ev\":\"campaign.unit\",\"seed\":{},\"unit\":{}}}",
+                    point.aggregate, seed, unit
+                )?;
+                tf.write_all(trace.as_bytes())?;
+            }
         }
         out.flush()?;
+        if let Some(tf) = trace_file.as_mut() {
+            tf.flush()?;
+        }
         ran += shard.len();
     }
 

@@ -492,6 +492,44 @@ mod tests {
     }
 
     #[test]
+    fn fmt_f64_agrees_with_the_obs_copy() {
+        // `sdc_obs` sits below this crate in the dependency graph and
+        // duplicates fmt_f64 to stay dependency-free; the two must never
+        // drift, or det traces stop being byte-comparable with artifacts.
+        let mut cases = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            25.0,
+            0.5,
+            0.1,
+            1.5e-7,
+            1e150,
+            1e-300,
+            9.0e15,
+            9.1e15,
+            -9.007199254740991e15,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            std::f64::consts::PI,
+        ];
+        let mut z = 0x9e3779b97f4a7c15u64;
+        for _ in 0..512 {
+            z = z.wrapping_mul(0xbf58476d1ce4e5b9).wrapping_add(1);
+            let x = f64::from_bits(z);
+            cases.push(x);
+            cases.push((z >> 12) as f64);
+        }
+        for &x in &cases {
+            assert_eq!(fmt_f64(x), sdc_obs::trace::fmt_f64(x), "bits {:#x}", x.to_bits());
+        }
+    }
+
+    #[test]
     fn value_round_trip() {
         let v = Json::obj(vec![
             ("name", Json::str("fig3")),

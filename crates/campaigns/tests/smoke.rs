@@ -39,6 +39,38 @@ fn committed_spec_parses_and_round_trips() {
 }
 
 #[test]
+fn det_trace_matches_the_committed_golden() {
+    let _guard = sdc_parallel::test_serial_guard();
+    // The deterministic trace of the committed smoke spec is part of the
+    // repo's observable contract: any change to event names, fields, or
+    // ordering shows up as a byte diff against this golden. The CI
+    // trace-smoke job byte-diffs the same pair through the `campaign`
+    // binary.
+    let spec = load_smoke_spec();
+    let art_path = tmp("trace_art");
+    let trace_path = tmp("trace_det");
+    std::fs::remove_file(&art_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+    let opts =
+        RunOptions { quiet: true, trace_out: Some(trace_path.clone()), ..Default::default() };
+    let summary = sdc_campaigns::run(&spec, &art_path, false, &opts).unwrap();
+    assert!(summary.is_complete());
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+
+    let golden_path = repo_file("tests/golden/smoke_trace.jsonl");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &trace).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(trace, golden, "det trace drifted from tests/golden/smoke_trace.jsonl");
+
+    std::fs::remove_file(&art_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
 fn run_interrupt_resume_report_matches_golden() {
     let spec = load_smoke_spec();
     let quiet = RunOptions { quiet: true, ..Default::default() };

@@ -76,6 +76,40 @@ fn preconditioned_artifact_bytes_identical_at_1_and_4_threads() {
 }
 
 #[test]
+fn det_trace_bytes_identical_at_1_2_and_8_threads() {
+    let _guard = sdc_parallel::test_serial_guard();
+    // The deterministic trace channel inherits the artifact's contract:
+    // per-unit capture + append-in-unit-order makes the trace file a
+    // pure function of the spec at any thread count.
+    let spec = smoke_spec();
+    let mut traces: Vec<(usize, Vec<u8>)> = Vec::new();
+    for t in [1usize, 2, 8] {
+        sdc_parallel::set_threads(t);
+        let path = tmp(&format!("trace_art_t{t}"));
+        let trace_path = tmp(&format!("trace_det_t{t}"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&trace_path).ok();
+        let opts =
+            RunOptions { quiet: true, trace_out: Some(trace_path.clone()), ..Default::default() };
+        let summary = run(&spec, &path, false, &opts).unwrap();
+        assert!(summary.is_complete());
+        traces.push((t, std::fs::read(&trace_path).unwrap()));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&trace_path).ok();
+    }
+    sdc_parallel::set_threads(0);
+    let (_, reference) = &traces[0];
+    assert!(!reference.is_empty());
+    let text = String::from_utf8(reference.clone()).unwrap();
+    for ev in ["campaign.unit", "gmres.iter", "fgmres.outer", "fault.inject"] {
+        assert!(text.contains(&format!("\"ev\":\"{ev}\"")), "trace must contain {ev} events");
+    }
+    for (t, bytes) in &traces[1..] {
+        assert_eq!(bytes, reference, "det trace at {t} threads differs from the 1-thread trace");
+    }
+}
+
+#[test]
 fn interrupt_and_resume_at_different_thread_counts_is_byte_identical() {
     let _guard = sdc_parallel::test_serial_guard();
     // Run to completion at 1 thread; run half at 8 threads, kill, and

@@ -33,6 +33,14 @@ use sdc_dense::svd::jacobi_svd;
 use sdc_dense::vector;
 use sdc_faults::{InjectionRecord, NoFaults};
 
+/// One reliable outer (flexible) iteration, after the unreliable inner
+/// phase reported back. Deterministic channel.
+static EV_OUTER: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "fgmres.outer", channel: sdc_obs::Channel::Det };
+/// End of an FGMRES solve, with the reliably verified residual.
+static EV_DONE: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "fgmres.done", channel: sdc_obs::Channel::Det };
+
 /// What one application of a flexible preconditioner reports back.
 #[derive(Clone, Debug, Default)]
 pub struct PrecondReport {
@@ -260,6 +268,18 @@ where
             let res_est = hqr.push_column(&hcol);
             report.residual_history.push(res_est);
             report.residual_norm = res_est;
+            if sdc_obs::enabled() {
+                sdc_obs::Event::new(&EV_OUTER)
+                    .u64("outer", outer_done as u64)
+                    .f64("res_est", res_est)
+                    .f64("h_next", ores.vnorm)
+                    .u64("inner_iterations", preport.inner_iterations as u64)
+                    .u64("inner_detector_events", preport.detector_events.len() as u64)
+                    .u64("inner_detector_restarts", preport.detector_restarts as u64)
+                    .u64("inner_injections", preport.injections.len() as u64)
+                    .bool("rejected", preport.rejected)
+                    .emit();
+            }
 
             #[allow(clippy::neg_cmp_op_on_partial_ord)] // a NaN norm must count as breakdown
             if !(ores.vnorm.abs() > breakdown_tol) {
@@ -320,6 +340,17 @@ where
     if report.true_residual_norm.is_none() {
         residual(a, b, &x, &mut r);
         report.true_residual_norm = Some(vector::nrm2(&r));
+    }
+    if sdc_obs::enabled() {
+        sdc_obs::Event::new(&EV_DONE)
+            .str("outcome", report.outcome.label().to_string())
+            .u64("iterations", report.iterations as u64)
+            .u64("total_inner_iterations", report.total_inner_iterations as u64)
+            .u64("inner_rejections", report.inner_rejections as u64)
+            .u64("detector_restarts", report.detector_restarts as u64)
+            .u64("injections", report.injections.len() as u64)
+            .f64("true_residual", report.true_residual_norm.unwrap_or(f64::NAN))
+            .emit();
     }
     (x, report)
 }

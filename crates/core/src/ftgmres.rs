@@ -454,6 +454,41 @@ mod tests {
     }
 
     #[test]
+    fn det_trace_is_reproducible_and_covers_every_layer() {
+        use crate::precond::PrecondKind;
+        let a = gallery::poisson2d(8);
+        let b = b_for(&a);
+        let cfg = poisson_cfg();
+        let precond = PrecondKind::Jacobi.build(&a).unwrap();
+        let run = || {
+            let sink = std::sync::Arc::new(sdc_obs::trace::TraceSink::new());
+            let inj = SingleFaultInjector::new(
+                FaultModel::CLASS1_HUGE,
+                Trigger::once(SitePredicate::mgs_site(1, 3, LoopPosition::First)),
+            );
+            sdc_obs::with_local(sink.clone(), || {
+                ftgmres_solve_precond(&a, &b, None, &cfg, &precond, &inj);
+            });
+            sink.det_bytes()
+        };
+        let t1 = run();
+        let t2 = run();
+        assert_eq!(t1, t2, "det trace must be a pure function of the spec");
+        for ev in [
+            "gmres.iter",
+            "gmres.done",
+            "fgmres.outer",
+            "fgmres.done",
+            "fault.inject",
+            "precond.apply",
+        ] {
+            assert!(t1.contains(&format!("\"ev\":\"{ev}\"")), "missing {ev} in det trace");
+        }
+        // Exactly one committed injection in the trace.
+        assert_eq!(t1.matches("\"ev\":\"fault.inject\"").count(), 1);
+    }
+
+    #[test]
     fn fault_free_nested_solve_converges() {
         let a = gallery::poisson2d(10);
         let b = b_for(&a);

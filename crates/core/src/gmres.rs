@@ -24,6 +24,20 @@ use sdc_dense::lstsq::{solve_projected, LstsqPolicy};
 use sdc_dense::vector;
 use sdc_faults::{FaultInjector, NoFaults};
 
+/// One Arnoldi step. Deterministic channel: every field is a pure
+/// function of the operator, rhs and fault spec. Emitted from the
+/// orchestrating thread (never from pool workers), so a thread-local
+/// trace sink sees the full iteration history in program order.
+static EV_ITER: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "gmres.iter", channel: sdc_obs::Channel::Det };
+/// A Hessenberg-bound violation flagged by the §V detector, plus the
+/// response the solver took.
+static EV_DETECT: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "gmres.detect", channel: sdc_obs::Channel::Det };
+/// End of one (possibly restarted) GMRES solve.
+static EV_DONE: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "gmres.done", channel: sdc_obs::Channel::Det };
+
 /// Nesting coordinates stamped on injection sites (zeros when GMRES runs
 /// standalone).
 #[derive(Clone, Copy, Debug, Default)]
@@ -236,7 +250,21 @@ pub fn gmres_solve_instrumented<A: LinearOperator + ?Sized>(
             );
             report.detector_events.extend(ores.violations.iter().copied());
             if !ores.violations.is_empty() {
-                match cfg.detector.expect("violations imply a detector").response {
+                let response = cfg.detector.expect("violations imply a detector").response;
+                if sdc_obs::enabled() {
+                    for v in &ores.violations {
+                        sdc_obs::Event::new(&EV_DETECT)
+                            .u64("outer", ctx.outer_iteration as u64)
+                            .u64("inner_solve", ctx.inner_solve as u64)
+                            .u64("j", j as u64)
+                            .u64("loop_index", v.site.loop_index as u64)
+                            .f64("value", v.value)
+                            .f64("bound", v.bound)
+                            .str("response", format!("{response:?}"))
+                            .emit();
+                    }
+                }
+                match response {
                     DetectorResponse::Record => {}
                     DetectorResponse::RestartInner => {
                         if restarts_left == 0 {
@@ -269,6 +297,16 @@ pub fn gmres_solve_instrumented<A: LinearOperator + ?Sized>(
             let res_est = hqr.push_column(&hcol);
             report.residual_history.push(res_est);
             report.residual_norm = res_est;
+            if sdc_obs::enabled() {
+                sdc_obs::Event::new(&EV_ITER)
+                    .u64("outer", ctx.outer_iteration as u64)
+                    .u64("inner_solve", ctx.inner_solve as u64)
+                    .u64("j", j as u64)
+                    .f64("res_est", res_est)
+                    .f64("h_next", ores.vnorm)
+                    .u64("violations", ores.violations.len() as u64)
+                    .emit();
+            }
 
             #[allow(clippy::neg_cmp_op_on_partial_ord)] // a NaN norm must count as breakdown
             if !(ores.vnorm.abs() > breakdown_tol) {
@@ -309,6 +347,18 @@ pub fn gmres_solve_instrumented<A: LinearOperator + ?Sized>(
     residual(a, b, &x, &mut r);
     report.true_residual_norm = Some(vector::nrm2(&r));
     report.injections = injector.records();
+    if sdc_obs::enabled() {
+        sdc_obs::Event::new(&EV_DONE)
+            .u64("outer", ctx.outer_iteration as u64)
+            .u64("inner_solve", ctx.inner_solve as u64)
+            .str("outcome", report.outcome.label().to_string())
+            .u64("iterations", report.iterations as u64)
+            .f64("res_est", report.residual_norm)
+            .f64("true_residual", report.true_residual_norm.unwrap_or(f64::NAN))
+            .u64("detector_restarts", report.detector_restarts as u64)
+            .u64("injections", report.injections.len() as u64)
+            .emit();
+    }
     (x, report)
 }
 

@@ -32,6 +32,12 @@ use sdc_sparse::norm_est::norm2_est;
 use sdc_sparse::CsrMatrix;
 use std::sync::OnceLock;
 
+/// One unreliable preconditioner application inside an inner solve.
+/// Deterministic channel: the apply ordinals are a pure function of the
+/// solve trajectory (the inner GMRES applies its operator sequentially).
+static EV_APPLY: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "precond.apply", channel: sdc_obs::Channel::Det };
+
 /// Application of `z = M⁻¹ q`. Implementations may be stateful (`&mut`),
 /// which is what lets an inner iterative solve act as a preconditioner.
 pub trait Preconditioner {
@@ -437,6 +443,14 @@ impl<'a> FaultedPrecond<'a> {
     /// path, with transient output flips offered to the injector.
     pub fn solve_faulted(&self, q: &[f64], z: &mut [f64], solve: usize, apply_ordinal: usize) {
         let p = self.effective();
+        if sdc_obs::enabled() {
+            sdc_obs::Event::new(&EV_APPLY)
+                .str("kind", p.kind().as_str().to_string())
+                .u64("solve", solve as u64)
+                .u64("ordinal", apply_ordinal as u64)
+                .bool("factors_corrupted", !std::ptr::eq(p, self.base))
+                .emit();
+        }
         p.solve(q, z);
         if matches!(p.kind(), PrecondKind::Jacobi | PrecondKind::Chebyshev) {
             for (i, v) in z.iter_mut().enumerate() {

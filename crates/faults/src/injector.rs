@@ -13,6 +13,28 @@ use crate::site::Site;
 use crate::trigger::Trigger;
 use parking_lot::Mutex;
 
+/// One committed corruption. Deterministic channel: the trigger decides
+/// on logical site coordinates, so the event (including the exact bit
+/// patterns) is a pure function of the experiment spec.
+static EV_INJECT: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "fault.inject", channel: sdc_obs::Channel::Det };
+
+fn trace_injection(site: &Site, ordinal: u64, original: f64, corrupted: f64) {
+    if sdc_obs::enabled() {
+        sdc_obs::Event::new(&EV_INJECT)
+            .str("kernel", format!("{:?}", site.kernel))
+            .u64("outer", site.outer_iteration as u64)
+            .u64("inner_solve", site.inner_solve as u64)
+            .u64("inner_iter", site.inner_iteration as u64)
+            .u64("loop_index", site.loop_index as u64)
+            .u64("ordinal", ordinal)
+            .u64("original_bits", original.to_bits())
+            .u64("corrupted_bits", corrupted.to_bits())
+            .u64("flipped_bits", original.to_bits() ^ corrupted.to_bits())
+            .emit();
+    }
+}
+
 /// A record of one committed corruption.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct InjectionRecord {
@@ -109,6 +131,7 @@ impl FaultInjector for SingleFaultInjector {
             st.fired += 1;
             let corrupted = self.model.apply(value);
             st.records.push(InjectionRecord { site, original: value, corrupted });
+            trace_injection(&site, st.fired, value, corrupted);
             corrupted
         } else {
             value

@@ -1,0 +1,443 @@
+//! The unified metrics registry: counters, gauges and log₂ histograms
+//! on relaxed atomics, renderable as Prometheus text exposition format.
+//!
+//! Metrics are observability-only — no computation ever reads one — so
+//! every update is a relaxed atomic RMW and reads never stop the world.
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones of the registered series; the [`Registry`] keeps the family
+//! name, help text and label so [`Registry::render_prometheus`] can
+//! walk everything in sorted order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ histogram buckets: bucket `i` counts observations
+/// with value `< 2^i`; the last bucket is the overflow.
+pub const HISTOGRAM_BUCKETS: usize = 24;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, active
+/// connections) or only ratchet up (high-water marks, via
+/// [`Gauge::set_max`]).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Ratchets the value up to at least `v` (high-water mark).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Subtracts one, saturating at zero.
+    pub fn dec(&self) {
+        let _ = self.0.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram (canonically microseconds). Bucketing is
+/// identical to the server's original `LatencyHistogram`, so the
+/// `stats` JSON it feeds is byte-for-byte unchanged by the migration.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` holds observations of bit length
+    /// `i` (i.e. `< 2^i`), the last bucket overflows.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = (64 - v.max(1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.0.buckets[idx].fetch_add(1, Relaxed);
+        self.0.count.fetch_add(1, Relaxed);
+        self.0.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Relaxed)
+    }
+
+    /// A consistent-enough copy for rendering (relaxed reads).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.0.buckets) {
+            *dst = src.load(Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.0.count.load(Relaxed),
+            sum: self.0.sum.load(Relaxed),
+        }
+    }
+
+    /// Estimates the `p`-th percentile (0..=100); the estimate is the
+    /// upper bound of the bucket the rank falls in.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.snapshot().percentile(p)
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count > 0 {
+            self.sum as f64 / self.count as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimates the `p`-th percentile (0..=100) from the buckets; the
+    /// estimate is the upper bound of the bucket the rank falls in.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let total: u64 = self.buckets.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (1u64 << i) as f64;
+            }
+        }
+        (1u64 << (HISTOGRAM_BUCKETS - 1)) as f64
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    help: &'static str,
+    kind: Kind,
+    /// Series in registration order: `(label key/value, handle)`.
+    /// Unlabeled families have exactly one series with `None`.
+    series: Vec<(Option<(&'static str, &'static str)>, Handle)>,
+}
+
+/// A named collection of metric families.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<&'static str, Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: Kind,
+        label: Option<(&'static str, &'static str)>,
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let family =
+            families.entry(name).or_insert_with(|| Family { help, kind, series: Vec::new() });
+        assert!(
+            family.kind == kind,
+            "metric '{name}' registered as both {} and {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        if let Some(existing) = family.series.iter().find(|(l, _)| *l == label) {
+            return existing.1.clone();
+        }
+        let handle = make();
+        family.series.push((label, handle.clone()));
+        handle
+    }
+
+    /// Registers (or retrieves) an unlabeled counter.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        match self.register(name, help, Kind::Counter, None, || Handle::Counter(Counter::default()))
+        {
+            Handle::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or retrieves) one labeled series of a counter family,
+    /// e.g. `requests_total{kind="solve"}`.
+    pub fn labeled_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        key: &'static str,
+        value: &'static str,
+    ) -> Counter {
+        match self.register(name, help, Kind::Counter, Some((key, value)), || {
+            Handle::Counter(Counter::default())
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or retrieves) a gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        match self.register(name, help, Kind::Gauge, None, || Handle::Gauge(Gauge::default())) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or retrieves) a log₂ histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        match self
+            .register(name, help, Kind::Histogram, None, || Handle::Histogram(Histogram::default()))
+        {
+            Handle::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Renders every family as Prometheus text exposition format
+    /// (families sorted by name, series sorted by label value).
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.as_str()));
+            let mut series: Vec<_> = family.series.iter().collect();
+            series.sort_by_key(|(label, _)| label.map(|(_, v)| v));
+            for (label, handle) in series {
+                let labels = match label {
+                    Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
+                    None => String::new(),
+                };
+                match handle {
+                    Handle::Counter(c) => out.push_str(&format!("{name}{labels} {}\n", c.get())),
+                    Handle::Gauge(g) => out.push_str(&format!("{name}{labels} {}\n", g.get())),
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        // The last bucket is the overflow: it has no
+                        // finite upper bound, so it only appears in the
+                        // `+Inf` bucket.
+                        for (i, &c) in snap.buckets.iter().enumerate().take(HISTOGRAM_BUCKETS - 1) {
+                            cumulative += c;
+                            out.push_str(&format!(
+                                "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                                1u64 << i
+                            ));
+                        }
+                        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+                        out.push_str(&format!("{name}_sum {}\n", snap.sum));
+                        out.push_str(&format!("{name}_count {}\n", snap.count));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Flattens every series to `(series name, value)` pairs, sorted:
+    /// counters and gauges by value, histograms as `_count` and `_sum`.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let families = self.families.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (label, handle) in &family.series {
+                let series = match label {
+                    Some((k, v)) => format!("{name}{{{k}=\"{v}\"}}"),
+                    None => name.to_string(),
+                };
+                match handle {
+                    Handle::Counter(c) => out.push((series, c.get())),
+                    Handle::Gauge(g) => out.push((series, g.get())),
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        out.push((format!("{name}_count"), snap.count));
+                        out.push((format!("{name}_sum"), snap.sum));
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_idempotent_registration() {
+        let r = Registry::new();
+        let c = r.counter("widgets_total", "Widgets made.");
+        c.inc();
+        c.add(4);
+        // Re-registering returns the same underlying series.
+        assert_eq!(r.counter("widgets_total", "Widgets made.").get(), 5);
+
+        let g = r.gauge("depth", "Queue depth.");
+        g.set(7);
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 7);
+        g.set(0);
+        g.dec(); // saturates, no wrap
+        assert_eq!(g.get(), 0);
+        let peak = r.gauge("peak", "High-water mark.");
+        peak.set_max(3);
+        peak.set_max(1);
+        assert_eq!(peak.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as both")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("x", "");
+        r.gauge("x", "");
+    }
+
+    #[test]
+    fn histogram_matches_legacy_latency_semantics() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0.0, "empty histogram");
+        for us in [1u64, 3, 3, 3, 100, 100, 5000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 7);
+        // p50 falls in the 3µs observations → bucket upper bound 4.
+        assert_eq!(h.percentile(50.0), 4.0);
+        // p99 is the slowest observation's bucket (5000 < 8192).
+        assert_eq!(h.percentile(99.0), 8192.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.sum, 1 + 3 * 3 + 2 * 100 + 5000);
+        assert!((snap.mean() - snap.sum as f64 / 7.0).abs() < 1e-12);
+        // Overflow lands in the last bucket.
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().buckets[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_families_buckets_and_sorted_labels() {
+        let r = Registry::new();
+        r.labeled_counter("requests_total", "Requests by kind.", "kind", "solve").add(2);
+        r.labeled_counter("requests_total", "Requests by kind.", "kind", "list").inc();
+        r.gauge("queue_depth", "Current depth.").set(3);
+        let h = r.histogram("latency_us", "Latency.");
+        h.record(3);
+        h.record(100);
+        let text = r.render_prometheus();
+        let lines: Vec<&str> = text.lines().collect();
+        // Families are sorted by name; labels by value.
+        let latency_at = lines.iter().position(|l| *l == "# HELP latency_us Latency.").unwrap();
+        let queue_at =
+            lines.iter().position(|l| *l == "# HELP queue_depth Current depth.").unwrap();
+        let req_at =
+            lines.iter().position(|l| *l == "# HELP requests_total Requests by kind.").unwrap();
+        assert!(latency_at < queue_at && queue_at < req_at, "{text}");
+        assert!(text.contains("# TYPE latency_us histogram"));
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{kind=\"list\"} 1"));
+        assert!(text.contains("requests_total{kind=\"solve\"} 2"));
+        let list_at = lines.iter().position(|l| l.contains("kind=\"list\"")).unwrap();
+        let solve_at = lines.iter().position(|l| l.contains("kind=\"solve\"")).unwrap();
+        assert!(list_at < solve_at);
+        // Histogram: cumulative buckets, +Inf equals count, sum exact.
+        assert!(text.contains("latency_us_bucket{le=\"4\"} 1"));
+        assert!(text.contains("latency_us_bucket{le=\"128\"} 2"));
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("latency_us_sum 103"));
+        assert!(text.contains("latency_us_count 2"));
+    }
+
+    #[test]
+    fn snapshot_flattens_series() {
+        let r = Registry::new();
+        r.counter("a_total", "").add(9);
+        r.labeled_counter("b_total", "", "k", "x").inc();
+        let h = r.histogram("lat_us", "");
+        h.record(5);
+        let snap = r.snapshot();
+        assert!(snap.contains(&("a_total".to_string(), 9)));
+        assert!(snap.contains(&("b_total{k=\"x\"}".to_string(), 1)));
+        assert!(snap.contains(&("lat_us_count".to_string(), 1)));
+        assert!(snap.contains(&("lat_us_sum".to_string(), 5)));
+    }
+}

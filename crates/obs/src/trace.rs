@@ -1,0 +1,195 @@
+//! The two-channel trace sink: canonical JSONL for the deterministic
+//! channel, a free-form sidecar for timing.
+//!
+//! [`TraceSink`] is a [`Subscriber`] that renders every event to one
+//! JSON line and appends it to the buffer of the event's channel. The
+//! deterministic buffer's bytes are canonical — sorted keys, shortest
+//! round-trip floats (the same algorithm as the campaign artifact
+//! serializer) — so two runs of the same computation produce identical
+//! bytes regardless of thread count, and CI can `cmp` them like any
+//! other artifact. The timing buffer uses the same rendering but its
+//! contents (durations, scheduling events) are inherently run-specific
+//! and must never be diffed.
+
+use crate::{Channel, Event, Subscriber, Value};
+use std::sync::Mutex;
+
+/// A subscriber that buffers rendered event lines per channel.
+#[derive(Default)]
+pub struct TraceSink {
+    det: Mutex<String>,
+    timing: Mutex<String>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The deterministic channel's bytes so far (newline-terminated
+    /// JSONL; empty when no deterministic event fired).
+    pub fn det_bytes(&self) -> String {
+        self.det.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The deterministic channel as individual lines.
+    pub fn det_lines(&self) -> Vec<String> {
+        self.det_bytes().lines().map(String::from).collect()
+    }
+
+    /// The timing sidecar's bytes so far.
+    pub fn timing_bytes(&self) -> String {
+        self.timing.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Drains both channels, returning `(det, timing)` and leaving the
+    /// sink empty (for per-unit reuse).
+    pub fn take(&self) -> (String, String) {
+        let det = std::mem::take(&mut *self.det.lock().unwrap_or_else(|e| e.into_inner()));
+        let timing = std::mem::take(&mut *self.timing.lock().unwrap_or_else(|e| e.into_inner()));
+        (det, timing)
+    }
+}
+
+impl Subscriber for TraceSink {
+    fn event(&self, event: &Event) {
+        let line = render_line(event);
+        let buf = match event.callsite.channel {
+            Channel::Det => &self.det,
+            Channel::Timing => &self.timing,
+        };
+        let mut buf = buf.lock().unwrap_or_else(|e| e.into_inner());
+        buf.push_str(&line);
+        buf.push('\n');
+    }
+}
+
+/// Renders one event as a canonical JSON line (no trailing newline):
+/// the event name under the `"ev"` key plus every field, keys sorted.
+pub fn render_line(event: &Event) -> String {
+    let mut pairs: Vec<(&str, &Value)> = event.fields.iter().map(|(k, v)| (*k, v)).collect();
+    let name = Value::Str(event.callsite.name.to_string());
+    pairs.push(("ev", &name));
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::with_capacity(64);
+    out.push('{');
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(k, &mut out);
+        out.push(':');
+        write_value(v, &mut out);
+    }
+    out.push('}');
+    out
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => out.push_str(&fmt_f64(*x)),
+        Value::Str(s) => write_escaped(s, out),
+    }
+}
+
+/// Shortest-round-trip float rendering, byte-compatible with the
+/// campaign artifact serializer (`sdc_campaigns::json::fmt_f64`): this
+/// crate sits below `sdc_campaigns` in the dependency graph, so the
+/// algorithm is duplicated here rather than imported — the two are
+/// pinned together by a test in `sdc_campaigns`.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_nan() {
+        return "NaN".to_string();
+    }
+    if x.is_infinite() {
+        return if x > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() };
+    }
+    if x == x.trunc() && x.abs() < 9.0e15 {
+        // Integral and exactly representable: print without exponent.
+        // (-0.0 normalizes to 0 here, which parses back equal.)
+        return format!("{}", x as i64);
+    }
+    format!("{x:e}")
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Callsite;
+    use std::sync::Arc;
+
+    static DET: Callsite = Callsite { name: "unit.det", channel: Channel::Det };
+    static TIMING: Callsite = Callsite { name: "unit.timing", channel: Channel::Timing };
+
+    #[test]
+    fn renders_sorted_canonical_lines() {
+        let e = Event::new(&DET)
+            .u64("zeta", 7)
+            .f64("alpha", 0.5)
+            .bool("mid", true)
+            .str("label", "a\"b")
+            .i64("neg", -3);
+        let line = render_line(&e);
+        assert_eq!(
+            line,
+            "{\"alpha\":5e-1,\"ev\":\"unit.det\",\"label\":\"a\\\"b\",\"mid\":true,\"neg\":-3,\"zeta\":7}"
+        );
+    }
+
+    #[test]
+    fn float_formatting_matches_campaign_convention() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(-0.0), "0");
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(-12345.0), "-12345");
+        assert_eq!(fmt_f64(0.5), "5e-1");
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "Infinity");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Infinity");
+        // Round-trip exactness on an awkward value.
+        let x = 0.1 + 0.2;
+        assert_eq!(fmt_f64(x).parse::<f64>().unwrap().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn sink_splits_channels_and_takes() {
+        let sink = Arc::new(TraceSink::new());
+        sink.event(&Event::new(&DET).u64("i", 1));
+        sink.event(&Event::new(&TIMING).u64("us", 9));
+        sink.event(&Event::new(&DET).u64("i", 2));
+        assert_eq!(sink.det_lines().len(), 2);
+        assert!(sink.det_bytes().ends_with('\n'));
+        assert!(sink.timing_bytes().contains("\"us\":9"));
+        assert!(!sink.det_bytes().contains("us"));
+        let (det, timing) = sink.take();
+        assert_eq!(det.lines().count(), 2);
+        assert_eq!(timing.lines().count(), 1);
+        assert!(sink.det_bytes().is_empty() && sink.timing_bytes().is_empty());
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        let e = Event::new(&DET).str("s", "a\u{1}\tb");
+        assert!(render_line(&e).contains("\\u0001\\tb"));
+    }
+}

@@ -25,6 +25,15 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+/// One parallel region, submit → drain (timing channel: durations and
+/// piece distribution are scheduling accidents, never byte-diffed).
+static EV_RUN: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "pool.run", channel: sdc_obs::Channel::Timing };
+/// One participant's share of a region: how many pieces it claimed.
+/// Claims beyond the submitter's are the pool's work-stealing in action.
+static EV_WORKER: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "pool.worker", channel: sdc_obs::Channel::Timing };
+
 /// Hard cap on the thread setting; oversubscription beyond this is
 /// certainly a configuration error.
 const MAX_THREADS: usize = 1024;
@@ -112,12 +121,14 @@ impl Job {
     /// submitter re-raises without waiting for the rest of the region's
     /// work), while the claim/complete accounting keeps the completion
     /// latch exact.
-    fn work(&self) {
+    fn work(&self, submitter: bool) {
+        let mut claimed = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.pieces {
                 break;
             }
+            claimed += 1;
             if !self.panicked.load(Ordering::SeqCst) {
                 // SAFETY: piece `i` was claimed, so `completed < pieces`
                 // until it finishes and the submitter is still parked in
@@ -136,6 +147,13 @@ impl Job {
                 *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
                 self.done_cv.notify_all();
             }
+        }
+        if claimed > 0 && sdc_obs::enabled() {
+            sdc_obs::Event::new(&EV_WORKER)
+                .u64("claimed", claimed)
+                .u64("pieces", self.pieces as u64)
+                .bool("submitter", submitter)
+                .emit();
         }
     }
 
@@ -197,7 +215,7 @@ fn worker_loop() {
                 q = p.queue_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        job.work();
+        job.work(false);
     }
 }
 
@@ -214,10 +232,21 @@ pub fn run_pieces(pieces: usize, body: &(dyn Fn(usize) + Sync)) {
         return;
     }
     if pieces == 1 || threads() <= 1 || is_pool_worker() {
+        let mut span = sdc_obs::span(&EV_RUN);
+        if let Some(span) = span.as_mut() {
+            span.u64("pieces", pieces as u64).u64("inline", 1);
+            // A nested region from inside a worker is the graceful-
+            // degradation path; make it visible.
+            span.u64("nested", u64::from(is_pool_worker()));
+        }
         for i in 0..pieces {
             body(i);
         }
         return;
+    }
+    let mut span = sdc_obs::span(&EV_RUN);
+    if let Some(span) = span.as_mut() {
+        span.u64("pieces", pieces as u64).u64("inline", 0).u64("threads", threads() as u64);
     }
     let extra_workers = threads() - 1;
     ensure_workers(extra_workers);
@@ -246,7 +275,7 @@ pub fn run_pieces(pieces: usize, body: &(dyn Fn(usize) + Sync)) {
 
     // Participate; mark the thread so nested regions inline.
     let was_in_pool = IN_POOL.with(|f| f.replace(true));
-    job.work();
+    job.work(true);
     IN_POOL.with(|f| f.set(was_in_pool));
 
     let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
@@ -374,6 +403,38 @@ mod tests {
             ran.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(ran.load(Ordering::SeqCst), 16);
+        set_threads(0);
+    }
+
+    #[test]
+    fn pool_events_go_to_the_timing_channel_only() {
+        let _guard = crate::test_guard();
+        set_threads(2);
+        // Worker threads have their own subscriber stacks, so per-worker
+        // claim events are only observable through a global subscriber.
+        let sink = Arc::new(sdc_obs::trace::TraceSink::new());
+        sdc_obs::install_global(sink.clone());
+        run_pieces(8, &|_| {});
+        // The inline path (one piece runs on the submitter).
+        run_pieces(1, &|_| {});
+        // A worker's claim report lands just after the completion latch
+        // flips, i.e. possibly after `run_pieces` returned; wait for it.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !sink.timing_bytes().contains("\"ev\":\"pool.worker\"")
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::yield_now();
+        }
+        sdc_obs::clear_global();
+        let timing = sink.timing_bytes();
+        assert!(timing.contains("\"ev\":\"pool.run\""), "{timing}");
+        // Every piece is claimed by someone, so at least one participant
+        // reported its share (which participant is a scheduling accident).
+        assert!(timing.contains("\"ev\":\"pool.worker\""), "{timing}");
+        assert!(timing.contains("\"claimed\":"), "{timing}");
+        assert!(timing.contains("\"inline\":1"), "{timing}");
+        // Scheduling events never reach the deterministic channel.
+        assert!(sink.det_bytes().is_empty());
         set_threads(0);
     }
 

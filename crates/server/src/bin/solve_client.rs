@@ -1,9 +1,10 @@
 //! The service client, script driver and load generator.
 //!
 //! ```text
-//! solve-client send    --addr HOST:PORT [--file reqs.jsonl] [REQUEST_JSON ...]
-//! solve-client offline [--threads N] [--file reqs.jsonl] [REQUEST_JSON ...]
-//! solve-client bench   --addr HOST:PORT [--connections N] [--requests M] [--m SIZE]
+//! solve-client send     --addr HOST:PORT [--file reqs.jsonl] [REQUEST_JSON ...]
+//! solve-client offline  [--threads N] [--file reqs.jsonl] [REQUEST_JSON ...]
+//! solve-client bench    --addr HOST:PORT [--connections N] [--requests M] [--m SIZE] [--metrics-out PATH]
+//! solve-client json-get PATH.TO.FIELD [--expect VALUE]
 //! ```
 //!
 //! `send` plays request frames against a live server and prints every
@@ -15,7 +16,16 @@
 //!
 //! `bench` is the load generator: it registers a Poisson matrix, then
 //! drives N connections × M FT-GMRES solves and prints latency
-//! percentiles and throughput.
+//! percentiles and throughput; `--metrics-out` additionally fetches the
+//! server's `metrics` snapshot and dumps every series as a
+//! `BENCH_JSON`-shaped JSONL file the `bench_gate` binary can gate
+//! (counter series use a zero baseline as an exact-count gate).
+//!
+//! `json-get` is the jq-less JSON field extractor CI scripts use:
+//! it reads JSON lines from stdin, resolves a dotted path (numeric
+//! segments index arrays) in each, prints the value (strings raw,
+//! everything else canonical), and exits nonzero when the path is
+//! missing or `--expect` does not match.
 
 use sdc_campaigns::cli::Cli;
 use sdc_campaigns::json::Json;
@@ -111,6 +121,7 @@ fn bench() {
         .opt("requests", "M", "requests per connection (default 25)")
         .opt("m", "SIZE", "Poisson grid side for the workload matrix (default 24)")
         .opt("inner", "N", "inner iterations per outer (default 10)")
+        .opt("metrics-out", "PATH", "dump the server metrics snapshot as BENCH_JSON-shaped JSONL")
         .with_precond();
     let p = cli.parse_env(2);
     let addr: std::net::SocketAddr = p
@@ -148,6 +159,95 @@ fn bench() {
     );
     let report = load_gen(addr, connections, requests, &solve).unwrap_or_else(|e| fail(e));
     println!("{}", report.render());
+
+    if let Some(path) = p.path("metrics-out") {
+        let metrics = Json::parse("{\"cmd\":\"metrics\"}").expect("static frame");
+        let resp = setup.call(&metrics).unwrap_or_else(|e| fail(e));
+        let series = resp
+            .field("result")
+            .and_then(|r| r.field("series"))
+            .unwrap_or_else(|e| fail(format_args!("metrics response missing series: {e}")));
+        let Json::Obj(map) = series else { fail("metrics series is not an object") };
+        // One dump line per series, in the BENCH_JSON shape bench_gate
+        // parses: a counter is a single \"sample\" whose value is the
+        // count, so a zero baseline gates it as an exact count.
+        let mut out = String::new();
+        for (name, value) in map {
+            let v = value.as_f64().unwrap_or_else(|e| fail(e));
+            out.push_str(
+                &Json::obj(vec![
+                    ("id", Json::str(format!("metrics/{name}"))),
+                    ("samples", Json::Num(1.0)),
+                    ("min_us", Json::Num(v)),
+                    ("median_us", Json::Num(v)),
+                    ("mean_us", Json::Num(v)),
+                ])
+                .to_line(),
+            );
+            out.push('\n');
+        }
+        std::fs::write(&path, out)
+            .unwrap_or_else(|e| fail(format_args!("cannot write {}: {e}", path.display())));
+        eprintln!("bench: wrote metrics snapshot -> {}", path.display());
+    }
+}
+
+/// Resolves a dotted path in a JSON value; numeric segments index
+/// arrays, everything else is an object key.
+fn lookup<'a>(v: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut cur = v;
+    for seg in path.split('.') {
+        cur = match (cur, seg.parse::<usize>()) {
+            (Json::Arr(items), Ok(i)) => items.get(i)?,
+            _ => cur.get(seg)?,
+        };
+    }
+    Some(cur)
+}
+
+fn json_get() {
+    let cli = Cli::new(
+        "solve-client json-get",
+        "extract a dotted field path from JSON lines on stdin (jq-less CI checks)",
+    )
+    .opt("expect", "VALUE", "exit nonzero unless every extracted value equals VALUE")
+    .positional();
+    let p = cli.parse_env(2);
+    let path = p
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| fail("a dotted field path is required (e.g. result.threads)"));
+    let expect = p.value("expect");
+    let stdin = std::io::stdin();
+    let mut lines_seen = 0usize;
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_else(|e| fail(e));
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines_seen += 1;
+        let v = Json::parse(&line)
+            .unwrap_or_else(|e| fail(format_args!("bad JSON on stdin: {e}\n  in: {line}")));
+        let Some(found) = lookup(&v, &path) else {
+            fail(format_args!("field '{path}' not found in: {line}"));
+        };
+        // Strings print raw so shell comparisons don't fight quoting;
+        // everything else prints in canonical form.
+        let rendered = match found {
+            Json::Str(s) => s.clone(),
+            other => other.to_line(),
+        };
+        println!("{rendered}");
+        if let Some(want) = &expect {
+            if rendered != *want {
+                fail(format_args!("field '{path}' is '{rendered}', expected '{want}'"));
+            }
+        }
+    }
+    if lines_seen == 0 {
+        fail("no JSON lines on stdin");
+    }
 }
 
 fn main() {
@@ -156,9 +256,10 @@ fn main() {
         "send" => send(),
         "offline" => offline(),
         "bench" => bench(),
+        "json-get" => json_get(),
         other => {
             eprintln!(
-                "usage: solve-client <send|offline|bench> [flags]\n\
+                "usage: solve-client <send|offline|bench|json-get> [flags]\n\
                  (got '{other}'; each subcommand supports --help)"
             );
             std::process::exit(2);

@@ -106,7 +106,7 @@ impl Engine {
         let v = match Json::parse(line) {
             Ok(v) => v,
             Err(e) => {
-                self.metrics.protocol_errors.fetch_add(1, Relaxed);
+                self.metrics.protocol_errors.inc();
                 return error_response(
                     None,
                     ErrorCode::BadRequest,
@@ -118,7 +118,7 @@ impl Engine {
         let req = match Request::from_json(&v) {
             Ok(r) => r,
             Err(e) => {
-                self.metrics.protocol_errors.fetch_add(1, Relaxed);
+                self.metrics.protocol_errors.inc();
                 return error_response(id.as_ref(), ErrorCode::BadRequest, e.msg);
             }
         };
@@ -132,7 +132,7 @@ impl Engine {
         // served; new work of any kind — not just solves — is refused,
         // so a drain cannot be delayed indefinitely.
         if self.shutdown_requested()
-            && !matches!(req, Request::Stats | Request::List | Request::Shutdown)
+            && !matches!(req, Request::Stats | Request::Metrics | Request::List | Request::Shutdown)
         {
             return error_response(id, ErrorCode::ShuttingDown, "server is draining");
         }
@@ -141,6 +141,7 @@ impl Engine {
             Request::Solve(r) => self.handle_solve(r, id),
             Request::Campaign(r) => self.handle_campaign(r, id, sink),
             Request::Stats => ok_response(id, self.stats()),
+            Request::Metrics => ok_response(id, self.prometheus()),
             Request::List => ok_response(id, self.list()),
             Request::Shutdown => {
                 self.shutdown.store(true, Relaxed);
@@ -155,15 +156,26 @@ impl Engine {
         let problem = match build_problem(&r.source) {
             Ok(p) => p,
             Err(msg) => {
-                self.metrics.protocol_errors.fetch_add(1, Relaxed);
+                self.metrics.protocol_errors.inc();
                 return error_response(id, ErrorCode::BadRequest, msg);
             }
         };
         let (key, problem, cached) = self.registry.insert(r.name.as_deref(), problem);
         if cached {
-            self.metrics.cache_hits.fetch_add(1, Relaxed);
+            self.metrics.cache_hits.inc();
         } else {
-            self.metrics.cache_misses.fetch_add(1, Relaxed);
+            self.metrics.cache_misses.inc();
+        }
+        // The content key and hit/miss verdict are pure functions of the
+        // request sequence, so this is a Det-channel event.
+        if sdc_obs::enabled() {
+            static EV_LOOKUP: sdc_obs::Callsite =
+                sdc_obs::Callsite { name: "registry.lookup", channel: sdc_obs::Channel::Det };
+            sdc_obs::Event::new(&EV_LOOKUP)
+                .str("key", key.clone())
+                .bool("cached", cached)
+                .u64("nnz", problem.a.nnz() as u64)
+                .emit();
         }
         let mut fields = vec![
             ("key", Json::str(&key)),
@@ -203,12 +215,22 @@ impl Engine {
         let req = r.clone();
         let job_problem = problem.clone();
         let job_key = key.clone();
+        // `trace: true` captures the Det event stream of exactly this
+        // solve: the sink is installed thread-locally around
+        // execute_solve *on the worker that runs it*, so concurrent
+        // solves cannot bleed into each other's traces and the captured
+        // lines stay a pure function of the request sequence.
+        let sink = r.trace.then(|| Arc::new(sdc_obs::trace::TraceSink::new()));
+        let job_sink = sink.clone();
         let job = SolveJob {
             matrix_key: key,
             run: Box::new(move || {
-                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    execute_solve(&job_problem, &job_key, &req)
-                }));
+                let solve = || execute_solve(&job_problem, &job_key, &req);
+                let out =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job_sink {
+                        Some(s) => sdc_obs::with_local(s.clone(), solve),
+                        None => solve(),
+                    }));
                 let _ = tx.send(match out {
                     Ok(res) => res,
                     Err(_) => Err("solver panicked".into()),
@@ -234,12 +256,18 @@ impl Engine {
         let outcome = rx.recv();
         self.metrics.solve_latency.record(started.elapsed().as_micros() as u64);
         match outcome {
-            Ok(Ok((result, summary))) => {
+            Ok(Ok((mut result, summary))) => {
                 self.record_solve_metrics(&summary);
+                if let Some(s) = &sink {
+                    if let Json::Obj(fields) = &mut result {
+                        let lines = s.det_lines().into_iter().map(Json::str).collect();
+                        fields.insert("trace".into(), Json::Arr(lines));
+                    }
+                }
                 ok_response(id, result)
             }
             Ok(Err(msg)) => {
-                self.metrics.solves_unconverged.fetch_add(1, Relaxed);
+                self.metrics.solves_unconverged.inc();
                 error_response(id, ErrorCode::Internal, msg)
             }
             Err(_) => error_response(id, ErrorCode::Internal, "solve worker disappeared"),
@@ -248,13 +276,13 @@ impl Engine {
 
     fn record_solve_metrics(&self, s: &SolveSummary) {
         if s.converged {
-            self.metrics.solves_converged.fetch_add(1, Relaxed);
+            self.metrics.solves_converged.inc();
         } else {
-            self.metrics.solves_unconverged.fetch_add(1, Relaxed);
+            self.metrics.solves_unconverged.inc();
         }
-        self.metrics.detector_events.fetch_add(s.detector_events as u64, Relaxed);
-        self.metrics.injections_committed.fetch_add(s.injections as u64, Relaxed);
-        self.metrics.inner_rejections.fetch_add(s.inner_rejections as u64, Relaxed);
+        self.metrics.detector_events.add(s.detector_events as u64);
+        self.metrics.injections_committed.add(s.injections as u64);
+        self.metrics.inner_rejections.add(s.inner_rejections as u64);
     }
 
     // ---- campaign ----
@@ -297,7 +325,7 @@ impl Engine {
         // Stream records as the artifact gains them; the channel closes
         // when the run returns (the hook's sender is dropped with opts).
         for rec in rx {
-            self.metrics.campaign_records_streamed.fetch_add(1, Relaxed);
+            self.metrics.campaign_records_streamed.inc();
             sink(&event_response(id, "record", vec![("record", rec)]));
         }
         let summary = match job.join() {
@@ -315,7 +343,7 @@ impl Engine {
                 return error_response(id, ErrorCode::Internal, "campaign job panicked");
             }
         };
-        self.metrics.campaigns_completed.fetch_add(1, Relaxed);
+        self.metrics.campaigns_completed.inc();
         if !persistent {
             std::fs::remove_file(&artifact).ok();
         }
@@ -334,6 +362,23 @@ impl Engine {
     }
 
     // ---- stats / list ----
+
+    /// The `metrics` command: Prometheus text plus the flat series map
+    /// (the machine-readable face the bench gate consumes).
+    fn prometheus(&self) -> Json {
+        // Server-level gauges are set at exposition time so the text is
+        // self-describing, like the `stats` object.
+        self.metrics.server_threads.set(self.threads as u64);
+        self.metrics.queue_capacity.set(self.scheduler.capacity() as u64);
+        self.metrics.matrices_registered.set(self.registry.len() as u64);
+        self.metrics.draining.set(self.shutdown_requested() as u64);
+        let series: std::collections::BTreeMap<String, Json> =
+            self.metrics.series().into_iter().map(|(k, v)| (k, Json::Num(v as f64))).collect();
+        Json::obj(vec![
+            ("prometheus", Json::str(self.metrics.render_prometheus())),
+            ("series", Json::Obj(series)),
+        ])
+    }
 
     fn stats(&self) -> Json {
         self.metrics.snapshot(vec![
@@ -587,7 +632,7 @@ mod tests {
         );
         let (_, r) = drive(&e, "{\"cmd\":\"solve\",\"matrix\":\"nope\"}");
         assert_eq!(r.field("error").unwrap().field("code").unwrap().as_str().unwrap(), "not_found");
-        assert_eq!(e.metrics.protocol_errors.load(Relaxed), 1);
+        assert_eq!(e.metrics.protocol_errors.get(), 1);
         e.drain();
     }
 
@@ -607,7 +652,7 @@ mod tests {
         assert_eq!(s.field("injections").unwrap().as_usize().unwrap(), 1);
         assert!(s.field("detector_events").unwrap().as_usize().unwrap() >= 1);
         assert!(s.field("converged").unwrap().as_bool().unwrap());
-        assert_eq!(e.metrics.injections_committed.load(Relaxed), 1);
+        assert_eq!(e.metrics.injections_committed.get(), 1);
         e.drain();
     }
 
@@ -696,7 +741,7 @@ mod tests {
         assert!(r2.field("ok").unwrap().as_bool().unwrap(), "{}", r2.to_line());
         assert!(r2.field("result").unwrap().field("cached").unwrap().as_bool().unwrap());
         assert_eq!(r2.field("result").unwrap().field("key").unwrap().as_str().unwrap(), key1);
-        assert_eq!(e.metrics.cache_hits.load(Relaxed), 1);
+        assert_eq!(e.metrics.cache_hits.get(), 1);
 
         // Solve it with an explicit right-hand side and returned x.
         let (_, r) = drive(

@@ -1,150 +1,207 @@
 //! Server metrics: request counters, queue gauges, cache hit rate,
-//! detector outcome tallies and a solve-latency histogram — all plain
-//! atomics, rendered as one canonical JSON object by the `stats`
-//! command.
+//! detector outcome tallies and a solve-latency histogram — all backed
+//! by the workspace [`sdc_obs::metrics::Registry`], rendered two ways:
+//! as the canonical JSON object the `stats` command has always
+//! returned (byte-for-byte unchanged by the migration), and as
+//! Prometheus text exposition via the `metrics` command.
 //!
 //! Everything here is observability-only: no solve result ever depends
-//! on a metric, so the counters can be maintained with relaxed ordering
+//! on a metric, so the counters are maintained with relaxed ordering
 //! and read without stopping the world.
 
 use sdc_campaigns::json::Json;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use sdc_obs::metrics::{Counter, Gauge, Histogram, Registry};
 
 /// Number of log₂ latency buckets: bucket `i` counts solves with
 /// latency `< 2^i` µs; the last bucket is the overflow.
-pub const LATENCY_BUCKETS: usize = 24;
+pub const LATENCY_BUCKETS: usize = sdc_obs::metrics::HISTOGRAM_BUCKETS;
 
-/// A log₂-bucketed latency histogram (microseconds).
-#[derive(Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-    count: AtomicU64,
-    total_us: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&self, us: u64) {
-        let idx = (64 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Relaxed);
-        self.count.fetch_add(1, Relaxed);
-        self.total_us.fetch_add(us, Relaxed);
-    }
-
-    /// Observation count.
-    pub fn count(&self) -> u64 {
-        self.count.load(Relaxed)
-    }
-
-    /// Estimates the `p`-th percentile (0..=100) from the buckets; the
-    /// estimate is the upper bound of the bucket the rank falls in.
-    pub fn percentile_us(&self, p: f64) -> f64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return (1u64 << i) as f64;
-            }
-        }
-        (1u64 << (LATENCY_BUCKETS - 1)) as f64
-    }
-
-    /// Renders count, mean and percentile estimates plus the raw
-    /// buckets (upper-bound µs → count, zero buckets omitted).
-    pub fn to_json(&self) -> Json {
-        let count = self.count.load(Relaxed);
-        let total = self.total_us.load(Relaxed);
-        let mean = if count > 0 { total as f64 / count as f64 } else { 0.0 };
-        let buckets: Vec<(String, Json)> = self
-            .buckets
-            .iter()
-            .enumerate()
-            .filter_map(|(i, b)| {
-                let c = b.load(Relaxed);
-                (c > 0).then(|| (format!("le_{}", 1u64 << i), Json::Num(c as f64)))
-            })
-            .collect();
-        Json::obj(vec![
-            ("count", Json::Num(count as f64)),
-            ("mean_us", Json::Num(mean)),
-            ("p50_us", Json::Num(self.percentile_us(50.0))),
-            ("p90_us", Json::Num(self.percentile_us(90.0))),
-            ("p99_us", Json::Num(self.percentile_us(99.0))),
-            ("buckets_us", Json::Obj(buckets.into_iter().collect())),
-        ])
-    }
-}
-
-/// The request kinds the server counts.
+/// The request kinds the legacy `stats` object tallies (sorted for
+/// binary search). The `metrics` request is deliberately NOT in this
+/// list: `stats` predates it and its JSON shape is pinned byte-for-byte
+/// by goldens, so the new kind only appears in the Prometheus
+/// exposition (`sdc_requests_total{kind="metrics"}`).
 pub const REQUEST_KINDS: [&str; 6] =
     ["campaign", "list", "load_matrix", "shutdown", "solve", "stats"];
 
-/// All server counters.
-#[derive(Default)]
+/// Renders a latency [`Histogram`] as the `stats` JSON shape the
+/// original bespoke histogram produced: count, mean and percentile
+/// estimates plus the raw buckets (upper-bound µs → count, zero
+/// buckets omitted).
+pub fn latency_json(h: &Histogram) -> Json {
+    let snap = h.snapshot();
+    let buckets: Vec<(String, Json)> = snap
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| (format!("le_{}", 1u64 << i), Json::Num(c as f64)))
+        .collect();
+    Json::obj(vec![
+        ("count", Json::Num(snap.count as f64)),
+        ("mean_us", Json::Num(snap.mean())),
+        ("p50_us", Json::Num(snap.percentile(50.0))),
+        ("p90_us", Json::Num(snap.percentile(90.0))),
+        ("p99_us", Json::Num(snap.percentile(99.0))),
+        ("buckets_us", Json::Obj(buckets.into_iter().collect())),
+    ])
+}
+
+/// All server counters, as handles into one obs registry.
 pub struct Metrics {
+    registry: Registry,
     /// Requests per kind, indexed like [`REQUEST_KINDS`].
-    requests: [AtomicU64; REQUEST_KINDS.len()],
+    requests: [Counter; REQUEST_KINDS.len()],
+    /// The `metrics` request kind (Prometheus-only; see
+    /// [`REQUEST_KINDS`]).
+    metrics_requests: Counter,
     /// Frames rejected as malformed or invalid.
-    pub protocol_errors: AtomicU64,
+    pub protocol_errors: Counter,
     /// Solves rejected with `busy` (queue full).
-    pub busy_rejects: AtomicU64,
+    pub busy_rejects: Counter,
     /// `load_matrix` content-cache hits / misses.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// See [`Metrics::cache_hits`].
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Counter,
     /// Solves that converged.
-    pub solves_converged: AtomicU64,
+    pub solves_converged: Counter,
     /// Solves that terminated without convergence.
-    pub solves_unconverged: AtomicU64,
+    pub solves_unconverged: Counter,
     /// Scheduler dispatches (a batch of ≥ 1 same-matrix solves).
-    pub batches_dispatched: AtomicU64,
+    pub batches_dispatched: Counter,
     /// Solves that rode in a batch of ≥ 2.
-    pub batched_solves: AtomicU64,
+    pub batched_solves: Counter,
     /// Current solve-queue depth.
-    pub queue_depth: AtomicUsize,
+    pub queue_depth: Gauge,
     /// High-water mark of the queue depth.
-    pub queue_peak: AtomicUsize,
+    pub queue_peak: Gauge,
     /// Detector violations observed across all served solves.
-    pub detector_events: AtomicU64,
+    pub detector_events: Counter,
     /// Faults actually committed by served injections.
-    pub injections_committed: AtomicU64,
+    pub injections_committed: Counter,
     /// Inner results rejected by the reliable outer validation.
-    pub inner_rejections: AtomicU64,
+    pub inner_rejections: Counter,
     /// Connections accepted since startup.
-    pub connections_opened: AtomicU64,
+    pub connections_opened: Counter,
     /// Currently open connections.
-    pub connections_active: AtomicUsize,
+    pub connections_active: Gauge,
     /// Campaign jobs completed.
-    pub campaigns_completed: AtomicU64,
+    pub campaigns_completed: Counter,
     /// Campaign records streamed to clients.
-    pub campaign_records_streamed: AtomicU64,
+    pub campaign_records_streamed: Counter,
     /// Solve latency (queue wait + solve), microseconds.
-    pub solve_latency: LatencyHistogram,
+    pub solve_latency: Histogram,
+    /// Frozen worker-pool size (set once by the engine).
+    pub server_threads: Gauge,
+    /// Solve-queue capacity (set once by the engine).
+    pub queue_capacity: Gauge,
+    /// Matrices currently registered (set at exposition time).
+    pub matrices_registered: Gauge,
+    /// 1 while draining after a `shutdown` request.
+    pub draining: Gauge,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Metrics {
-    /// A zeroed metrics block.
+    /// A zeroed metrics block with every series registered.
     pub fn new() -> Self {
-        Self::default()
+        let r = Registry::new();
+        const REQ_HELP: &str = "Requests handled, by protocol command.";
+        let requests =
+            REQUEST_KINDS.map(|k| r.labeled_counter("sdc_requests_total", REQ_HELP, "kind", k));
+        let metrics_requests = r.labeled_counter("sdc_requests_total", REQ_HELP, "kind", "metrics");
+        Self {
+            requests,
+            metrics_requests,
+            protocol_errors: r
+                .counter("sdc_protocol_errors_total", "Frames rejected as malformed or invalid."),
+            busy_rejects: r
+                .counter("sdc_busy_rejects_total", "Solves rejected because the queue was full."),
+            cache_hits: r.counter("sdc_cache_hits_total", "load_matrix content-cache hits."),
+            cache_misses: r.counter("sdc_cache_misses_total", "load_matrix content-cache misses."),
+            solves_converged: r.labeled_counter(
+                "sdc_solves_total",
+                "Completed solves, by outcome.",
+                "outcome",
+                "converged",
+            ),
+            solves_unconverged: r.labeled_counter(
+                "sdc_solves_total",
+                "Completed solves, by outcome.",
+                "outcome",
+                "unconverged",
+            ),
+            batches_dispatched: r.counter(
+                "sdc_batches_dispatched_total",
+                "Scheduler dispatches (each a batch of >= 1 same-matrix solves).",
+            ),
+            batched_solves: r
+                .counter("sdc_batched_solves_total", "Solves that rode in a batch of >= 2."),
+            queue_depth: r.gauge("sdc_queue_depth", "Current solve-queue depth."),
+            queue_peak: r.gauge("sdc_queue_depth_peak", "High-water mark of the queue depth."),
+            detector_events: r.counter(
+                "sdc_detector_events_total",
+                "Detector violations observed across all served solves.",
+            ),
+            injections_committed: r.counter(
+                "sdc_injections_committed_total",
+                "Faults actually committed by served injections.",
+            ),
+            inner_rejections: r.counter(
+                "sdc_inner_rejections_total",
+                "Inner results rejected by the reliable outer validation.",
+            ),
+            connections_opened: r
+                .counter("sdc_connections_opened_total", "Connections accepted since startup."),
+            connections_active: r.gauge("sdc_connections_active", "Currently open connections."),
+            campaigns_completed: r
+                .counter("sdc_campaigns_completed_total", "Campaign jobs completed."),
+            campaign_records_streamed: r.counter(
+                "sdc_campaign_records_streamed_total",
+                "Campaign records streamed to clients.",
+            ),
+            solve_latency: r
+                .histogram("sdc_solve_latency_us", "Solve latency (queue wait + solve), in us."),
+            server_threads: r.gauge("sdc_threads", "Frozen worker-pool size."),
+            queue_capacity: r.gauge("sdc_queue_capacity", "Solve-queue capacity."),
+            matrices_registered: r
+                .gauge("sdc_matrices_registered", "Matrices currently in the registry."),
+            draining: r.gauge("sdc_draining", "1 while draining after a shutdown request."),
+            registry: r,
+        }
     }
 
-    /// Counts one request of `kind` (a [`REQUEST_KINDS`] entry).
+    /// Counts one request of `kind` (a [`REQUEST_KINDS`] entry or
+    /// `metrics`; anything else is silently ignored).
     pub fn count_request(&self, kind: &str) {
         if let Ok(i) = REQUEST_KINDS.binary_search(&kind) {
-            self.requests[i].fetch_add(1, Relaxed);
+            self.requests[i].inc();
+        } else if kind == "metrics" {
+            self.metrics_requests.inc();
         }
     }
 
     /// Updates the queue gauges after a push/pop to `depth`.
     pub fn set_queue_depth(&self, depth: usize) {
-        self.queue_depth.store(depth, Relaxed);
-        self.queue_peak.fetch_max(depth, Relaxed);
+        self.queue_depth.set(depth as u64);
+        self.queue_peak.set_max(depth as u64);
+    }
+
+    /// Renders every registered series as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        self.registry.render_prometheus()
+    }
+
+    /// Flattens every series to sorted `(name, value)` pairs — the
+    /// machine-readable snapshot `solve-client bench --metrics-out`
+    /// dumps for the bench gate.
+    pub fn series(&self) -> Vec<(String, u64)> {
+        self.registry.snapshot()
     }
 
     /// The full snapshot the `stats` command returns. Server-level
@@ -154,10 +211,10 @@ impl Metrics {
         let requests: Vec<(String, Json)> = REQUEST_KINDS
             .iter()
             .zip(&self.requests)
-            .map(|(k, c)| (k.to_string(), Json::Num(c.load(Relaxed) as f64)))
+            .map(|(k, c)| (k.to_string(), Json::Num(c.get() as f64)))
             .collect();
-        let g = |a: &AtomicU64| Json::Num(a.load(Relaxed) as f64);
-        let gu = |a: &AtomicUsize| Json::Num(a.load(Relaxed) as f64);
+        let g = |c: &Counter| Json::Num(c.get() as f64);
+        let gu = |g: &Gauge| Json::Num(g.get() as f64);
         let mut fields = vec![
             ("requests", Json::Obj(requests.into_iter().collect())),
             ("protocol_errors", g(&self.protocol_errors)),
@@ -209,7 +266,7 @@ impl Metrics {
                     ("records_streamed", g(&self.campaign_records_streamed)),
                 ]),
             ),
-            ("solve_latency", self.solve_latency.to_json()),
+            ("solve_latency", latency_json(&self.solve_latency)),
         ];
         fields.extend(server);
         Json::obj(fields)
@@ -229,18 +286,23 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_percentiles() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.percentile_us(50.0), 0.0, "empty histogram");
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0.0, "empty histogram");
         for us in [1u64, 3, 3, 3, 100, 100, 5000] {
             h.record(us);
         }
         assert_eq!(h.count(), 7);
         // p50 falls in the 3µs observations → bucket upper bound 4.
-        assert_eq!(h.percentile_us(50.0), 4.0);
+        assert_eq!(h.percentile(50.0), 4.0);
         // p99 is the slowest observation's bucket (5000 < 8192).
-        assert_eq!(h.percentile_us(99.0), 8192.0);
-        let j = h.to_json();
+        assert_eq!(h.percentile(99.0), 8192.0);
+        let j = latency_json(&h);
         assert_eq!(j.field("count").unwrap().as_usize().unwrap(), 7);
+        assert_eq!(j.field("p50_us").unwrap().as_f64().unwrap(), 4.0);
+        assert_eq!(j.field("p99_us").unwrap().as_f64().unwrap(), 8192.0);
+        // The 3µs observations land in `le_4`, zero buckets are omitted.
+        assert_eq!(j.field("buckets_us").unwrap().field("le_4").unwrap().as_usize().unwrap(), 3);
+        assert!(j.field("buckets_us").unwrap().get("le_8").is_none());
         // Canonical serialization.
         let line = j.to_line();
         assert_eq!(Json::parse(&line).unwrap().to_line(), line);
@@ -248,9 +310,9 @@ mod tests {
 
     #[test]
     fn huge_latencies_land_in_the_overflow_bucket() {
-        let h = LatencyHistogram::default();
+        let h = Histogram::default();
         h.record(u64::MAX);
-        assert_eq!(h.percentile_us(50.0), (1u64 << (LATENCY_BUCKETS - 1)) as f64);
+        assert_eq!(h.percentile(50.0), (1u64 << (LATENCY_BUCKETS - 1)) as f64);
     }
 
     #[test]
@@ -267,5 +329,44 @@ mod tests {
         assert_eq!(snap.field("threads").unwrap().as_usize().unwrap(), 2);
         assert_eq!(snap.field("queue").unwrap().field("peak").unwrap().as_usize().unwrap(), 3);
         assert_eq!(snap.field("queue").unwrap().field("depth").unwrap().as_usize().unwrap(), 1);
+    }
+
+    #[test]
+    fn metrics_requests_count_in_prometheus_but_not_in_stats() {
+        let m = Metrics::new();
+        m.count_request("metrics");
+        let snap = m.snapshot(vec![]);
+        // The stats `requests` object keeps its pre-`metrics` shape.
+        assert!(snap.field("requests").unwrap().get("metrics").is_none());
+        let text = m.render_prometheus();
+        assert!(text.contains("sdc_requests_total{kind=\"metrics\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_exposition_has_the_required_families() {
+        let m = Metrics::new();
+        m.count_request("solve");
+        m.cache_hits.inc();
+        m.set_queue_depth(2);
+        m.detector_events.add(3);
+        m.solve_latency.record(900);
+        let text = m.render_prometheus();
+        for family in [
+            "# TYPE sdc_requests_total counter",
+            "# TYPE sdc_cache_hits_total counter",
+            "# TYPE sdc_queue_depth gauge",
+            "# TYPE sdc_detector_events_total counter",
+            "# TYPE sdc_solve_latency_us histogram",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+        assert!(text.contains("sdc_requests_total{kind=\"solve\"} 1"));
+        assert!(text.contains("sdc_detector_events_total 3"));
+        assert!(text.contains("sdc_solve_latency_us_bucket{le=\"1024\"} 1"));
+        assert!(text.contains("sdc_solve_latency_us_sum 900"));
+        // The machine-readable series snapshot carries the same values.
+        let series = m.series();
+        assert!(series.contains(&("sdc_detector_events_total".to_string(), 3)));
+        assert!(series.contains(&("sdc_solve_latency_us_count".to_string(), 1)));
     }
 }

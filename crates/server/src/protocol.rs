@@ -200,6 +200,10 @@ pub struct SolveRequest {
     pub seed: u64,
     /// Return the solution vector (round-trip-exact floats).
     pub return_x: bool,
+    /// Capture the solve's deterministic trace (the `sdc_obs` Det
+    /// channel) and return it as a `trace` array of canonical JSONL
+    /// lines in the result.
+    pub trace: bool,
 }
 
 impl Default for SolveRequest {
@@ -219,6 +223,7 @@ impl Default for SolveRequest {
             fault: None,
             seed: 0,
             return_x: false,
+            trace: false,
         }
     }
 }
@@ -245,6 +250,8 @@ pub enum Request {
     Campaign(CampaignRequest),
     /// Metrics snapshot.
     Stats,
+    /// Prometheus text exposition of the unified metrics registry.
+    Metrics,
     /// Matrix registry listing.
     List,
     /// Begin graceful drain and stop the server.
@@ -259,6 +266,7 @@ impl Request {
             Request::Solve(_) => "solve",
             Request::Campaign(_) => "campaign",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::List => "list",
             Request::Shutdown => "shutdown",
         }
@@ -330,6 +338,9 @@ impl Request {
                 if r.return_x {
                     fields.push(("return_x", Json::Bool(true)));
                 }
+                if r.trace {
+                    fields.push(("trace", Json::Bool(true)));
+                }
             }
             Request::Campaign(r) => {
                 fields.push(("spec", r.spec.to_json()));
@@ -337,7 +348,7 @@ impl Request {
                     fields.push(("artifact", Json::str(p.to_string_lossy())));
                 }
             }
-            Request::Stats | Request::List | Request::Shutdown => {}
+            Request::Stats | Request::Metrics | Request::List | Request::Shutdown => {}
         }
         Json::obj(fields)
     }
@@ -403,6 +414,7 @@ impl Request {
                         "fault",
                         "seed",
                         "return_x",
+                        "trace",
                     ],
                 )?;
                 let d = SolveRequest::default();
@@ -467,6 +479,10 @@ impl Request {
                         Some(b) => b.as_bool()?,
                         None => d.return_x,
                     },
+                    trace: match v.get("trace") {
+                        Some(b) => b.as_bool()?,
+                        None => d.trace,
+                    },
                 };
                 req.validate().map_err(|msg| JsonError { offset: 0, msg })?;
                 Ok(Request::Solve(req))
@@ -484,6 +500,10 @@ impl Request {
             "stats" => {
                 check_keys(v, &["cmd", "id"])?;
                 Ok(Request::Stats)
+            }
+            "metrics" => {
+                check_keys(v, &["cmd", "id"])?;
+                Ok(Request::Metrics)
             }
             "list" => {
                 check_keys(v, &["cmd", "id"])?;
@@ -648,6 +668,7 @@ mod tests {
         assert!(!line.contains("precond"), "{line}");
         assert!(!line.contains("detector"), "{line}");
         assert!(!line.contains("return_x"), "{line}");
+        assert!(!line.contains("trace"), "{line}");
     }
 
     #[test]
@@ -713,6 +734,7 @@ mod tests {
             }),
             seed: u64::MAX,
             return_x: true,
+            trace: true,
         });
         let line = req.to_json().to_line();
         assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
@@ -751,6 +773,7 @@ mod tests {
         for req in [
             Request::Campaign(CampaignRequest { spec, artifact: Some(PathBuf::from("a.jsonl")) }),
             Request::Stats,
+            Request::Metrics,
             Request::List,
             Request::Shutdown,
         ] {

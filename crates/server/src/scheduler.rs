@@ -100,7 +100,7 @@ impl Scheduler {
             return Err(SubmitError::Draining);
         }
         if st.queue.len() >= self.shared.capacity {
-            self.shared.metrics.busy_rejects.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.shared.metrics.busy_rejects.inc();
             return Err(SubmitError::Busy);
         }
         st.queue.push_back(job);
@@ -160,10 +160,19 @@ fn dispatch_loop(shared: &Shared) {
             batch
         };
 
-        use std::sync::atomic::Ordering::Relaxed;
-        shared.metrics.batches_dispatched.fetch_add(1, Relaxed);
+        shared.metrics.batches_dispatched.inc();
         if batch.len() > 1 {
-            shared.metrics.batched_solves.fetch_add(batch.len() as u64, Relaxed);
+            shared.metrics.batched_solves.add(batch.len() as u64);
+        }
+        // Batch composition depends on arrival timing, so this is a
+        // Timing-channel event: useful for tuning, never byte-diffed.
+        if sdc_obs::enabled() {
+            static EV_BATCH: sdc_obs::Callsite =
+                sdc_obs::Callsite { name: "sched.batch", channel: sdc_obs::Channel::Timing };
+            sdc_obs::Event::new(&EV_BATCH)
+                .str("matrix", batch[0].matrix_key.clone())
+                .u64("jobs", batch.len() as u64)
+                .emit();
         }
         run_batch(batch);
     }
@@ -217,7 +226,7 @@ mod tests {
         }
         sched.drain();
         assert_eq!(ran.load(Ordering::SeqCst), 10, "drain must finish queued work");
-        assert!(metrics.batches_dispatched.load(Ordering::Relaxed) >= 1);
+        assert!(metrics.batches_dispatched.get() >= 1);
     }
 
     #[test]
@@ -245,8 +254,8 @@ mod tests {
         sched.submit(job("k", || {})).unwrap();
         let err = sched.submit(job("k", || {})).unwrap_err();
         assert_eq!(err, SubmitError::Busy);
-        assert_eq!(metrics.busy_rejects.load(Ordering::Relaxed), 1);
-        assert_eq!(metrics.queue_peak.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.busy_rejects.get(), 1);
+        assert_eq!(metrics.queue_peak.get(), 2);
         release_tx.send(()).unwrap();
         sched.drain();
     }
@@ -284,10 +293,7 @@ mod tests {
         sched.drain();
         // The interleaved a/b queue must have produced at least one
         // multi-job batch (3 "a" jobs were queued together).
-        assert!(
-            metrics.batched_solves.load(Ordering::Relaxed) >= 2,
-            "same-matrix jobs queued together must batch"
-        );
+        assert!(metrics.batched_solves.get() >= 2, "same-matrix jobs queued together must batch");
     }
 
     #[test]

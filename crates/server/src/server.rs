@@ -17,7 +17,6 @@
 use crate::engine::Engine;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -91,14 +90,14 @@ fn accept_loop(
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                engine.metrics.connections_opened.fetch_add(1, Relaxed);
-                engine.metrics.connections_active.fetch_add(1, Relaxed);
+                engine.metrics.connections_opened.inc();
+                engine.metrics.connections_active.inc();
                 let conn_engine = engine.clone();
                 let handle = std::thread::Builder::new()
                     .name("sdc-conn".into())
                     .spawn(move || {
                         let _ = connection(stream, &conn_engine);
-                        conn_engine.metrics.connections_active.fetch_sub(1, Relaxed);
+                        conn_engine.metrics.connections_active.dec();
                     })
                     .expect("cannot spawn connection thread");
                 let mut conns = conns.lock().unwrap_or_else(|e| e.into_inner());

@@ -87,6 +87,61 @@ fn served_solves_match_offline_bitwise_at_two_thread_counts() {
 }
 
 #[test]
+fn traced_preconditioned_solve_matches_offline_bitwise_at_two_thread_counts() {
+    let _guard = sdc_parallel::test_serial_guard();
+    // `trace: true` embeds the solve's Det-channel event stream in the
+    // response, so the byte-diff now covers the trace too: every event
+    // field must be a pure function of the request sequence at any
+    // thread count, served or offline.
+    let raw = [
+        "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+        "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"precond\":\"ilu0\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10,\"detector\":\"restart_inner\",\"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":12},\"trace\":true}",
+        "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"precond\":\"jacobi\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10,\"trace\":true}",
+    ];
+    let mut next = 1u64;
+    let requests: Vec<String> = raw
+        .iter()
+        .map(|l| sdc_server::protocol::assign_id(Json::parse(l).unwrap(), &mut next).to_line())
+        .collect();
+
+    let mut outputs = Vec::new();
+    for threads in [1usize, 3] {
+        sdc_parallel::set_threads(threads);
+        outputs.push((threads, "offline", run_offline(&requests)));
+        outputs.push((threads, "served", run_served(&requests)));
+    }
+    sdc_parallel::set_threads(0);
+
+    let (t0, k0, reference) = &outputs[0];
+    // The faulted ILU(0) solve's trace covers every layer it crossed.
+    let faulted = Json::parse(&reference[1]).unwrap();
+    let trace = faulted.field("result").unwrap().field("trace").unwrap();
+    let lines: Vec<&str> = trace.as_arr().unwrap().iter().map(|l| l.as_str().unwrap()).collect();
+    assert!(!lines.is_empty());
+    for ev in
+        ["gmres.iter", "gmres.done", "fgmres.outer", "fgmres.done", "precond.apply", "fault.inject"]
+    {
+        assert!(
+            lines.iter().any(|l| l.contains(&format!("\"ev\":\"{ev}\""))),
+            "trace must contain {ev} events"
+        );
+    }
+    // The clean Jacobi solve traces applies but no injection.
+    let clean = Json::parse(&reference[2]).unwrap();
+    let trace = clean.field("result").unwrap().field("trace").unwrap();
+    let joined = trace.to_line();
+    assert!(joined.contains("precond.apply"));
+    assert!(!joined.contains("fault.inject"));
+
+    for (t, kind, lines) in &outputs[1..] {
+        assert_eq!(
+            lines, reference,
+            "{kind} at {t} threads must be byte-identical to {k0} at {t0} threads"
+        );
+    }
+}
+
+#[test]
 fn served_campaign_artifact_matches_offline_bitwise_at_two_thread_counts() {
     let _guard = sdc_parallel::test_serial_guard();
     let spec = CampaignSpec {

@@ -64,6 +64,59 @@ fn full_session_load_solve_stats_list() {
 }
 
 #[test]
+fn metrics_request_returns_prometheus_exposition() {
+    let handle = start();
+    let mut c = Client::connect(handle.addr()).expect("connect");
+    call(
+        &mut c,
+        "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+    );
+    let r = call(
+        &mut c,
+        "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,         \"inner_iters\":10,\"detector\":\"restart_inner\",         \"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":12}}",
+    );
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+
+    let r = call(&mut c, "{\"cmd\":\"metrics\",\"id\":7}");
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+    let result = r.field("result").unwrap();
+    let text = result.field("prometheus").unwrap().as_str().unwrap().to_string();
+    for needle in [
+        "# TYPE sdc_requests_total counter",
+        "sdc_requests_total{kind=\"solve\"} 1",
+        "sdc_requests_total{kind=\"metrics\"} 1",
+        "# TYPE sdc_cache_misses_total counter",
+        "sdc_cache_misses_total 1",
+        "# TYPE sdc_queue_depth gauge",
+        "# TYPE sdc_detector_events_total counter",
+        "sdc_injections_committed_total 1",
+        "# TYPE sdc_solve_latency_us histogram",
+        "sdc_solve_latency_us_bucket{le=\"+Inf\"} 1",
+        "sdc_solve_latency_us_count 1",
+        "sdc_matrices_registered 1",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in exposition:\n{text}");
+    }
+    // The flat series map mirrors the text for machine consumers.
+    let series = result.field("series").unwrap();
+    assert_eq!(series.field("sdc_injections_committed_total").unwrap().as_usize().unwrap(), 1);
+    assert_eq!(series.field("sdc_solve_latency_us_count").unwrap().as_usize().unwrap(), 1);
+
+    // Strict parsing applies to the new command as well.
+    let r = call(&mut c, "{\"cmd\":\"metrics\",\"bogus\":1}");
+    assert!(!r.field("ok").unwrap().as_bool().unwrap());
+
+    // The legacy stats object keeps its pre-`metrics` request shape:
+    // the new kind is Prometheus-only, so pinned stats bytes survive.
+    let r = call(&mut c, "{\"cmd\":\"stats\"}");
+    let requests = r.field("result").unwrap().field("requests").unwrap();
+    assert!(requests.get("metrics").is_none(), "{}", requests.to_line());
+    assert_eq!(requests.field("solve").unwrap().as_usize().unwrap(), 1);
+
+    shutdown(handle, &mut c);
+}
+
+#[test]
 fn malformed_frames_get_structured_errors_and_keep_the_connection() {
     let handle = start();
     let mut c = Client::connect(handle.addr()).expect("connect");

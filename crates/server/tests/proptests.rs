@@ -100,13 +100,13 @@ fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
             detector_strategy(),
             lsq_strategy(),
             opt(fault_strategy()),
-            (0u64..u64::MAX, bool_strategy()),
+            (0u64..u64::MAX, bool_strategy(), bool_strategy()),
         ),
     )
         .prop_map(
             |(
                 (matrix, solver, b, tol, maxit, restart),
-                (inner_iters, (format, precond), detector, lsq, fault, (seed, return_x)),
+                (inner_iters, (format, precond), detector, lsq, fault, (seed, return_x, trace)),
             )| {
                 // A precond-target fault needs a preconditioner to
                 // strike; validate() rejects the combination.
@@ -136,6 +136,7 @@ fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
                     fault: if solver == SolverKind::FtGmres { fault } else { None },
                     seed,
                     return_x,
+                    trace,
                 }
             },
         )
@@ -201,6 +202,24 @@ proptest! {
             let e = Request::from_json(&Json::parse(&line).unwrap()).unwrap_err();
             prop_assert!(e.msg.contains("unknown fault target"), "{}", e.msg);
         }
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_on_every_no_payload_command(
+        cmd_idx in 0usize..4,
+        junk_idx in 0usize..8,
+    ) {
+        // Strict parsing: any key outside the command's allow-list is a
+        // structured error, on old commands and the new `metrics` alike.
+        let cmd = ["stats", "metrics", "list", "shutdown"][cmd_idx];
+        let junk = ["threads", "trace", "verbose", "format", "matrix", "extra", "q", "foo_bar"]
+            [junk_idx];
+        let line = format!("{{\"cmd\":\"{cmd}\",\"{junk}\":1}}");
+        let err = Request::from_json(&Json::parse(&line).unwrap());
+        prop_assert!(err.is_err(), "{line} must be rejected");
+        // The bare command still parses.
+        let line = format!("{{\"cmd\":\"{cmd}\"}}");
+        prop_assert!(Request::from_json(&Json::parse(&line).unwrap()).is_ok());
     }
 
     #[test]

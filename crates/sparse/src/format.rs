@@ -11,6 +11,22 @@
 use crate::csr::CsrMatrix;
 use crate::sell::{self, SellMatrix};
 
+/// Kernel/engine selection for one matrix. Deterministic channel: the
+/// choice is a pure function of the matrix and the requested format.
+static EV_FORMAT: sdc_obs::Callsite =
+    sdc_obs::Callsite { name: "spmv.format", channel: sdc_obs::Channel::Det };
+
+fn trace_selection(requested: SparseFormat, chosen: SparseFormat, a: &CsrMatrix) {
+    if sdc_obs::enabled() {
+        sdc_obs::Event::new(&EV_FORMAT)
+            .str("requested", requested.as_str())
+            .str("chosen", chosen.as_str())
+            .u64("rows", a.nrows() as u64)
+            .u64("nnz", a.nnz() as u64)
+            .emit();
+    }
+}
+
 /// The storage-format axis exposed to specs and CLIs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SparseFormat {
@@ -100,7 +116,9 @@ pub enum FormatMatrix {
 impl FormatMatrix {
     /// Commits `a` to `format` (resolving `Auto`), consuming the CSR.
     pub fn from_csr(a: CsrMatrix, format: SparseFormat) -> Self {
-        match format.resolve(&a) {
+        let chosen = format.resolve(&a);
+        trace_selection(format, chosen, &a);
+        match chosen {
             SparseFormat::Sell => FormatMatrix::Sell(SellMatrix::from_csr(&a)),
             _ => FormatMatrix::Csr(a),
         }
@@ -109,7 +127,9 @@ impl FormatMatrix {
     /// Like [`FormatMatrix::from_csr`] but borrowing (clones CSR storage
     /// when the choice is CSR).
     pub fn convert(a: &CsrMatrix, format: SparseFormat) -> Self {
-        match format.resolve(a) {
+        let chosen = format.resolve(a);
+        trace_selection(format, chosen, a);
+        match chosen {
             SparseFormat::Sell => FormatMatrix::Sell(SellMatrix::from_csr(a)),
             _ => FormatMatrix::Csr(a.clone()),
         }
@@ -279,6 +299,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn format_selection_emits_a_deterministic_event() {
+        let sink = std::sync::Arc::new(sdc_obs::trace::TraceSink::new());
+        sdc_obs::with_local(sink.clone(), || {
+            let _ = FormatMatrix::convert(&gallery::poisson2d(100), SparseFormat::Auto);
+        });
+        let det = sink.det_bytes();
+        assert!(det.contains("\"ev\":\"spmv.format\""), "{det}");
+        assert!(det.contains("\"requested\":\"auto\""), "{det}");
+        assert!(det.contains("\"chosen\":\"sell\""), "{det}");
+        assert!(det.contains("\"rows\":10000"), "{det}");
+        assert!(sink.timing_bytes().is_empty());
     }
 
     #[test]

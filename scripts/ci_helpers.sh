@@ -1,0 +1,40 @@
+# Shared shell helpers for CI jobs. Source, don't execute:
+#
+#   . scripts/ci_helpers.sh
+#
+# Everything here is deliberately jq-less. The one JSON reader CI needs
+# is the repo's own `solve-client json-get`, which parses the line and
+# resolves a dotted field path — unlike raw-substring greps (the old
+# `grep -q '"threads":2'`), it cannot match the same bytes inside a
+# string value or a differently-nested field.
+
+# Release solve-client path; override before sourcing if yours differs.
+: "${SOLVE_CLIENT:=./target/release/solve-client}"
+
+# json_field PATH EXPECTED
+#   Reads JSON lines on stdin and asserts that the value at dotted PATH
+#   in every line equals EXPECTED (strings raw, everything else in the
+#   engine's canonical rendering). Fails on a missing field, a
+#   mismatch, or empty input.
+json_field() {
+  "$SOLVE_CLIENT" json-get "$1" --expect "$2" > /dev/null
+}
+
+# json_path PATH
+#   Reads JSON lines on stdin and prints the value at dotted PATH, one
+#   line per input line (strings print raw — a multi-line string stays
+#   multi-line). Fails if the field is missing from any line.
+json_path() {
+  "$SOLVE_CLIENT" json-get "$1"
+}
+
+# prom_family FAMILY FILE
+#   Asserts the Prometheus text exposition in FILE has at least one
+#   sample line for FAMILY (the family name at line start, followed by
+#   a label set, a space, or a histogram suffix).
+prom_family() {
+  if ! grep -Eq "^$1(\\{| |_bucket|_sum|_count)" "$2"; then
+    echo "missing Prometheus family: $1" >&2
+    return 1
+  fi
+}

@@ -2,9 +2,12 @@
 //!
 //! Umbrella crate for the reproduction of Elliott, Hoemmen & Mueller,
 //! *Evaluating the Impact of SDC on the GMRES Iterative Solver*
-//! (IPDPS 2014). It re-exports the seven library crates so applications
+//! (IPDPS 2014). It re-exports the eight library crates so applications
 //! can depend on a single crate:
 //!
+//! * [`obs`] — the observability spine: structured events with a
+//!   deterministic/timing two-channel trace sink and the unified
+//!   metrics registry (Prometheus text exposition).
 //! * [`parallel`] — the execution substrate: a deterministic
 //!   `std::thread` work pool and the canonical tree reduction every
 //!   `par_*` kernel dispatches to (`--threads` / `SDC_THREADS`).
@@ -33,6 +36,7 @@ pub use sdc_campaigns as campaigns;
 pub use sdc_dense as dense;
 pub use sdc_faults as faults;
 pub use sdc_gmres as solvers;
+pub use sdc_obs as obs;
 pub use sdc_parallel as parallel;
 pub use sdc_server as server;
 pub use sdc_sparse as sparse;
