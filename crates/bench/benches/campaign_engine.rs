@@ -21,6 +21,12 @@ fn bench_spec() -> CampaignSpec {
 }
 
 fn bench_engine_vs_raw(c: &mut Criterion) {
+    // Tag every BENCH_JSON line with the host ISA so bench_gate can
+    // flag baselines recorded on a different machine class.
+    criterion::set_dump_context(&[
+        ("isa", sdc_sparse::simd::active().as_str()),
+        ("tier", "strict"),
+    ]);
     let mut g = c.benchmark_group("campaign_engine_overhead");
     g.sample_size(10);
     let spec = bench_spec();

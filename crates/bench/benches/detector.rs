@@ -12,6 +12,10 @@ use sdc_sparse::gallery;
 use std::hint::black_box;
 
 fn bench_detector_overhead(c: &mut Criterion) {
+    criterion::set_dump_context(&[
+        ("isa", sdc_sparse::simd::active().as_str()),
+        ("tier", "strict"),
+    ]);
     let mut g = c.benchmark_group("gmres25_detector");
     g.sample_size(10);
     let a = gallery::poisson2d(50);

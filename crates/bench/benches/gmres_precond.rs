@@ -62,10 +62,11 @@ fn dump_iteration_counts(group: &str, iters: &[(PrecondKind, usize)]) {
     if path.is_empty() {
         return;
     }
+    let isa = sdc_sparse::simd::active().as_str();
     let mut text = String::new();
     for (kind, n) in iters {
         text.push_str(&format!(
-            "{{\"id\":\"{group}/{kind}\",\"samples\":1,\"min_us\":{n},\"median_us\":{n},\"mean_us\":{n}}}\n"
+            "{{\"id\":\"{group}/{kind}\",\"samples\":1,\"min_us\":{n},\"median_us\":{n},\"mean_us\":{n},\"isa\":\"{isa}\",\"tier\":\"strict\"}}\n"
         ));
     }
     let written = std::fs::OpenOptions::new()
@@ -79,6 +80,10 @@ fn dump_iteration_counts(group: &str, iters: &[(PrecondKind, usize)]) {
 }
 
 fn bench_gmres_precond(c: &mut Criterion) {
+    criterion::set_dump_context(&[
+        ("isa", sdc_sparse::simd::active().as_str()),
+        ("tier", "strict"),
+    ]);
     for case in cases() {
         let a = &case.a;
         let ones = vec![1.0; a.ncols()];

@@ -13,6 +13,10 @@ use sdc_sparse::gallery;
 use std::hint::black_box;
 
 fn bench_spmv(c: &mut Criterion) {
+    criterion::set_dump_context(&[
+        ("isa", sdc_sparse::simd::active().as_str()),
+        ("tier", "strict"),
+    ]);
     let mut g = c.benchmark_group("spmv");
     g.sample_size(20);
     for m in [50usize, 100] {

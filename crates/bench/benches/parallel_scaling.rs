@@ -14,6 +14,10 @@ use std::hint::black_box;
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn bench_spmv_scaling(c: &mut Criterion) {
+    criterion::set_dump_context(&[
+        ("isa", sdc_sparse::simd::active().as_str()),
+        ("tier", "strict"),
+    ]);
     // gallery('poisson', 180): n = 32 400, nnz = 161 280 — big enough
     // that par_spmv takes its parallel path.
     let a = sdc_sparse::gallery::poisson2d(180);

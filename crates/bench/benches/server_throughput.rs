@@ -57,6 +57,10 @@ fn solve_request() -> Json {
 /// One connection, sequential round trips: the per-request service
 /// latency floor (queue + dispatch + solve + serialization).
 fn bench_single_connection(c: &mut Criterion) {
+    criterion::set_dump_context(&[
+        ("isa", sdc_sparse::simd::active().as_str()),
+        ("tier", "strict"),
+    ]);
     let mut g = c.benchmark_group("server_solve");
     g.sample_size(10);
     for t in THREAD_COUNTS {

@@ -18,6 +18,10 @@ fn problem() -> (sdc_sparse::CsrMatrix, Vec<f64>) {
 }
 
 fn bench_solvers(c: &mut Criterion) {
+    criterion::set_dump_context(&[
+        ("isa", sdc_sparse::simd::active().as_str()),
+        ("tier", "strict"),
+    ]);
     let mut g = c.benchmark_group("time_to_solution_poisson40");
     g.sample_size(10);
     let (a, b) = problem();

@@ -4,12 +4,20 @@
 //! quick mode (`BENCH_QUICK=1`, same matrices, fewer samples) and fails
 //! on gross slowdowns via the `bench_gate` binary.
 //!
-//! Before timing anything, every SELL product is compared *bitwise*
+//! Four engines per matrix: strict CSR and strict SELL under the
+//! auto-detected ISA, strict SELL under the forced scalar fallback
+//! (`sell_scalar` — the AVX2 speedup witness is the sell/sell_scalar
+//! ratio on poisson180), and the fast-math CSR tier (`csr_fastmath`).
+//!
+//! Before timing anything, every strict product is compared *bitwise*
 //! against the 1-thread CSR result — the bench doubles as an end-to-end
-//! witness of the format/thread determinism contract.
+//! witness of the format/thread/SIMD determinism contract. The
+//! fast-math product is held to a relative-error bound instead; bitwise
+//! equality with strict is exactly what the tier gives up.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sdc_sparse::{auto_format, gallery, CsrMatrix, SellMatrix, SparseFormat};
+use sdc_sparse::simd::{set_mode, SimdMode};
+use sdc_sparse::{auto_format, gallery, CsrMatrix, SellMatrix};
 use std::hint::black_box;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -37,6 +45,22 @@ fn cases() -> Vec<Case> {
     ]
 }
 
+/// The kernel engines under test. `simd` forces a mode for the
+/// duration of the engine's groups (None = leave the active mode).
+struct Engine {
+    name: &'static str,
+    simd: Option<SimdMode>,
+    fastmath: bool,
+    sell: bool,
+}
+
+const ENGINES: [Engine; 4] = [
+    Engine { name: "csr", simd: None, fastmath: false, sell: false },
+    Engine { name: "sell", simd: None, fastmath: false, sell: true },
+    Engine { name: "sell_scalar", simd: Some(SimdMode::Scalar), fastmath: false, sell: true },
+    Engine { name: "csr_fastmath", simd: None, fastmath: true, sell: false },
+];
+
 fn bench_spmv_formats(c: &mut Criterion) {
     for case in cases() {
         let a = &case.a;
@@ -46,6 +70,7 @@ fn bench_spmv_formats(c: &mut Criterion) {
         sdc_parallel::set_threads(1);
         let mut reference = vec![0.0; a.nrows()];
         a.par_spmv(&x, &mut reference);
+        let ref_norm = reference.iter().map(|v| v * v).sum::<f64>().sqrt();
 
         let stats = sdc_sparse::structure::row_length_stats(a);
         println!(
@@ -59,31 +84,61 @@ fn bench_spmv_formats(c: &mut Criterion) {
             auto_format(a)
         );
 
-        for (fmt_name, fmt) in [("csr", SparseFormat::Csr), ("sell", SparseFormat::Sell)] {
-            let mut g = c.benchmark_group(format!("spmv_{fmt_name}_{}", case.name));
+        for engine in &ENGINES {
+            if let Some(mode) = engine.simd {
+                set_mode(mode).expect("scalar fallback always available");
+            }
+            // Tag this engine's BENCH_JSON lines with the ISA it actually
+            // runs and its kernel tier, so baselines regenerated on SIMD
+            // hosts are self-describing and bench_gate can flag a
+            // machine-class mismatch.
+            criterion::set_dump_context(&[
+                ("isa", sdc_sparse::simd::active().as_str()),
+                ("tier", if engine.fastmath { "fast_math" } else { "strict" }),
+            ]);
+            let mut g = c.benchmark_group(format!("spmv_{}_{}", engine.name, case.name));
             g.sample_size(20);
             for t in THREAD_COUNTS {
                 sdc_parallel::set_threads(t);
                 let mut y = vec![0.0; a.nrows()];
-                match fmt {
-                    SparseFormat::Sell => sell.par_spmv(&x, &mut y),
-                    _ => a.par_spmv(&x, &mut y),
+                let run = |y: &mut Vec<f64>| match (engine.sell, engine.fastmath) {
+                    (true, _) => sell.par_spmv(&x, y),
+                    (false, true) => a.par_spmv_fastmath(&x, y),
+                    (false, false) => a.par_spmv(&x, y),
+                };
+                run(&mut y);
+                if engine.fastmath {
+                    // The tier trades bitwise identity for speed; it
+                    // must still land within a tight forward error.
+                    let err = y
+                        .iter()
+                        .zip(&reference)
+                        .map(|(p, q)| (p - q) * (p - q))
+                        .sum::<f64>()
+                        .sqrt();
+                    assert!(
+                        err <= 1e-12 * ref_norm.max(1.0),
+                        "{} fast-math SpMV drifted: ||err|| = {err:e}",
+                        engine.name
+                    );
+                } else {
+                    assert!(
+                        y.iter().zip(&reference).all(|(p, q)| p.to_bits() == q.to_bits()),
+                        "{} SpMV must be bitwise format-, thread- and SIMD-independent",
+                        engine.name
+                    );
                 }
-                assert!(
-                    y.iter().zip(&reference).all(|(p, q)| p.to_bits() == q.to_bits()),
-                    "{fmt_name} SpMV must be bitwise format- and thread-independent"
-                );
                 g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
                     b.iter(|| {
-                        match fmt {
-                            SparseFormat::Sell => sell.par_spmv(black_box(&x), &mut y),
-                            _ => a.par_spmv(black_box(&x), &mut y),
-                        }
+                        run(black_box(&mut y));
                         black_box(y[0])
                     })
                 });
             }
             g.finish();
+            if engine.simd.is_some() {
+                set_mode(SimdMode::Auto).expect("restore auto dispatch");
+            }
         }
         sdc_parallel::set_threads(0);
     }

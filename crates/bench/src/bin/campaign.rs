@@ -43,9 +43,11 @@ fn run_or_resume(resume: bool) {
     .opt("shard", "N", "units per parallel shard/flush (default 64)")
     .opt("trace-out", "PATH", "write per-unit deterministic solve traces (JSONL)")
     .switch("quiet", "suppress progress output")
-    .with_threads();
+    .with_threads()
+    .with_simd();
     let p = cli.parse_env(2);
     p.apply_threads().unwrap_or_else(|e| fail(e));
+    p.apply_simd().unwrap_or_else(|e| fail(e));
     let spec_path = p.path("spec").unwrap_or_else(|| fail("--spec is required"));
     let out = p.path("out").unwrap_or_else(|| fail("--out is required"));
     let spec = load_spec(&spec_path);

@@ -186,12 +186,15 @@ impl CliArgs {
             .with_threads()
             .with_format()
             .with_precond()
+            .with_simd()
     }
 
     /// Builds from a parsed flag set, applying `--threads` to the
-    /// global `sdc_parallel` pool as a side effect.
+    /// global `sdc_parallel` pool and `--simd` to the global kernel
+    /// dispatch as side effects.
     pub fn from_parsed(p: &sdc_campaigns::cli::Parsed) -> Result<Self, String> {
         p.apply_threads()?;
+        p.apply_simd()?;
         Ok(CliArgs {
             quick: p.has("quick"),
             csv_dir: p.path("csv"),

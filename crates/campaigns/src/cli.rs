@@ -88,6 +88,15 @@ impl Cli {
         self.opt("precond", "P", "right preconditioner: none, jacobi, ilu0 or chebyshev")
     }
 
+    /// Declares the workspace-standard `--simd {auto,avx2,scalar}` flag.
+    /// Apply it with [`Parsed::apply_simd`]; precedence is `--simd` >
+    /// `SDC_SIMD` > auto-detection. Every mode computes bitwise-identical
+    /// results — the knob exists for benchmarking and for forcing the
+    /// scalar fallback in CI.
+    pub fn with_simd(self) -> Self {
+        self.opt("simd", "M", "SIMD kernel mode: auto, avx2 or scalar (overrides SDC_SIMD)")
+    }
+
     /// The generated usage text.
     pub fn usage(&self) -> String {
         let mut out = format!("{} — {}\n\nflags:\n", self.program, self.about);
@@ -223,6 +232,23 @@ impl Parsed {
         }
     }
 
+    /// Applies a `--simd` value (declared with [`Cli::with_simd`]) to the
+    /// global kernel dispatch and returns the effective ISA. Without the
+    /// flag the dispatch keeps its `SDC_SIMD` / detection default — so
+    /// precedence is `--simd` > `SDC_SIMD` > auto-detection. An explicit
+    /// `--simd avx2` on a host without AVX2+FMA is an error (unlike the
+    /// env var, which quietly degrades to scalar so one exported
+    /// `SDC_SIMD=avx2` doesn't break mixed fleets).
+    pub fn apply_simd(&self) -> Result<sdc_sparse::simd::Isa, String> {
+        match self.value("simd") {
+            None => Ok(sdc_sparse::simd::active()),
+            Some(raw) => {
+                let mode = sdc_sparse::SimdMode::parse(raw).map_err(|e| format!("--simd: {e}"))?;
+                sdc_sparse::simd::set_mode(mode).map_err(|e| format!("--simd: {e}"))
+            }
+        }
+    }
+
     /// The value of a `--precond` flag (declared with
     /// [`Cli::with_precond`]), defaulting to `none`; a bad value is an
     /// error naming the flag.
@@ -325,6 +351,29 @@ mod tests {
         let err =
             c.parse_from(["--precond", "amg"].map(String::from)).unwrap().precond().unwrap_err();
         assert!(err.contains("--precond"), "{err}");
+    }
+
+    #[test]
+    fn simd_flag_parses_defaults_and_rejects() {
+        use sdc_sparse::simd::{test_mode_guard, Isa};
+        let _guard = test_mode_guard();
+        let c = cli().with_simd();
+        // Forcing scalar always succeeds, on any host.
+        let p = c.parse_from(["--simd", "scalar"].map(String::from)).unwrap();
+        assert_eq!(p.apply_simd().unwrap(), Isa::Scalar);
+        // Without the flag the dispatch default is untouched but reported.
+        let p = c.parse_from([]).unwrap();
+        let isa = p.apply_simd().unwrap();
+        assert!(isa == Isa::Scalar || isa == Isa::Avx2);
+        // Bad values name the flag.
+        let p = c.parse_from(["--simd", "sse9"].map(String::from)).unwrap();
+        let err = p.apply_simd().unwrap_err();
+        assert!(err.contains("--simd"), "{err}");
+        // Explicit avx2 errors (rather than degrading) when unsupported.
+        if sdc_sparse::simd::detected() == Isa::Scalar {
+            let p = c.parse_from(["--simd", "avx2"].map(String::from)).unwrap();
+            assert!(p.apply_simd().is_err());
+        }
     }
 
     #[test]

@@ -451,6 +451,15 @@ pub struct CampaignSpec {
     /// which is why it lives in the spec and therefore in the artifact
     /// header.
     pub precond: PrecondKind,
+    /// Arithmetic contract for the SpMV kernels (`strict` or
+    /// `fast_math`). `strict` — the default, omitted from the JSON so
+    /// legacy specs and artifact headers keep their exact bytes — runs
+    /// the bitwise-reproducible kernels. `fast_math` opts into the
+    /// intra-row-fused CSR kernel: results differ from `strict` (within
+    /// a forward-error bound) but are still deterministic run-to-run and
+    /// host-independent, so fast-math campaigns get their *own* goldens.
+    /// The tier is CSR-only; `fast_math` implies the CSR engine.
+    pub kernel_tier: sdc_sparse::KernelTier,
     /// The scenario grid, as a union of cross-product blocks.
     pub blocks: Vec<GridBlock>,
 }
@@ -470,6 +479,7 @@ impl CampaignSpec {
             norm2_iters: 0,
             format: sdc_sparse::SparseFormat::Auto,
             precond: PrecondKind::None,
+            kernel_tier: sdc_sparse::KernelTier::Strict,
             blocks: vec![GridBlock::undetected_full(), GridBlock::detector_class1()],
         }
     }
@@ -485,6 +495,7 @@ impl CampaignSpec {
             inner_lsq: scenario.lsq.policy(),
             format: self.format,
             precond: self.precond,
+            tier: self.kernel_tier,
         }
     }
 
@@ -500,6 +511,7 @@ impl CampaignSpec {
             inner_lsq: lsq.policy(),
             format: self.format,
             precond: self.precond,
+            tier: self.kernel_tier,
         }
     }
 
@@ -566,6 +578,9 @@ impl CampaignSpec {
         if self.precond != PrecondKind::None {
             fields.push(("precond", Json::str(self.precond.as_str())));
         }
+        if self.kernel_tier != sdc_sparse::KernelTier::Strict {
+            fields.push(("kernel_tier", Json::str(self.kernel_tier.as_str())));
+        }
         Json::obj(fields)
     }
 
@@ -605,6 +620,11 @@ impl CampaignSpec {
                     PrecondKind::parse(p.as_str()?).map_err(|msg| JsonError { offset: 0, msg })?
                 }
                 None => PrecondKind::None,
+            },
+            kernel_tier: match v.get("kernel_tier") {
+                Some(t) => sdc_sparse::KernelTier::parse(t.as_str()?)
+                    .map_err(|msg| JsonError { offset: 0, msg })?,
+                None => sdc_sparse::KernelTier::Strict,
             },
             blocks: v
                 .field("blocks")?
@@ -687,6 +707,7 @@ mod tests {
             norm2_iters: 0,
             format: sdc_sparse::SparseFormat::Auto,
             precond: PrecondKind::None,
+            kernel_tier: sdc_sparse::KernelTier::Strict,
             blocks: vec![GridBlock::undetected_full(), GridBlock::detector_class1()],
         }
     }
@@ -749,6 +770,31 @@ mod tests {
         let bad = sample_spec().to_json().to_line().replacen("{", "{\"precond\":\"amg\",", 1);
         let err = CampaignSpec::parse(&bad).unwrap_err();
         assert!(err.msg.contains("unknown preconditioner 'amg'"), "{}", err.msg);
+    }
+
+    #[test]
+    fn kernel_tier_field_round_trips_and_defaults_to_strict() {
+        use sdc_sparse::KernelTier;
+        // Default (strict) is omitted from the serialization: legacy
+        // specs and artifact headers keep their exact bytes.
+        let spec = sample_spec();
+        assert!(!spec.to_json().to_line().contains("kernel_tier"));
+        assert_eq!(
+            CampaignSpec::parse(&spec.to_json().to_line()).unwrap().kernel_tier,
+            KernelTier::Strict
+        );
+        // The non-default tier round-trips and reaches both configs.
+        let spec = CampaignSpec { kernel_tier: KernelTier::FastMath, ..sample_spec() };
+        let line = spec.to_json().to_line();
+        assert!(line.contains("\"kernel_tier\":\"fast_math\""), "{line}");
+        let back = CampaignSpec::parse(&line).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.campaign_config(&back.scenarios()[0]).tier, KernelTier::FastMath);
+        assert_eq!(back.baseline_config(LsqSpec::Standard).tier, KernelTier::FastMath);
+        // Unknown strings are a structured parse error, not a default.
+        let bad = sample_spec().to_json().to_line().replacen("{", "{\"kernel_tier\":\"loose\",", 1);
+        let err = CampaignSpec::parse(&bad).unwrap_err();
+        assert!(err.msg.contains("unknown kernel tier 'loose'"), "{}", err.msg);
     }
 
     #[test]

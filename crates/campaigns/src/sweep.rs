@@ -43,6 +43,11 @@ pub struct CampaignConfig {
     /// unpreconditioned solver bit-for-bit, including the legacy
     /// Frobenius detector bound.
     pub precond: PrecondKind,
+    /// SpMV kernel tier. `Strict` (the default, elided from specs and
+    /// artifacts) keeps every byte identical to the legacy solver;
+    /// `FastMath` opts into the intra-row-fused CSR kernel, which
+    /// changes solve trajectories and is pinned by its own goldens.
+    pub tier: sdc_sparse::KernelTier,
 }
 
 impl Default for CampaignConfig {
@@ -56,6 +61,7 @@ impl Default for CampaignConfig {
             inner_lsq: LstsqPolicy::Standard,
             format: sdc_sparse::SparseFormat::Auto,
             precond: PrecondKind::None,
+            tier: sdc_sparse::KernelTier::Strict,
         }
     }
 }
@@ -172,14 +178,9 @@ impl SweepResult {
 pub fn failure_free(p: &Problem, cfg: &CampaignConfig) -> SolveReport {
     let pc = cfg.precond(p);
     let ft = cfg.ft_config_with(&p.a, pc);
-    let (_, rep) = sdc_gmres::ftgmres::ftgmres_solve_precond(
-        p.operator(cfg.format),
-        &p.b,
-        None,
-        &ft,
-        pc,
-        &sdc_faults::NoFaults,
-    );
+    let op = p.operator_tiered(cfg.format, cfg.tier);
+    let (_, rep) =
+        sdc_gmres::ftgmres::ftgmres_solve_precond(&op, &p.b, None, &ft, pc, &sdc_faults::NoFaults);
     rep
 }
 
@@ -206,7 +207,7 @@ pub fn run_sweep(
                 class,
                 position,
             };
-            run_experiment(p, &ft, point, cfg.format, pc)
+            run_experiment(p, &ft, point, cfg.format, cfg.tier, pc)
         })
         .collect();
     SweepResult { class, position, failure_free_outer, points }
@@ -217,23 +218,19 @@ pub fn run_sweep(
 /// Both [`run_sweep`] and the campaign executor go through this function,
 /// so a sweep point and the corresponding artifact record are guaranteed
 /// to be the same computation. `format` picks the SpMV engine; results
-/// are bitwise independent of it.
+/// are bitwise independent of it. `tier` picks the arithmetic contract;
+/// `FastMath` results differ from `Strict` (but deterministically so).
 pub fn run_experiment(
     p: &Problem,
     ft: &FtGmresConfig,
     point: CampaignPoint,
     format: sdc_sparse::SparseFormat,
+    tier: sdc_sparse::KernelTier,
     precond: &BuiltPrecond,
 ) -> SweepPoint {
     let inj = point.injector();
-    let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_precond(
-        p.operator(format),
-        &p.b,
-        None,
-        ft,
-        precond,
-        &inj,
-    );
+    let op = p.operator_tiered(format, tier);
+    let (x, rep) = sdc_gmres::ftgmres::ftgmres_solve_precond(&op, &p.b, None, ft, precond, &inj);
     let mut r = vec![0.0; p.b.len()];
     sdc_gmres::operator::residual(&p.a, &p.b, &x, &mut r);
     let true_rel = sdc_dense::vector::nrm2(&r) / sdc_dense::vector::nrm2(&p.b).max(1e-300);
@@ -263,6 +260,7 @@ mod tests {
             inner_lsq: LstsqPolicy::Standard,
             format: sdc_sparse::SparseFormat::Auto,
             precond: PrecondKind::None,
+            tier: sdc_sparse::KernelTier::Strict,
         }
     }
 

@@ -1,0 +1,89 @@
+//! The fast-math kernel tier, end to end over the committed spec
+//! (`specs/smoke_fastmath.json`).
+//!
+//! The tier is *not* bitwise-equal to strict — that is its point — but
+//! it must be exactly reproducible on its own terms: deterministic
+//! run-to-run, byte-identical across SIMD modes (the scalar body fuses
+//! with `f64::mul_add`, the AVX2 body with `vfmadd`; both are correctly
+//! rounded), and pinned by its **own** golden report, separate from the
+//! strict smoke golden. Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sdc_campaigns --test fastmath
+//! ```
+
+use sdc_campaigns::{CampaignData, CampaignSpec, RunOptions};
+use sdc_sparse::simd::{set_mode, test_mode_guard, SimdMode};
+use std::path::{Path, PathBuf};
+
+fn repo_file(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sdc_fastmath_{}_{name}.jsonl", std::process::id()))
+}
+
+fn load_spec() -> CampaignSpec {
+    let text =
+        std::fs::read_to_string(repo_file("specs/smoke_fastmath.json")).expect("spec readable");
+    CampaignSpec::parse(&text).expect("committed spec must parse")
+}
+
+#[test]
+fn committed_spec_opts_into_the_tier() {
+    let spec = load_spec();
+    assert_eq!(spec.kernel_tier, sdc_sparse::KernelTier::FastMath);
+    assert_eq!(spec.format, sdc_sparse::SparseFormat::Csr);
+    // The tier survives the canonical round trip (it is non-default, so
+    // it must appear in the serialized bytes).
+    let line = spec.to_json().to_line();
+    assert!(line.contains("\"kernel_tier\":\"fast_math\""), "{line}");
+    assert_eq!(CampaignSpec::parse(&line).unwrap(), spec);
+}
+
+#[test]
+fn fastmath_artifact_is_simd_mode_invariant_and_matches_golden() {
+    let _guard = test_mode_guard();
+    let spec = load_spec();
+    let quiet = RunOptions { quiet: true, ..Default::default() };
+
+    // Reference artifact under the forced scalar fallback.
+    set_mode(SimdMode::Scalar).unwrap();
+    let scalar_path = tmp("scalar");
+    std::fs::remove_file(&scalar_path).ok();
+    let summary = sdc_campaigns::run(&spec, &scalar_path, false, &quiet).unwrap();
+    assert!(summary.is_complete());
+    let scalar_bytes = std::fs::read(&scalar_path).unwrap();
+
+    // The AVX2 fused kernel must reproduce it byte for byte: vfmadd and
+    // f64::mul_add are both correctly rounded, so the tier's results are
+    // host-independent even though they differ from strict.
+    if set_mode(SimdMode::Avx2).is_ok() {
+        let avx2_path = tmp("avx2");
+        std::fs::remove_file(&avx2_path).ok();
+        sdc_campaigns::run(&spec, &avx2_path, false, &quiet).unwrap();
+        assert_eq!(
+            std::fs::read(&avx2_path).unwrap(),
+            scalar_bytes,
+            "fast-math artifact must not depend on the SIMD mode"
+        );
+        std::fs::remove_file(&avx2_path).ok();
+    }
+
+    // The report is pinned by its own golden, separate from the strict
+    // smoke golden.
+    let data = CampaignData::load(&scalar_path).unwrap();
+    assert!(data.is_complete());
+    let report = sdc_campaigns::render_report(&data);
+    let golden_path = repo_file("tests/golden/smoke_fastmath_report.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &report).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(report, golden, "report drifted from tests/golden/smoke_fastmath_report.txt");
+
+    std::fs::remove_file(&scalar_path).ok();
+}

@@ -44,6 +44,7 @@ pub mod householder;
 pub mod lstsq;
 pub mod matrix;
 pub mod norms;
+pub mod simd;
 pub mod svd;
 pub mod triangular;
 pub mod vector;

@@ -50,6 +50,15 @@ fn dot_rec(x: &[f64], y: &[f64]) -> f64 {
         }
         acc
     } else {
+        // Lane-parallel body for one 4-leaf subtree: four base-64 chains
+        // run in four AVX2 lanes with the identical per-leaf op sequence
+        // and the identical `(s0+s1)+(s2+s3)` combine, so the reduction
+        // stays bitwise-pinned to the scalar tree (see `crate::simd`).
+        if x.len() == 4 * PAIRWISE_BASE {
+            if let Some(v) = crate::simd::dot256(x, y) {
+                return v;
+            }
+        }
         let mid = x.len() / 2;
         dot_rec(&x[..mid], &y[..mid]) + dot_rec(&x[mid..], &y[mid..])
     }
@@ -64,10 +73,14 @@ pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
     dot(x, y)
 }
 
-/// `y ← a·x + y`.
+/// `y ← a·x + y`. Bitwise identical across the scalar and SIMD bodies:
+/// both compute `y[i] + a * x[i]` with separate multiply and add.
 #[inline]
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if crate::simd::axpy4(a, x, y).is_some() {
+        return;
+    }
     for (yi, xi) in y.iter_mut().zip(x.iter()) {
         *yi += a * xi;
     }
@@ -84,9 +97,12 @@ pub fn par_axpy(a: f64, x: &[f64], y: &mut [f64]) {
         .for_each(|(cy, cx)| axpy(a, cx, cy));
 }
 
-/// `x ← a·x`.
+/// `x ← a·x`. Bitwise identical across the scalar and SIMD bodies.
 #[inline]
 pub fn scal(a: f64, x: &mut [f64]) {
+    if crate::simd::scal4(a, x).is_some() {
+        return;
+    }
     for xi in x.iter_mut() {
         *xi *= a;
     }
@@ -234,6 +250,34 @@ mod tests {
         axpy(0.75, &x, &mut y1);
         par_axpy(0.75, &x, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn kernels_bitwise_invariant_across_simd_modes() {
+        use crate::simd::{set_mode, SimdMode};
+        let _guard = crate::simd::test_mode_guard();
+        for n in [0, 1, 63, 255, 256, 257, 8192, 70_000] {
+            let x = seq(n);
+            let y0: Vec<f64> = x.iter().map(|v| v * 1.3 - 0.2).collect();
+            set_mode(SimdMode::Scalar).unwrap();
+            let d_scalar = dot(&x, &y0);
+            let mut ax_scalar = y0.clone();
+            axpy(0.3, &x, &mut ax_scalar);
+            let mut sc_scalar = x.clone();
+            scal(-1.7, &mut sc_scalar);
+            if set_mode(SimdMode::Avx2).is_err() {
+                return; // no AVX2 on this host; nothing to compare.
+            }
+            assert_eq!(d_scalar.to_bits(), dot(&x, &y0).to_bits(), "dot n={n}");
+            let mut ax_simd = y0.clone();
+            axpy(0.3, &x, &mut ax_simd);
+            let mut sc_simd = x.clone();
+            scal(-1.7, &mut sc_simd);
+            for i in 0..n {
+                assert_eq!(ax_scalar[i].to_bits(), ax_simd[i].to_bits(), "axpy n={n} i={i}");
+                assert_eq!(sc_scalar[i].to_bits(), sc_simd[i].to_bits(), "scal n={n} i={i}");
+            }
+        }
     }
 
     #[test]

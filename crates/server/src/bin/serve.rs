@@ -28,11 +28,15 @@ fn main() {
         .opt("port", "N", "bind port; 0 = OS-assigned (default 0)")
         .opt("queue-cap", "N", "solve-queue capacity before busy rejections (default 64)")
         .opt("batch-max", "N", "max same-matrix solves per dispatch (default 8)")
-        .with_threads();
+        .with_threads()
+        .with_simd();
     let p = cli.parse_env(1);
     // The one and only point where the pool size is set for this
-    // process; Engine::new snapshots it and stats reports it.
+    // process; Engine::new snapshots it and stats reports it. Same for
+    // the SIMD kernel mode: resolved once at startup (`--simd` >
+    // `SDC_SIMD` > detection), reported by stats, never per-request.
     p.apply_threads().unwrap_or_else(|e| fail(e));
+    let isa = p.apply_simd().unwrap_or_else(|e| fail(e));
 
     let defaults = EngineConfig::default();
     let cfg = EngineConfig {
@@ -51,8 +55,9 @@ fn main() {
 
     let engine = Arc::new(Engine::new(cfg));
     eprintln!(
-        "serve: threads={} queue_cap={} batch_max={}",
+        "serve: threads={} simd={} queue_cap={} batch_max={}",
         engine.threads(),
+        isa,
         cfg.queue_cap,
         cfg.batch_max
     );

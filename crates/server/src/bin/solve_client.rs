@@ -96,9 +96,11 @@ fn offline() {
     )
     .opt("file", "PATH", "request frames, one JSON object per line")
     .positional()
-    .with_threads();
+    .with_threads()
+    .with_simd();
     let p = cli.parse_env(2);
     p.apply_threads().unwrap_or_else(|e| fail(e));
+    p.apply_simd().unwrap_or_else(|e| fail(e));
     let requests = gather_requests(&p);
     let engine = Engine::new(EngineConfig::default());
     let stdout = std::io::stdout();

@@ -369,6 +369,7 @@ impl Engine {
         // Server-level gauges are set at exposition time so the text is
         // self-describing, like the `stats` object.
         self.metrics.server_threads.set(self.threads as u64);
+        self.metrics.simd_lanes.set(sdc_sparse::simd::active().lanes() as u64);
         self.metrics.queue_capacity.set(self.scheduler.capacity() as u64);
         self.metrics.matrices_registered.set(self.registry.len() as u64);
         self.metrics.draining.set(self.shutdown_requested() as u64);
@@ -384,6 +385,7 @@ impl Engine {
         self.metrics.snapshot(vec![
             ("protocol_version", Json::Num(PROTOCOL_VERSION as f64)),
             ("threads", Json::Num(self.threads as f64)),
+            ("simd", Json::str(sdc_sparse::simd::active().as_str())),
             ("queue_capacity", Json::Num(self.scheduler.capacity() as f64)),
             ("batch_max", Json::Num(self.scheduler.batch_max() as f64)),
             ("matrices", Json::Num(self.registry.len() as f64)),
@@ -447,7 +449,8 @@ fn execute_solve(
     key: &str,
     req: &SolveRequest,
 ) -> Result<(Json, SolveSummary), String> {
-    let op = problem.operator(req.format);
+    let op = problem.operator_tiered(req.format, req.kernel_tier);
+    let op = &op;
     let b: &[f64] = req.b.as_deref().unwrap_or(&problem.b);
     // Built once per (matrix, kind) and cached on the registered
     // problem; an unfactorable matrix surfaces as a structured error.
@@ -541,9 +544,14 @@ fn execute_solve(
         ("solver", Json::str(req.solver.as_str())),
         ("resolved_format", Json::str(problem.resolved_format(req.format).as_str())),
         ("seed", Json::u64(req.seed)),
-        ("summary", sdc_campaigns::summary_json(&summary)),
-        ("true_rel_residual", Json::Num(true_rel)),
     ];
+    // Like the request side, the tier appears in the result only when
+    // non-default, keeping legacy response bytes unchanged.
+    if req.kernel_tier != sdc_sparse::KernelTier::Strict {
+        fields.push(("kernel_tier", Json::str(req.kernel_tier.as_str())));
+    }
+    fields.push(("summary", sdc_campaigns::summary_json(&summary)));
+    fields.push(("true_rel_residual", Json::Num(true_rel)));
     if req.return_x {
         fields.push(("x", Json::Arr(x.iter().map(|&v| Json::Num(v)).collect())));
     }
@@ -618,6 +626,44 @@ mod tests {
         let list = r.field("result").unwrap().field("matrices").unwrap();
         assert_eq!(list.as_arr().unwrap().len(), 1);
         assert_eq!(list.as_arr().unwrap()[0].field("key").unwrap().as_str().unwrap(), key);
+        e.drain();
+    }
+
+    #[test]
+    fn fastmath_solves_are_deterministic_and_isa_invariant() {
+        use sdc_sparse::simd::{set_mode, test_mode_guard, SimdMode};
+        let e = engine();
+        drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+        );
+        let solve = "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-8,\
+             \"maxit\":200,\"inner_iters\":10,\"format\":\"csr\",\"kernel_tier\":\"fast_math\",\
+             \"return_x\":true}";
+        let _guard = test_mode_guard();
+        set_mode(SimdMode::Scalar).unwrap();
+        let (_, r1) = drive(&e, solve);
+        assert!(r1.field("ok").unwrap().as_bool().unwrap(), "{}", r1.to_line());
+        let result = r1.field("result").unwrap();
+        // The tier is part of the result (elided only when strict).
+        assert_eq!(result.field("kernel_tier").unwrap().as_str().unwrap(), "fast_math");
+        assert!(result.field("summary").unwrap().field("converged").unwrap().as_bool().unwrap());
+        // Deterministic run-to-run: the whole canonical frame repeats.
+        let (_, r2) = drive(&e, solve);
+        assert_eq!(r1.to_line(), r2.to_line());
+        // Both fused bodies (scalar mul_add, AVX2 vfmadd) are correctly
+        // rounded, so the response bytes are host/ISA-independent.
+        if set_mode(SimdMode::Avx2).is_ok() {
+            let (_, r3) = drive(&e, solve);
+            assert_eq!(r1.to_line(), r3.to_line());
+        }
+        // Strict solves elide the tier field.
+        let (_, rs) = drive(
+            &e,
+            "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-8,\
+             \"maxit\":200,\"inner_iters\":10}",
+        );
+        assert!(rs.field("result").unwrap().get("kernel_tier").is_none());
         e.drain();
     }
 

@@ -93,6 +93,9 @@ pub struct Metrics {
     pub solve_latency: Histogram,
     /// Frozen worker-pool size (set once by the engine).
     pub server_threads: Gauge,
+    /// Lane width of the active SIMD kernel ISA (4 = AVX2, 1 = scalar
+    /// fallback; set at exposition time like the other server gauges).
+    pub simd_lanes: Gauge,
     /// Solve-queue capacity (set once by the engine).
     pub queue_capacity: Gauge,
     /// Matrices currently registered (set at exposition time).
@@ -168,6 +171,10 @@ impl Metrics {
             solve_latency: r
                 .histogram("sdc_solve_latency_us", "Solve latency (queue wait + solve), in us."),
             server_threads: r.gauge("sdc_threads", "Frozen worker-pool size."),
+            simd_lanes: r.gauge(
+                "sdc_simd_lanes",
+                "Lane width of the active SIMD kernel ISA (1 = scalar fallback).",
+            ),
             queue_capacity: r.gauge("sdc_queue_capacity", "Solve-queue capacity."),
             matrices_registered: r
                 .gauge("sdc_matrices_registered", "Matrices currently in the registry."),

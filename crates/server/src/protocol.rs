@@ -184,6 +184,13 @@ pub struct SolveRequest {
     pub inner_iters: usize,
     /// Sparse storage engine (bitwise-invisible to results).
     pub format: SparseFormat,
+    /// SpMV arithmetic contract (`strict` or `fast_math`). Unlike
+    /// `format`, `fast_math` *does* change the solve's bytes (within a
+    /// forward-error bound, deterministically), so it is part of the
+    /// request, not a server-level knob. Elided from the wire when it is
+    /// the default `strict`. The tier is CSR-only: `fast_math` implies
+    /// the CSR engine.
+    pub kernel_tier: sdc_sparse::KernelTier,
     /// Right preconditioner (`none`, `jacobi`, `ilu0`, `chebyshev`).
     /// Applied as right preconditioning in `gmres`, flexibly in
     /// `fgmres`, and inside the sandboxed inner solves in `ftgmres`.
@@ -217,6 +224,7 @@ impl Default for SolveRequest {
             restart: None,
             inner_iters: 25,
             format: SparseFormat::Auto,
+            kernel_tier: sdc_sparse::KernelTier::Strict,
             precond: PrecondKind::None,
             detector: DetectorPolicy::Off,
             lsq: LsqSpec::Standard,
@@ -320,6 +328,9 @@ impl Request {
                 if r.format != SparseFormat::Auto {
                     fields.push(("format", Json::str(r.format.as_str())));
                 }
+                if r.kernel_tier != sdc_sparse::KernelTier::Strict {
+                    fields.push(("kernel_tier", Json::str(r.kernel_tier.as_str())));
+                }
                 if r.precond != PrecondKind::None {
                     fields.push(("precond", Json::str(r.precond.as_str())));
                 }
@@ -408,6 +419,7 @@ impl Request {
                         "restart",
                         "inner_iters",
                         "format",
+                        "kernel_tier",
                         "precond",
                         "detector",
                         "lsq",
@@ -453,6 +465,11 @@ impl Request {
                         Some(f) => SparseFormat::parse(f.as_str()?)
                             .map_err(|msg| JsonError { offset: 0, msg })?,
                         None => d.format,
+                    },
+                    kernel_tier: match v.get("kernel_tier") {
+                        Some(t) => sdc_sparse::KernelTier::parse(t.as_str()?)
+                            .map_err(|msg| JsonError { offset: 0, msg })?,
+                        None => d.kernel_tier,
                     },
                     precond: match v.get("precond") {
                         Some(p) => PrecondKind::parse(p.as_str()?)
@@ -552,6 +569,14 @@ impl SolveRequest {
                      (precond=jacobi, ilu0 or chebyshev)"
                     .into());
             }
+        }
+        // The fast-math tier is CSR-only; with an explicit SELL engine it
+        // would be silently ignored, which the protocol forbids. (`auto`
+        // stays legal: it resolves per matrix and applies when it picks
+        // CSR.)
+        if self.kernel_tier == sdc_sparse::KernelTier::FastMath && self.format == SparseFormat::Sell
+        {
+            return Err("kernel_tier=fast_math is CSR-only; use format=csr or format=auto".into());
         }
         if self.detector != DetectorPolicy::Off && self.solver == SolverKind::Fgmres {
             return Err("fgmres has no detector hook (its outer loop is the reliable layer); \
@@ -665,6 +690,7 @@ mod tests {
         assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
         // Defaults are elided from the wire form.
         assert!(!line.contains("format"), "{line}");
+        assert!(!line.contains("kernel_tier"), "{line}");
         assert!(!line.contains("precond"), "{line}");
         assert!(!line.contains("detector"), "{line}");
         assert!(!line.contains("return_x"), "{line}");
@@ -722,7 +748,8 @@ mod tests {
             maxit: 150,
             restart: None,
             inner_iters: 25,
-            format: SparseFormat::Sell,
+            format: SparseFormat::Csr,
+            kernel_tier: sdc_sparse::KernelTier::FastMath,
             precond: PrecondKind::Chebyshev,
             detector: DetectorPolicy::RestartInner,
             lsq: LsqSpec::RankRevealing { tol: 1e-12 },
@@ -844,6 +871,14 @@ mod tests {
         })
         .is_ok());
         assert!(ok(&|r| r.b = Some(vec![1.0, f64::NAN])).is_err());
+        // fast_math is CSR-only; an explicit SELL engine would silently
+        // ignore the tier.
+        assert!(ok(&|r| {
+            r.kernel_tier = sdc_sparse::KernelTier::FastMath;
+            r.format = SparseFormat::Sell;
+        })
+        .is_err());
+        assert!(ok(&|r| r.kernel_tier = sdc_sparse::KernelTier::FastMath).is_ok());
         assert!(ok(&|r| r.restart = Some(10)).is_err(), "restart needs solver=gmres");
         assert!(ok(&|r| {
             r.solver = SolverKind::Gmres;

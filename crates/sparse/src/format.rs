@@ -10,19 +10,34 @@
 
 use crate::csr::CsrMatrix;
 use crate::sell::{self, SellMatrix};
+use crate::simd::KernelTier;
 
 /// Kernel/engine selection for one matrix. Deterministic channel: the
-/// choice is a pure function of the matrix and the requested format.
+/// choice is a pure function of the matrix, the requested format and
+/// the kernel tier — never of the host ISA (`auto` resolution feeds the
+/// lane width in, but the det-traced campaigns all sit below
+/// [`AUTO_MIN_NNZ`] or far from the fill boundary, and the golden-gated
+/// CI legs pin that the emitted bytes agree across `SDC_SIMD` modes).
 static EV_FORMAT: sdc_obs::Callsite =
     sdc_obs::Callsite { name: "spmv.format", channel: sdc_obs::Channel::Det };
 
-fn trace_selection(requested: SparseFormat, chosen: SparseFormat, a: &CsrMatrix) {
+/// Emits the deterministic `spmv.format` selection event. Public so
+/// tier-aware callers that commit storage themselves can report through
+/// the same callsite as [`FormatMatrix`].
+pub fn trace_selection(
+    requested: SparseFormat,
+    chosen: SparseFormat,
+    tier: KernelTier,
+    nrows: usize,
+    nnz: usize,
+) {
     if sdc_obs::enabled() {
         sdc_obs::Event::new(&EV_FORMAT)
             .str("requested", requested.as_str())
             .str("chosen", chosen.as_str())
-            .u64("rows", a.nrows() as u64)
-            .u64("nnz", a.nnz() as u64)
+            .str("tier", tier.as_str())
+            .u64("rows", nrows as u64)
+            .u64("nnz", nnz as u64)
             .emit();
     }
 }
@@ -75,9 +90,29 @@ impl std::fmt::Display for SparseFormat {
     }
 }
 
-/// SELL fill ratios above this keep the matrix in CSR: the padded slabs
-/// would stream >25% dead data per apply.
+/// With scalar kernels, SELL fill ratios above this keep the matrix in
+/// CSR: the padded slabs would stream >25% dead data per apply. Wider
+/// kernels tolerate proportionally more padding — see
+/// [`auto_thresholds`].
 pub const AUTO_MAX_FILL: f64 = 1.25;
+
+/// With scalar kernels, matrices under this many nonzeros stay in CSR:
+/// their applies are too cheap for layout to matter. Equal to the
+/// parallel-kernel cutoff so the scalar heuristic and the pool agree on
+/// when SpMV cost becomes interesting.
+pub const AUTO_MIN_NNZ: usize = crate::PAR_SPMV_MIN_NNZ;
+
+/// The `auto` decision thresholds `(min_nnz, max_fill)` for a kernel
+/// of `lanes` independent SIMD lanes. SELL eligibility widens with the
+/// vector width: the lane-parallel kernel pays off on smaller matrices
+/// (`min_nnz` shrinks by the lane count) and amortizes more padding
+/// (the dead-data allowance above 1.0 grows by the lane count — at
+/// AVX2's 4 lanes the fill gate is 2.0), because padding costs scale
+/// with slots streamed while the arithmetic speedup scales with lanes.
+pub fn auto_thresholds(lanes: usize) -> (usize, f64) {
+    let lanes = lanes.max(1);
+    (AUTO_MIN_NNZ / lanes, 1.0 + (AUTO_MAX_FILL - 1.0) * lanes as f64)
+}
 
 /// Picks CSR or SELL (never `Auto`) for a matrix from its row-length
 /// distribution.
@@ -88,13 +123,14 @@ pub const AUTO_MAX_FILL: f64 = 1.25;
 /// variance — uniform rows give exactly 1.0, ragged rows inflate it —
 /// so low-variance matrices (stencils, circulants) go to SELL and
 /// high-variance ones (circuit MNA with dense supply rails) stay in
-/// CSR. Matrices below the parallel-SpMV threshold also stay in CSR:
-/// their applies are too cheap for layout to matter.
+/// CSR. Both cutoffs are SIMD-aware ([`auto_thresholds`]): the wider
+/// the dispatched kernel, the earlier SELL pays.
 pub fn auto_format(a: &CsrMatrix) -> SparseFormat {
-    if a.nnz() < crate::PAR_SPMV_MIN_NNZ {
+    let (min_nnz, max_fill) = auto_thresholds(crate::simd::active().lanes());
+    if a.nnz() < min_nnz {
         return SparseFormat::Csr;
     }
-    if sell::fill_ratio_of(a, sell::DEFAULT_CHUNK, sell::DEFAULT_SIGMA) <= AUTO_MAX_FILL {
+    if sell::fill_ratio_of(a, sell::DEFAULT_CHUNK, sell::DEFAULT_SIGMA) <= max_fill {
         SparseFormat::Sell
     } else {
         SparseFormat::Csr
@@ -117,7 +153,7 @@ impl FormatMatrix {
     /// Commits `a` to `format` (resolving `Auto`), consuming the CSR.
     pub fn from_csr(a: CsrMatrix, format: SparseFormat) -> Self {
         let chosen = format.resolve(&a);
-        trace_selection(format, chosen, &a);
+        trace_selection(format, chosen, KernelTier::Strict, a.nrows(), a.nnz());
         match chosen {
             SparseFormat::Sell => FormatMatrix::Sell(SellMatrix::from_csr(&a)),
             _ => FormatMatrix::Csr(a),
@@ -128,7 +164,7 @@ impl FormatMatrix {
     /// when the choice is CSR).
     pub fn convert(a: &CsrMatrix, format: SparseFormat) -> Self {
         let chosen = format.resolve(a);
-        trace_selection(format, chosen, a);
+        trace_selection(format, chosen, KernelTier::Strict, a.nrows(), a.nnz());
         match chosen {
             SparseFormat::Sell => FormatMatrix::Sell(SellMatrix::from_csr(a)),
             _ => FormatMatrix::Csr(a.clone()),
@@ -238,6 +274,8 @@ mod tests {
 
     #[test]
     fn auto_picks_sell_for_uniform_large_and_csr_for_small() {
+        // Both verdicts hold at every lane width (nnz and fill ratio sit
+        // far from either mode's thresholds), so no mode pin is needed.
         // Poisson 2-D at n = 10 000: 5-point stencil, near-uniform rows.
         let big = gallery::poisson2d(100);
         assert_eq!(auto_format(&big), SparseFormat::Sell);
@@ -264,8 +302,33 @@ mod tests {
         let a = coo.to_csr();
         let ratio =
             crate::sell::fill_ratio_of(&a, crate::sell::DEFAULT_CHUNK, crate::sell::DEFAULT_SIGMA);
-        assert!(ratio > AUTO_MAX_FILL, "fill ratio {ratio} should exceed the gate");
+        // ~4.5: beyond even the widest lane-adjusted gate, so the CSR
+        // verdict is ISA-independent.
+        let (_, widest_fill) = auto_thresholds(crate::simd::Isa::Avx2.lanes());
+        assert!(ratio > widest_fill, "fill ratio {ratio} should exceed the gate {widest_fill}");
         assert_eq!(auto_format(&a), SparseFormat::Csr);
+    }
+
+    #[test]
+    fn auto_min_nnz_boundary_tracks_simd_lanes() {
+        use crate::simd::{set_mode, SimdMode};
+        let _guard = crate::simd::test_mode_guard();
+        // Uniform single-entry rows: fill ratio exactly 1.0, so the nnz
+        // cutoff is the only decision variable.
+        let diag = |n: usize| CsrMatrix::from_diagonal(&vec![1.0; n]);
+        set_mode(SimdMode::Scalar).unwrap();
+        let (min_nnz, _) = auto_thresholds(1);
+        assert_eq!(min_nnz, AUTO_MIN_NNZ);
+        assert_eq!(auto_format(&diag(AUTO_MIN_NNZ - 1)), SparseFormat::Csr);
+        assert_eq!(auto_format(&diag(AUTO_MIN_NNZ)), SparseFormat::Sell);
+        if set_mode(SimdMode::Avx2).is_ok() {
+            // Four lanes: SELL pays off at a quarter of the scalar size.
+            let (min_nnz, max_fill) = auto_thresholds(4);
+            assert_eq!(min_nnz, AUTO_MIN_NNZ / 4);
+            assert!((max_fill - 2.0).abs() < 1e-12);
+            assert_eq!(auto_format(&diag(min_nnz - 1)), SparseFormat::Csr);
+            assert_eq!(auto_format(&diag(min_nnz)), SparseFormat::Sell);
+        }
     }
 
     #[test]
@@ -311,6 +374,7 @@ mod tests {
         assert!(det.contains("\"ev\":\"spmv.format\""), "{det}");
         assert!(det.contains("\"requested\":\"auto\""), "{det}");
         assert!(det.contains("\"chosen\":\"sell\""), "{det}");
+        assert!(det.contains("\"tier\":\"strict\""), "{det}");
         assert!(det.contains("\"rows\":10000"), "{det}");
         assert!(sink.timing_bytes().is_empty());
     }

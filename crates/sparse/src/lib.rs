@@ -47,6 +47,7 @@ pub mod norm_est;
 pub mod ops;
 pub mod perm;
 pub mod sell;
+pub mod simd;
 pub mod structure;
 
 pub use coo::CooMatrix;
@@ -55,6 +56,7 @@ pub use csr::CsrMatrix;
 pub use format::{auto_format, FormatMatrix, SparseFormat};
 pub use ilu::{Ilu0Error, Ilu0Factor};
 pub use sell::SellMatrix;
+pub use simd::{KernelTier, SimdMode};
 
 /// Below this many nonzeros the parallel kernels (`par_spmv` in either
 /// format, `kron` assembly) stay serial: piece handoff on the pool would

@@ -285,10 +285,34 @@ impl SellMatrix {
     /// a corrupted padding slot) cannot leak a spurious `0·∞` into a row.
     #[inline]
     fn chunk_dot(&self, c: usize, x: &[f64], out: &mut [f64]) {
-        out.fill(0.0);
         let base = self.chunk_ptr[c];
         let width = (self.chunk_ptr[c + 1] - base) / self.chunk;
         let row0 = c * self.chunk;
+        // Full C=8 chunks take the lane-parallel AVX2 body when the
+        // dispatcher selected it: one row per SIMD lane, so each row's
+        // op sequence — and hence every output bit — is unchanged (see
+        // `crate::simd`). Partial tail chunks and non-default C fall
+        // through to the scalar kernel.
+        #[cfg(target_arch = "x86_64")]
+        if self.chunk == 8 && out.len() == 8 && crate::simd::active() == crate::simd::Isa::Avx2 {
+            // SAFETY: AVX2 verified by `active()`; the slab bounds come
+            // from `chunk_ptr`, and `out.len() == 8` implies the chunk
+            // has 8 stored rows, so `row_len[row0..row0 + 8]` is in
+            // range.
+            unsafe {
+                crate::simd::avx2::sell_chunk8(
+                    &self.values,
+                    &self.col_idx,
+                    x,
+                    base,
+                    width,
+                    &self.row_len[row0..row0 + 8],
+                    out,
+                );
+            }
+            return;
+        }
+        out.fill(0.0);
         let mut slot = base;
         if self.chunk_sorted[c] {
             // Lengths are non-increasing across lanes, so at depth `k`

@@ -16,12 +16,15 @@
 //! * `BENCH_JSON=path` appends one JSON line per benchmark to `path`:
 //!   `{"id":...,"samples":N,"min_us":...,"median_us":...,"mean_us":...}`.
 //!   The workspace's `bench_gate` binary diffs these dumps against the
-//!   committed `BENCH_*.json` baselines.
+//!   committed `BENCH_*.json` baselines. Bench sources may tag every
+//!   dumped line with extra string fields (host ISA, kernel tier, …)
+//!   via [`set_dump_context`].
 
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
 use std::io::Write;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const DEFAULT_SAMPLE_SIZE: usize = 10;
@@ -32,6 +35,29 @@ pub const QUICK_SAMPLES: usize = 5;
 
 fn quick_mode() -> bool {
     std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// Pre-rendered `,"key":"value"` fragment spliced into every
+/// `BENCH_JSON` line, set once by the bench process.
+static DUMP_CONTEXT: Mutex<String> = Mutex::new(String::new());
+
+/// Tags every subsequent `BENCH_JSON` line with the given string
+/// fields, e.g. `set_dump_context(&[("isa", "avx2")])` turns a dump
+/// line into `{"id":...,"mean_us":...,"isa":"avx2"}`.
+///
+/// Keys and values are spliced into the JSON verbatim, so they must not
+/// contain `"` or `\` — fine for the identifier-shaped tags this is
+/// for. Calling again replaces the whole set; an empty slice clears it.
+pub fn set_dump_context(pairs: &[(&str, &str)]) {
+    let mut rendered = String::new();
+    for (k, v) in pairs {
+        assert!(
+            !k.contains(['"', '\\']) && !v.contains(['"', '\\']),
+            "dump context entries must be plain identifiers: {k:?}={v:?}"
+        );
+        rendered.push_str(&format!(",\"{k}\":\"{v}\""));
+    }
+    *DUMP_CONTEXT.lock().unwrap() = rendered;
 }
 
 /// Identifier for one benchmark: a function name plus an optional
@@ -120,14 +146,16 @@ impl Bencher {
         mean: Duration,
     ) {
         let us = |d: Duration| d.as_secs_f64() * 1e6;
+        let context = DUMP_CONTEXT.lock().unwrap().clone();
         // `{:?}` on f64 prints the shortest round-trip representation.
         let line = format!(
-            "{{\"id\":\"{}\",\"samples\":{},\"min_us\":{:?},\"median_us\":{:?},\"mean_us\":{:?}}}\n",
+            "{{\"id\":\"{}\",\"samples\":{},\"min_us\":{:?},\"median_us\":{:?},\"mean_us\":{:?}{}}}\n",
             self.full_id,
             samples,
             us(min),
             us(median),
-            us(mean)
+            us(mean),
+            context
         );
         let written = std::fs::OpenOptions::new()
             .create(true)
@@ -280,13 +308,16 @@ mod tests {
         assert_eq!(median_of(&mut []), Duration::ZERO);
     }
 
+    /// Serializes the tests that set `BENCH_JSON` / the dump context —
+    /// both are process-global.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn json_dump_appends_one_line_per_bench() {
+        let _env = ENV_LOCK.lock().unwrap();
         let path =
             std::env::temp_dir().join(format!("criterion_dump_{}.jsonl", std::process::id()));
         std::fs::remove_file(&path).ok();
-        // Env var manipulation is test-local; the harness runs tests in
-        // one process, but no other test in this crate reads BENCH_JSON.
         std::env::set_var("BENCH_JSON", &path);
         let mut c = Criterion::default();
         {
@@ -303,5 +334,42 @@ mod tests {
         let mine: Vec<&str> = text.lines().filter(|l| l.contains("\"id\":\"dump/a\"")).collect();
         assert_eq!(mine.len(), 1, "{text}");
         assert!(mine[0].contains("median_us") && mine[0].contains("\"samples\":2"), "{text}");
+    }
+
+    #[test]
+    fn dump_context_tags_every_line() {
+        let _env = ENV_LOCK.lock().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("criterion_context_{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        std::env::set_var("BENCH_JSON", &path);
+        set_dump_context(&[("isa", "avx2"), ("tier", "strict")]);
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("ctx");
+            g.sample_size(2);
+            g.bench_function("a", |b| b.iter(|| std::hint::black_box(2 + 2)));
+            g.finish();
+        }
+        set_dump_context(&[]);
+        std::env::remove_var("BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let mine: Vec<&str> = text.lines().filter(|l| l.contains("\"id\":\"ctx/a\"")).collect();
+        assert_eq!(mine.len(), 1, "{text}");
+        // The tags ride after the timing fields, inside the object.
+        assert!(
+            mine[0].ends_with(",\"isa\":\"avx2\",\"tier\":\"strict\"}"),
+            "context fields missing or misplaced: {}",
+            mine[0]
+        );
+        // Clearing the context restores the stock line shape.
+        assert!(DUMP_CONTEXT.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "plain identifiers")]
+    fn dump_context_rejects_json_breaking_values() {
+        set_dump_context(&[("isa", "av\"x2")]);
     }
 }
