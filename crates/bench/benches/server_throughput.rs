@@ -8,6 +8,12 @@
 //! multi-connection sample exercises the same-matrix batching path via
 //! the load generator.
 //!
+//! A third group exercises the event loop itself at connection scale:
+//! a 256-connection pipelined wave (timed), then a 1024-connection
+//! open-loop run whose p50/p99 land in `BENCH_JSON` as exact
+//! pseudo-samples (`server_open_loop_1024/*`) — the "thousands of
+//! connections on one loop thread" claim, measured.
+//!
 //! `BENCH_server.json` at the repo root commits the baseline medians
 //! (see README "Performance"); the CI `bench-regression` job re-runs
 //! this in quick mode and gates with `bench_gate`. Like the other
@@ -17,15 +23,21 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdc_campaigns::json::Json;
-use sdc_server::{load_gen, serve, Client, Engine, EngineConfig};
+use sdc_server::{load_gen, load_gen_open, serve, Client, Engine, EngineConfig};
 use std::hint::black_box;
+use std::io::Write as _;
 use std::sync::Arc;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 fn start_server(threads: usize) -> sdc_server::ServerHandle {
     sdc_parallel::set_threads(threads);
-    let engine = Arc::new(Engine::new(EngineConfig { threads: 0, queue_cap: 64, batch_max: 8 }));
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 0,
+        queue_cap: 64,
+        batch_max: 8,
+        shard: None,
+    }));
     serve(engine, "127.0.0.1:0").expect("bind")
 }
 
@@ -104,5 +116,92 @@ fn bench_concurrent_connections(c: &mut Criterion) {
     sdc_parallel::set_threads(0);
 }
 
-criterion_group!(benches, bench_single_connection, bench_concurrent_connections);
+/// Appends latency percentiles to `BENCH_JSON` as exact pseudo-samples
+/// (same shape `gmres_precond` uses for iteration counts).
+fn dump_percentiles(group: &str, report: &sdc_server::LoadReport) {
+    let Ok(path) = std::env::var("BENCH_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let isa = sdc_sparse::simd::active().as_str();
+    let mut text = String::new();
+    for (name, v) in
+        [("p50_us", report.percentile_us(50.0)), ("p99_us", report.percentile_us(99.0))]
+    {
+        text.push_str(&format!(
+            "{{\"id\":\"{group}/{name}\",\"samples\":{n},\"min_us\":{v},\"median_us\":{v},\"mean_us\":{v},\"isa\":\"{isa}\",\"tier\":\"latency\"}}\n",
+            n = report.completed,
+        ));
+    }
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(text.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("server_throughput: cannot append BENCH_JSON to {path}: {e}");
+    }
+}
+
+/// The event loop at connection scale. The timed unit multiplexes a
+/// pipelined stats wave across 256 persistent connections on one
+/// client thread — pure loop dispatch, no solver time. The untimed
+/// 1024-connection open-loop wave of real solves dumps its p50/p99.
+fn bench_many_connections(c: &mut Criterion) {
+    sdc_server::netpoll::ensure_fd_limit(8192);
+    let quick = std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+
+    let handle = start_server(1);
+    let addr = handle.addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    load_poisson(&mut setup);
+
+    let mut conns: Vec<Client> =
+        (0..256).map(|_| Client::connect(addr).expect("connect wave")).collect();
+    let stats = "{\"cmd\":\"stats\"}";
+    let mut g = c.benchmark_group("server_conns");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("wave256"), |b| {
+        b.iter(|| {
+            for conn in conns.iter_mut() {
+                conn.send_line(stats).expect("send");
+            }
+            for conn in conns.iter_mut() {
+                black_box(conn.read_frame().expect("read").expect("frame"));
+            }
+        })
+    });
+    g.finish();
+    drop(conns);
+
+    // Open-loop: 1024 connections, fixed aggregate arrival rate, small
+    // solves; latency measured from scheduled send times. Quick mode
+    // trims the per-connection request count, not the connection count
+    // (the scale is the point).
+    let small = Json::parse(
+        "{\"cmd\":\"load_matrix\",\"name\":\"small\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+    )
+    .unwrap();
+    let r = setup.call(&small).expect("load small");
+    assert!(r.field("ok").unwrap().as_bool().unwrap());
+    let solve = Json::parse(
+        "{\"cmd\":\"solve\",\"matrix\":\"small\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":200}",
+    )
+    .unwrap();
+    let requests = if quick { 1 } else { 3 };
+    let report = load_gen_open(addr, 1024, requests, 1000.0, &solve).expect("open-loop load gen");
+    assert_eq!(report.completed, 1024 * requests, "all open-loop solves must succeed");
+    eprintln!("server_open_loop_1024: {}", report.render());
+    dump_percentiles("server_open_loop_1024", &report);
+
+    shutdown(handle);
+    sdc_parallel::set_threads(0);
+}
+
+criterion_group!(
+    benches,
+    bench_single_connection,
+    bench_concurrent_connections,
+    bench_many_connections
+);
 criterion_main!(benches);

@@ -2,18 +2,26 @@
 //!
 //! ```text
 //! serve [--addr HOST] [--port N] [--threads N] [--queue-cap N] [--batch-max N]
+//!       [--shard I/N] [--max-frame BYTES]
 //! ```
 //!
 //! Binds `HOST:PORT` (default `127.0.0.1:0`, an OS-assigned port),
 //! prints `listening on HOST:PORT` on stdout, and serves until a client
 //! sends `shutdown` — then drains the solve queue and exits.
 //!
+//! `--shard I/N` makes this process shard `I` of an `N`-way cluster: it
+//! owns the references that hash to `I` (`fnv1a64(ref) % N`), serves
+//! replicas pushed to it via `replicate`, and answers `wrong_shard`
+//! (with the owner index) for everything else. Start N identical
+//! processes with `--shard 0/N .. (N-1)/N` and point
+//! `solve-client cluster` at all of them.
+//!
 //! The worker-pool size is read **once** here, before the engine is
 //! built (`--threads` > `SDC_THREADS` > hardware default), and reported
 //! by `stats` for the lifetime of the process; no request can change it.
 
 use sdc_campaigns::cli::Cli;
-use sdc_server::{serve, Engine, EngineConfig};
+use sdc_server::{serve_with, Engine, EngineConfig, ServerOptions, ShardSpec};
 use std::io::Write;
 use std::sync::Arc;
 
@@ -28,6 +36,8 @@ fn main() {
         .opt("port", "N", "bind port; 0 = OS-assigned (default 0)")
         .opt("queue-cap", "N", "solve-queue capacity before busy rejections (default 64)")
         .opt("batch-max", "N", "max same-matrix solves per dispatch (default 8)")
+        .opt("shard", "I/N", "serve as shard I of an N-way cluster (default: standalone)")
+        .opt("max-frame", "BYTES", "largest accepted request frame (default 8388608)")
         .with_threads()
         .with_simd();
     let p = cli.parse_env(1);
@@ -39,6 +49,7 @@ fn main() {
     let isa = p.apply_simd().unwrap_or_else(|e| fail(e));
 
     let defaults = EngineConfig::default();
+    let shard = p.value("shard").map(|s| ShardSpec::parse(s).unwrap_or_else(|e| fail(e)));
     let cfg = EngineConfig {
         threads: 0, // snapshot what apply_threads just established
         queue_cap: p
@@ -49,19 +60,33 @@ fn main() {
             .get::<usize>("batch-max")
             .unwrap_or_else(|e| fail(e))
             .unwrap_or(defaults.batch_max),
+        shard,
+    };
+    let opt_defaults = ServerOptions::default();
+    let opts = ServerOptions {
+        max_frame: p
+            .get::<usize>("max-frame")
+            .unwrap_or_else(|e| fail(e))
+            .unwrap_or(opt_defaults.max_frame),
+        ..opt_defaults
     };
     let addr = p.value("addr").unwrap_or("127.0.0.1");
     let port = p.get::<u16>("port").unwrap_or_else(|e| fail(e)).unwrap_or(0);
 
+    // One loop thread plus a bounded pool; the fd budget is the real
+    // per-connection cost, so raise the soft limit up front.
+    sdc_server::netpoll::ensure_fd_limit(16 * 1024);
+
     let engine = Arc::new(Engine::new(cfg));
     eprintln!(
-        "serve: threads={} simd={} queue_cap={} batch_max={}",
+        "serve: threads={} simd={} queue_cap={} batch_max={} shard={}",
         engine.threads(),
         isa,
         cfg.queue_cap,
-        cfg.batch_max
+        cfg.batch_max,
+        shard.map_or("none".to_string(), |s| s.to_string()),
     );
-    let handle = serve(engine, &format!("{addr}:{port}")).unwrap_or_else(|e| fail(e));
+    let handle = serve_with(engine, &format!("{addr}:{port}"), opts).unwrap_or_else(|e| fail(e));
     // The machine-readable line scripts and CI wait for.
     println!("listening on {}", handle.addr());
     std::io::stdout().flush().ok();

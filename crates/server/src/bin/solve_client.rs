@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! solve-client send     --addr HOST:PORT [--file reqs.jsonl] [REQUEST_JSON ...]
+//! solve-client cluster  --addrs A:P0,A:P1,... [--file reqs.jsonl] [REQUEST_JSON ...]
 //! solve-client offline  [--threads N] [--file reqs.jsonl] [REQUEST_JSON ...]
-//! solve-client bench    --addr HOST:PORT [--connections N] [--requests M] [--m SIZE] [--metrics-out PATH]
+//! solve-client route    --shards N REFERENCE [REFERENCE ...]
+//! solve-client bench    --addr HOST:PORT [--connections N] [--requests M] [--m SIZE]
+//!                       [--open-loop RATE_HZ] [--metrics-out PATH]
 //! solve-client json-get PATH.TO.FIELD [--expect VALUE]
 //! ```
 //!
@@ -14,10 +17,20 @@
 //! determinism check CI runs. Both assign sequential `id`s to frames
 //! that lack one, so outputs line up.
 //!
+//! `cluster` is `send` against an N-shard cluster: every frame routes
+//! to the shard owning its reference (`fnv1a64(ref) % N`), campaigns
+//! pin to shard 0, and stats/metrics/list/shutdown broadcast. Routed
+//! per-request output is byte-identical to `offline`, so the same diff
+//! works at any shard count. `route` prints the owner index for each
+//! reference (the same hash scripts can't easily compute).
+//!
 //! `bench` is the load generator: it registers a Poisson matrix, then
 //! drives N connections × M FT-GMRES solves and prints latency
-//! percentiles and throughput; `--metrics-out` additionally fetches the
-//! server's `metrics` snapshot and dumps every series as a
+//! percentiles and throughput. `--open-loop RATE_HZ` switches from
+//! closed-loop (each connection sends as fast as responses return) to a
+//! fixed arrival schedule measured from intended send times — the
+//! coordinated-omission-free view. `--metrics-out` additionally fetches
+//! the server's `metrics` snapshot and dumps every series as a
 //! `BENCH_JSON`-shaped JSONL file the `bench_gate` binary can gate
 //! (counter series use a zero baseline as an exact-count gate).
 //!
@@ -29,7 +42,9 @@
 
 use sdc_campaigns::cli::Cli;
 use sdc_campaigns::json::Json;
-use sdc_server::{load_gen, protocol, Client, Engine, EngineConfig};
+use sdc_server::{
+    load_gen, load_gen_open, protocol, shard_of, Client, ClusterClient, Engine, EngineConfig,
+};
 use std::io::{BufRead, Write};
 
 fn fail(msg: impl std::fmt::Display) -> ! {
@@ -89,6 +104,58 @@ fn send() {
     out.flush().ok();
 }
 
+fn cluster() {
+    let cli = Cli::new(
+        "solve-client cluster",
+        "play request frames against an N-shard cluster as one service",
+    )
+    .opt("addrs", "A:P0,A:P1,...", "comma-separated shard addresses, index order (required)")
+    .opt("file", "PATH", "request frames, one JSON object per line")
+    .positional();
+    let p = cli.parse_env(2);
+    let addrs: Vec<String> = p
+        .value("addrs")
+        .unwrap_or_else(|| fail("--addrs is required"))
+        .split(',')
+        .map(|a| a.trim().to_string())
+        .filter(|a| !a.is_empty())
+        .collect();
+    let requests = gather_requests(&p);
+    let mut cluster = ClusterClient::connect(&addrs).unwrap_or_else(|e| fail(e));
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for req in &requests {
+        let frames = cluster.request_lines(req).unwrap_or_else(|e| fail(e));
+        for frame in frames {
+            writeln!(out, "{frame}").unwrap_or_else(|e| fail(e));
+        }
+    }
+    out.flush().ok();
+}
+
+fn route() {
+    let cli = Cli::new(
+        "solve-client route",
+        "print the owning shard index for each reference (fnv1a64(ref) % N)",
+    )
+    .opt("shards", "N", "cluster size (required)")
+    .positional();
+    let p = cli.parse_env(2);
+    let shards = p
+        .get::<u64>("shards")
+        .unwrap_or_else(|e| fail(e))
+        .unwrap_or_else(|| fail("--shards is required"));
+    if shards == 0 {
+        fail("--shards must be >= 1");
+    }
+    if p.positional.is_empty() {
+        fail("at least one reference is required");
+    }
+    for reference in &p.positional {
+        println!("{}", shard_of(reference, shards));
+    }
+}
+
 fn offline() {
     let cli = Cli::new(
         "solve-client offline",
@@ -123,6 +190,7 @@ fn bench() {
         .opt("requests", "M", "requests per connection (default 25)")
         .opt("m", "SIZE", "Poisson grid side for the workload matrix (default 24)")
         .opt("inner", "N", "inner iterations per outer (default 10)")
+        .opt("open-loop", "RATE_HZ", "fixed aggregate arrival rate instead of closed-loop")
         .opt("metrics-out", "PATH", "dump the server metrics snapshot as BENCH_JSON-shaped JSONL")
         .with_precond();
     let p = cli.parse_env(2);
@@ -156,10 +224,24 @@ fn bench() {
     ))
     .expect("static frame");
 
-    eprintln!(
-        "bench: {connections} connections x {requests} requests, poisson m={m}, inner={inner}, precond={precond}"
-    );
-    let report = load_gen(addr, connections, requests, &solve).unwrap_or_else(|e| fail(e));
+    let open_loop = p.get::<f64>("open-loop").unwrap_or_else(|e| fail(e));
+    let report = match open_loop {
+        Some(rate) => {
+            sdc_server::netpoll::ensure_fd_limit(connections as u64 + 64);
+            eprintln!(
+                "bench: {connections} connections x {requests} requests @ {rate} req/s open-loop, \
+                 poisson m={m}, inner={inner}, precond={precond}"
+            );
+            load_gen_open(addr, connections, requests, rate, &solve).unwrap_or_else(|e| fail(e))
+        }
+        None => {
+            eprintln!(
+                "bench: {connections} connections x {requests} requests, poisson m={m}, \
+                 inner={inner}, precond={precond}"
+            );
+            load_gen(addr, connections, requests, &solve).unwrap_or_else(|e| fail(e))
+        }
+    };
     println!("{}", report.render());
 
     if let Some(path) = p.path("metrics-out") {
@@ -256,12 +338,14 @@ fn main() {
     let sub = std::env::args().nth(1).unwrap_or_default();
     match sub.as_str() {
         "send" => send(),
+        "cluster" => cluster(),
+        "route" => route(),
         "offline" => offline(),
         "bench" => bench(),
         "json-get" => json_get(),
         other => {
             eprintln!(
-                "usage: solve-client <send|offline|bench|json-get> [flags]\n\
+                "usage: solve-client <send|cluster|route|offline|bench|json-get> [flags]\n\
                  (got '{other}'; each subcommand supports --help)"
             );
             std::process::exit(2);

@@ -3,10 +3,11 @@
 //! `server_throughput` criterion bench.
 
 use crate::protocol::is_final_frame;
+use crate::shard::{route_frame, shard_of, Routing};
 use sdc_campaigns::json::Json;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::time::Instant;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A blocking client connection.
 pub struct Client {
@@ -23,6 +24,8 @@ pub enum ClientError {
     Closed,
     /// A response line was not valid JSON (should never happen).
     BadFrame(String),
+    /// A frame could not be routed deterministically in cluster mode.
+    Routing(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -31,6 +34,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io error: {e}"),
             ClientError::Closed => write!(f, "server closed the connection"),
             ClientError::BadFrame(l) => write!(f, "unparseable response frame: {l}"),
+            ClientError::Routing(msg) => write!(f, "routing error: {msg}"),
         }
     }
 }
@@ -49,6 +53,18 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    /// Connects to a `host:port` string (used by peer-to-peer
+    /// replication, where shard addresses arrive as text).
+    pub fn connect_str(addr: &str) -> std::io::Result<Self> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("address '{addr}' did not resolve"),
+            )
+        })?;
+        Self::connect(resolved)
     }
 
     /// Sends one raw frame (a single line, no newline).
@@ -124,6 +140,82 @@ impl Client {
     }
 }
 
+/// A client that addresses an N-shard cluster as one service.
+///
+/// Frames are routed with [`route_frame`]: reference-carrying commands
+/// go to `shard_of(reference, N)`, campaigns pin to shard 0, and
+/// stats/metrics/list/shutdown broadcast to every shard in index
+/// order. Response bytes are concatenated in deterministic order, so a
+/// request file played through a cluster of any size produces the same
+/// per-request frames as `solve-client offline` (broadcast commands
+/// yield one frame per shard).
+pub struct ClusterClient {
+    addrs: Vec<String>,
+    shards: Vec<Client>,
+}
+
+impl ClusterClient {
+    /// Connects to every shard, in index order.
+    pub fn connect(addrs: &[String]) -> Result<Self, ClientError> {
+        if addrs.is_empty() {
+            return Err(ClientError::Routing("cluster needs at least one shard address".into()));
+        }
+        let shards =
+            addrs.iter().map(|a| Client::connect_str(a)).collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Self { addrs: addrs.to_vec(), shards })
+    }
+
+    /// Number of shards in the cluster.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index that owns `reference` in this cluster.
+    pub fn owner_of(&self, reference: &str) -> usize {
+        shard_of(reference, self.shards.len() as u64) as usize
+    }
+
+    /// Sends one raw frame to the shard(s) it routes to and collects
+    /// every response frame, in deterministic order.
+    ///
+    /// Unparseable lines go to shard 0 so the server's structured
+    /// `bad_request` answer matches offline mode byte for byte.
+    /// `replicate` frames without an explicit `peers` list get the
+    /// other shards' addresses filled in automatically.
+    pub fn request_lines(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
+        let Ok(mut frame) = Json::parse(line) else {
+            return self.shards[0].request_lines(line);
+        };
+        let routing = route_frame(&frame).map_err(ClientError::Routing)?;
+        match routing {
+            Routing::Reference(reference) => {
+                let owner = self.owner_of(&reference);
+                let is_replicate =
+                    frame.get("cmd").and_then(|j| j.as_str().ok()) == Some("replicate");
+                if is_replicate && frame.get("peers").is_none() && self.shards.len() > 1 {
+                    let peers: Vec<Json> = (0..self.addrs.len())
+                        .filter(|&i| i != owner)
+                        .map(|i| Json::str(self.addrs[i].clone()))
+                        .collect();
+                    if let Json::Obj(m) = &mut frame {
+                        m.insert("peers".to_string(), Json::Arr(peers));
+                    }
+                    return self.shards[owner].request_lines(&frame.to_line());
+                }
+                self.shards[owner].request_lines(line)
+            }
+            Routing::Pinned => self.shards[0].request_lines(line),
+            Routing::Broadcast => {
+                let mut out = Vec::new();
+                for shard in &mut self.shards {
+                    out.extend(shard.request_lines(line)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
 /// Aggregated load-generator results.
 #[derive(Clone, Debug)]
 pub struct LoadReport {
@@ -195,6 +287,78 @@ pub fn load_gen(
                     let t = Instant::now();
                     let resp = client.request_lines(&line)?;
                     let us = t.elapsed().as_micros() as f64;
+                    let last = resp.last().expect("request_lines is non-empty");
+                    if last.contains("\"ok\":true") {
+                        latencies.push(us);
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                Ok((latencies, rejected))
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut rejected = 0usize;
+    for w in workers {
+        let (l, r) = w
+            .join()
+            .map_err(|_| ClientError::Io(std::io::Error::other("load-gen worker panicked")))??;
+        latencies.extend(l);
+        rejected += r;
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    Ok(LoadReport {
+        completed: latencies.len(),
+        rejected,
+        latencies_us: latencies,
+        wall_s: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Open-loop load generator: `connections` connections together issue
+/// `rate_hz` requests per second on a fixed schedule, regardless of how
+/// fast responses come back. Latency for each request is measured from
+/// its *scheduled* send time, so a server that falls behind accrues
+/// queueing delay instead of silently throttling the workload (the
+/// coordinated-omission fix). Connection `c` owns the schedule slots
+/// `c, c+connections, c+2·connections, …`.
+pub fn load_gen_open(
+    addr: SocketAddr,
+    connections: usize,
+    requests_per_connection: usize,
+    rate_hz: f64,
+    req: &Json,
+) -> Result<LoadReport, ClientError> {
+    let connections = connections.max(1);
+    let rate = if rate_hz > 0.0 {
+        rate_hz
+    } else {
+        return Err(ClientError::Routing("open-loop rate must be > 0".into()));
+    };
+    let started = Instant::now();
+    let line = req.to_line();
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(connections));
+    let workers: Vec<_> = (0..connections)
+        .map(|c| {
+            let line = line.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || -> Result<(Vec<f64>, usize), ClientError> {
+                let mut client = Client::connect(addr)?;
+                barrier.wait();
+                let t0 = Instant::now();
+                let mut latencies = Vec::with_capacity(requests_per_connection);
+                let mut rejected = 0usize;
+                for k in 0..requests_per_connection {
+                    let slot = c as f64 + (k * connections) as f64;
+                    let due = Duration::from_secs_f64(slot / rate);
+                    if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let scheduled = t0 + due;
+                    let resp = client.request_lines(&line)?;
+                    let us = scheduled.elapsed().as_micros() as f64;
                     let last = resp.last().expect("request_lines is non-empty");
                     if last.contains("\"ok\":true") {
                         latencies.push(us);

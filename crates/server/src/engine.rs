@@ -16,10 +16,11 @@
 use crate::metrics::Metrics;
 use crate::protocol::{
     error_response, event_response, ok_response, CampaignRequest, ErrorCode, LoadMatrixRequest,
-    MatrixSource, Request, SolveRequest, SolverKind, PROTOCOL_VERSION,
+    MatrixSource, ReplicateRequest, Request, SolveRequest, SolverKind, PROTOCOL_VERSION,
 };
 use crate::registry::MatrixRegistry;
 use crate::scheduler::{Scheduler, SolveJob, SubmitError};
+use crate::shard::{shard_of, ShardSpec};
 use sdc_campaigns::json::{fmt_f64, Json};
 use sdc_campaigns::{Problem, RunOptions};
 use sdc_faults::campaign::{CampaignPoint, FaultTarget};
@@ -28,6 +29,12 @@ use sdc_gmres::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
+
+/// How the event loop receives frames from the engine: `emit(frame,
+/// last)` is called once per streamed event (`last = false`) and
+/// exactly once with the final frame (`last = true`). `Arc` because
+/// long-running commands move it onto worker/background threads.
+pub type Emit = Arc<dyn Fn(Json, bool) + Send + Sync>;
 
 /// Engine construction knobs.
 #[derive(Clone, Copy, Debug)]
@@ -42,11 +49,15 @@ pub struct EngineConfig {
     pub queue_cap: usize,
     /// Max same-matrix solves per scheduler dispatch.
     pub batch_max: usize,
+    /// Cluster identity (`--shard i/N`). `None` (the default) serves
+    /// the whole key space; `Some` makes the engine refuse references
+    /// owned by other shards with `wrong_shard` (replicas excepted).
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        Self { threads: 0, queue_cap: 64, batch_max: 8 }
+        Self { threads: 0, queue_cap: 64, batch_max: 8, shard: None }
     }
 }
 
@@ -62,6 +73,11 @@ pub struct Engine {
     /// Serializes campaign jobs: two concurrent jobs could otherwise
     /// race on one artifact file.
     campaign_lock: Mutex<()>,
+    /// Cluster identity (None = unsharded).
+    shard: Option<ShardSpec>,
+    /// Threads running long commands dispatched from the async path
+    /// (campaigns, replications); joined by [`Engine::drain`].
+    background: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl Engine {
@@ -75,6 +91,8 @@ impl Engine {
             sdc_parallel::threads()
         };
         let metrics = Arc::new(Metrics::new());
+        metrics.shard_index.set(cfg.shard.map_or(0, |s| s.index));
+        metrics.shard_count.set(cfg.shard.map_or(1, |s| s.count));
         Self {
             registry: MatrixRegistry::new(),
             metrics: metrics.clone(),
@@ -82,6 +100,8 @@ impl Engine {
             threads,
             shutdown: AtomicBool::new(false),
             campaign_lock: Mutex::new(()),
+            shard: cfg.shard,
+            background: Mutex::new(Vec::new()),
         }
     }
 
@@ -90,14 +110,32 @@ impl Engine {
         self.threads
     }
 
+    /// The cluster identity this engine was built with.
+    pub fn shard(&self) -> Option<ShardSpec> {
+        self.shard
+    }
+
     /// True once a `shutdown` request was processed.
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Relaxed)
     }
 
-    /// Finishes all queued solves and stops the scheduler.
+    /// Finishes all queued solves, joins background command threads and
+    /// stops the scheduler. Idempotent.
     pub fn drain(&self) {
         self.scheduler.drain();
+        let jobs = std::mem::take(&mut *self.background.lock().unwrap_or_else(|e| e.into_inner()));
+        for j in jobs {
+            let _ = j.join();
+        }
+    }
+
+    /// Runs `f` on a tracked background thread (joined by `drain`),
+    /// sweeping already-finished handles so the list stays bounded.
+    fn spawn_background(&self, f: impl FnOnce() + Send + 'static) {
+        let mut jobs = self.background.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.retain(|j| !j.is_finished());
+        jobs.push(std::thread::Builder::new().name("sdc-bg".into()).spawn(f).expect("spawn"));
     }
 
     /// Handles one raw frame. Event frames stream through `sink`; the
@@ -128,18 +166,36 @@ impl Engine {
     /// Handles one parsed request.
     pub fn handle(&self, req: &Request, id: Option<&Json>, sink: &mut dyn FnMut(&Json)) -> Json {
         self.metrics.count_request(req.cmd());
-        // Once draining, only observation and (idempotent) shutdown are
-        // served; new work of any kind — not just solves — is refused,
-        // so a drain cannot be delayed indefinitely.
+        if let Some(refusal) = self.drain_gate(req, id) {
+            return refusal;
+        }
+        match req {
+            Request::Solve(r) => self.handle_solve(r, id),
+            Request::Campaign(r) => self.handle_campaign(r, id, sink),
+            Request::Replicate(r) => self.handle_replicate(r, id),
+            other => self.handle_quick(other, id),
+        }
+    }
+
+    /// The drain policy: once draining, only observation and
+    /// (idempotent) shutdown are served; new work of any kind — not
+    /// just solves — is refused, so a drain cannot be delayed
+    /// indefinitely.
+    fn drain_gate(&self, req: &Request, id: Option<&Json>) -> Option<Json> {
         if self.shutdown_requested()
             && !matches!(req, Request::Stats | Request::Metrics | Request::List | Request::Shutdown)
         {
-            return error_response(id, ErrorCode::ShuttingDown, "server is draining");
+            return Some(error_response(id, ErrorCode::ShuttingDown, "server is draining"));
         }
+        None
+    }
+
+    /// The commands that complete without blocking on solvers, peers or
+    /// worker threads. Callers must have already counted the request
+    /// and applied [`Engine::drain_gate`].
+    fn handle_quick(&self, req: &Request, id: Option<&Json>) -> Json {
         match req {
             Request::LoadMatrix(r) => self.handle_load(r, id),
-            Request::Solve(r) => self.handle_solve(r, id),
-            Request::Campaign(r) => self.handle_campaign(r, id, sink),
             Request::Stats => ok_response(id, self.stats()),
             Request::Metrics => ok_response(id, self.prometheus()),
             Request::List => ok_response(id, self.list()),
@@ -147,12 +203,97 @@ impl Engine {
                 self.shutdown.store(true, Relaxed);
                 ok_response(id, Json::obj(vec![("draining", Json::Bool(true))]))
             }
+            Request::Solve(_) | Request::Campaign(_) | Request::Replicate(_) => {
+                unreachable!("blocking command routed to handle_quick")
+            }
+        }
+    }
+
+    /// The event loop's entry point: handles one raw frame without ever
+    /// blocking the calling thread on a solve, campaign or peer push.
+    /// Frames flow through `emit(frame, last)` — streamed events with
+    /// `last = false`, then exactly one final frame with `last = true`,
+    /// possibly from another thread after this call returned. The
+    /// frames (and their order) are byte-identical to what
+    /// [`Engine::handle_line`] produces for the same input; only the
+    /// delivery is asynchronous.
+    pub fn handle_line_async(self: &Arc<Self>, line: &str, emit: Emit) {
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                self.metrics.protocol_errors.inc();
+                let resp =
+                    error_response(None, ErrorCode::BadRequest, format!("malformed frame: {e}"));
+                return emit(resp, true);
+            }
+        };
+        let id = v.get("id").cloned();
+        let req = match Request::from_json(&v) {
+            Ok(r) => r,
+            Err(e) => {
+                self.metrics.protocol_errors.inc();
+                return emit(error_response(id.as_ref(), ErrorCode::BadRequest, e.msg), true);
+            }
+        };
+        self.metrics.count_request(req.cmd());
+        if let Some(refusal) = self.drain_gate(&req, id.as_ref()) {
+            return emit(refusal, true);
+        }
+        match req {
+            Request::Solve(r) => {
+                let done = {
+                    let emit = emit.clone();
+                    Box::new(move |resp| emit(resp, true))
+                };
+                if let Some(rejection) = self.start_solve(&r, id.as_ref(), done) {
+                    emit(rejection, true);
+                }
+            }
+            Request::Campaign(r) => {
+                // Campaigns block on the campaign lock and run whole
+                // sweep grids; never on the loop thread.
+                let engine = self.clone();
+                self.spawn_background(move || {
+                    let mut sink = |ev: &Json| emit(ev.clone(), false);
+                    let resp = engine.handle_campaign(&r, id.as_ref(), &mut sink);
+                    emit(resp, true);
+                });
+            }
+            Request::Replicate(r) => {
+                // Peer pushes are synchronous TCP round trips.
+                let engine = self.clone();
+                self.spawn_background(move || {
+                    emit(engine.handle_replicate(&r, id.as_ref()), true);
+                });
+            }
+            other => emit(self.handle_quick(&other, id.as_ref()), true),
         }
     }
 
     // ---- load_matrix ----
 
     fn handle_load(&self, r: &LoadMatrixRequest, id: Option<&Json>) -> Json {
+        // Sharded: a *named* load must land on the name's owner — the
+        // name is the routing key later solves will hash — unless it is
+        // an explicit replica push from the owner. Anonymous loads are
+        // only addressable by content key, which routes wherever it
+        // routes; accepting them anywhere keeps single-shard clients
+        // working and the replica path needs no exemption logic.
+        if let (Some(shard), Some(name), false) = (&self.shard, &r.name, r.replica) {
+            let owner = shard_of(name, shard.count);
+            if owner != shard.index {
+                return error_response(
+                    id,
+                    ErrorCode::WrongShard,
+                    format!(
+                        "matrix name '{name}' routes to shard {owner}/{count}; this is shard \
+                         {index}/{count} (set replica:true only for owner-driven copies)",
+                        count = shard.count,
+                        index = shard.index,
+                    ),
+                );
+            }
+        }
         let problem = match build_problem(&r.source) {
             Ok(p) => p,
             Err(msg) => {
@@ -192,28 +333,69 @@ impl Engine {
 
     // ---- solve ----
 
-    fn handle_solve(&self, r: &SolveRequest, id: Option<&Json>) -> Json {
-        let Some((key, problem)) = self.registry.resolve(&r.matrix) else {
-            return error_response(
-                id,
-                ErrorCode::NotFound,
-                format!("unknown matrix '{}' (load_matrix it first, or see list)", r.matrix),
-            );
+    /// Resolves a matrix reference or explains why it can't be: a
+    /// sharded engine serves every matrix it actually holds (replicas
+    /// included), answers `wrong_shard` with the owner's index for
+    /// missing references it does not own, and `not_found` only for
+    /// missing references it does.
+    fn resolve_or_route(
+        &self,
+        reference: &str,
+        id: Option<&Json>,
+    ) -> Result<(String, Arc<Problem>), Json> {
+        if let Some(found) = self.registry.resolve(reference) {
+            return Ok(found);
+        }
+        if let Some(shard) = &self.shard {
+            let owner = shard_of(reference, shard.count);
+            if owner != shard.index {
+                return Err(error_response(
+                    id,
+                    ErrorCode::WrongShard,
+                    format!(
+                        "matrix '{reference}' routes to shard {owner}/{count}; this is shard \
+                         {index}/{count}",
+                        count = shard.count,
+                        index = shard.index,
+                    ),
+                ));
+            }
+        }
+        Err(error_response(
+            id,
+            ErrorCode::NotFound,
+            format!("unknown matrix '{reference}' (load_matrix it first, or see list)"),
+        ))
+    }
+
+    /// Submits one solve to the scheduler without blocking on its
+    /// completion. Returns `Some(response)` when the request was
+    /// rejected synchronously (unknown matrix, bad rhs, queue full,
+    /// draining) — `done` is dropped unused in that case. Otherwise the
+    /// worker thread builds the final response (bytes identical to the
+    /// blocking path) and hands it to `done`.
+    fn start_solve(
+        &self,
+        r: &SolveRequest,
+        id: Option<&Json>,
+        done: Box<dyn FnOnce(Json) + Send>,
+    ) -> Option<Json> {
+        let (key, problem) = match self.resolve_or_route(&r.matrix, id) {
+            Ok(found) => found,
+            Err(resp) => return Some(resp),
         };
         if let Some(b) = &r.b {
             if b.len() != problem.a.nrows() {
-                return error_response(
+                return Some(error_response(
                     id,
                     ErrorCode::BadRequest,
                     format!("b has {} entries; matrix has {} rows", b.len(), problem.a.nrows()),
-                );
+                ));
             }
         }
 
         let started = Instant::now();
-        let (tx, rx) = mpsc::channel::<Result<(Json, SolveSummary), String>>();
         let req = r.clone();
-        let job_problem = problem.clone();
         let job_key = key.clone();
         // `trace: true` captures the Det event stream of exactly this
         // solve: the sink is installed thread-locally around
@@ -221,68 +403,65 @@ impl Engine {
         // solves cannot bleed into each other's traces and the captured
         // lines stay a pure function of the request sequence.
         let sink = r.trace.then(|| Arc::new(sdc_obs::trace::TraceSink::new()));
-        let job_sink = sink.clone();
+        let metrics = self.metrics.clone();
+        let job_id = id.cloned();
         let job = SolveJob {
             matrix_key: key,
             run: Box::new(move || {
-                let solve = || execute_solve(&job_problem, &job_key, &req);
-                let out =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job_sink {
-                        Some(s) => sdc_obs::with_local(s.clone(), solve),
-                        None => solve(),
-                    }));
-                let _ = tx.send(match out {
-                    Ok(res) => res,
-                    Err(_) => Err("solver panicked".into()),
-                });
+                let solve = || execute_solve(&problem, &job_key, &req);
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &sink {
+                    Some(s) => sdc_obs::with_local(s.clone(), solve),
+                    None => solve(),
+                }));
+                // Release the registry borrow before the response can
+                // leave: a client that has the final frame must not
+                // still see this solve in `list`'s in_use count.
+                drop(problem);
+                metrics.solve_latency.record(started.elapsed().as_micros() as u64);
+                let id = job_id.as_ref();
+                let resp = match out {
+                    Ok(Ok((mut result, summary))) => {
+                        metrics.record_solve(&summary);
+                        if let Some(s) = &sink {
+                            if let Json::Obj(fields) = &mut result {
+                                let lines = s.det_lines().into_iter().map(Json::str).collect();
+                                fields.insert("trace".into(), Json::Arr(lines));
+                            }
+                        }
+                        ok_response(id, result)
+                    }
+                    Ok(Err(msg)) => {
+                        metrics.solves_unconverged.inc();
+                        error_response(id, ErrorCode::Internal, msg)
+                    }
+                    Err(_) => error_response(id, ErrorCode::Internal, "solver panicked"),
+                };
+                done(resp);
             }),
         };
         match self.scheduler.submit(job) {
-            Err(SubmitError::Busy) => {
-                return error_response(
-                    id,
-                    ErrorCode::Busy,
-                    format!(
-                        "solve queue full (capacity {}); retry later",
-                        self.scheduler.capacity()
-                    ),
-                );
-            }
+            Err(SubmitError::Busy) => Some(error_response(
+                id,
+                ErrorCode::Busy,
+                format!("solve queue full (capacity {}); retry later", self.scheduler.capacity()),
+            )),
             Err(SubmitError::Draining) => {
-                return error_response(id, ErrorCode::ShuttingDown, "server is draining");
+                Some(error_response(id, ErrorCode::ShuttingDown, "server is draining"))
             }
-            Ok(()) => {}
-        }
-        let outcome = rx.recv();
-        self.metrics.solve_latency.record(started.elapsed().as_micros() as u64);
-        match outcome {
-            Ok(Ok((mut result, summary))) => {
-                self.record_solve_metrics(&summary);
-                if let Some(s) = &sink {
-                    if let Json::Obj(fields) = &mut result {
-                        let lines = s.det_lines().into_iter().map(Json::str).collect();
-                        fields.insert("trace".into(), Json::Arr(lines));
-                    }
-                }
-                ok_response(id, result)
-            }
-            Ok(Err(msg)) => {
-                self.metrics.solves_unconverged.inc();
-                error_response(id, ErrorCode::Internal, msg)
-            }
-            Err(_) => error_response(id, ErrorCode::Internal, "solve worker disappeared"),
+            Ok(()) => None,
         }
     }
 
-    fn record_solve_metrics(&self, s: &SolveSummary) {
-        if s.converged {
-            self.metrics.solves_converged.inc();
-        } else {
-            self.metrics.solves_unconverged.inc();
+    /// The blocking solve path (offline mode and [`Engine::handle`]):
+    /// submit, then wait for the worker's response.
+    fn handle_solve(&self, r: &SolveRequest, id: Option<&Json>) -> Json {
+        let (tx, rx) = mpsc::channel::<Json>();
+        match self.start_solve(r, id, Box::new(move |resp| drop(tx.send(resp)))) {
+            Some(rejection) => rejection,
+            None => rx.recv().unwrap_or_else(|_| {
+                error_response(id, ErrorCode::Internal, "solve worker disappeared")
+            }),
         }
-        self.metrics.detector_events.add(s.detector_events as u64);
-        self.metrics.injections_committed.add(s.injections as u64);
-        self.metrics.inner_rejections.add(s.inner_rejections as u64);
     }
 
     // ---- campaign ----
@@ -361,6 +540,80 @@ impl Engine {
         ok_response(id, Json::obj(fields))
     }
 
+    // ---- replicate ----
+
+    /// Pushes a held matrix to each peer as a `replica:true` load with
+    /// round-trip-exact COO triplets, verifying every peer derives the
+    /// same content key (bit divergence is a hard error, exactly like
+    /// the registry's own collision check). The response mentions only
+    /// the matrix — not the peers — so a cluster-routed replicate (the
+    /// client fills in the peer list) byte-matches the offline baseline
+    /// (no peers at all).
+    fn handle_replicate(&self, r: &ReplicateRequest, id: Option<&Json>) -> Json {
+        let (key, problem) = match self.resolve_or_route(&r.matrix, id) {
+            Ok(found) => found,
+            Err(resp) => return resp,
+        };
+        if !r.peers.is_empty() {
+            // Serialize once; values as f64 survive the wire exactly
+            // (fmt_f64 is round-trip-exact).
+            let a = &problem.a;
+            let mut entries = Vec::with_capacity(a.nnz());
+            for row in 0..a.nrows() {
+                let (cols, vals) = a.row(row);
+                for (c, v) in cols.iter().zip(vals) {
+                    entries.push((row, *c, *v));
+                }
+            }
+            let load = Request::LoadMatrix(LoadMatrixRequest {
+                // Propagate the alias only when the client routed by
+                // one, so replicas answer to the same names.
+                name: (r.matrix != key).then(|| r.matrix.clone()),
+                source: MatrixSource::Coo { rows: a.nrows(), cols: a.ncols(), entries },
+                replica: true,
+            });
+            let frame = load.to_json();
+            for peer in &r.peers {
+                let mut client = match crate::client::Client::connect_str(peer) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        return error_response(
+                            id,
+                            ErrorCode::Internal,
+                            format!("cannot reach peer {peer}: {e}"),
+                        );
+                    }
+                };
+                let resp = match client.call(&frame) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        return error_response(
+                            id,
+                            ErrorCode::Internal,
+                            format!("replica push to {peer} failed: {e}"),
+                        );
+                    }
+                };
+                let peer_key =
+                    resp.get("result").and_then(|res| res.get("key")).and_then(|k| k.as_str().ok());
+                if !resp.get("ok").map(|ok| ok.as_bool().unwrap_or(false)).unwrap_or(false)
+                    || peer_key != Some(key.as_str())
+                {
+                    return error_response(
+                        id,
+                        ErrorCode::Internal,
+                        format!(
+                            "replica diverged on {peer}: expected key {key}, got {}",
+                            resp.to_line()
+                        ),
+                    );
+                }
+                self.metrics.replications.inc();
+            }
+        }
+        ok_response(id, Json::obj(vec![("key", Json::str(&key)), ("matrix", Json::str(&r.matrix))]))
+    }
+
     // ---- stats / list ----
 
     /// The `metrics` command: Prometheus text plus the flat series map
@@ -382,7 +635,7 @@ impl Engine {
     }
 
     fn stats(&self) -> Json {
-        self.metrics.snapshot(vec![
+        let mut server = vec![
             ("protocol_version", Json::Num(PROTOCOL_VERSION as f64)),
             ("threads", Json::Num(self.threads as f64)),
             ("simd", Json::str(sdc_sparse::simd::active().as_str())),
@@ -390,7 +643,19 @@ impl Engine {
             ("batch_max", Json::Num(self.scheduler.batch_max() as f64)),
             ("matrices", Json::Num(self.registry.len() as f64)),
             ("draining", Json::Bool(self.shutdown_requested())),
-        ])
+        ];
+        // Only sharded servers report an identity: the unsharded stats
+        // object's bytes are pinned by goldens and stay unchanged.
+        if let Some(shard) = &self.shard {
+            server.push((
+                "shard",
+                Json::obj(vec![
+                    ("index", Json::Num(shard.index as f64)),
+                    ("count", Json::Num(shard.count as f64)),
+                ]),
+            ));
+        }
+        self.metrics.snapshot(server)
     }
 
     fn list(&self) -> Json {
@@ -568,7 +833,16 @@ mod tests {
     use super::*;
 
     fn engine() -> Engine {
-        Engine::new(EngineConfig { threads: 0, queue_cap: 8, batch_max: 4 })
+        Engine::new(EngineConfig { threads: 0, queue_cap: 8, batch_max: 4, shard: None })
+    }
+
+    fn sharded(index: u64, count: u64) -> Engine {
+        Engine::new(EngineConfig {
+            threads: 0,
+            queue_cap: 8,
+            batch_max: 4,
+            shard: Some(ShardSpec { index, count }),
+        })
     }
 
     fn drive(e: &Engine, line: &str) -> (Vec<Json>, Json) {
@@ -897,5 +1171,126 @@ mod tests {
         // Observation stays available while draining.
         let (_, r) = drive(&e, "{\"cmd\":\"stats\"}");
         assert!(r.field("result").unwrap().field("draining").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn async_path_produces_the_same_bytes_as_the_blocking_path() {
+        let requests = [
+            "{\"cmd\":\"load_matrix\",\"id\":1,\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}",
+            "{\"cmd\":\"solve\",\"id\":2,\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10,\"trace\":true}",
+            "{\"cmd\":\"solve\",\"id\":3,\"matrix\":\"nope\"}",
+            "not json at all",
+            "{\"cmd\":\"replicate\",\"id\":4,\"matrix\":\"p\"}",
+            "{\"cmd\":\"list\",\"id\":5}",
+        ];
+        let blocking: Vec<String> = {
+            let e = engine();
+            let out = requests
+                .iter()
+                .map(|line| {
+                    let mut events = Vec::new();
+                    let resp = e.handle_line(line, &mut |j| events.push(j.to_line()));
+                    events.push(resp.to_line());
+                    events.join("\n")
+                })
+                .collect();
+            e.drain();
+            out
+        };
+        let e = Arc::new(engine());
+        let mut asynced = Vec::new();
+        for line in requests {
+            // One request in flight at a time — the per-connection
+            // serialization the event loop enforces.
+            let (tx, rx) = mpsc::channel::<(Json, bool)>();
+            let tx = Mutex::new(tx);
+            let emit: Emit = Arc::new(move |frame, last| {
+                drop(tx.lock().unwrap().send((frame, last)));
+            });
+            e.handle_line_async(line, emit);
+            let mut frames = Vec::new();
+            loop {
+                let (frame, last) = rx.recv().expect("final frame");
+                frames.push(frame.to_line());
+                if last {
+                    break;
+                }
+            }
+            asynced.push(frames.join("\n"));
+        }
+        e.drain();
+        assert_eq!(blocking, asynced);
+    }
+
+    #[test]
+    fn sharded_engine_enforces_ownership_and_serves_replicas() {
+        // "p" hashes to some owner under 3 shards; build engines on
+        // both sides of the split.
+        let owner = shard_of("p", 3);
+        let other = (owner + 1) % 3;
+
+        // The owner accepts the named load and solves it.
+        let e = sharded(owner, 3);
+        let (_, r) = drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}",
+        );
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        let key = r.field("result").unwrap().field("key").unwrap().as_str().unwrap().to_string();
+        let (_, r) = drive(&e, "{\"cmd\":\"solve\",\"matrix\":\"p\",\"maxit\":60}");
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        // Sharded stats report the identity.
+        let (_, r) = drive(&e, "{\"cmd\":\"stats\"}");
+        let shard = r.field("result").unwrap().field("shard").unwrap();
+        assert_eq!(shard.field("index").unwrap().as_u64().unwrap(), owner);
+        assert_eq!(shard.field("count").unwrap().as_u64().unwrap(), 3);
+        // A replicate with no peers succeeds and echoes key + matrix.
+        let (_, r) = drive(&e, "{\"cmd\":\"replicate\",\"matrix\":\"p\"}");
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        assert_eq!(r.field("result").unwrap().field("key").unwrap().as_str().unwrap(), key);
+        e.drain();
+
+        // A non-owner refuses the named load and misses with
+        // wrong_shard (the owner's index in the message).
+        let e = sharded(other, 3);
+        let (_, r) = drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}",
+        );
+        let code = r.field("error").unwrap().field("code").unwrap().as_str().unwrap().to_string();
+        assert_eq!(code, "wrong_shard", "{}", r.to_line());
+        let (_, r) = drive(&e, "{\"cmd\":\"solve\",\"matrix\":\"p\"}");
+        assert_eq!(
+            r.field("error").unwrap().field("code").unwrap().as_str().unwrap(),
+            "wrong_shard"
+        );
+        assert!(r
+            .field("error")
+            .unwrap()
+            .field("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains(&format!("shard {owner}/3")));
+        // But the same load marked replica:true is accepted, after
+        // which the non-owner serves the matrix directly.
+        let (_, r) = drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"replica\":true,\"problem\":{\"kind\":\"poisson\",\"m\":8}}",
+        );
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        assert_eq!(r.field("result").unwrap().field("key").unwrap().as_str().unwrap(), key);
+        let (_, r) = drive(&e, "{\"cmd\":\"solve\",\"matrix\":\"p\",\"maxit\":60}");
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        // An unknown reference owned *here* is not_found, not
+        // wrong_shard.
+        let ghost = (0..).map(|i| format!("ghost{i}")).find(|n| shard_of(n, 3) == other).unwrap();
+        let (_, r) = drive(&e, &format!("{{\"cmd\":\"solve\",\"matrix\":\"{ghost}\"}}"));
+        assert_eq!(r.field("error").unwrap().field("code").unwrap().as_str().unwrap(), "not_found");
+        // Anonymous loads are accepted on any shard.
+        let (_, r) =
+            drive(&e, "{\"cmd\":\"load_matrix\",\"problem\":{\"kind\":\"poisson\",\"m\":5}}");
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        e.drain();
     }
 }

@@ -19,34 +19,45 @@
 //! * [`engine`] — the transport-free service semantics, shared by the
 //!   TCP server and `solve-client offline` so served and offline
 //!   results can be byte-diffed.
-//! * [`server`] — `std::net::TcpListener`, one thread per connection,
-//!   graceful drain on `shutdown`.
+//! * [`netpoll`] — a dependency-free readiness poller (epoll on Linux,
+//!   poll(2) fallback) with a self-pipe waker.
+//! * [`server`] — the readiness-driven event loop: one thread
+//!   multiplexes every connection, no thread per client, no sleep
+//!   ticks; graceful drain on `shutdown`.
+//! * [`shard`] — deterministic key-space routing for the `--shard i/N`
+//!   scale-out mode (`owner = fnv1a64(reference) % N`).
 //! * [`metrics`] — request counters, queue gauges, cache hit rate,
 //!   detector tallies and a solve-latency histogram behind `stats`.
-//! * [`client`] — the blocking client + load generator used by
-//!   `solve-client`, the e2e tests and the `server_throughput` bench.
+//! * [`client`] — the blocking client, the cluster client that
+//!   addresses N shards as one service, and the closed-/open-loop load
+//!   generators used by `solve-client`, the e2e tests and the
+//!   `server_throughput` bench.
 //!
 //! **Determinism guarantee.** A served `solve` or `campaign` with a
 //! fixed request is bitwise identical to the offline equivalent at any
-//! `--threads` setting: result frames contain no timestamps or
-//! scheduling-dependent values, floats serialize round-trip-exact, and
-//! every kernel underneath is bitwise thread-count-independent
-//! (`tests/determinism.rs` pins this; the `serve_smoke` CI job diffs a
-//! live server against `solve-client offline`).
+//! `--threads` setting *and any shard count*: result frames contain no
+//! timestamps or scheduling-dependent values, floats serialize
+//! round-trip-exact, and every kernel underneath is bitwise
+//! thread-count-independent (`tests/determinism.rs` and
+//! `tests/sharding.rs` pin this; the `serve_smoke` and `cluster_smoke`
+//! CI jobs diff live servers against `solve-client offline`).
 //!
 //! See `crates/server/README.md` for the protocol reference.
 
 pub mod client;
 pub mod engine;
 pub mod metrics;
+pub mod netpoll;
 pub mod protocol;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+pub mod shard;
 
-pub use client::{load_gen, Client, ClientError, LoadReport};
+pub use client::{load_gen, load_gen_open, Client, ClientError, ClusterClient, LoadReport};
 pub use engine::{Engine, EngineConfig};
 pub use metrics::Metrics;
 pub use protocol::{ErrorCode, Request, SolveRequest, SolverKind};
 pub use registry::MatrixRegistry;
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, ServerHandle, ServerOptions};
+pub use shard::{shard_of, ShardSpec};

@@ -55,6 +55,21 @@ pub struct Metrics {
     /// The `metrics` request kind (Prometheus-only; see
     /// [`REQUEST_KINDS`]).
     metrics_requests: Counter,
+    /// The `replicate` request kind — Prometheus-only, same precedent
+    /// as `metrics`: the `stats` requests object predates it and its
+    /// shape is pinned.
+    replicate_requests: Counter,
+    /// Matrices pushed to peer shards by `replicate` requests.
+    pub replications: Counter,
+    /// Event-loop wakeups (poll returns): readiness, completions or
+    /// drain ticks.
+    pub loop_wakeups: Counter,
+    /// Frames rejected for exceeding the per-frame size limit.
+    pub frames_oversized: Counter,
+    /// This server's shard index (0 when unsharded).
+    pub shard_index: Gauge,
+    /// Total shards in the cluster (1 when unsharded).
+    pub shard_count: Gauge,
     /// Frames rejected as malformed or invalid.
     pub protocol_errors: Counter,
     /// Solves rejected with `busy` (queue full).
@@ -118,9 +133,23 @@ impl Metrics {
         let requests =
             REQUEST_KINDS.map(|k| r.labeled_counter("sdc_requests_total", REQ_HELP, "kind", k));
         let metrics_requests = r.labeled_counter("sdc_requests_total", REQ_HELP, "kind", "metrics");
+        let replicate_requests =
+            r.labeled_counter("sdc_requests_total", REQ_HELP, "kind", "replicate");
         Self {
             requests,
             metrics_requests,
+            replicate_requests,
+            replications: r.counter(
+                "sdc_replications_total",
+                "Matrices pushed to peer shards by replicate requests.",
+            ),
+            loop_wakeups: r.counter("sdc_loop_wakeups_total", "Event-loop wakeups."),
+            frames_oversized: r.counter(
+                "sdc_frames_oversized_total",
+                "Frames rejected for exceeding the per-frame size limit.",
+            ),
+            shard_index: r.gauge("sdc_shard_index", "This server's shard index (0 unsharded)."),
+            shard_count: r.gauge("sdc_shard_count", "Total shards in the cluster (1 unsharded)."),
             protocol_errors: r
                 .counter("sdc_protocol_errors_total", "Frames rejected as malformed or invalid."),
             busy_rejects: r
@@ -190,7 +219,22 @@ impl Metrics {
             self.requests[i].inc();
         } else if kind == "metrics" {
             self.metrics_requests.inc();
+        } else if kind == "replicate" {
+            self.replicate_requests.inc();
         }
+    }
+
+    /// Tallies one completed solve's outcome and detector/injection
+    /// counts (called on the worker thread that ran it).
+    pub fn record_solve(&self, s: &sdc_gmres::prelude::SolveSummary) {
+        if s.converged {
+            self.solves_converged.inc();
+        } else {
+            self.solves_unconverged.inc();
+        }
+        self.detector_events.add(s.detector_events as u64);
+        self.injections_committed.add(s.injections as u64);
+        self.inner_rejections.add(s.inner_rejections as u64);
     }
 
     /// Updates the queue gauges after a push/pop to `depth`.
@@ -347,6 +391,31 @@ mod tests {
         assert!(snap.field("requests").unwrap().get("metrics").is_none());
         let text = m.render_prometheus();
         assert!(text.contains("sdc_requests_total{kind=\"metrics\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn replicate_and_loop_series_are_prometheus_only() {
+        let m = Metrics::new();
+        m.count_request("replicate");
+        m.replications.add(2);
+        m.loop_wakeups.inc();
+        m.frames_oversized.inc();
+        m.shard_index.set(1);
+        m.shard_count.set(3);
+        // `stats` keeps its pinned shape: no new request kind appears.
+        let snap = m.snapshot(vec![]);
+        assert!(snap.field("requests").unwrap().get("replicate").is_none());
+        let text = m.render_prometheus();
+        for needle in [
+            "sdc_requests_total{kind=\"replicate\"} 1",
+            "sdc_replications_total 2",
+            "sdc_loop_wakeups_total 1",
+            "sdc_frames_oversized_total 1",
+            "sdc_shard_index 1",
+            "sdc_shard_count 3",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
     }
 
     #[test]

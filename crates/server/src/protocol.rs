@@ -163,6 +163,27 @@ pub struct LoadMatrixRequest {
     pub name: Option<String>,
     /// The matrix source.
     pub source: MatrixSource,
+    /// Marks a shard-to-shard replica push (see `replicate`): a sharded
+    /// server accepts the load even when the name routes to another
+    /// shard, because the owner is deliberately copying it here. Elided
+    /// from the wire when false.
+    pub replica: bool,
+}
+
+/// `replicate`: copy a matrix this server holds to every listed peer
+/// shard, so they can serve solves on it directly. The values travel as
+/// round-trip-exact COO triplets, and each peer's returned content key
+/// is checked against the owner's — a replica that would diverge by one
+/// bit is a hard error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplicateRequest {
+    /// Registry key or alias of the matrix to copy.
+    pub matrix: String,
+    /// Peer addresses (`host:port`). The cluster client fills this with
+    /// every other shard; empty means "nothing to push" and succeeds
+    /// (the offline baseline), keeping cluster and offline responses
+    /// byte-identical.
+    pub peers: Vec<String>,
 }
 
 /// `solve`: one linear solve against a registered matrix.
@@ -256,6 +277,8 @@ pub enum Request {
     Solve(SolveRequest),
     /// Run a campaign job, streaming records.
     Campaign(CampaignRequest),
+    /// Copy a held matrix to peer shards.
+    Replicate(ReplicateRequest),
     /// Metrics snapshot.
     Stats,
     /// Prometheus text exposition of the unified metrics registry.
@@ -273,6 +296,7 @@ impl Request {
             Request::LoadMatrix(_) => "load_matrix",
             Request::Solve(_) => "solve",
             Request::Campaign(_) => "campaign",
+            Request::Replicate(_) => "replicate",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::List => "list",
@@ -311,6 +335,9 @@ impl Request {
                         ));
                     }
                     MatrixSource::MatrixMarket(text) => fields.push(("mtx", Json::str(text))),
+                }
+                if r.replica {
+                    fields.push(("replica", Json::Bool(true)));
                 }
             }
             Request::Solve(r) => {
@@ -359,6 +386,12 @@ impl Request {
                     fields.push(("artifact", Json::str(p.to_string_lossy())));
                 }
             }
+            Request::Replicate(r) => {
+                fields.push(("matrix", Json::str(&r.matrix)));
+                if !r.peers.is_empty() {
+                    fields.push(("peers", Json::Arr(r.peers.iter().map(Json::str).collect())));
+                }
+            }
             Request::Stats | Request::Metrics | Request::List | Request::Shutdown => {}
         }
         Json::obj(fields)
@@ -370,7 +403,7 @@ impl Request {
         let cmd = v.field("cmd")?.as_str()?;
         match cmd {
             "load_matrix" => {
-                check_keys(v, &["cmd", "id", "name", "problem", "coo", "mtx"])?;
+                check_keys(v, &["cmd", "id", "name", "problem", "coo", "mtx", "replica"])?;
                 let name = match v.get("name") {
                     Some(n) => Some(n.as_str()?.to_string()),
                     None => None,
@@ -403,7 +436,26 @@ impl Request {
                 } else {
                     MatrixSource::MatrixMarket(v.field("mtx")?.as_str()?.to_string())
                 };
-                Ok(Request::LoadMatrix(LoadMatrixRequest { name, source }))
+                let replica = match v.get("replica") {
+                    Some(b) => b.as_bool()?,
+                    None => false,
+                };
+                Ok(Request::LoadMatrix(LoadMatrixRequest { name, source, replica }))
+            }
+            "replicate" => {
+                check_keys(v, &["cmd", "id", "matrix", "peers"])?;
+                let peers = match v.get("peers") {
+                    Some(p) => p
+                        .as_arr()?
+                        .iter()
+                        .map(|a| Ok(a.as_str()?.to_string()))
+                        .collect::<Result<Vec<_>, JsonError>>()?,
+                    None => Vec::new(),
+                };
+                Ok(Request::Replicate(ReplicateRequest {
+                    matrix: v.field("matrix")?.as_str()?.to_string(),
+                    peers,
+                }))
             }
             "solve" => {
                 check_keys(
@@ -601,6 +653,10 @@ pub enum ErrorCode {
     NotFound,
     /// Solve queue full — backpressure, retry later (429).
     Busy,
+    /// The reference routes to a different shard of the cluster; the
+    /// message names the owner's index so clients can self-correct
+    /// (the protocol's 307).
+    WrongShard,
     /// Server is draining after `shutdown` (503).
     ShuttingDown,
     /// Unexpected server-side failure (500).
@@ -614,6 +670,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "bad_request",
             ErrorCode::NotFound => "not_found",
             ErrorCode::Busy => "busy",
+            ErrorCode::WrongShard => "wrong_shard",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
         }
@@ -773,6 +830,7 @@ mod tests {
             Request::LoadMatrix(LoadMatrixRequest {
                 name: Some("p24".into()),
                 source: MatrixSource::Problem(ProblemSpec::Poisson { m: 24 }),
+                replica: false,
             }),
             Request::LoadMatrix(LoadMatrixRequest {
                 name: None,
@@ -781,17 +839,59 @@ mod tests {
                     cols: 2,
                     entries: vec![(0, 0, 4.0), (1, 1, 0.5), (0, 1, -1.0)],
                 },
+                replica: false,
             }),
             Request::LoadMatrix(LoadMatrixRequest {
                 name: Some("file".into()),
                 source: MatrixSource::MatrixMarket(
                     "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.0\n".into(),
                 ),
+                replica: false,
+            }),
+            Request::LoadMatrix(LoadMatrixRequest {
+                name: Some("hot".into()),
+                source: MatrixSource::Problem(ProblemSpec::Poisson { m: 8 }),
+                replica: true,
             }),
         ] {
             let line = req.to_json().to_line();
             assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req, "{line}");
         }
+        // The replica marker is elided when false (offline/served diffs
+        // depend on canonical elision).
+        let line = Request::LoadMatrix(LoadMatrixRequest {
+            name: None,
+            source: MatrixSource::Problem(ProblemSpec::Poisson { m: 4 }),
+            replica: false,
+        })
+        .to_json()
+        .to_line();
+        assert!(!line.contains("replica"), "{line}");
+    }
+
+    #[test]
+    fn replicate_round_trips_and_parses_strictly() {
+        for req in [
+            Request::Replicate(ReplicateRequest { matrix: "p".into(), peers: vec![] }),
+            Request::Replicate(ReplicateRequest {
+                matrix: "m0123456789abcdef".into(),
+                peers: vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+            }),
+        ] {
+            let line = req.to_json().to_line();
+            assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req, "{line}");
+        }
+        // Empty peer lists are elided; unknown fields stay fatal.
+        let line = Request::Replicate(ReplicateRequest { matrix: "p".into(), peers: vec![] })
+            .to_json()
+            .to_line();
+        assert!(!line.contains("peers"), "{line}");
+        let e = Request::from_json(
+            &Json::parse("{\"cmd\":\"replicate\",\"matrix\":\"p\",\"shards\":2}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown field 'shards'"), "{e}");
+        assert!(Request::from_json(&Json::parse("{\"cmd\":\"replicate\"}").unwrap()).is_err());
     }
 
     #[test]

@@ -1,38 +1,82 @@
-//! The TCP transport: accept loop, per-connection worker threads,
-//! graceful drain.
+//! The TCP transport: a readiness-driven event loop.
 //!
-//! Each accepted connection gets its own thread running a strict
-//! request → response(s) loop over newline-delimited JSON frames (one
-//! request at a time per connection; concurrency comes from opening
-//! more connections — that is also what feeds the scheduler's
-//! same-matrix batching). All semantics live in [`crate::engine`]; this
-//! module only moves bytes.
+//! One loop thread multiplexes the listener and every connection over
+//! [`crate::netpoll::Poller`] (epoll on Linux, poll(2) elsewhere).
+//! There are no per-connection threads and no sleep-tick polling: the
+//! loop blocks in `wait` until a socket is ready or the engine wakes it
+//! with a response. Solves still run on the engine's bounded
+//! [`crate::scheduler::Scheduler`] worker pool — the loop only moves
+//! bytes, so thousands of idle connections cost two file descriptors
+//! and a few hundred bytes of buffer each, not a stack.
+//!
+//! Per-connection protocol state is a pair of byte buffers:
+//!
+//! * **read side** — raw bytes accumulate in `read_buf`; complete
+//!   newline-terminated frames are carved off into `pending` (UTF-8 is
+//!   validated per frame, and partial frames persist across readiness
+//!   events, so a frame split over any number of TCP segments is
+//!   reassembled byte-for-byte). A frame that exceeds
+//!   [`ServerOptions::max_frame`] without a newline gets a structured
+//!   `bad_request` answer and the connection is closed — the buffer
+//!   cannot be grown without bound by a hostile peer.
+//! * **write side** — response lines append to `write_buf` and drain
+//!   whenever the socket is writable; a slow reader backs up its own
+//!   buffer, never the loop.
+//!
+//! **Ordering / determinism**: exactly one request per connection is in
+//! flight in the engine at a time (`busy` flag). Pipelined frames queue
+//! in arrival order and dispatch strictly after the previous request's
+//! final frame, so the response byte stream for a connection is
+//! identical to the old thread-per-connection transport — and to
+//! offline mode — at any thread count.
+//!
+//! **Backpressure** is layered: frames queued per connection are capped
+//! (`max_pipelined` — beyond it the loop simply stops reading from that
+//! socket and TCP flow control pushes back), and the engine's solve
+//! queue is bounded (`busy` rejections), so total memory is bounded by
+//! `connections × (max_frame + max_pipelined × frame)`.
 //!
 //! Shutdown: a `shutdown` request flips the engine's drain flag. The
-//! accept loop (which polls the flag) stops taking connections, the
-//! scheduler finishes every queued solve, and connection threads close
-//! as soon as they are idle — in-flight requests always get their
-//! response first.
+//! loop closes the listener, answers everything already queued, closes
+//! each connection once it is idle and flushed, and exits —
+//! in-flight requests always get their response first.
 
-use crate::engine::Engine;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use crate::engine::{Emit, Engine};
+use crate::netpoll::{Interest, PollEvent, Poller, Token};
+use crate::protocol::{error_response, ErrorCode};
+use sdc_campaigns::json::Json;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
 
-/// How often blocked reads/accepts re-check the drain flag. Also the
-/// worst-case accept latency for a fresh connection, so it is kept
-/// small; polling at this rate costs no measurable CPU.
-const POLL: Duration = Duration::from_millis(10);
+/// Transport tuning knobs (the engine has its own, see
+/// [`crate::engine::EngineConfig`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Largest accepted frame, bytes (without the newline). A frame
+    /// that grows past this without terminating is answered with
+    /// `bad_request` and the connection is closed.
+    pub max_frame: usize,
+    /// Most complete frames queued per connection before the loop
+    /// stops reading from that socket (TCP flow control takes over).
+    pub max_pipelined: usize,
+}
 
-/// A running server; dropping it does *not* stop the threads — call
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions { max_frame: 8 * 1024 * 1024, max_pipelined: 64 }
+    }
+}
+
+/// A running server; dropping it does *not* stop the loop — call
 /// [`ServerHandle::wait`] after shutdown, or keep it alive for the
 /// process lifetime.
 pub struct ServerHandle {
     addr: SocketAddr,
     engine: Arc<Engine>,
-    accept: Option<std::thread::JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    event_loop: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -47,122 +91,448 @@ impl ServerHandle {
     }
 
     /// Blocks until a `shutdown` request has drained the server: joins
-    /// the accept loop, finishes queued solves, joins every connection.
+    /// the event loop, then the engine's workers.
     pub fn wait(mut self) {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
         self.engine.drain();
-        let handles: Vec<_> =
-            std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
-        for h in handles {
-            let _ = h.join();
-        }
     }
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) and starts
-/// accepting connections for `engine`.
+/// the event loop for `engine` with default [`ServerOptions`].
 pub fn serve(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
+    serve_with(engine, addr, ServerOptions::default())
+}
+
+/// [`serve`] with explicit transport options.
+pub fn serve_with(
+    engine: Arc<Engine>,
+    addr: &str,
+    opts: ServerOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-    let accept_engine = engine.clone();
-    let accept_conns = conns.clone();
-    let accept = std::thread::Builder::new()
-        .name("sdc-accept".into())
-        .spawn(move || accept_loop(listener, accept_engine, accept_conns))
-        .expect("cannot spawn accept thread");
-
-    Ok(ServerHandle { addr: local, engine, accept: Some(accept), conns })
+    let poller = Poller::new()?;
+    let mut event_loop = EventLoop::new(engine.clone(), listener, poller, opts)?;
+    let handle = std::thread::Builder::new()
+        .name("sdc-loop".into())
+        .spawn(move || event_loop.run())
+        .expect("cannot spawn event-loop thread");
+    Ok(ServerHandle { addr: local, engine, event_loop: Some(handle) })
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    engine: Arc<Engine>,
-    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
-    loop {
-        if engine.shutdown_requested() {
-            return;
+/// A response frame travelling from an engine worker back to the loop.
+struct OutMsg {
+    token: usize,
+    line: String,
+    /// Final frame of its request: clears the connection's `busy` flag.
+    last: bool,
+}
+
+/// State shared between the loop and the emit closures handed to the
+/// engine. Emits may fire from worker threads at any time — they park
+/// the frame here and wake the loop.
+struct LoopShared {
+    outbox: Mutex<Vec<OutMsg>>,
+    waker: crate::netpoll::Waker,
+}
+
+const LISTENER: Token = Token(0);
+/// First token handed to an accepted connection.
+const FIRST_CONN: usize = 1;
+
+struct Conn {
+    stream: TcpStream,
+    /// Raw inbound bytes; a partial frame lives here between events.
+    read_buf: Vec<u8>,
+    /// Prefix of `read_buf` already scanned for a newline.
+    scanned: usize,
+    /// Outbound bytes not yet accepted by the kernel.
+    write_buf: Vec<u8>,
+    /// Complete frames awaiting dispatch, in arrival order.
+    pending: VecDeque<String>,
+    /// A request from this connection is in flight in the engine.
+    busy: bool,
+    /// Peer sent EOF (half-close: it may still be reading responses).
+    peer_closed: bool,
+    /// The write side failed — responses can never be delivered.
+    write_dead: bool,
+    /// Close as soon as idle and flushed (protocol violation).
+    closing: bool,
+    /// Currently registered readiness interest.
+    interest: Interest,
+    /// Whether the fd is registered with the poller at all. A socket
+    /// wanting no interest is deregistered outright: epoll reports
+    /// `EPOLLHUP` regardless of the requested mask, so a closed peer
+    /// with a solve still in flight would otherwise spin the loop.
+    registered: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            scanned: 0,
+            write_buf: Vec::new(),
+            pending: VecDeque::new(),
+            busy: false,
+            peer_closed: false,
+            write_dead: false,
+            closing: false,
+            interest: Interest::READ,
+            registered: true,
         }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                engine.metrics.connections_opened.inc();
-                engine.metrics.connections_active.inc();
-                let conn_engine = engine.clone();
-                let handle = std::thread::Builder::new()
-                    .name("sdc-conn".into())
-                    .spawn(move || {
-                        let _ = connection(stream, &conn_engine);
-                        conn_engine.metrics.connections_active.dec();
-                    })
-                    .expect("cannot spawn connection thread");
-                let mut conns = conns.lock().unwrap_or_else(|e| e.into_inner());
-                // Sweep finished connections so a long-lived server does
-                // not accumulate one dead JoinHandle per client forever.
-                conns.retain(|h| !h.is_finished());
-                conns.push(handle);
+    }
+
+    fn has_unflushed(&self) -> bool {
+        !self.write_buf.is_empty()
+    }
+}
+
+struct EventLoop {
+    engine: Arc<Engine>,
+    listener: Option<TcpListener>,
+    poller: Poller,
+    opts: ServerOptions,
+    shared: Arc<LoopShared>,
+    conns: BTreeMap<usize, Conn>,
+    next_token: usize,
+    draining: bool,
+}
+
+impl EventLoop {
+    fn new(
+        engine: Arc<Engine>,
+        listener: TcpListener,
+        poller: Poller,
+        opts: ServerOptions,
+    ) -> std::io::Result<Self> {
+        poller.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+        let shared = Arc::new(LoopShared { outbox: Mutex::new(Vec::new()), waker: poller.waker() });
+        Ok(EventLoop {
+            engine,
+            listener: Some(listener),
+            poller,
+            opts,
+            shared,
+            conns: BTreeMap::new(),
+            next_token: FIRST_CONN,
+            draining: false,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        loop {
+            // Apply responses and dispatch queued frames until nothing
+            // moves: quick commands answer synchronously inside
+            // `dispatch`, which re-fills the outbox, which may unblock
+            // the next pipelined frame — hence the alternation.
+            loop {
+                let moved_out = self.apply_outbox();
+                let moved_in = self.dispatch_ready();
+                if !moved_out && !moved_in {
+                    break;
+                }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(_) => std::thread::sleep(POLL),
+
+            // A handled `shutdown` request flips the engine flag; stop
+            // accepting the moment we notice.
+            if self.engine.shutdown_requested() && self.listener.is_some() {
+                if let Some(l) = self.listener.take() {
+                    let _ = self.poller.deregister(l.as_raw_fd());
+                }
+                self.draining = true;
+            }
+
+            self.flush_and_close();
+
+            if self.draining && self.conns.is_empty() {
+                return;
+            }
+
+            self.update_interests();
+
+            match self.poller.wait(&mut events, None) {
+                Ok(_woken) => {}
+                Err(_) => continue,
+            }
+            self.engine.metrics.loop_wakeups.inc();
+            if sdc_obs::enabled() {
+                static EV_WAKE: sdc_obs::Callsite =
+                    sdc_obs::Callsite { name: "loop.wake", channel: sdc_obs::Channel::Timing };
+                sdc_obs::Event::new(&EV_WAKE).u64("events", events.len() as u64).emit();
+            }
+
+            for ev in events.drain(..) {
+                if ev.token == LISTENER {
+                    self.accept_all();
+                } else {
+                    self.handle_conn_event(ev);
+                }
+            }
+        }
+    }
+
+    /// Moves engine responses into their connections' write buffers.
+    fn apply_outbox(&mut self) -> bool {
+        let msgs: Vec<OutMsg> =
+            std::mem::take(&mut *self.shared.outbox.lock().unwrap_or_else(|e| e.into_inner()));
+        let moved = !msgs.is_empty();
+        for msg in msgs {
+            // The connection may have died while its solve ran; the
+            // response is dropped, exactly as a broken write would be.
+            if let Some(conn) = self.conns.get_mut(&msg.token) {
+                conn.write_buf.extend_from_slice(msg.line.as_bytes());
+                conn.write_buf.push(b'\n');
+                if msg.last {
+                    conn.busy = false;
+                }
+            }
+        }
+        moved
+    }
+
+    /// Starts the next queued request on every non-busy connection
+    /// (one in flight per connection keeps response order, and
+    /// therefore served bytes, deterministic).
+    fn dispatch_ready(&mut self) -> bool {
+        let ready: Vec<(usize, String)> = self
+            .conns
+            .iter_mut()
+            .filter(|(_, c)| !c.busy && !c.pending.is_empty())
+            .map(|(&t, c)| {
+                c.busy = true;
+                (t, c.pending.pop_front().expect("checked non-empty"))
+            })
+            .collect();
+        let moved = !ready.is_empty();
+        for (token, line) in ready {
+            let shared = Arc::clone(&self.shared);
+            let emit: Emit = Arc::new(move |frame: Json, last: bool| {
+                shared.outbox.lock().unwrap_or_else(|e| e.into_inner()).push(OutMsg {
+                    token,
+                    line: frame.to_line(),
+                    last,
+                });
+                // Wake *after* the push: the loop always sees the frame
+                // once the pipe byte is readable.
+                shared.waker.wake();
+            });
+            self.engine.handle_line_async(&line, emit);
+        }
+        moved
+    }
+
+    fn accept_all(&mut self) {
+        let Some(listener) = &self.listener else { return };
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), Token(token), Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.engine.metrics.connections_opened.inc();
+                    self.engine.metrics.connections_active.inc();
+                    emit_conn_state(token, "open");
+                    self.conns.insert(token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn handle_conn_event(&mut self, ev: PollEvent) {
+        let Some(conn) = self.conns.get_mut(&ev.token.0) else { return };
+        if ev.readable || ev.closed {
+            read_available(conn);
+            let oversized = extract_frames(conn, self.opts.max_frame, self.opts.max_pipelined);
+            if oversized {
+                self.engine.metrics.frames_oversized.inc();
+                let err = error_response(
+                    None,
+                    ErrorCode::BadRequest,
+                    format!(
+                        "frame exceeds max_frame ({} bytes) without a newline",
+                        self.opts.max_frame
+                    ),
+                );
+                conn.write_buf.extend_from_slice(err.to_line().as_bytes());
+                conn.write_buf.push(b'\n');
+                conn.closing = true;
+                conn.read_buf.clear();
+                conn.scanned = 0;
+            }
+        }
+        // `ev.writable` needs no special handling: `flush_and_close`
+        // runs every iteration and drains what the kernel will take.
+    }
+
+    /// Flushes write buffers and closes every connection that is done:
+    /// flushed + idle + (peer gone, protocol violation, or draining).
+    fn flush_and_close(&mut self) {
+        let mut dead: Vec<usize> = Vec::new();
+        for (&token, conn) in self.conns.iter_mut() {
+            flush_writes(conn);
+            let finished = conn.pending.is_empty() && !conn.busy && !conn.has_unflushed();
+            // A dead write side means no response can ever be delivered;
+            // only an in-flight solve keeps the slot (its emit clears
+            // `busy` and the next sweep reaps it).
+            let undeliverable = conn.write_dead && !conn.busy;
+            if (finished && (conn.closing || conn.peer_closed || self.draining)) || undeliverable {
+                dead.push(token);
+            }
+        }
+        for token in dead {
+            if let Some(conn) = self.conns.remove(&token) {
+                if conn.registered {
+                    let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                }
+                self.engine.metrics.connections_active.dec();
+                emit_conn_state(token, "close");
+            }
+        }
+    }
+
+    /// Keeps each connection's registered interest truthful — the
+    /// poller is level-triggered, so stale interest means a spinning
+    /// loop (stale writable) or a stalled one (missing writable).
+    fn update_interests(&mut self) {
+        let max_pipelined = self.opts.max_pipelined;
+        for (&token, conn) in self.conns.iter_mut() {
+            let readable = !conn.peer_closed
+                && !conn.write_dead
+                && !conn.closing
+                && conn.pending.len() < max_pipelined;
+            let want = Interest { readable, writable: conn.has_unflushed() && !conn.write_dead };
+            if want == conn.interest && (want != Interest::NONE) == conn.registered {
+                continue;
+            }
+            let fd = conn.stream.as_raw_fd();
+            if want == Interest::NONE {
+                if conn.registered {
+                    let _ = self.poller.deregister(fd);
+                    conn.registered = false;
+                }
+            } else if conn.registered {
+                let _ = self.poller.reregister(fd, Token(token), want);
+            } else if self.poller.register(fd, Token(token), want).is_ok() {
+                conn.registered = true;
+            }
+            conn.interest = want;
         }
     }
 }
 
-fn connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
-    // The listener is non-blocking (accept polls the drain flag); the
-    // per-connection socket must not inherit that — reads block with a
-    // timeout instead (Windows inherits the flag, Linux does not).
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(POLL))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    // Frames are accumulated as raw bytes with `read_until`, not
-    // `read_line`: on a timeout, `read_line` discards consumed bytes
-    // whenever the partial tail is not valid UTF-8 (a poll tick landing
-    // mid-multibyte-character would corrupt the frame), while
-    // `read_until` keeps every byte it consumed. UTF-8 is validated
-    // per complete frame instead.
-    let mut line: Vec<u8> = Vec::new();
+/// Emits a `conn.state` lifecycle event (Timing channel: connection
+/// arrival order is wall-clock, never part of the determinism
+/// contract).
+fn emit_conn_state(token: usize, state: &'static str) {
+    if sdc_obs::enabled() {
+        static EV_CONN: sdc_obs::Callsite =
+            sdc_obs::Callsite { name: "conn.state", channel: sdc_obs::Channel::Timing };
+        sdc_obs::Event::new(&EV_CONN).u64("token", token as u64).str("state", state).emit();
+    }
+}
+
+/// Reads everything the kernel has for this connection (level-triggered
+/// poller: stopping early just means another event, but draining now is
+/// cheaper). EOF and hard errors both mark `peer_closed`; consumed
+/// bytes are always kept.
+fn read_available(conn: &mut Conn) {
+    let mut scratch = [0u8; 16 * 1024];
     loop {
-        match reader.read_until(b'\n', &mut line) {
-            // EOF: a trailing unterminated frame is not a request.
-            Ok(0) => return Ok(()),
-            Ok(_) if line.last() != Some(&b'\n') => {
-                // EOF in the middle of a frame (read_until also returns
-                // on EOF): nothing complete to answer.
-                return Ok(());
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                return;
             }
-            Ok(_) => {
-                let text = String::from_utf8_lossy(&line);
+            Ok(n) => conn.read_buf.extend_from_slice(&scratch[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.peer_closed = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Carves complete frames out of `read_buf` into `pending` (up to
+/// `max_pipelined` queued). Returns `true` if the unterminated tail
+/// exceeds `max_frame` — the caller poisons the connection. The
+/// `scanned` cursor makes repeated partial reads O(new bytes), not
+/// O(buffer), and UTF-8 is validated per complete frame so a read
+/// boundary inside a multibyte character is harmless.
+fn extract_frames(conn: &mut Conn, max_frame: usize, max_pipelined: usize) -> bool {
+    while conn.pending.len() < max_pipelined {
+        match conn.read_buf[conn.scanned..].iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                let end = conn.scanned + pos;
+                if end > max_frame {
+                    return true;
+                }
+                let text = String::from_utf8_lossy(&conn.read_buf[..end]);
                 let trimmed = text.trim();
                 if !trimmed.is_empty() {
-                    let resp = engine.handle_line(trimmed, &mut |event| {
-                        // Best-effort streaming; a dead client surfaces
-                        // on the final write below.
-                        let _ = writeln!(writer, "{}", event.to_line());
-                        let _ = writer.flush();
-                    });
-                    writeln!(writer, "{}", resp.to_line())?;
-                    writer.flush()?;
+                    conn.pending.push_back(trimmed.to_string());
                 }
-                line.clear();
+                conn.read_buf.drain(..=end);
+                conn.scanned = 0;
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Idle poll tick (partial bytes stay in `line`); close
-                // only when idle *and* draining.
-                if engine.shutdown_requested() && line.is_empty() {
-                    return Ok(());
-                }
+            None => {
+                // No newline anywhere: everything scanned, nothing to
+                // rescan until more bytes arrive.
+                conn.scanned = conn.read_buf.len();
+                return conn.read_buf.len() > max_frame;
             }
-            Err(e) => return Err(e),
         }
+    }
+    // Stopped at the pipelining cap with bytes (possibly whole frames)
+    // still buffered; `scanned` stays put so they are found later.
+    false
+}
+
+/// Writes as much of `write_buf` as the kernel accepts; errors mark the
+/// write side dead (the next sweep reaps the connection).
+fn flush_writes(conn: &mut Conn) {
+    if conn.write_dead {
+        conn.write_buf.clear();
+        return;
+    }
+    let mut written = 0usize;
+    while written < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[written..]) {
+            Ok(0) => {
+                conn.write_dead = true;
+                break;
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.write_dead = true;
+                break;
+            }
+        }
+    }
+    if written > 0 {
+        conn.write_buf.drain(..written);
     }
 }

@@ -1,0 +1,182 @@
+//! Shard routing: which server process owns a registry reference.
+//!
+//! Scale-out model: N identical `serve --shard i/N` processes each own
+//! a deterministic slice of the matrix key space. The routing rule is
+//! a pure function of the *reference string the client uses* — an
+//! alias like `"p"` or a content key like `"m1f0b3..."` — so any
+//! client (or shell script) can compute the owner without talking to a
+//! server:
+//!
+//! ```text
+//! owner(reference, N) = fnv1a64(reference) % N
+//! ```
+//!
+//! FNV-1a is the same hash family the registry uses for content keys,
+//! and is trivially portable to other languages. A shard accepts
+//! requests for references it owns, serves any matrix it actually
+//! holds (replicas included — see `replicate`), and answers
+//! `wrong_shard` with the owner's index for everything else, so a
+//! misrouted client can self-correct.
+//!
+//! [`route_frame`] classifies a raw request frame for the cluster
+//! client: route by reference, pin to shard 0 (campaigns, which hold a
+//! server-wide lock), or broadcast (stats/metrics/list/shutdown).
+
+use sdc_campaigns::json::Json;
+
+/// 64-bit FNV-1a — matches `registry::content_key`'s hash family.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The shard index (in `0..shards`) that owns `reference`. A
+/// single-shard "cluster" owns everything.
+pub fn shard_of(reference: &str, shards: u64) -> u64 {
+    if shards <= 1 {
+        0
+    } else {
+        fnv1a(reference.as_bytes()) % shards
+    }
+}
+
+/// A server's identity within a cluster: shard `index` of `count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    pub index: u64,
+    pub count: u64,
+}
+
+impl ShardSpec {
+    /// Parse the `--shard i/N` syntax (`0 <= i < N`, `N >= 1`).
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let err = || format!("invalid shard spec '{s}' (expected i/N with 0 <= i < N)");
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let index: u64 = i.trim().parse().map_err(|_| err())?;
+        let count: u64 = n.trim().parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    pub fn owns(&self, reference: &str) -> bool {
+        shard_of(reference, self.count) == self.index
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// How the cluster client should deliver one request frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Routing {
+    /// Hash this reference and send to its owner shard.
+    Reference(String),
+    /// Send to shard 0 (commands serialized by a server-wide lock).
+    Pinned,
+    /// Send to every shard in index order, concatenating the frames.
+    Broadcast,
+}
+
+/// Classify a raw frame for cluster routing. Errors are protocol-level
+/// (the frame could never be routed deterministically), not transport
+/// failures.
+pub fn route_frame(v: &Json) -> Result<Routing, String> {
+    let cmd = v
+        .get("cmd")
+        .and_then(|j| j.as_str().ok())
+        .ok_or_else(|| "frame has no string \"cmd\" field".to_string())?;
+    let reference = |field: &str| -> Result<Routing, String> {
+        match v.get(field).and_then(|j| j.as_str().ok()) {
+            Some(r) => Ok(Routing::Reference(r.to_string())),
+            None => {
+                Err(format!("cluster routing needs a string \"{field}\" field on \"{cmd}\" frames"))
+            }
+        }
+    };
+    match cmd {
+        "solve" | "replicate" => reference("matrix"),
+        // The name is the routing key; an anonymous load has no
+        // deterministic owner.
+        "load_matrix" => reference("name").map_err(|_| {
+            "cluster routing needs load_matrix frames to carry a \"name\" (the routing key)"
+                .to_string()
+        }),
+        "campaign" => Ok(Routing::Pinned),
+        "stats" | "metrics" | "list" | "shutdown" => Ok(Routing::Broadcast),
+        other => Err(format!("unknown command \"{other}\" cannot be routed")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_garbage() {
+        assert_eq!(ShardSpec::parse("0/1").unwrap(), ShardSpec { index: 0, count: 1 });
+        assert_eq!(ShardSpec::parse("2/3").unwrap(), ShardSpec { index: 2, count: 3 });
+        assert_eq!(ShardSpec::parse("2/3").unwrap().to_string(), "2/3");
+        for bad in ["", "1", "3/3", "5/2", "-1/2", "a/b", "1/0", "1//2"] {
+            assert!(ShardSpec::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn ownership_partitions_the_key_space() {
+        for n in 1..6u64 {
+            for key in ["p", "q", "bench", "m0123456789abcdef", "poisson_100"] {
+                let owner = shard_of(key, n);
+                assert!(owner < n);
+                let owners: Vec<u64> =
+                    (0..n).filter(|&i| ShardSpec { index: i, count: n }.owns(key)).collect();
+                assert_eq!(owners, vec![owner], "exactly one shard owns {key} at N={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_frame_classification() {
+        let parse = |s: &str| Json::parse(s).unwrap();
+        assert_eq!(
+            route_frame(&parse("{\"cmd\":\"solve\",\"matrix\":\"p\"}")).unwrap(),
+            Routing::Reference("p".into())
+        );
+        assert_eq!(
+            route_frame(&parse("{\"cmd\":\"replicate\",\"matrix\":\"m0f\"}")).unwrap(),
+            Routing::Reference("m0f".into())
+        );
+        assert_eq!(
+            route_frame(&parse("{\"cmd\":\"load_matrix\",\"name\":\"p\"}")).unwrap(),
+            Routing::Reference("p".into())
+        );
+        assert_eq!(route_frame(&parse("{\"cmd\":\"campaign\"}")).unwrap(), Routing::Pinned);
+        for cmd in ["stats", "metrics", "list", "shutdown"] {
+            assert_eq!(
+                route_frame(&parse(&format!("{{\"cmd\":\"{cmd}\"}}"))).unwrap(),
+                Routing::Broadcast
+            );
+        }
+        assert!(route_frame(&parse("{\"cmd\":\"load_matrix\"}")).is_err());
+        assert!(route_frame(&parse("{\"cmd\":\"solve\"}")).is_err());
+        assert!(route_frame(&parse("{\"nope\":1}")).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Adversarial transport tests: the event loop must survive hostile or
+//! broken clients — connection bursts, slowloris drip-feeds, mid-frame
+//! disconnects, oversized frames — without blocking, dropping consumed
+//! bytes, or answering anything but structured errors.
+
+use sdc_campaigns::json::Json;
+use sdc_server::{
+    netpoll, serve, serve_with, Client, Engine, EngineConfig, ServerHandle, ServerOptions,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start() -> ServerHandle {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 0,
+        queue_cap: 16,
+        batch_max: 4,
+        shard: None,
+    }));
+    serve(engine, "127.0.0.1:0").expect("bind")
+}
+
+fn call(client: &mut Client, line: &str) -> Json {
+    let frames = client.request_lines(line).expect("request");
+    Json::parse(frames.last().expect("non-empty")).expect("valid frame")
+}
+
+fn shutdown(handle: ServerHandle) {
+    let mut c = Client::connect(handle.addr()).expect("connect for shutdown");
+    let r = call(&mut c, "{\"cmd\":\"shutdown\"}");
+    assert!(r.field("ok").unwrap().as_bool().unwrap());
+    handle.wait();
+}
+
+#[test]
+fn burst_of_512_connections_all_get_answers() {
+    netpoll::ensure_fd_limit(4096);
+    let handle = start();
+    let addr = handle.addr();
+
+    // Open every connection before sending anything: the loop must
+    // hold 512 concurrent sockets (the old transport needed 512
+    // threads for this).
+    let mut conns: Vec<Client> = (0..512)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("connect #{i}: {e}")))
+        .collect();
+    for (i, c) in conns.iter_mut().enumerate() {
+        c.send_line(&format!("{{\"cmd\":\"stats\",\"id\":{i}}}")).expect("send");
+    }
+    for (i, c) in conns.iter_mut().enumerate() {
+        let frame = c.read_frame().expect("read").expect("frame");
+        let v = Json::parse(&frame).expect("json");
+        assert!(v.field("ok").unwrap().as_bool().unwrap(), "{frame}");
+        assert_eq!(v.field("id").unwrap().as_usize().unwrap(), i);
+    }
+    let stats = call(&mut conns[0], "{\"cmd\":\"stats\"}");
+    let active = stats.field("result").unwrap().field("connections").unwrap();
+    assert!(active.field("active").unwrap().as_usize().unwrap() >= 512);
+
+    drop(conns);
+    shutdown(handle);
+}
+
+#[test]
+fn slowloris_partial_frames_never_block_other_clients() {
+    let handle = start();
+    let addr = handle.addr();
+
+    // The slow client drips one request byte at a time…
+    let mut slow = TcpStream::connect(addr).expect("connect slow");
+    slow.set_nodelay(true).ok();
+    let request = b"{\"cmd\":\"stats\",\"id\":42}\n";
+    let (head, tail) = request.split_at(7);
+    slow.write_all(head).expect("drip head");
+
+    // …while a normal client gets immediate service on every byte of
+    // the drip (a blocked loop would wedge right here).
+    let mut fast = Client::connect(addr).expect("connect fast");
+    for byte in tail {
+        let r = call(&mut fast, "{\"cmd\":\"list\"}");
+        assert!(r.field("ok").unwrap().as_bool().unwrap());
+        slow.write_all(std::slice::from_ref(byte)).expect("drip");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Every consumed byte was kept: the reassembled frame answers.
+    slow.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        assert_eq!(slow.read(&mut byte).expect("slow read"), 1, "eof before response");
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+    }
+    let v = Json::parse(&String::from_utf8(buf).expect("utf8")).expect("json");
+    assert!(v.field("ok").unwrap().as_bool().unwrap());
+    assert_eq!(v.field("id").unwrap().as_usize().unwrap(), 42);
+
+    shutdown(handle);
+}
+
+#[test]
+fn mid_frame_disconnect_leaves_the_server_healthy() {
+    let handle = start();
+    let addr = handle.addr();
+
+    // Abort mid-frame (no newline ever arrives)…
+    let mut dead = TcpStream::connect(addr).expect("connect");
+    dead.write_all(b"{\"cmd\":\"solve\",\"matrix").expect("partial write");
+    drop(dead);
+
+    // …and mid-pipeline (a full request, then vanish before reading).
+    let mut ghost = TcpStream::connect(addr).expect("connect");
+    ghost.write_all(b"{\"cmd\":\"list\"}\n").expect("full write");
+    drop(ghost);
+
+    // The server keeps serving; the unterminated tail was never
+    // treated as a request.
+    let mut c = Client::connect(addr).expect("connect");
+    let r = call(&mut c, "{\"cmd\":\"stats\"}");
+    assert!(r.field("ok").unwrap().as_bool().unwrap());
+    let requests = r.field("result").unwrap().field("requests").unwrap();
+    assert_eq!(
+        requests.field("solve").unwrap().as_usize().unwrap(),
+        0,
+        "a partial frame must not become a request"
+    );
+
+    shutdown(handle);
+}
+
+#[test]
+fn oversized_frames_get_a_structured_error_and_a_close() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 0,
+        queue_cap: 16,
+        batch_max: 4,
+        shard: None,
+    }));
+    let handle = serve_with(
+        engine,
+        "127.0.0.1:0",
+        ServerOptions { max_frame: 1024, ..ServerOptions::default() },
+    )
+    .expect("bind");
+    let addr = handle.addr();
+
+    // An unterminated frame past the cap is rejected without waiting
+    // for a newline that may never come.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.write_all(&vec![b'x'; 4096]).expect("flood");
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read until close");
+    let line = resp.lines().next().expect("one error frame");
+    let v = Json::parse(line).expect("json");
+    assert!(!v.field("ok").unwrap().as_bool().unwrap());
+    let err = v.field("error").unwrap();
+    assert_eq!(err.field("code").unwrap().as_str().unwrap(), "bad_request");
+    assert!(err.field("message").unwrap().as_str().unwrap().contains("max_frame"));
+
+    // A terminated-but-huge frame is rejected the same way.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let mut big = vec![b'y'; 2048];
+    big.push(b'\n');
+    s.write_all(&big).expect("big frame");
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read until close");
+    assert!(resp.contains("max_frame"), "{resp}");
+
+    // Within the limit everything still works, and the rejections were
+    // counted.
+    let mut c = Client::connect(addr).expect("connect");
+    let r = call(&mut c, "{\"cmd\":\"metrics\"}");
+    let text =
+        r.field("result").unwrap().field("prometheus").unwrap().as_str().unwrap().to_string();
+    assert!(text.contains("sdc_frames_oversized_total 2"), "{text}");
+
+    shutdown(handle);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let handle = start();
+    let addr = handle.addr();
+
+    // Many frames in one TCP segment, including a solve in the middle:
+    // responses must come back in request order with matching ids.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let mut batch = String::new();
+    batch.push_str("{\"cmd\":\"load_matrix\",\"id\":0,\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}\n");
+    for id in 1..=10 {
+        if id % 3 == 0 {
+            batch.push_str(&format!(
+                "{{\"cmd\":\"solve\",\"id\":{id},\"matrix\":\"p\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":200}}\n"
+            ));
+        } else {
+            batch.push_str(&format!("{{\"cmd\":\"stats\",\"id\":{id}}}\n"));
+        }
+    }
+    s.write_all(batch.as_bytes()).expect("pipeline");
+    s.shutdown(std::net::Shutdown::Write).ok();
+
+    s.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let mut all = String::new();
+    s.read_to_string(&mut all).expect("responses");
+    let ids: Vec<usize> = all
+        .lines()
+        .map(|l| Json::parse(l).expect("json").field("id").unwrap().as_usize().unwrap())
+        .collect();
+    assert_eq!(ids, (0..=10).collect::<Vec<_>>(), "in-order pipelined responses");
+    for l in all.lines() {
+        let v = Json::parse(l).expect("json");
+        assert!(v.field("ok").unwrap().as_bool().unwrap(), "{l}");
+    }
+
+    shutdown(handle);
+}

@@ -7,7 +7,12 @@ use sdc_server::{serve, Client, Engine, EngineConfig, ServerHandle};
 use std::sync::Arc;
 
 fn start() -> ServerHandle {
-    let engine = Arc::new(Engine::new(EngineConfig { threads: 0, queue_cap: 16, batch_max: 4 }));
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 0,
+        queue_cap: 16,
+        batch_max: 4,
+        shard: None,
+    }));
     serve(engine, "127.0.0.1:0").expect("bind")
 }
 

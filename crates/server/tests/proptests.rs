@@ -174,7 +174,11 @@ fn load_strategy() -> impl Strategy<Value = LoadMatrixRequest> {
                 entries: raw.into_iter().map(|(i, j, v)| (i % rows, j % cols, v)).collect(),
             }),
     ];
-    (opt(name_strategy()), source).prop_map(|(name, source)| LoadMatrixRequest { name, source })
+    (opt(name_strategy()), source).prop_map(|(name, source)| LoadMatrixRequest {
+        name,
+        source,
+        replica: false,
+    })
 }
 
 proptest! {
@@ -252,6 +256,7 @@ proptest! {
             queue_cap: 2,
             batch_max: 1,
             threads: 0,
+            shard: None,
         });
         let mut events = Vec::new();
         let resp = engine.handle_line(&garbage, &mut |e| events.push(e.clone()));

@@ -1,0 +1,182 @@
+//! Shard-routing determinism over real sockets: the same request
+//! sequence played through a 1-shard and a 3-shard cluster must produce
+//! the same bytes as the offline engine, replicas must serve, and
+//! misrouted requests must name the owner.
+
+use sdc_campaigns::json::Json;
+use sdc_server::{
+    serve, shard_of, Client, ClusterClient, Engine, EngineConfig, ServerHandle, ShardSpec,
+};
+use std::sync::Arc;
+
+fn start_cluster(count: u64) -> (Vec<ServerHandle>, Vec<String>) {
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for index in 0..count {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            threads: 0,
+            queue_cap: 16,
+            batch_max: 4,
+            shard: Some(ShardSpec { index, count }),
+        }));
+        let handle = serve(engine, "127.0.0.1:0").expect("bind shard");
+        addrs.push(handle.addr().to_string());
+        handles.push(handle);
+    }
+    (handles, addrs)
+}
+
+fn shutdown_cluster(handles: Vec<ServerHandle>, cluster: &mut ClusterClient) {
+    for frame in cluster.request_lines("{\"cmd\":\"shutdown\"}").expect("shutdown") {
+        let v = Json::parse(&frame).expect("frame");
+        assert!(v.field("ok").unwrap().as_bool().unwrap(), "{frame}");
+    }
+    for handle in handles {
+        handle.wait();
+    }
+}
+
+/// The deterministic request sequence: named loads, plain and traced
+/// solves, a not-found miss, a replicate, and a pinned campaign. Every
+/// frame routes per-request (no broadcasts), so output length is
+/// cluster-size-independent.
+fn sequence() -> Vec<String> {
+    vec![
+        "{\"cmd\":\"load_matrix\",\"id\":1,\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}".into(),
+        "{\"cmd\":\"load_matrix\",\"id\":2,\"name\":\"q\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}".into(),
+        "{\"cmd\":\"solve\",\"id\":3,\"matrix\":\"p\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":300}".into(),
+        "{\"cmd\":\"solve\",\"id\":4,\"matrix\":\"q\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\
+         \"inner_iters\":10,\"detector\":\"restart_inner\",\
+         \"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":12},\"trace\":true}".into(),
+        "{\"cmd\":\"replicate\",\"id\":5,\"matrix\":\"p\"}".into(),
+        "{\"cmd\":\"solve\",\"id\":6,\"matrix\":\"nope\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":10}".into(),
+        format!(
+            "{{\"cmd\":\"campaign\",\"id\":7,\"spec\":{}}}",
+            sdc_campaigns::CampaignSpec {
+                inner_iters: 6,
+                outer_tol: 1e-8,
+                outer_max: 60,
+                stride: 9,
+                ..sdc_campaigns::CampaignSpec::paper_shape(
+                    "det",
+                    vec![sdc_campaigns::ProblemSpec::Poisson { m: 8 }],
+                )
+            }
+            .to_json()
+            .to_line()
+        ),
+    ]
+}
+
+fn offline_baseline(requests: &[String]) -> Vec<String> {
+    let engine = Engine::new(EngineConfig::default());
+    let mut lines = Vec::new();
+    for req in requests {
+        let resp = engine.handle_line(req, &mut |ev| lines.push(ev.to_line()));
+        lines.push(resp.to_line());
+    }
+    engine.drain();
+    lines
+}
+
+#[test]
+fn cluster_bytes_match_offline_at_one_and_three_shards() {
+    let _guard = sdc_parallel::test_serial_guard();
+    let requests = sequence();
+    let reference = offline_baseline(&requests);
+    assert!(!reference.is_empty());
+
+    for count in [1u64, 3] {
+        let (handles, addrs) = start_cluster(count);
+        let mut cluster = ClusterClient::connect(&addrs).expect("connect cluster");
+        let mut lines = Vec::new();
+        for req in &requests {
+            lines.extend(cluster.request_lines(req).expect("request"));
+        }
+        assert_eq!(lines, reference, "{count}-shard cluster must be byte-identical to offline");
+        shutdown_cluster(handles, &mut cluster);
+    }
+}
+
+#[test]
+fn wrong_shard_names_the_owner_and_replicas_serve() {
+    let _guard = sdc_parallel::test_serial_guard();
+    let (handles, addrs) = start_cluster(2);
+    let owner = shard_of("p", 2) as usize;
+    let other = 1 - owner;
+
+    let call = |addr: &str, line: &str| -> Json {
+        let mut c = Client::connect_str(addr).expect("connect");
+        let frames = c.request_lines(line).expect("request");
+        Json::parse(frames.last().expect("non-empty")).expect("frame")
+    };
+
+    let load =
+        "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}";
+    let solve =
+        "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":300}";
+
+    // A named load or a solve on the wrong shard is redirected, with
+    // the owner's index in the message.
+    for line in [load, solve] {
+        let r = call(&addrs[other], line);
+        assert!(!r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        let err = r.field("error").unwrap();
+        assert_eq!(err.field("code").unwrap().as_str().unwrap(), "wrong_shard");
+        let msg = err.field("message").unwrap().as_str().unwrap().to_string();
+        assert!(msg.contains(&format!("shard {owner}/2")), "{msg}");
+    }
+
+    // Owner accepts, solves, and pushes a replica to the peer.
+    let r = call(&addrs[owner], load);
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+    let owner_solve = call(&addrs[owner], solve).to_line();
+    let r = call(
+        &addrs[owner],
+        &format!("{{\"cmd\":\"replicate\",\"matrix\":\"p\",\"peers\":[\"{}\"]}}", addrs[other]),
+    );
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+
+    // The replica now serves the same solve, byte for byte, and each
+    // shard reports its identity in stats.
+    let replica_solve = call(&addrs[other], solve).to_line();
+    assert_eq!(replica_solve, owner_solve);
+    for (index, addr) in addrs.iter().enumerate() {
+        let r = call(addr, "{\"cmd\":\"stats\"}");
+        let shard = r.field("result").unwrap().field("shard").unwrap();
+        assert_eq!(shard.field("index").unwrap().as_usize().unwrap(), index);
+        assert_eq!(shard.field("count").unwrap().as_usize().unwrap(), 2);
+    }
+
+    let mut cluster = ClusterClient::connect(&addrs).expect("connect cluster");
+    shutdown_cluster(handles, &mut cluster);
+}
+
+mod routing_properties {
+    use proptest::prelude::*;
+    use sdc_server::{shard_of, ShardSpec};
+
+    fn key_strategy() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0x20u8..0x7f, 0..40)
+            .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+    }
+
+    proptest! {
+        // Every reference is owned by exactly one shard, and that
+        // shard is the one `shard_of` names; routing is a pure
+        // function of the reference string (repeated calls agree).
+        #[test]
+        fn every_key_routes_to_exactly_one_shard(
+            key in key_strategy(),
+            count in 1u64..8,
+        ) {
+            let owner = shard_of(&key, count);
+            prop_assert!(owner < count);
+            prop_assert_eq!(owner, shard_of(&key, count));
+            let owners: Vec<u64> = (0..count)
+                .filter(|&index| ShardSpec { index, count }.owns(&key))
+                .collect();
+            prop_assert_eq!(owners, vec![owner]);
+        }
+    }
+}

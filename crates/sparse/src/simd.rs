@@ -4,7 +4,7 @@
 //! and is re-exported here so sparse callers see one dispatch point;
 //! this module adds the two sparse kernel bodies:
 //!
-//! * **Strict SELL chunk kernel** ([`avx2::sell_chunk8`]): the SELL-C-σ
+//! * **Strict SELL chunk kernel** (`avx2::sell_chunk8`): the SELL-C-σ
 //!   slab stores `C = 8` rows lane-interleaved, so the kernel runs the
 //!   eight independent row accumulations in two `f64x4` register
 //!   groups. Each lane performs exactly its row's scalar op sequence —
@@ -17,7 +17,7 @@
 //!   architectural-masking contract the fault campaigns rely on. The
 //!   result is bitwise identical to the scalar kernel — and therefore
 //!   to CSR — so `SDC_SIMD` never perturbs an artifact byte.
-//! * **Fast-math CSR row kernel** ([`row_dot_fast`]): the explicitly
+//! * **Fast-math CSR row kernel** (`row_dot_fast`): the explicitly
 //!   versioned [`KernelTier::FastMath`] trades the strict contract for
 //!   intra-row vectorization — four strided sub-accumulators folded
 //!   with fused multiply-adds. It is *not* bitwise-equal to strict

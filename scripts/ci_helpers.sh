@@ -28,6 +28,34 @@ json_path() {
   "$SOLVE_CLIENT" json-get "$1"
 }
 
+# wait_port LOGFILE [PID]
+#   Polls LOGFILE (up to 30 s) for the server's machine-readable
+#   `listening on HOST:PORT` line and prints the address:
+#
+#     addr=$(wait_port "$log" "$pid")
+#
+#   On timeout it emits a ::error:: annotation, dumps the log to stderr
+#   (the server's own failure reason, if any, is in there), kills PID
+#   when given, and returns 1 — so a hung server fails the job loudly
+#   instead of timing out silently 20 minutes later.
+wait_port() {
+  _wp_log="$1"
+  _wp_pid="${2:-}"
+  for _wp_i in $(seq 150); do
+    if grep -q "listening on" "$_wp_log" 2>/dev/null; then
+      sed -n 's/^listening on //p' "$_wp_log" | head -1
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "::error::server never became ready after 30s; log follows" >&2
+  cat "$_wp_log" >&2 || true
+  if [ -n "$_wp_pid" ]; then
+    kill "$_wp_pid" 2>/dev/null || true
+  fi
+  return 1
+}
+
 # prom_family FAMILY FILE
 #   Asserts the Prometheus text exposition in FILE has at least one
 #   sample line for FAMILY (the family name at line start, followed by
