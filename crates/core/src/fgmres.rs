@@ -146,6 +146,14 @@ where
     let n = a.nrows();
     assert!(a.is_square(), "fgmres: operator must be square");
     assert_eq!(b.len(), n, "fgmres: rhs length");
+    // Timing span over the outer flexible iteration; inner `gmres.solve`
+    // spans (FT-GMRES inner phases) nest beneath it in span logs.
+    static EV_SOLVE: sdc_obs::Callsite =
+        sdc_obs::Callsite { name: "fgmres.solve", channel: sdc_obs::Channel::Timing };
+    let mut solve_span = sdc_obs::span(&EV_SOLVE);
+    if let Some(s) = &mut solve_span {
+        s.u64("n", n as u64);
+    }
     let mut report = SolveReport::new();
     let mut x = match x0 {
         Some(x0) => x0.to_vec(),

@@ -176,6 +176,15 @@ pub fn gmres_solve_instrumented<A: LinearOperator + ?Sized>(
     let n = a.nrows();
     assert!(a.is_square(), "gmres: operator must be square");
     assert_eq!(b.len(), n, "gmres: rhs length");
+    // Timing span over the whole (possibly restarted) solve; nests
+    // under the server's `solve.exec` root in span logs. Durations are
+    // wall-clock, so this never touches the Det channel.
+    static EV_SOLVE: sdc_obs::Callsite =
+        sdc_obs::Callsite { name: "gmres.solve", channel: sdc_obs::Channel::Timing };
+    let mut solve_span = sdc_obs::span(&EV_SOLVE);
+    if let Some(s) = &mut solve_span {
+        s.u64("n", n as u64).u64("inner_solve", ctx.inner_solve as u64);
+    }
     let mut report = SolveReport::new();
     let mut x = match x0 {
         Some(x0) => {

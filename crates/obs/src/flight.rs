@@ -1,0 +1,189 @@
+//! The flight recorder: a fixed-size ring of the most recent events of
+//! one solve, kept so a post-mortem can be written when the solve ends
+//! badly (fault detection, solver error, panic, or the client vanishing
+//! mid-solve).
+//!
+//! One [`FlightRecorder`] is created per solve and installed on the
+//! executing thread's local subscriber stack next to the optional
+//! [`crate::trace::TraceSink`]. Every det and timing event of the solve
+//! is rendered into a preallocated ring slot; when the solve ends in
+//! one of the dump conditions, [`FlightRecorder::dump`] emits a
+//! canonical JSONL post-mortem: one `flight.header` line naming the
+//! reason (plus trace id and loss accounting), then the retained events
+//! oldest-first. Det lines are rendered by the exact same code path as
+//! the det trace channel, so a post-mortem's det lines are byte-equal
+//! to the corresponding window of a full `--trace-out` run.
+//!
+//! ## Memory ordering
+//!
+//! The ring is lock-free and allocation-free in steady state. Writes
+//! claim the whole ring with one `swap(Acquire)` on the `busy` flag and
+//! release it with a `store(Release)`; the `head` counter itself is
+//! `Relaxed`. This is sound because:
+//!
+//! - There is exactly one writer by construction: the recorder lives on
+//!   one thread's local subscriber stack ([`crate::with_local`] is
+//!   thread-local, and pool-worker threads never see another thread's
+//!   local sinks), so the CAS never spins — it is a cheap uncontended
+//!   RMW. If a recorder is ever misused from two threads, a concurrent
+//!   `event` finds `busy` set and *drops the event* (counted in
+//!   `contended`) instead of racing on a slot — degraded, never UB.
+//! - `dump` claims the same flag, so the Acquire/Release pair on `busy`
+//!   is the only synchronization edge needed to make slot contents
+//!   visible to a dumper on another thread; `head` is only ever read
+//!   under that edge, which is why `Relaxed` suffices for it.
+//! - Slot strings are preallocated and reused via
+//!   [`crate::trace::render_line_into`]: after warm-up, recording an
+//!   event performs zero heap allocation.
+
+use crate::{Callsite, Channel, Event, Subscriber, Value};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Header callsite for post-mortem dumps (`{"ev":"flight.header",…}`).
+pub static HEADER: Callsite = Callsite { name: "flight.header", channel: Channel::Timing };
+
+/// Default ring capacity used by the server engine.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+struct Slot {
+    chan: Channel,
+    line: String,
+}
+
+/// A fixed-capacity single-writer ring of rendered event lines.
+pub struct FlightRecorder {
+    slots: UnsafeCell<Vec<Slot>>,
+    /// Total events ever recorded; the live window is the last
+    /// `min(head, capacity)` of them at `head % capacity` offsets.
+    head: AtomicUsize,
+    /// Writer-exclusivity flag; see the module docs.
+    busy: AtomicBool,
+    /// Events dropped because the ring was busy (misuse indicator).
+    contended: AtomicUsize,
+    capacity: usize,
+}
+
+// SAFETY: all slot access (`event`, `dump`) is guarded by the `busy`
+// flag: a thread either wins the swap and has exclusive access until
+// its Release store, or backs off without touching the slots. See the
+// module-level memory-ordering argument.
+unsafe impl Sync for FlightRecorder {}
+unsafe impl Send for FlightRecorder {}
+
+impl FlightRecorder {
+    /// A ring retaining the last `capacity` events. Slot strings start
+    /// empty and grow to the longest line rendered into them.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs at least one slot");
+        let slots =
+            (0..capacity).map(|_| Slot { chan: Channel::Det, line: String::new() }).collect();
+        Self {
+            slots: UnsafeCell::new(slots),
+            head: AtomicUsize::new(0),
+            busy: AtomicBool::new(false),
+            contended: AtomicUsize::new(0),
+            capacity,
+        }
+    }
+
+    /// Total events recorded (including overwritten ones).
+    pub fn recorded(&self) -> usize {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped to the single-writer guard (0 in correct use).
+    pub fn contended(&self) -> usize {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Renders the post-mortem: the caller-built header event (reason,
+    /// trace id, …) with loss accounting appended, then the retained
+    /// events oldest-first, one canonical JSON line each.
+    pub fn dump(&self, mut header: Event) -> String {
+        while self.busy.swap(true, Ordering::Acquire) {
+            // A mid-flight writer on another thread is misuse, but spin
+            // briefly rather than lose the post-mortem.
+            std::hint::spin_loop();
+        }
+        let recorded = self.head.load(Ordering::Relaxed);
+        let kept = recorded.min(self.capacity);
+        header.fields.push(("events", Value::U64(recorded as u64)));
+        header.fields.push(("dropped", Value::U64((recorded - kept) as u64)));
+        let mut out = crate::trace::render_line(&header);
+        out.push('\n');
+        // SAFETY: we hold the busy flag (exclusive access).
+        let slots = unsafe { &*self.slots.get() };
+        for i in (recorded - kept)..recorded {
+            out.push_str(&slots[i % self.capacity].line);
+            out.push('\n');
+        }
+        self.busy.store(false, Ordering::Release);
+        out
+    }
+}
+
+impl Subscriber for FlightRecorder {
+    fn event(&self, event: &Event) {
+        if self.busy.swap(true, Ordering::Acquire) {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let n = self.head.load(Ordering::Relaxed);
+        // SAFETY: we hold the busy flag (exclusive access).
+        let slots = unsafe { &mut *self.slots.get() };
+        let slot = &mut slots[n % self.capacity];
+        slot.chan = event.callsite.channel;
+        crate::trace::render_line_into(event, &[], &mut slot.line);
+        self.head.store(n + 1, Ordering::Relaxed);
+        self.busy.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{with_local, Callsite};
+    use std::sync::Arc;
+
+    static DET: Callsite = Callsite { name: "unit.det", channel: Channel::Det };
+    static TIMING: Callsite = Callsite { name: "unit.timing", channel: Channel::Timing };
+
+    #[test]
+    fn keeps_the_most_recent_events_and_accounts_losses() {
+        let rec = Arc::new(FlightRecorder::new(4));
+        with_local(rec.clone(), || {
+            for i in 0..10u64 {
+                Event::new(&DET).u64("i", i).emit();
+            }
+            Event::new(&TIMING).u64("us", 5).emit();
+        });
+        assert_eq!(rec.recorded(), 11);
+        assert_eq!(rec.contended(), 0);
+        let dump = rec.dump(Event::new(&HEADER).str("reason", "test"));
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 5, "{dump}");
+        assert_eq!(
+            lines[0],
+            "{\"dropped\":7,\"ev\":\"flight.header\",\"events\":11,\"reason\":\"test\"}"
+        );
+        // Oldest retained first, newest last.
+        assert_eq!(lines[1], "{\"ev\":\"unit.det\",\"i\":7}");
+        assert_eq!(lines[3], "{\"ev\":\"unit.det\",\"i\":9}");
+        assert_eq!(lines[4], "{\"ev\":\"unit.timing\",\"us\":5}");
+    }
+
+    #[test]
+    fn dump_lines_match_the_det_channel_rendering_exactly() {
+        let rec = Arc::new(FlightRecorder::new(8));
+        let sink = Arc::new(crate::trace::TraceSink::new());
+        with_local(sink.clone(), || {
+            with_local(rec.clone(), || {
+                Event::new(&DET).f64("r", 0.5).str("s", "x\"y").emit();
+            })
+        });
+        let dump = rec.dump(Event::new(&HEADER).str("reason", "test"));
+        let det = sink.det_bytes();
+        assert_eq!(dump.lines().nth(1).unwrap(), det.trim_end());
+    }
+}

@@ -25,11 +25,13 @@
 //! for per-solve and per-campaign-unit capture. Metrics are a separate,
 //! always-on surface: see [`metrics`].
 
+pub mod flight;
 pub mod metrics;
+pub mod spanlog;
 pub mod trace;
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Which trace channel a callsite's events belong to.
@@ -174,6 +176,47 @@ pub fn with_local<R>(sub: Arc<dyn Subscriber>, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+thread_local! {
+    static TRACE_CTX: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-global span-id allocator. Ids are only unique within one
+/// process; cross-shard analysis keys spans by (span-log file, id).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Runs `f` with `id` as this thread's current trace id.
+///
+/// The trace id is pure correlation context: it is **never** injected
+/// into deterministic-channel output (det bytes stay a pure function of
+/// the computation). Context-aware subscribers — the span log, the
+/// flight-recorder header — read it via [`current_trace`] at render
+/// time and stamp it on their own sidecar records. Contexts nest and
+/// pop panic-safely, mirroring [`with_local`].
+pub fn with_trace<R>(id: impl Into<String>, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            TRACE_CTX.with(|t| {
+                t.borrow_mut().pop();
+            });
+        }
+    }
+    TRACE_CTX.with(|t| t.borrow_mut().push(id.into()));
+    let _guard = Guard;
+    f()
+}
+
+/// The innermost trace id installed on this thread, if any.
+pub fn current_trace() -> Option<String> {
+    TRACE_CTX.with(|t| t.borrow().last().cloned())
+}
+
+/// The id of the innermost open span on this thread (0 when none).
+pub fn current_span() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
 /// Delivers an event to every local subscriber on this thread, then to
 /// the global subscriber if one is installed.
 pub fn dispatch(event: &Event) {
@@ -201,9 +244,18 @@ pub struct SpanGuard {
     callsite: &'static Callsite,
     fields: Vec<(&'static str, Value)>,
     start: std::time::Instant,
+    id: u64,
+    parent: u64,
 }
 
 /// Opens a timing span at `callsite`; `None` when tracing is off.
+///
+/// Each span gets a process-unique id and records the id of the
+/// innermost span already open on this thread as its parent (0 for a
+/// root). The pair is emitted as `span`/`parent` fields on the closing
+/// event, which is what lets `sdc_trace merge` rebuild the span tree
+/// from a flat span log. Guards are scope-bound and must close in LIFO
+/// order on the thread that opened them.
 pub fn span(callsite: &'static Callsite) -> Option<SpanGuard> {
     if !enabled() {
         return None;
@@ -213,7 +265,10 @@ pub fn span(callsite: &'static Callsite) -> Option<SpanGuard> {
         "span callsites must be Timing: durations are wall-clock ({})",
         callsite.name
     );
-    Some(SpanGuard { callsite, fields: Vec::new(), start: std::time::Instant::now() })
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span();
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Some(SpanGuard { callsite, fields: Vec::new(), start: std::time::Instant::now(), id, parent })
 }
 
 impl SpanGuard {
@@ -232,7 +287,13 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        SPAN_STACK.with(|s| {
+            let popped = s.borrow_mut().pop();
+            debug_assert_eq!(popped, Some(self.id), "span guards must close in LIFO order");
+        });
         let mut fields = std::mem::take(&mut self.fields);
+        fields.push(("span", Value::U64(self.id)));
+        fields.push(("parent", Value::U64(self.parent)));
         fields.push(("duration_us", Value::U64(self.start.elapsed().as_micros() as u64)));
         dispatch(&Event { callsite: self.callsite, fields });
     }
@@ -323,5 +384,53 @@ mod tests {
         assert!(timing.contains("\"duration_us\":"), "{timing}");
         assert!(timing.contains("\"pieces\":4"), "{timing}");
         assert!(sink.det_bytes().is_empty());
+    }
+
+    #[test]
+    fn trace_context_nests_and_pops_on_panic() {
+        assert_eq!(current_trace(), None);
+        with_trace("outer", || {
+            assert_eq!(current_trace().as_deref(), Some("outer"));
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_trace("inner", || {
+                    assert_eq!(current_trace().as_deref(), Some("inner"));
+                    panic!("boom")
+                })
+            }));
+            assert!(res.is_err());
+            assert_eq!(current_trace().as_deref(), Some("outer"));
+        });
+        assert_eq!(current_trace(), None);
+    }
+
+    #[test]
+    fn spans_link_parent_to_the_enclosing_span_on_this_thread() {
+        let _lock = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(trace::TraceSink::new());
+        with_local(sink.clone(), || {
+            assert_eq!(current_span(), 0);
+            let outer = span(&TEST_TIMING).expect("enabled");
+            let outer_id = current_span();
+            assert_ne!(outer_id, 0);
+            {
+                let _inner = span(&TEST_TIMING).expect("enabled");
+                assert_ne!(current_span(), outer_id);
+            }
+            drop(outer);
+            assert_eq!(current_span(), 0);
+        });
+        let timing = sink.timing_bytes();
+        let lines: Vec<&str> = timing.lines().collect();
+        assert_eq!(lines.len(), 2, "{timing}");
+        // Inner closes first and names the outer as its parent; the
+        // outer is a root (parent 0).
+        let outer_id: u64 = lines[1]
+            .split("\"span\":")
+            .nth(1)
+            .and_then(|s| s.split(&[',', '}'][..]).next())
+            .and_then(|s| s.parse().ok())
+            .expect("outer span id");
+        assert!(lines[0].contains(&format!("\"parent\":{outer_id}")), "{timing}");
+        assert!(lines[1].contains("\"parent\":0"), "{timing}");
     }
 }

@@ -1,0 +1,126 @@
+//! The per-shard span log: every event this process emits, rendered to
+//! one JSONL file with trace/span correlation stamped on.
+//!
+//! A [`SpanLog`] is installed as the *global* subscriber (`serve
+//! --span-log PATH`), so it sees events from every thread: timing spans
+//! (which already carry `span`/`parent` fields from their guards),
+//! point events like `sched.batch` and `conn.state`, and mirrored
+//! deterministic events (`gmres.iter`, `precond.apply`, …). At render
+//! time it stamps two correlation fields read from the emitting
+//! thread's context:
+//!
+//! - `trace`: the innermost [`crate::with_trace`] id, when present —
+//!   this is how a client-assigned trace id reaches every record of the
+//!   solve it named, *without* ever entering the deterministic channel
+//!   (det bytes and response frames stay byte-identical with tracing on
+//!   or off).
+//! - `span`: the innermost open span's id, for point events emitted
+//!   inside a span (span-closing events already carry their own id).
+//!
+//! ## File format (version 1)
+//!
+//! Line 1 is the meta header:
+//!
+//! ```json
+//! {"ev":"spanlog.meta","format":1,"shard":0,"shards":2}
+//! ```
+//!
+//! Every following line is one canonical event rendering (sorted keys,
+//! same float formatting as the det channel) plus the correlation
+//! fields above. Span ids are unique only within one process, so
+//! cross-shard tools (`sdc_trace merge`) key spans by *(file, id)* and
+//! use the header's `shard` to tag the joined tree. The log is a
+//! timing-class artifact: it contains durations and scheduling
+//! accidents and must never be byte-diffed.
+
+use crate::{current_span, current_trace, Event, Subscriber, Value};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Span-log file format version, written to the meta header.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// A global subscriber writing every event to one JSONL span log.
+pub struct SpanLog {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl SpanLog {
+    /// Creates `path` and writes the meta header identifying this
+    /// process's shard (`shard`/`shards` as in `--shard i/n`; a
+    /// standalone server writes `0/1`).
+    pub fn create(path: &Path, shard: usize, shards: usize) -> io::Result<Self> {
+        let mut w = BufWriter::new(File::create(path)?);
+        writeln!(
+            w,
+            "{{\"ev\":\"spanlog.meta\",\"format\":{FORMAT_VERSION},\"shard\":{shard},\"shards\":{shards}}}"
+        )?;
+        w.flush()?;
+        Ok(Self { out: Mutex::new(w) })
+    }
+}
+
+impl Subscriber for SpanLog {
+    fn event(&self, event: &Event) {
+        let mut extra: Vec<(&'static str, Value)> = Vec::with_capacity(2);
+        if let Some(id) = current_trace() {
+            extra.push(("trace", Value::Str(id)));
+        }
+        let span = current_span();
+        if span != 0 {
+            // Point events inherit the enclosing span; span-closing
+            // events carry their own `span` field, which wins (the
+            // merge in render drops colliding extras).
+            extra.push(("span", Value::U64(span)));
+        }
+        let line = crate::trace::render_line_with(event, &extra);
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+        // Flush per line: the log must be complete when the process is
+        // killed or a test reads it while the server still runs.
+        let _ = out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, with_local, with_trace, Callsite, Channel};
+    use std::sync::Arc;
+
+    static POINT: Callsite = Callsite { name: "unit.point", channel: Channel::Det };
+    static SPAN: Callsite = Callsite { name: "unit.span", channel: Channel::Timing };
+
+    #[test]
+    fn stamps_trace_and_span_context() {
+        let dir = std::env::temp_dir().join(format!("sdc_spanlog_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("span.log");
+        let log = Arc::new(SpanLog::create(&path, 1, 2).unwrap());
+        with_local(log, || {
+            with_trace("req-7", || {
+                let _root = span(&SPAN);
+                Event::new(&POINT).u64("i", 3).emit();
+            });
+            Event::new(&POINT).u64("i", 4).emit();
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "{\"ev\":\"spanlog.meta\",\"format\":1,\"shard\":1,\"shards\":2}");
+        // The point event inside the span carries trace + inherited span.
+        assert!(lines[1].contains("\"ev\":\"unit.point\""), "{text}");
+        assert!(lines[1].contains("\"trace\":\"req-7\""), "{text}");
+        assert!(lines[1].contains("\"span\":"), "{text}");
+        // The closing span event keeps its own span id and parent 0.
+        assert!(lines[2].contains("\"ev\":\"unit.span\""), "{text}");
+        assert!(lines[2].contains("\"parent\":0"), "{text}");
+        assert!(lines[2].contains("\"trace\":\"req-7\""), "{text}");
+        // Outside the context: no stamps.
+        assert!(!lines[3].contains("trace"), "{text}");
+        assert!(!lines[3].contains("span\":"), "{text}");
+    }
+}

@@ -68,22 +68,46 @@ impl Subscriber for TraceSink {
 /// Renders one event as a canonical JSON line (no trailing newline):
 /// the event name under the `"ev"` key plus every field, keys sorted.
 pub fn render_line(event: &Event) -> String {
+    let mut out = String::with_capacity(64);
+    render_line_into(event, &[], &mut out);
+    out
+}
+
+/// [`render_line`] with caller-supplied correlation fields merged in
+/// (the span log uses this to stamp `trace`/`span` context onto a line
+/// without mutating the event). An extra key that collides with an
+/// event field is dropped — the event's own value wins.
+pub fn render_line_with(event: &Event, extra: &[(&'static str, Value)]) -> String {
+    let mut out = String::with_capacity(64);
+    render_line_into(event, extra, &mut out);
+    out
+}
+
+/// Renders into a caller-owned buffer (cleared first, capacity kept).
+/// The flight recorder's steady-state zero-allocation claim rests on
+/// this: ring slots are reused strings whose capacity converges to the
+/// longest line seen.
+pub fn render_line_into(event: &Event, extra: &[(&'static str, Value)], out: &mut String) {
     let mut pairs: Vec<(&str, &Value)> = event.fields.iter().map(|(k, v)| (*k, v)).collect();
     let name = Value::Str(event.callsite.name.to_string());
     pairs.push(("ev", &name));
+    for (k, v) in extra {
+        if !pairs.iter().any(|(pk, _)| pk == k) {
+            pairs.push((k, v));
+        }
+    }
     pairs.sort_by(|a, b| a.0.cmp(b.0));
-    let mut out = String::with_capacity(64);
+    out.clear();
     out.push('{');
     for (i, (k, v)) in pairs.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        write_escaped(k, &mut out);
+        write_escaped(k, out);
         out.push(':');
-        write_value(v, &mut out);
+        write_value(v, out);
     }
     out.push('}');
-    out
 }
 
 fn write_value(v: &Value, out: &mut String) {
@@ -191,5 +215,23 @@ mod tests {
     fn control_characters_escape() {
         let e = Event::new(&DET).str("s", "a\u{1}\tb");
         assert!(render_line(&e).contains("\\u0001\\tb"));
+    }
+
+    #[test]
+    fn extra_fields_merge_sorted_and_never_override() {
+        let e = Event::new(&DET).u64("i", 1);
+        let line =
+            render_line_with(&e, &[("trace", Value::Str("t-1".into())), ("i", Value::U64(9))]);
+        assert_eq!(line, "{\"ev\":\"unit.det\",\"i\":1,\"trace\":\"t-1\"}");
+    }
+
+    #[test]
+    fn render_into_reuses_the_buffer() {
+        let mut buf = String::new();
+        render_line_into(&Event::new(&DET).u64("long_field_name", 123456), &[], &mut buf);
+        let cap = buf.capacity();
+        render_line_into(&Event::new(&DET).u64("i", 1), &[], &mut buf);
+        assert_eq!(buf, "{\"ev\":\"unit.det\",\"i\":1}");
+        assert_eq!(buf.capacity(), cap);
     }
 }

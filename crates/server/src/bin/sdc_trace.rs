@@ -1,0 +1,435 @@
+//! `sdc_trace` — the trace-forensics toolchain.
+//!
+//! ```text
+//! sdc_trace merge SPANLOG [SPANLOG ...]
+//! sdc_trace tree  SPANLOG [SPANLOG ...]
+//! sdc_trace flame SPANLOG [SPANLOG ...]
+//! sdc_trace query FILE [--ev NAME] [--where K=V,K=V]
+//! sdc_trace diff  A B [--inner-iters N]
+//! ```
+//!
+//! The first three read per-shard span logs (`serve --span-log`, format
+//! v1: a `spanlog.meta` header line, then one canonical JSON event per
+//! line with `trace`/`span`/`parent` correlation fields):
+//!
+//! * `merge` joins the logs across shards by trace id and prints one
+//!   JSON line per trace — `{"roots":N,"spans":M,"trace":…,"tree":[…]}`
+//!   — where every tree node carries the `shard` of the file it came
+//!   from. A healthy traced request has exactly one root (the engine's
+//!   `solve.exec` span) with the solver spans nested beneath it.
+//! * `tree` prints the same join human-readably (indentation =
+//!   parent/child, one block per trace).
+//! * `flame` emits folded stacks (`a;b;c SELF_US`, flamegraph.pl
+//!   input): per-span self time is its duration minus its children's.
+//!
+//! The last two read *det traces*: JSONL where every line is one
+//! deterministic event. Both accept raw `--trace-out` files **and**
+//! response streams from `solve-client` — a frame whose `result.trace`
+//! is an array of det lines is expanded in place, so
+//! `solve-client offline req.jsonl > out; sdc_trace diff out golden`
+//! works without extraction glue.
+//!
+//! * `query` filters by event name and field equality and prints
+//!   matching lines verbatim.
+//! * `diff` reports the **first divergence** between two det traces as
+//!   one JSON line: the 1-based line number, both event names, the
+//!   differing fields, and — when the diverging line carries iteration
+//!   coordinates — `inner_solve`/`inner_iter` plus the aggregate
+//!   iteration (`(inner_solve-1)*N + inner_iter`) when `--inner-iters`
+//!   supplies the per-outer count. Faulted-vs-clean FT-GMRES pairs
+//!   therefore name the exact injected iteration. Always exits 0; the
+//!   report line (`identical` vs `line`) is the contract.
+
+use sdc_campaigns::cli::Cli;
+use sdc_campaigns::json::Json;
+use std::collections::BTreeMap;
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("sdc_trace: {msg}");
+    std::process::exit(1);
+}
+
+// ---- span-log reading (merge / tree / flame) ----
+
+/// One closed span from a span log, tagged with its source file.
+struct Span {
+    /// Index of the file this span came from (span ids are only unique
+    /// per process, so the file index is part of the key).
+    file: usize,
+    /// Shard identity from the file's `spanlog.meta` header.
+    shard: u64,
+    id: u64,
+    parent: u64,
+    ev: String,
+    duration_us: u64,
+    trace: Option<String>,
+}
+
+/// Reads every span-closing record (`span` + `parent` + `duration_us`)
+/// from the given span logs. Point events and the meta header are
+/// skipped; the header's `shard` tags every span of its file.
+fn read_span_logs(paths: &[String]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    for (file, path) in paths.iter().enumerate() {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+        let mut shard = 0u64;
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).unwrap_or_else(|e| {
+                fail(format_args!("{path}:{}: bad JSON: {e}", ln + 1));
+            });
+            let ev = v.get("ev").and_then(|e| e.as_str().ok()).unwrap_or_default().to_string();
+            if ev == "spanlog.meta" {
+                shard = v.get("shard").and_then(|s| s.as_u64().ok()).unwrap_or(0);
+                continue;
+            }
+            let (Some(id), Some(parent), Some(duration_us)) = (
+                v.get("span").and_then(|x| x.as_u64().ok()),
+                v.get("parent").and_then(|x| x.as_u64().ok()),
+                v.get("duration_us").and_then(|x| x.as_u64().ok()),
+            ) else {
+                continue;
+            };
+            let trace = v.get("trace").and_then(|t| t.as_str().ok()).map(str::to_string);
+            spans.push(Span { file, shard, id, parent, ev, duration_us, trace });
+        }
+    }
+    spans
+}
+
+/// Children of each span, keyed by (file, parent id), in span-id order
+/// (ids are allocated monotonically, so this is open order).
+fn child_index(spans: &[Span]) -> BTreeMap<(usize, u64), Vec<usize>> {
+    let mut children: BTreeMap<(usize, u64), Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent != 0 {
+            children.entry((s.file, s.parent)).or_default().push(i);
+        }
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|&i| spans[i].id);
+    }
+    children
+}
+
+/// Root spans (parent 0) carrying a trace id, grouped by that id.
+fn roots_by_trace(spans: &[Span]) -> BTreeMap<String, Vec<usize>> {
+    let mut by_trace: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent == 0 {
+            if let Some(t) = &s.trace {
+                by_trace.entry(t.clone()).or_default().push(i);
+            }
+        }
+    }
+    by_trace
+}
+
+fn tree_json(
+    i: usize,
+    spans: &[Span],
+    children: &BTreeMap<(usize, u64), Vec<usize>>,
+    count: &mut usize,
+) -> Json {
+    *count += 1;
+    let s = &spans[i];
+    let kids: Vec<Json> = children
+        .get(&(s.file, s.id))
+        .map(|c| c.iter().map(|&k| tree_json(k, spans, children, count)).collect())
+        .unwrap_or_default();
+    let mut fields = vec![
+        ("ev", Json::str(&s.ev)),
+        ("shard", Json::Num(s.shard as f64)),
+        ("duration_us", Json::Num(s.duration_us as f64)),
+    ];
+    if !kids.is_empty() {
+        fields.push(("children", Json::Arr(kids)));
+    }
+    Json::obj(fields)
+}
+
+fn span_log_inputs(what: &str) -> Vec<Span> {
+    let cli = Cli::new(format!("sdc_trace {what}"), "read per-shard span logs").positional();
+    let p = cli.parse_env(2);
+    if p.positional.is_empty() {
+        fail("at least one span-log file is required");
+    }
+    read_span_logs(&p.positional)
+}
+
+fn merge() {
+    let spans = span_log_inputs("merge");
+    let children = child_index(&spans);
+    let by_trace = roots_by_trace(&spans);
+    for (trace, roots) in &by_trace {
+        let mut count = 0usize;
+        let tree: Vec<Json> =
+            roots.iter().map(|&i| tree_json(i, &spans, &children, &mut count)).collect();
+        let line = Json::obj(vec![
+            ("trace", Json::str(trace)),
+            ("roots", Json::Num(roots.len() as f64)),
+            ("spans", Json::Num(count as f64)),
+            ("tree", Json::Arr(tree)),
+        ]);
+        println!("{}", line.to_line());
+    }
+    let traced: usize = by_trace.values().map(Vec::len).sum();
+    let untraced = spans.iter().filter(|s| s.parent == 0 && s.trace.is_none()).count();
+    eprintln!(
+        "sdc_trace merge: {} spans, {} traces, {} traced roots, {} untraced roots",
+        spans.len(),
+        by_trace.len(),
+        traced,
+        untraced,
+    );
+}
+
+fn print_tree(
+    i: usize,
+    depth: usize,
+    spans: &[Span],
+    children: &BTreeMap<(usize, u64), Vec<usize>>,
+) {
+    let s = &spans[i];
+    println!("{:indent$}{} shard={} {}us", "", s.ev, s.shard, s.duration_us, indent = depth * 2);
+    if let Some(kids) = children.get(&(s.file, s.id)) {
+        for &k in kids {
+            print_tree(k, depth + 1, spans, children);
+        }
+    }
+}
+
+fn tree() {
+    let spans = span_log_inputs("tree");
+    let children = child_index(&spans);
+    for (trace, roots) in &roots_by_trace(&spans) {
+        println!("trace {trace}");
+        for &i in roots {
+            print_tree(i, 1, &spans, &children);
+        }
+    }
+}
+
+fn flame() {
+    let spans = span_log_inputs("flame");
+    // (file, id) -> index, for parent-chain walking.
+    let by_id: BTreeMap<(usize, u64), usize> =
+        spans.iter().enumerate().map(|(i, s)| ((s.file, s.id), i)).collect();
+    let children = child_index(&spans);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        // Self time: the span's duration minus its children's (clamped:
+        // rounding can make the sum exceed the parent by a few us).
+        let child_us: u64 = children
+            .get(&(s.file, s.id))
+            .map(|c| c.iter().map(|&k| spans[k].duration_us).sum())
+            .unwrap_or(0);
+        let self_us = s.duration_us.saturating_sub(child_us);
+        let mut stack = vec![spans[i].ev.as_str()];
+        let mut cur = s;
+        while cur.parent != 0 {
+            match by_id.get(&(cur.file, cur.parent)) {
+                Some(&p) => {
+                    stack.push(spans[p].ev.as_str());
+                    cur = &spans[p];
+                }
+                None => break, // parent span never closed (truncated log)
+            }
+        }
+        stack.reverse();
+        *folded.entry(stack.join(";")).or_default() += self_us;
+    }
+    for (stack, us) in &folded {
+        println!("{stack} {us}");
+    }
+}
+
+// ---- det-trace reading (query / diff) ----
+
+/// Loads a det trace: every JSONL line with an `ev` field, with
+/// `solve-client` response frames auto-expanded — a frame carrying a
+/// `result.trace` array of det lines contributes those lines in place.
+/// Anything else (ok/error frames, blank lines) is skipped.
+fn load_det_lines(path: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = Json::parse(line) else { continue };
+        if let Some(Json::Arr(items)) = v.get("result").and_then(|r| r.get("trace")) {
+            for item in items {
+                if let Ok(s) = item.as_str() {
+                    out.push(s.to_string());
+                }
+            }
+            continue;
+        }
+        if v.get("ev").is_some() {
+            out.push(line.to_string());
+        }
+    }
+    out
+}
+
+/// Renders a field the way `solve-client json-get` does: strings raw,
+/// everything else canonical — so `--where` predicates match what shell
+/// pipelines see.
+fn render(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        other => other.to_line(),
+    }
+}
+
+fn query() {
+    let cli = Cli::new("sdc_trace query", "filter a det trace by event name and field values")
+        .opt("ev", "NAME", "keep only events with this name")
+        .opt("where", "K=V,K=V", "keep only lines whose fields equal the given values")
+        .positional();
+    let p = cli.parse_env(2);
+    let path = p.positional.first().unwrap_or_else(|| fail("a det-trace file is required"));
+    let want_ev = p.value("ev");
+    let preds: Vec<(String, String)> = p
+        .value("where")
+        .map(|w| {
+            w.split(',')
+                .filter(|c| !c.is_empty())
+                .map(|clause| {
+                    let (k, v) = clause
+                        .split_once('=')
+                        .unwrap_or_else(|| fail(format_args!("bad --where clause '{clause}'")));
+                    (k.to_string(), v.to_string())
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut matched = 0usize;
+    for line in load_det_lines(path) {
+        let v = Json::parse(&line).expect("load_det_lines yields valid JSON");
+        if let Some(want) = want_ev {
+            if v.get("ev").and_then(|e| e.as_str().ok()) != Some(want) {
+                continue;
+            }
+        }
+        if !preds.iter().all(|(k, want)| v.get(k).map(render).as_deref() == Some(want)) {
+            continue;
+        }
+        matched += 1;
+        println!("{line}");
+    }
+    eprintln!("sdc_trace query: {matched} matching lines");
+}
+
+/// Iteration coordinates extracted from a det line: `inner_solve` plus
+/// `inner_iter` (spelled `j` on `gmres.iter` events), and `outer` when
+/// present.
+fn iteration_fields(v: &Json) -> Vec<(&'static str, Json)> {
+    let mut fields = Vec::new();
+    for (key, out) in [("outer", "outer"), ("inner_solve", "inner_solve")] {
+        if let Some(n) = v.get(key).and_then(|x| x.as_u64().ok()) {
+            fields.push((out, Json::Num(n as f64)));
+        }
+    }
+    let inner_iter = v.get("inner_iter").or_else(|| v.get("j")).and_then(|x| x.as_u64().ok());
+    if let Some(n) = inner_iter {
+        fields.push(("inner_iter", Json::Num(n as f64)));
+    }
+    fields
+}
+
+fn diff() {
+    let cli = Cli::new("sdc_trace diff", "report the first divergence between two det traces")
+        .opt("inner-iters", "N", "inner iterations per outer: adds the aggregate iteration")
+        .positional();
+    let p = cli.parse_env(2);
+    if p.positional.len() != 2 {
+        fail("exactly two det-trace files are required");
+    }
+    let inner_iters = p.get::<u64>("inner-iters").unwrap_or_else(|e| fail(e));
+    let a = load_det_lines(&p.positional[0]);
+    let b = load_det_lines(&p.positional[1]);
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let (la, lb) = (a.get(i), b.get(i));
+        if la == lb {
+            continue;
+        }
+        let parse = |l: Option<&String>| l.map(|l| Json::parse(l).expect("valid det line"));
+        let (va, vb) = (parse(la), parse(lb));
+        let ev = |v: &Option<Json>| {
+            v.as_ref()
+                .and_then(|v| v.get("ev").and_then(|e| e.as_str().ok()).map(str::to_string))
+                .unwrap_or_else(|| "<eof>".to_string())
+        };
+        let mut fields = vec![
+            ("line", Json::Num((i + 1) as f64)),
+            ("event_a", Json::str(ev(&va))),
+            ("event_b", Json::str(ev(&vb))),
+        ];
+        // Same event on both sides: name exactly which fields differ.
+        if let (Some(Json::Obj(ma)), Some(Json::Obj(mb))) = (&va, &vb) {
+            let keys: std::collections::BTreeSet<&String> = ma.keys().chain(mb.keys()).collect();
+            let differing: Vec<String> =
+                keys.into_iter().filter(|k| ma.get(*k) != mb.get(*k)).cloned().collect();
+            if !differing.is_empty() {
+                fields.push(("fields", Json::str(differing.join(","))));
+            }
+        }
+        // Iteration coordinates, preferring side A (the faulted trace's
+        // first new line is the fault.inject record itself).
+        let coords = va
+            .as_ref()
+            .map(iteration_fields)
+            .filter(|c| !c.is_empty())
+            .or_else(|| vb.as_ref().map(iteration_fields))
+            .unwrap_or_default();
+        let aggregate = match (inner_iters, &coords) {
+            (Some(n), c) => {
+                let get =
+                    |key| c.iter().find(|(k, _)| *k == key).and_then(|(_, v)| v.as_u64().ok());
+                get("inner_solve").zip(get("inner_iter")).map(|(s, j)| (s - 1) * n + j)
+            }
+            _ => None,
+        };
+        fields.extend(coords);
+        if let Some(agg) = aggregate {
+            fields.push(("aggregate", Json::Num(agg as f64)));
+        }
+        eprintln!("sdc_trace diff: first divergence at line {}", i + 1);
+        eprintln!("  a: {}", la.map(String::as_str).unwrap_or("<eof>"));
+        eprintln!("  b: {}", lb.map(String::as_str).unwrap_or("<eof>"));
+        println!("{}", Json::obj(fields).to_line());
+        return;
+    }
+    println!(
+        "{}",
+        Json::obj(vec![("identical", Json::Bool(true)), ("lines", Json::Num(a.len() as f64))])
+            .to_line()
+    );
+}
+
+fn main() {
+    let sub = std::env::args().nth(1).unwrap_or_default();
+    match sub.as_str() {
+        "merge" => merge(),
+        "tree" => tree(),
+        "flame" => flame(),
+        "query" => query(),
+        "diff" => diff(),
+        other => {
+            eprintln!(
+                "usage: sdc_trace <merge|tree|flame|query|diff> [flags]\n\
+                 (got '{other}'; each subcommand supports --help)"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--addr HOST] [--port N] [--threads N] [--queue-cap N] [--batch-max N]
-//!       [--shard I/N] [--max-frame BYTES]
+//!       [--shard I/N] [--max-frame BYTES] [--span-log PATH] [--flight-dir DIR]
 //! ```
 //!
 //! Binds `HOST:PORT` (default `127.0.0.1:0`, an OS-assigned port),
@@ -38,6 +38,8 @@ fn main() {
         .opt("batch-max", "N", "max same-matrix solves per dispatch (default 8)")
         .opt("shard", "I/N", "serve as shard I of an N-way cluster (default: standalone)")
         .opt("max-frame", "BYTES", "largest accepted request frame (default 8388608)")
+        .opt("span-log", "PATH", "append timing spans (JSONL) here; sdc_trace merges them")
+        .opt("flight-dir", "DIR", "write flight-recorder post-mortems for bad solve endings")
         .with_threads()
         .with_simd();
     let p = cli.parse_env(1);
@@ -77,7 +79,24 @@ fn main() {
     // per-connection cost, so raise the soft limit up front.
     sdc_server::netpoll::ensure_fd_limit(16 * 1024);
 
+    // The span log is a process-global subscriber: it sees every event
+    // from the loop thread, dispatcher and workers — timing spans,
+    // point events, and mirrored det events — each stamped with the
+    // ambient trace id, in a file headed by this process's shard
+    // identity so `sdc_trace merge` can tag cross-shard children. The
+    // det *channel* itself stays pure: the mirror is a timing-class
+    // sidecar and is never byte-diffed.
+    if let Some(path) = p.value("span-log") {
+        let (index, count) = shard.map_or((0, 1), |s| (s.index as usize, s.count as usize));
+        let log = sdc_obs::spanlog::SpanLog::create(std::path::Path::new(path), index, count)
+            .unwrap_or_else(|e| fail(format!("cannot open span log {path}: {e}")));
+        sdc_obs::install_global(Arc::new(log));
+    }
+
     let engine = Arc::new(Engine::new(cfg));
+    if let Some(dir) = p.value("flight-dir") {
+        engine.set_flight_dir(std::path::PathBuf::from(dir));
+    }
     eprintln!(
         "serve: threads={} simd={} queue_cap={} batch_max={} shard={}",
         engine.threads(),

@@ -36,9 +36,16 @@
 //!
 //! `json-get` is the jq-less JSON field extractor CI scripts use:
 //! it reads JSON lines from stdin, resolves a dotted path (numeric
-//! segments index arrays) in each, prints the value (strings raw,
-//! everything else canonical), and exits nonzero when the path is
+//! segments index arrays, and `name[i]` sugar indexes an array-valued
+//! field, e.g. `result.trace[0]`) in each, prints the value (strings
+//! raw, everything else canonical), and exits nonzero when the path is
 //! missing or `--expect` does not match.
+//!
+//! `send` and `cluster` take `--trace-ids`, which tags every solve
+//! frame lacking a `trace` field with `trace:{"id":"req-<id>"}`. The id
+//! is pure correlation context: responses stay byte-identical, but
+//! server span logs (`serve --span-log`) stamp it on every record of
+//! that solve, which is what `sdc_trace merge` joins across shards.
 
 use sdc_campaigns::cli::Cli;
 use sdc_campaigns::json::Json;
@@ -80,10 +87,34 @@ fn gather_requests(p: &sdc_campaigns::cli::Parsed) -> Vec<String> {
         .collect()
 }
 
+/// The `--trace-ids` switch: tags every solve frame that lacks a
+/// `trace` field with `trace:{"id":"req-<id>"}` derived from the
+/// frame's (possibly auto-assigned) id. Ids are correlation-only — the
+/// response bytes do not change — so this is safe to combine with the
+/// byte-diff legs of the smoke scripts.
+fn tag_trace_ids(requests: Vec<String>) -> Vec<String> {
+    requests
+        .into_iter()
+        .map(|line| {
+            let mut v = Json::parse(&line).expect("validated by gather_requests");
+            let is_solve = v.get("cmd").and_then(|c| c.as_str().ok()).is_some_and(|c| c == "solve");
+            if !is_solve || v.get("trace").is_some() {
+                return line;
+            }
+            let id = v.get("id").map(|i| i.to_line()).unwrap_or_default();
+            if let Json::Obj(m) = &mut v {
+                m.insert("trace".into(), Json::obj(vec![("id", Json::str(format!("req-{id}")))]));
+            }
+            v.to_line()
+        })
+        .collect()
+}
+
 fn send() {
     let cli = Cli::new("solve-client send", "play request frames against a live server")
         .opt("addr", "HOST:PORT", "server address (required)")
         .opt("file", "PATH", "request frames, one JSON object per line")
+        .switch("trace-ids", "tag solve frames with trace:{id:req-<id>} for span correlation")
         .positional();
     let p = cli.parse_env(2);
     let addr = p
@@ -91,7 +122,10 @@ fn send() {
         .unwrap_or_else(|| fail("--addr is required"))
         .parse()
         .unwrap_or_else(|e| fail(format_args!("bad --addr: {e}")));
-    let requests = gather_requests(&p);
+    let mut requests = gather_requests(&p);
+    if p.has("trace-ids") {
+        requests = tag_trace_ids(requests);
+    }
     let mut client = Client::connect(addr).unwrap_or_else(|e| fail(e));
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -111,6 +145,7 @@ fn cluster() {
     )
     .opt("addrs", "A:P0,A:P1,...", "comma-separated shard addresses, index order (required)")
     .opt("file", "PATH", "request frames, one JSON object per line")
+    .switch("trace-ids", "tag solve frames with trace:{id:req-<id>} for span correlation")
     .positional();
     let p = cli.parse_env(2);
     let addrs: Vec<String> = p
@@ -120,7 +155,10 @@ fn cluster() {
         .map(|a| a.trim().to_string())
         .filter(|a| !a.is_empty())
         .collect();
-    let requests = gather_requests(&p);
+    let mut requests = gather_requests(&p);
+    if p.has("trace-ids") {
+        requests = tag_trace_ids(requests);
+    }
     let mut cluster = ClusterClient::connect(&addrs).unwrap_or_else(|e| fail(e));
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -277,16 +315,40 @@ fn bench() {
 }
 
 /// Resolves a dotted path in a JSON value; numeric segments index
-/// arrays, everything else is an object key.
+/// arrays, everything else is an object key, and `name[i][j]` sugar
+/// indexes array-valued fields (e.g. `result.trace[0]`,
+/// `result.matrices[1].key`).
 fn lookup<'a>(v: &'a Json, path: &str) -> Option<&'a Json> {
     let mut cur = v;
     for seg in path.split('.') {
-        cur = match (cur, seg.parse::<usize>()) {
-            (Json::Arr(items), Ok(i)) => items.get(i)?,
-            _ => cur.get(seg)?,
-        };
+        let (name, indices) = split_indices(seg)?;
+        if !name.is_empty() {
+            cur = match (cur, name.parse::<usize>()) {
+                (Json::Arr(items), Ok(i)) => items.get(i)?,
+                _ => cur.get(name)?,
+            };
+        }
+        for i in indices {
+            let Json::Arr(items) = cur else { return None };
+            cur = items.get(i)?;
+        }
     }
     Some(cur)
+}
+
+/// Splits one path segment into its key and trailing `[i]` indices;
+/// `None` on malformed brackets (unclosed, non-numeric).
+fn split_indices(seg: &str) -> Option<(&str, Vec<usize>)> {
+    let Some(start) = seg.find('[') else { return Some((seg, Vec::new())) };
+    let mut indices = Vec::new();
+    let mut rest = &seg[start..];
+    while !rest.is_empty() {
+        let inner = rest.strip_prefix('[')?;
+        let close = inner.find(']')?;
+        indices.push(inner[..close].parse().ok()?);
+        rest = &inner[close + 1..];
+    }
+    Some((&seg[..start], indices))
 }
 
 fn json_get() {

@@ -26,7 +26,8 @@ use sdc_campaigns::{Problem, RunOptions};
 use sdc_faults::campaign::{CampaignPoint, FaultTarget};
 use sdc_faults::NoFaults;
 use sdc_gmres::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
@@ -35,6 +36,20 @@ use std::time::Instant;
 /// exactly once with the final frame (`last = true`). `Arc` because
 /// long-running commands move it onto worker/background threads.
 pub type Emit = Arc<dyn Fn(Json, bool) + Send + Sync>;
+
+/// Per-request context a transport can attach to an async frame. The
+/// engine's outputs never depend on it — hooks only steer side-band
+/// observability (flight-recorder post-mortems).
+#[derive(Default)]
+pub struct SolveHooks {
+    /// Queried once, when a solve finishes: `true` means the requesting
+    /// connection died mid-solve and the response is undeliverable. The
+    /// solve still completes (results are deterministic and metrics
+    /// must count it), but its last moments are worth keeping — with a
+    /// `--flight-dir` configured, the worker writes a post-mortem with
+    /// reason `disconnect`.
+    pub delivery_dead: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+}
 
 /// Engine construction knobs.
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +93,10 @@ pub struct Engine {
     /// Threads running long commands dispatched from the async path
     /// (campaigns, replications); joined by [`Engine::drain`].
     background: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Post-mortem directory (`serve --flight-dir`). When set, every
+    /// solve runs under a per-solve [`sdc_obs::flight::FlightRecorder`]
+    /// and dumps it here when it ends badly.
+    flight_dir: Mutex<Option<PathBuf>>,
 }
 
 impl Engine {
@@ -102,7 +121,19 @@ impl Engine {
             campaign_lock: Mutex::new(()),
             shard: cfg.shard,
             background: Mutex::new(Vec::new()),
+            flight_dir: Mutex::new(None),
         }
+    }
+
+    /// Enables flight-recorder post-mortems, written to `dir` (created
+    /// on first dump).
+    pub fn set_flight_dir(&self, dir: PathBuf) {
+        *self.flight_dir.lock().unwrap_or_else(|e| e.into_inner()) = Some(dir);
+    }
+
+    /// The configured post-mortem directory, if any.
+    pub fn flight_dir(&self) -> Option<PathBuf> {
+        self.flight_dir.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// The frozen worker-pool size.
@@ -218,6 +249,13 @@ impl Engine {
     /// [`Engine::handle_line`] produces for the same input; only the
     /// delivery is asynchronous.
     pub fn handle_line_async(self: &Arc<Self>, line: &str, emit: Emit) {
+        self.handle_line_async_with(line, emit, SolveHooks::default());
+    }
+
+    /// [`Engine::handle_line_async`] with per-request [`SolveHooks`]
+    /// attached (the event loop passes a delivery-death probe so a
+    /// mid-solve disconnect can trigger a flight-recorder post-mortem).
+    pub fn handle_line_async_with(self: &Arc<Self>, line: &str, emit: Emit, hooks: SolveHooks) {
         let v = match Json::parse(line) {
             Ok(v) => v,
             Err(e) => {
@@ -245,7 +283,7 @@ impl Engine {
                     let emit = emit.clone();
                     Box::new(move |resp| emit(resp, true))
                 };
-                if let Some(rejection) = self.start_solve(&r, id.as_ref(), done) {
+                if let Some(rejection) = self.start_solve(&r, id.as_ref(), done, hooks) {
                     emit(rejection, true);
                 }
             }
@@ -379,6 +417,7 @@ impl Engine {
         r: &SolveRequest,
         id: Option<&Json>,
         done: Box<dyn FnOnce(Json) + Send>,
+        hooks: SolveHooks,
     ) -> Option<Json> {
         let (key, problem) = match self.resolve_or_route(&r.matrix, id) {
             Ok(found) => found,
@@ -403,39 +442,100 @@ impl Engine {
         // solves cannot bleed into each other's traces and the captured
         // lines stay a pure function of the request sequence.
         let sink = r.trace.then(|| Arc::new(sdc_obs::trace::TraceSink::new()));
+        // With `--flight-dir` set, every solve keeps a ring of its most
+        // recent events (both channels) for a post-mortem.
+        let flight = self.flight_dir().map(|dir| {
+            (dir, Arc::new(sdc_obs::flight::FlightRecorder::new(sdc_obs::flight::DEFAULT_CAPACITY)))
+        });
+        let trace_id = r.trace_id.clone();
         let metrics = self.metrics.clone();
         let job_id = id.cloned();
         let job = SolveJob {
             matrix_key: key,
+            trace_id: r.trace_id.clone(),
             run: Box::new(move || {
-                let solve = || execute_solve(&problem, &job_key, &req);
-                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &sink {
-                    Some(s) => sdc_obs::with_local(s.clone(), solve),
-                    None => solve(),
-                }));
+                let solve = || {
+                    // The per-request root span: everything the solver
+                    // opens below it (gmres.solve, pool.run, …) nests
+                    // beneath this id in the span log.
+                    static EV_SOLVE_EXEC: sdc_obs::Callsite =
+                        sdc_obs::Callsite { name: "solve.exec", channel: sdc_obs::Channel::Timing };
+                    let mut span = sdc_obs::span(&EV_SOLVE_EXEC);
+                    if let Some(s) = &mut span {
+                        s.str("matrix", job_key.clone()).str("solver", req.solver.as_str());
+                    }
+                    execute_solve(&problem, &job_key, &req)
+                };
+                // Compose the thread-local context inside-out: the det
+                // sink closest to the solver, then the flight recorder
+                // (sees both channels), then the trace id (read by
+                // context-aware subscribers at render time — never by
+                // anything that feeds det bytes).
+                let mut body: Box<dyn FnOnce() -> Result<(Json, SolveSummary), String> + '_> =
+                    Box::new(solve);
+                if let Some(s) = &sink {
+                    let (s, inner) = (s.clone(), body);
+                    body = Box::new(move || sdc_obs::with_local(s, inner));
+                }
+                if let Some((_, rec)) = &flight {
+                    let (rec, inner) = (rec.clone(), body);
+                    body = Box::new(move || sdc_obs::with_local(rec, inner));
+                }
+                if let Some(tid) = &trace_id {
+                    let (tid, inner) = (tid.clone(), body);
+                    body = Box::new(move || sdc_obs::with_trace(tid, inner));
+                }
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
                 // Release the registry borrow before the response can
                 // leave: a client that has the final frame must not
                 // still see this solve in `list`'s in_use count.
                 drop(problem);
-                metrics.solve_latency.record(started.elapsed().as_micros() as u64);
+                let duration_us = started.elapsed().as_micros() as u64;
+                metrics.solve_latency.record(duration_us);
                 let id = job_id.as_ref();
-                let resp = match out {
+                let (resp, dump_reason) = match out {
                     Ok(Ok((mut result, summary))) => {
                         metrics.record_solve(&summary);
-                        if let Some(s) = &sink {
-                            if let Json::Obj(fields) = &mut result {
+                        if let Json::Obj(fields) = &mut result {
+                            if let Some(s) = &sink {
                                 let lines = s.det_lines().into_iter().map(Json::str).collect();
                                 fields.insert("trace".into(), Json::Arr(lines));
                             }
+                            if req.timing {
+                                fields.insert("duration_us".into(), Json::u64(duration_us));
+                            }
                         }
-                        ok_response(id, result)
+                        let reason = (summary.detector_events > 0).then_some("fault_detected");
+                        (ok_response(id, result), reason)
                     }
                     Ok(Err(msg)) => {
                         metrics.solves_unconverged.inc();
-                        error_response(id, ErrorCode::Internal, msg)
+                        (error_response(id, ErrorCode::Internal, msg), Some("solve_error"))
                     }
-                    Err(_) => error_response(id, ErrorCode::Internal, "solver panicked"),
+                    Err(_) => (
+                        error_response(id, ErrorCode::Internal, "solver panicked"),
+                        Some("solver_panic"),
+                    ),
                 };
+                // A clean solve whose requester died mid-flight is still
+                // dump-worthy: the response below goes nowhere.
+                let dump_reason = dump_reason.or_else(|| {
+                    hooks.delivery_dead.as_ref().is_some_and(|dead| dead()).then_some("disconnect")
+                });
+                if let Some((dir, rec)) = &flight {
+                    if let Some(reason) = dump_reason {
+                        let mut header = sdc_obs::Event::new(&sdc_obs::flight::HEADER)
+                            .str("reason", reason)
+                            .str("matrix", job_key.clone())
+                            .str("solver", req.solver.as_str());
+                        if let Some(tid) = &trace_id {
+                            header = header.str("trace", tid.clone());
+                        }
+                        if write_flight_dump(dir, reason, &rec.dump(header)).is_ok() {
+                            metrics.flight_dumps.inc();
+                        }
+                    }
+                }
                 done(resp);
             }),
         };
@@ -456,7 +556,12 @@ impl Engine {
     /// submit, then wait for the worker's response.
     fn handle_solve(&self, r: &SolveRequest, id: Option<&Json>) -> Json {
         let (tx, rx) = mpsc::channel::<Json>();
-        match self.start_solve(r, id, Box::new(move |resp| drop(tx.send(resp)))) {
+        match self.start_solve(
+            r,
+            id,
+            Box::new(move |resp| drop(tx.send(resp))),
+            SolveHooks::default(),
+        ) {
             Some(rejection) => rejection,
             None => rx.recv().unwrap_or_else(|_| {
                 error_response(id, ErrorCode::Internal, "solve worker disappeared")
@@ -677,6 +782,21 @@ impl Engine {
             .collect();
         Json::obj(vec![("matrices", Json::Arr(entries))])
     }
+}
+
+/// Writes one flight-recorder post-mortem into `dir` (created on
+/// demand). Files are process-sequence-numbered so concurrent dumps —
+/// or an engine dump racing a transport-side one — never collide.
+pub(crate) fn write_flight_dump(
+    dir: &Path,
+    reason: &str,
+    content: &str,
+) -> std::io::Result<PathBuf> {
+    static FLIGHT_SEQ: AtomicU64 = AtomicU64::new(0);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("flight-{:06}-{reason}.jsonl", FLIGHT_SEQ.fetch_add(1, Relaxed)));
+    std::fs::write(&path, content)?;
+    Ok(path)
 }
 
 /// Builds the [`Problem`] a `load_matrix` source describes.
@@ -974,6 +1094,93 @@ mod tests {
         assert!(s.field("converged").unwrap().as_bool().unwrap());
         assert_eq!(e.metrics.injections_committed.get(), 1);
         e.drain();
+    }
+
+    #[test]
+    fn timing_field_returns_duration_and_is_elided_by_default() {
+        let e = engine();
+        drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}",
+        );
+        let (_, r) = drive(&e, "{\"cmd\":\"solve\",\"matrix\":\"p\",\"maxit\":60,\"timing\":true}");
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        assert!(r.field("result").unwrap().field("duration_us").unwrap().as_u64().is_ok());
+        let (_, r) = drive(&e, "{\"cmd\":\"solve\",\"matrix\":\"p\",\"maxit\":60}");
+        assert!(r.field("result").unwrap().get("duration_us").is_none());
+        e.drain();
+    }
+
+    #[test]
+    fn trace_ids_leave_response_bytes_unchanged() {
+        let e = engine();
+        drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}",
+        );
+        let body = "\"id\":7,\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10";
+        let (_, plain) = drive(&e, &format!("{{\"cmd\":\"solve\",{body}}}"));
+        // An id-only trace field is pure correlation: same bytes out.
+        let (_, tagged) =
+            drive(&e, &format!("{{\"cmd\":\"solve\",{body},\"trace\":{{\"id\":\"req-1\"}}}}"));
+        assert_eq!(plain.to_line(), tagged.to_line());
+        // id + capture behaves exactly like trace:true — the result
+        // grows the trace array and nothing else changes.
+        let (_, captured) = drive(
+            &e,
+            &format!(
+                "{{\"cmd\":\"solve\",{body},\"trace\":{{\"capture\":true,\"id\":\"req-2\"}}}}"
+            ),
+        );
+        let (_, boolean) = drive(&e, &format!("{{\"cmd\":\"solve\",{body},\"trace\":true}}"));
+        assert_eq!(captured.to_line(), boolean.to_line());
+        let mut stripped = captured.clone();
+        if let Json::Obj(resp) = &mut stripped {
+            if let Some(Json::Obj(result)) = resp.get_mut("result") {
+                assert!(result.remove("trace").is_some(), "capture returns the det trace");
+            }
+        }
+        assert_eq!(plain.to_line(), stripped.to_line());
+        e.drain();
+    }
+
+    #[test]
+    fn fault_detection_writes_a_flight_post_mortem() {
+        let e = engine();
+        let dir =
+            std::env::temp_dir().join(format!("sdc_flight_engine_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        e.set_flight_dir(dir.clone());
+        drive(
+            &e,
+            "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}",
+        );
+        // A clean solve dumps nothing.
+        let (_, r) = drive(&e, "{\"cmd\":\"solve\",\"matrix\":\"p\",\"maxit\":60}");
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        assert!(!dir.exists(), "clean solves must not dump");
+        // A detector-confirmed injection does.
+        let (_, r) = drive(
+            &e,
+            "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\"inner_iters\":10,\"detector\":\"restart_inner\",\"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":12},\"trace\":{\"id\":\"req-9\"}}",
+        );
+        assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+        e.drain();
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|f| f.unwrap().path()).collect();
+        assert_eq!(files.len(), 1, "{files:?}");
+        let name = files[0].file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("flight-") && name.ends_with("-fault_detected.jsonl"), "{name}");
+        let content = std::fs::read_to_string(&files[0]).unwrap();
+        let header = content.lines().next().unwrap();
+        assert!(header.contains("\"ev\":\"flight.header\""), "{header}");
+        assert!(header.contains("\"reason\":\"fault_detected\""), "{header}");
+        assert!(header.contains("\"trace\":\"req-9\""), "{header}");
+        assert!(
+            content.contains("\"ev\":\"gmres.") || content.contains("\"ev\":\"fgmres."),
+            "post-mortem retains solver events:\n{content}"
+        );
+        assert_eq!(e.metrics.flight_dumps.get(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub struct Metrics {
     pub loop_wakeups: Counter,
     /// Frames rejected for exceeding the per-frame size limit.
     pub frames_oversized: Counter,
+    /// Flight-recorder post-mortems written to `--flight-dir`.
+    pub flight_dumps: Counter,
     /// This server's shard index (0 when unsharded).
     pub shard_index: Gauge,
     /// Total shards in the cluster (1 when unsharded).
@@ -147,6 +149,10 @@ impl Metrics {
             frames_oversized: r.counter(
                 "sdc_frames_oversized_total",
                 "Frames rejected for exceeding the per-frame size limit.",
+            ),
+            flight_dumps: r.counter(
+                "sdc_flight_dumps_total",
+                "Flight-recorder post-mortems written to --flight-dir.",
             ),
             shard_index: r.gauge("sdc_shard_index", "This server's shard index (0 unsharded)."),
             shard_count: r.gauge("sdc_shard_count", "Total shards in the cluster (1 unsharded)."),

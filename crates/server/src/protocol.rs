@@ -49,6 +49,46 @@ fn check_keys(v: &Json, allowed: &[&str]) -> Result<(), JsonError> {
     Ok(())
 }
 
+/// Parses a solve frame's `trace` field: a bool (the legacy capture
+/// flag) or an object `{"id": <string>, "capture": <bool>}`. Strict
+/// like every other sub-object — an unknown subfield is a structured
+/// error, not a silently dropped correlation id.
+fn parse_trace_field(v: &Json, d: &SolveRequest) -> Result<(bool, Option<String>), JsonError> {
+    match v.get("trace") {
+        None => Ok((d.trace, None)),
+        Some(Json::Bool(b)) => Ok((*b, None)),
+        Some(t @ Json::Obj(m)) => {
+            for k in m.keys() {
+                if k != "id" && k != "capture" {
+                    return err(format!("unknown trace subfield '{k}' (id, capture)"));
+                }
+            }
+            let id = match t.get("id") {
+                Some(s) => Some(s.as_str()?.to_string()),
+                None => None,
+            };
+            let capture = match t.get("capture") {
+                Some(b) => b.as_bool()?,
+                None => false,
+            };
+            Ok((capture, id))
+        }
+        Some(_) => err("trace must be a bool or an object {\"id\":…,\"capture\":…}"),
+    }
+}
+
+/// Best-effort extraction of a solve frame's trace id without erroring:
+/// the event loop uses this to stamp `conn.state` records for a request
+/// it has not validated yet. Gated on a cheap substring check so the
+/// overwhelmingly common untraced frame costs one `contains`.
+pub fn peek_trace_id(line: &str) -> Option<String> {
+    if !line.contains("\"trace\"") {
+        return None;
+    }
+    let v = Json::parse(line).ok()?;
+    Some(v.get("trace")?.get("id")?.as_str().ok()?.to_string())
+}
+
 /// Which solver a [`SolveRequest`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SolverKind {
@@ -232,6 +272,18 @@ pub struct SolveRequest {
     /// channel) and return it as a `trace` array of canonical JSONL
     /// lines in the result.
     pub trace: bool,
+    /// Client-assigned trace id for cross-shard correlation. On the
+    /// wire the `trace` field is either a bool (legacy capture flag) or
+    /// an object `{"id":…,"capture":…}`; the id is threaded through the
+    /// engine as ambient context ([`sdc_obs::with_trace`]) and stamped
+    /// onto span-log and flight-recorder records — never onto the det
+    /// channel or the response, so traced and untraced solves stay
+    /// byte-identical. Elided when absent.
+    pub trace_id: Option<String>,
+    /// Return the solve's exact wall-clock `duration_us` on the
+    /// response. Off (and elided) by default because it makes the
+    /// response bytes run-specific: byte-diff legs must not set it.
+    pub timing: bool,
 }
 
 impl Default for SolveRequest {
@@ -253,6 +305,8 @@ impl Default for SolveRequest {
             seed: 0,
             return_x: false,
             trace: false,
+            trace_id: None,
+            timing: false,
         }
     }
 }
@@ -376,8 +430,19 @@ impl Request {
                 if r.return_x {
                     fields.push(("return_x", Json::Bool(true)));
                 }
-                if r.trace {
-                    fields.push(("trace", Json::Bool(true)));
+                match (&r.trace_id, r.trace) {
+                    (Some(id), capture) => {
+                        let mut t = vec![("id", Json::str(id))];
+                        if capture {
+                            t.insert(0, ("capture", Json::Bool(true)));
+                        }
+                        fields.push(("trace", Json::obj(t)));
+                    }
+                    (None, true) => fields.push(("trace", Json::Bool(true))),
+                    (None, false) => {}
+                }
+                if r.timing {
+                    fields.push(("timing", Json::Bool(true)));
                 }
             }
             Request::Campaign(r) => {
@@ -479,9 +544,11 @@ impl Request {
                         "seed",
                         "return_x",
                         "trace",
+                        "timing",
                     ],
                 )?;
                 let d = SolveRequest::default();
+                let (trace, trace_id) = parse_trace_field(v, &d)?;
                 let req = SolveRequest {
                     matrix: v.field("matrix")?.as_str()?.to_string(),
                     solver: match v.get("solver") {
@@ -548,9 +615,11 @@ impl Request {
                         Some(b) => b.as_bool()?,
                         None => d.return_x,
                     },
-                    trace: match v.get("trace") {
+                    trace,
+                    trace_id,
+                    timing: match v.get("timing") {
                         Some(b) => b.as_bool()?,
-                        None => d.trace,
+                        None => d.timing,
                     },
                 };
                 req.validate().map_err(|msg| JsonError { offset: 0, msg })?;
@@ -752,6 +821,63 @@ mod tests {
         assert!(!line.contains("detector"), "{line}");
         assert!(!line.contains("return_x"), "{line}");
         assert!(!line.contains("trace"), "{line}");
+        assert!(!line.contains("timing"), "{line}");
+    }
+
+    #[test]
+    fn trace_field_accepts_bool_and_object_forms() {
+        // Object form with id only: capture stays off.
+        let v = Json::parse("{\"cmd\":\"solve\",\"matrix\":\"p\",\"trace\":{\"id\":\"req-1\"}}")
+            .unwrap();
+        let Request::Solve(r) = Request::from_json(&v).unwrap() else { panic!() };
+        assert!(!r.trace);
+        assert_eq!(r.trace_id.as_deref(), Some("req-1"));
+        // id + capture round-trips through the canonical wire form.
+        let req = Request::Solve(SolveRequest {
+            matrix: "p".into(),
+            trace: true,
+            trace_id: Some("req-2".into()),
+            ..SolveRequest::default()
+        });
+        let line = req.to_json().to_line();
+        assert!(line.contains("\"trace\":{\"capture\":true,\"id\":\"req-2\"}"), "{line}");
+        assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
+        // id without capture serializes without the capture subfield.
+        let req = Request::Solve(SolveRequest {
+            matrix: "p".into(),
+            trace_id: Some("req-3".into()),
+            ..SolveRequest::default()
+        });
+        let line = req.to_json().to_line();
+        assert!(line.contains("\"trace\":{\"id\":\"req-3\"}"), "{line}");
+        assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);
+        // Unknown subfields are structured errors, like everywhere else.
+        let e = Request::from_json(
+            &Json::parse(
+                "{\"cmd\":\"solve\",\"matrix\":\"p\",\"trace\":{\"id\":\"x\",\"sample\":1}}",
+            )
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unknown trace subfield 'sample'"), "{e}");
+        // Non-bool, non-object forms are rejected.
+        let e = Request::from_json(
+            &Json::parse("{\"cmd\":\"solve\",\"matrix\":\"p\",\"trace\":7}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("trace must be a bool or an object"), "{e}");
+    }
+
+    #[test]
+    fn peek_trace_id_is_cheap_and_total() {
+        assert_eq!(peek_trace_id("{\"cmd\":\"solve\",\"matrix\":\"p\"}"), None);
+        assert_eq!(peek_trace_id("{\"cmd\":\"solve\",\"trace\":true}"), None);
+        assert_eq!(
+            peek_trace_id("{\"cmd\":\"solve\",\"trace\":{\"id\":\"req-9\"}}").as_deref(),
+            Some("req-9")
+        );
+        // Malformed frames never panic the peek.
+        assert_eq!(peek_trace_id("{\"trace\":{\"id\":"), None);
     }
 
     #[test]
@@ -819,6 +945,8 @@ mod tests {
             seed: u64::MAX,
             return_x: true,
             trace: true,
+            trace_id: Some("req-00042".into()),
+            timing: true,
         });
         let line = req.to_json().to_line();
         assert_eq!(Request::from_json(&Json::parse(&line).unwrap()).unwrap(), req);

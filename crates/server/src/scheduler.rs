@@ -31,6 +31,11 @@ use std::sync::{Arc, Condvar, Mutex};
 pub struct SolveJob {
     /// Registry content key of the operator.
     pub matrix_key: String,
+    /// Client-assigned trace id, when the request carried one. Purely
+    /// observational: it rides into the `sched.batch` timing event so a
+    /// span log can correlate batch composition with the requests that
+    /// formed it. Never affects scheduling or results.
+    pub trace_id: Option<String>,
     /// The work; must not panic (wrap fallible work in `catch_unwind`).
     pub run: Box<dyn FnOnce() + Send>,
 }
@@ -169,10 +174,23 @@ fn dispatch_loop(shared: &Shared) {
         if sdc_obs::enabled() {
             static EV_BATCH: sdc_obs::Callsite =
                 sdc_obs::Callsite { name: "sched.batch", channel: sdc_obs::Channel::Timing };
-            sdc_obs::Event::new(&EV_BATCH)
+            let mut ev = sdc_obs::Event::new(&EV_BATCH)
                 .str("matrix", batch[0].matrix_key.clone())
-                .u64("jobs", batch.len() as u64)
-                .emit();
+                .u64("jobs", batch.len() as u64);
+            // Correlate the batch with the traced requests riding in
+            // it: distinct ids, arrival order, comma-joined.
+            let mut traces: Vec<&str> = Vec::new();
+            for job in &batch {
+                if let Some(t) = job.trace_id.as_deref() {
+                    if !traces.contains(&t) {
+                        traces.push(t);
+                    }
+                }
+            }
+            if !traces.is_empty() {
+                ev = ev.str("traces", traces.join(","));
+            }
+            ev.emit();
         }
         run_batch(batch);
     }
@@ -208,7 +226,38 @@ mod tests {
     use std::sync::mpsc;
 
     fn job(key: &str, f: impl FnOnce() + Send + 'static) -> SolveJob {
-        SolveJob { matrix_key: key.into(), run: Box::new(f) }
+        SolveJob { matrix_key: key.into(), trace_id: None, run: Box::new(f) }
+    }
+
+    #[test]
+    fn batch_event_carries_distinct_trace_ids() {
+        let sink = Arc::new(sdc_obs::trace::TraceSink::new());
+        sdc_obs::install_global(sink.clone());
+        let sched = Scheduler::new(8, 4, Arc::new(Metrics::new()));
+        // Hold the dispatcher so the traced jobs queue into one batch.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        sched
+            .submit(job("other", move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            }))
+            .unwrap();
+        started_rx.recv().unwrap();
+        for t in ["req-a", "req-a", "req-b"] {
+            sched
+                .submit(SolveJob {
+                    matrix_key: "k".into(),
+                    trace_id: Some(t.into()),
+                    run: Box::new(|| {}),
+                })
+                .unwrap();
+        }
+        release_tx.send(()).unwrap();
+        sched.drain();
+        sdc_obs::clear_global();
+        let timing = sink.timing_bytes();
+        assert!(timing.contains("\"traces\":\"req-a,req-b\""), "{timing}");
     }
 
     #[test]

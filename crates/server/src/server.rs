@@ -41,11 +41,12 @@
 //! each connection once it is idle and flushed, and exits —
 //! in-flight requests always get their response first.
 
-use crate::engine::{Emit, Engine};
+use crate::engine::{write_flight_dump, Emit, Engine, SolveHooks};
 use crate::netpoll::{Interest, PollEvent, Poller, Token};
-use crate::protocol::{error_response, ErrorCode};
+use crate::protocol::{error_response, peek_trace_id, ErrorCode};
 use sdc_campaigns::json::Json;
-use std::collections::{BTreeMap, VecDeque};
+use sdc_obs::flight::FlightRecorder;
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
@@ -138,6 +139,11 @@ struct OutMsg {
 struct LoopShared {
     outbox: Mutex<Vec<OutMsg>>,
     waker: crate::netpoll::Waker,
+    /// Tokens whose write side died while a request was in flight.
+    /// Engine workers probe membership (the `delivery_dead` hook) when
+    /// their solve finishes; the final emit removes the token again, so
+    /// the set stays bounded by requests actually in flight.
+    dead: Mutex<HashSet<usize>>,
 }
 
 const LISTENER: Token = Token(0);
@@ -162,6 +168,9 @@ struct Conn {
     write_dead: bool,
     /// Close as soon as idle and flushed (protocol violation).
     closing: bool,
+    /// Trace id of the most recently dispatched request, stamped on
+    /// this connection's `conn.state` close event for correlation.
+    current_trace: Option<String>,
     /// Currently registered readiness interest.
     interest: Interest,
     /// Whether the fd is registered with the poller at all. A socket
@@ -183,6 +192,7 @@ impl Conn {
             peer_closed: false,
             write_dead: false,
             closing: false,
+            current_trace: None,
             interest: Interest::READ,
             registered: true,
         }
@@ -202,6 +212,10 @@ struct EventLoop {
     conns: BTreeMap<usize, Conn>,
     next_token: usize,
     draining: bool,
+    /// Loop-thread flight recorder (present only with `--flight-dir`):
+    /// captures `loop.wake` / `conn.state` events so a transport-level
+    /// failure (oversized frame) can dump the loop's recent history.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl EventLoop {
@@ -212,7 +226,11 @@ impl EventLoop {
         opts: ServerOptions,
     ) -> std::io::Result<Self> {
         poller.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
-        let shared = Arc::new(LoopShared { outbox: Mutex::new(Vec::new()), waker: poller.waker() });
+        let shared = Arc::new(LoopShared {
+            outbox: Mutex::new(Vec::new()),
+            waker: poller.waker(),
+            dead: Mutex::new(HashSet::new()),
+        });
         Ok(EventLoop {
             engine,
             listener: Some(listener),
@@ -222,10 +240,24 @@ impl EventLoop {
             conns: BTreeMap::new(),
             next_token: FIRST_CONN,
             draining: false,
+            flight: None,
         })
     }
 
     fn run(&mut self) {
+        // With post-mortems enabled, the loop thread records its own
+        // recent events; without, nothing changes (`enabled()` stays
+        // false on this thread and event construction is skipped).
+        if self.engine.flight_dir().is_some() {
+            let rec = Arc::new(FlightRecorder::new(sdc_obs::flight::DEFAULT_CAPACITY));
+            self.flight = Some(rec.clone());
+            sdc_obs::with_local(rec, || self.run_inner());
+        } else {
+            self.run_inner();
+        }
+    }
+
+    fn run_inner(&mut self) {
         let mut events: Vec<PollEvent> = Vec::new();
         loop {
             // Apply responses and dispatch queued frames until nothing
@@ -307,7 +339,11 @@ impl EventLoop {
             .filter(|(_, c)| !c.busy && !c.pending.is_empty())
             .map(|(&t, c)| {
                 c.busy = true;
-                (t, c.pending.pop_front().expect("checked non-empty"))
+                let line = c.pending.pop_front().expect("checked non-empty");
+                // Remember the request's trace id (cheap: gated on the
+                // substring) so the close event can be correlated.
+                c.current_trace = peek_trace_id(&line);
+                (t, line)
             })
             .collect();
         let moved = !ready.is_empty();
@@ -319,11 +355,24 @@ impl EventLoop {
                     line: frame.to_line(),
                     last,
                 });
+                if last {
+                    // The request is over either way; keep `dead` from
+                    // accumulating tokens of reaped connections.
+                    shared.dead.lock().unwrap_or_else(|e| e.into_inner()).remove(&token);
+                }
                 // Wake *after* the push: the loop always sees the frame
                 // once the pipe byte is readable.
                 shared.waker.wake();
             });
-            self.engine.handle_line_async(&line, emit);
+            let hooks = SolveHooks {
+                delivery_dead: Some({
+                    let shared = Arc::clone(&self.shared);
+                    Arc::new(move || {
+                        shared.dead.lock().unwrap_or_else(|e| e.into_inner()).contains(&token)
+                    })
+                }),
+            };
+            self.engine.handle_line_async_with(&line, emit, hooks);
         }
         moved
     }
@@ -348,7 +397,7 @@ impl EventLoop {
                     }
                     self.engine.metrics.connections_opened.inc();
                     self.engine.metrics.connections_active.inc();
-                    emit_conn_state(token, "open");
+                    emit_conn_state(token, "open", None);
                     self.conns.insert(token, Conn::new(stream));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
@@ -365,6 +414,20 @@ impl EventLoop {
             let oversized = extract_frames(conn, self.opts.max_frame, self.opts.max_pipelined);
             if oversized {
                 self.engine.metrics.frames_oversized.inc();
+                // Transport-level poisoning is a dump condition too: the
+                // loop's own recorder holds the recent wake/connection
+                // history leading up to the bad frame.
+                if let (Some(dir), Some(rec)) = (self.engine.flight_dir(), &self.flight) {
+                    let mut header = sdc_obs::Event::new(&sdc_obs::flight::HEADER)
+                        .str("reason", "oversized_frame")
+                        .u64("token", ev.token.0 as u64);
+                    if let Some(t) = &conn.current_trace {
+                        header = header.str("trace", t.clone());
+                    }
+                    if write_flight_dump(&dir, "oversized_frame", &rec.dump(header)).is_ok() {
+                        self.engine.metrics.flight_dumps.inc();
+                    }
+                }
                 let err = error_response(
                     None,
                     ErrorCode::BadRequest,
@@ -390,6 +453,12 @@ impl EventLoop {
         let mut dead: Vec<usize> = Vec::new();
         for (&token, conn) in self.conns.iter_mut() {
             flush_writes(conn);
+            if conn.write_dead && conn.busy {
+                // The requester died mid-request: flag the token so the
+                // engine worker's `delivery_dead` hook sees it when the
+                // solve completes (flight-recorder `disconnect` dumps).
+                self.shared.dead.lock().unwrap_or_else(|e| e.into_inner()).insert(token);
+            }
             let finished = conn.pending.is_empty() && !conn.busy && !conn.has_unflushed();
             // A dead write side means no response can ever be delivered;
             // only an in-flight solve keeps the slot (its emit clears
@@ -405,7 +474,7 @@ impl EventLoop {
                     let _ = self.poller.deregister(conn.stream.as_raw_fd());
                 }
                 self.engine.metrics.connections_active.dec();
-                emit_conn_state(token, "close");
+                emit_conn_state(token, "close", conn.current_trace.as_deref());
             }
         }
     }
@@ -442,19 +511,28 @@ impl EventLoop {
 
 /// Emits a `conn.state` lifecycle event (Timing channel: connection
 /// arrival order is wall-clock, never part of the determinism
-/// contract).
-fn emit_conn_state(token: usize, state: &'static str) {
+/// contract). `trace` is the id of the connection's last request, when
+/// it carried one — the loop thread has no ambient trace context, so
+/// the correlation field is stamped explicitly.
+fn emit_conn_state(token: usize, state: &'static str, trace: Option<&str>) {
     if sdc_obs::enabled() {
         static EV_CONN: sdc_obs::Callsite =
             sdc_obs::Callsite { name: "conn.state", channel: sdc_obs::Channel::Timing };
-        sdc_obs::Event::new(&EV_CONN).u64("token", token as u64).str("state", state).emit();
+        let mut ev = sdc_obs::Event::new(&EV_CONN).u64("token", token as u64).str("state", state);
+        if let Some(t) = trace {
+            ev = ev.str("trace", t);
+        }
+        ev.emit();
     }
 }
 
 /// Reads everything the kernel has for this connection (level-triggered
 /// poller: stopping early just means another event, but draining now is
-/// cheaper). EOF and hard errors both mark `peer_closed`; consumed
-/// bytes are always kept.
+/// cheaper). Consumed bytes are always kept. EOF is a *half*-close —
+/// the peer may still be reading responses, so only `peer_closed` is
+/// set; a hard error (ECONNRESET from an aborted peer) kills both
+/// directions, so it also marks the write side dead, which is what lets
+/// the loop flag a mid-solve disconnect.
 fn read_available(conn: &mut Conn) {
     let mut scratch = [0u8; 16 * 1024];
     loop {
@@ -468,6 +546,7 @@ fn read_available(conn: &mut Conn) {
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => {
                 conn.peer_closed = true;
+                conn.write_dead = true;
                 return;
             }
         }

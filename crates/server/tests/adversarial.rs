@@ -133,14 +133,69 @@ fn mid_frame_disconnect_leaves_the_server_healthy() {
     shutdown(handle);
 }
 
+/// A scratch flight-recorder directory, wiped before use.
+fn flight_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdc_flight_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Waits for `count` post-mortems named `flight-*-{reason}.jsonl` and
+/// returns their paths, sorted (the sequence number orders them).
+fn wait_for_dumps(dir: &std::path::Path, reason: &str, count: usize) -> Vec<std::path::PathBuf> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let mut found: Vec<_> = std::fs::read_dir(dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| {
+                        let name = p.file_name().unwrap_or_default().to_string_lossy();
+                        name.starts_with("flight-") && name.ends_with(&format!("-{reason}.jsonl"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if found.len() >= count {
+            found.sort();
+            return found;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no flight-*-{reason}.jsonl appeared in {}",
+            dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The det-channel lines of a dump or trace: iteration-level solver
+/// events, with the timing spans (same name prefixes, but carrying
+/// `parent`) filtered out so both sides compare apples to apples.
+fn det_lines(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .filter(|l| {
+            let v = Json::parse(l).expect("canonical line");
+            if v.get("parent").is_some() {
+                return false;
+            }
+            let ev = v.get("ev").and_then(|e| e.as_str().ok()).unwrap_or_default();
+            ["gmres.", "fgmres.", "precond.", "fault."].iter().any(|p| ev.starts_with(p))
+        })
+        .cloned()
+        .collect()
+}
+
 #[test]
 fn oversized_frames_get_a_structured_error_and_a_close() {
+    let dir = flight_dir("oversize");
     let engine = Arc::new(Engine::new(EngineConfig {
         threads: 0,
         queue_cap: 16,
         batch_max: 4,
         shard: None,
     }));
+    engine.set_flight_dir(dir.clone());
     let handle = serve_with(
         engine,
         "127.0.0.1:0",
@@ -181,7 +236,125 @@ fn oversized_frames_get_a_structured_error_and_a_close() {
         r.field("result").unwrap().field("prometheus").unwrap().as_str().unwrap().to_string();
     assert!(text.contains("sdc_frames_oversized_total 2"), "{text}");
 
+    // Both rejections left a post-mortem behind: the loop-thread flight
+    // recorder dumped its recent window under an `oversized_frame`
+    // header that names the offending connection.
+    let dumps = wait_for_dumps(&dir, "oversized_frame", 2);
+    let first = std::fs::read_to_string(&dumps[0]).expect("dump");
+    let header = Json::parse(first.lines().next().expect("header line")).expect("json");
+    assert_eq!(header.field("ev").unwrap().as_str().unwrap(), "flight.header");
+    assert_eq!(header.field("reason").unwrap().as_str().unwrap(), "oversized_frame");
+    assert!(header.field("token").is_ok(), "{first}");
+
     shutdown(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `SO_LINGER` with a zero timeout: dropping the socket sends an RST
+/// instead of an orderly FIN, which the loop reads as a hard error
+/// (dead write side), not a half-close. `TcpStream::set_linger` is
+/// still unstable, so this goes through the raw syscall like netpoll.
+fn set_rst_on_close(s: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const Linger, len: u32) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    let linger = Linger { l_onoff: 1, l_linger: 0 };
+    // SAFETY: plain syscall on a live fd with a properly-sized struct.
+    let rc = unsafe {
+        setsockopt(
+            s.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            &linger,
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_LINGER)");
+}
+
+#[test]
+fn mid_solve_disconnect_writes_a_suffix_consistent_post_mortem() {
+    let dir = flight_dir("disconnect");
+    let engine = Arc::new(Engine::new(EngineConfig {
+        threads: 0,
+        queue_cap: 16,
+        batch_max: 4,
+        shard: None,
+    }));
+    engine.set_flight_dir(dir.clone());
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    // A solve slow enough (in a debug build) that the RST below always
+    // lands while it is still in flight.
+    const SOLVE: &str = "{\"cmd\":\"solve\",\"matrix\":\"p\",\"solver\":\"ftgmres\",\
+                         \"tol\":1e-10,\"maxit\":60,\"inner_iters\":10";
+
+    let mut c = Client::connect(addr).expect("connect");
+    let r = call(
+        &mut c,
+        "{\"cmd\":\"load_matrix\",\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":32}}",
+    );
+    assert!(r.field("ok").unwrap().as_bool().unwrap(), "{}", r.to_line());
+
+    // Reference: the identical solve, blocking, with the det trace
+    // captured in the response.
+    let traced = call(&mut c, &format!("{SOLVE},\"trace\":true}}"));
+    assert!(traced.field("ok").unwrap().as_bool().unwrap(), "{}", traced.to_line());
+    let reference: Vec<String> = traced
+        .field("result")
+        .unwrap()
+        .field("trace")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|l| l.as_str().expect("trace lines are strings").to_string())
+        .collect();
+    let reference = det_lines(&reference);
+    assert!(!reference.is_empty());
+    // The clean delivered solve must NOT have dumped.
+    assert!(!dir.exists(), "clean solve left a post-mortem");
+
+    // Fire the same solve and slam the door: linger(0) turns the close
+    // into an RST, so the loop sees a hard read error — a dead write
+    // side — while the solve is still running.
+    let mut ghost = TcpStream::connect(addr).expect("connect ghost");
+    ghost.write_all(format!("{SOLVE}}}\n").as_bytes()).expect("send solve");
+    set_rst_on_close(&ghost);
+    drop(ghost);
+
+    let dumps = wait_for_dumps(&dir, "disconnect", 1);
+    let content = std::fs::read_to_string(&dumps[0]).expect("dump");
+    let mut lines = content.lines().map(str::to_string);
+    let header = Json::parse(&lines.next().expect("header line")).expect("json");
+    assert_eq!(header.field("ev").unwrap().as_str().unwrap(), "flight.header");
+    assert_eq!(header.field("reason").unwrap().as_str().unwrap(), "disconnect");
+    assert_eq!(header.field("solver").unwrap().as_str().unwrap(), "ftgmres");
+
+    // The dump's det lines are byte-for-byte the tail of the reference
+    // trace: same events, same fields, ending where the solve ended —
+    // the determinism guarantee carried into the post-mortem.
+    let body: Vec<String> = lines.collect();
+    let dumped = det_lines(&body);
+    assert!(!dumped.is_empty(), "{content}");
+    assert!(
+        reference.ends_with(&dumped),
+        "dump det lines must be a suffix of the traced reference\nlast dumped: {:?}\nlast ref: {:?}",
+        dumped.last(),
+        reference.last()
+    );
+
+    shutdown(handle);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -86,6 +86,13 @@ fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
         })
 }
 
+/// Client-assigned trace ids, including awkward-but-legal shapes
+/// (empty, JSON-escaped quote, long).
+fn trace_id_strategy() -> impl Strategy<Value = String> {
+    let ids = ["req-1", "trc/00042", "", "a\"b\\c", "X", "0123456789abcdef0123456789abcdef"];
+    (0usize..ids.len()).prop_map(move |i| ids[i].to_string())
+}
+
 /// A random *valid* solve request (fault only with ftgmres, restart
 /// only with gmres, finite b) — the invariants `validate()` enforces.
 fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
@@ -104,7 +111,13 @@ fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
             detector_strategy(),
             lsq_strategy(),
             opt(fault_strategy()),
-            (0u64..u64::MAX, bool_strategy(), bool_strategy()),
+            (
+                0u64..u64::MAX,
+                bool_strategy(),
+                bool_strategy(),
+                opt(trace_id_strategy()),
+                bool_strategy(),
+            ),
         ),
     )
         .prop_map(
@@ -116,7 +129,7 @@ fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
                     detector,
                     lsq,
                     fault,
-                    (seed, return_x, trace),
+                    (seed, return_x, trace, trace_id, timing),
                 ),
             )| {
                 // A precond-target fault needs a preconditioner to
@@ -155,6 +168,8 @@ fn solve_strategy() -> impl Strategy<Value = SolveRequest> {
                     seed,
                     return_x,
                     trace,
+                    trace_id,
+                    timing,
                 }
             },
         )
@@ -224,6 +239,25 @@ proptest! {
             let e = Request::from_json(&Json::parse(&line).unwrap()).unwrap_err();
             prop_assert!(e.msg.contains("unknown fault target"), "{}", e.msg);
         }
+    }
+
+    #[test]
+    fn unknown_trace_subfields_are_structured_errors(
+        idx in 0usize..6,
+        with_id in bool_strategy(),
+    ) {
+        // The `trace` object admits exactly `id` and `capture`; anything
+        // else is a structured parse error naming the offender, whether
+        // or not a valid `id` rides alongside.
+        let junk = ["sample", "span", "parent", "level", "ids", "Capture"][idx];
+        let extra = if with_id { "\"id\":\"req-1\"," } else { "" };
+        let line =
+            format!("{{\"cmd\":\"solve\",\"matrix\":\"p\",\"trace\":{{{extra}\"{junk}\":1}}}}");
+        let e = Request::from_json(&Json::parse(&line).unwrap()).unwrap_err();
+        prop_assert!(
+            e.msg.contains(&format!("unknown trace subfield '{junk}'")),
+            "{}", e.msg
+        );
     }
 
     #[test]

@@ -36,18 +36,21 @@ fn shutdown_cluster(handles: Vec<ServerHandle>, cluster: &mut ClusterClient) {
     }
 }
 
-/// The deterministic request sequence: named loads, plain and traced
-/// solves, a not-found miss, a replicate, and a pinned campaign. Every
-/// frame routes per-request (no broadcasts), so output length is
-/// cluster-size-independent.
+/// The deterministic request sequence: named loads, plain solves,
+/// trace-id-carrying solves (id-only and id+capture — the ids must
+/// leave every response byte untouched), a not-found miss, a
+/// replicate, and a pinned campaign. Every frame routes per-request
+/// (no broadcasts), so output length is cluster-size-independent.
 fn sequence() -> Vec<String> {
     vec![
         "{\"cmd\":\"load_matrix\",\"id\":1,\"name\":\"p\",\"problem\":{\"kind\":\"poisson\",\"m\":10}}".into(),
         "{\"cmd\":\"load_matrix\",\"id\":2,\"name\":\"q\",\"problem\":{\"kind\":\"poisson\",\"m\":8}}".into(),
-        "{\"cmd\":\"solve\",\"id\":3,\"matrix\":\"p\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":300}".into(),
+        "{\"cmd\":\"solve\",\"id\":3,\"matrix\":\"p\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":300,\
+         \"trace\":{\"id\":\"trc-3\"}}".into(),
         "{\"cmd\":\"solve\",\"id\":4,\"matrix\":\"q\",\"solver\":\"ftgmres\",\"tol\":1e-7,\"maxit\":60,\
          \"inner_iters\":10,\"detector\":\"restart_inner\",\
-         \"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":12},\"trace\":true}".into(),
+         \"fault\":{\"class\":\"huge\",\"position\":\"first\",\"aggregate\":12},\
+         \"trace\":{\"capture\":true,\"id\":\"trc-4\"}}".into(),
         "{\"cmd\":\"replicate\",\"id\":5,\"matrix\":\"p\"}".into(),
         "{\"cmd\":\"solve\",\"id\":6,\"matrix\":\"nope\",\"solver\":\"gmres\",\"tol\":1e-8,\"maxit\":10}".into(),
         format!(
